@@ -1,0 +1,35 @@
+//! Comparison engines (paper §5.1.2).
+//!
+//! The paper benchmarks EmptyHeaded against two architectural classes:
+//!
+//! * **low-level graph engines** (Galois, PowerGraph, Snap-R, CGT-X) —
+//!   hand-written imperative code over CSR adjacency; [`lowlevel`]
+//!   implements their triangle counting (scalar merge à la Snap-R, hash
+//!   sets à la PowerGraph), PageRank, and SSSP kernels;
+//! * **high-level relational engines** (SociaLite; LogicBlox without GHDs)
+//!   — [`pairwise`] is a binary hash-join engine whose triangle plan
+//!   materializes the Ω(N²) two-path intermediate, the provable lower
+//!   bound for any pairwise relational algebra plan (paper §1); the
+//!   LogicBlox class (worst-case optimal join, single-node GHD) is
+//!   EmptyHeaded itself with `Config::no_ghd()`.
+
+pub mod lowlevel;
+pub mod pairwise;
+
+#[cfg(test)]
+mod tests {
+    use eh_graph::gen;
+
+    #[test]
+    fn all_engines_agree_on_triangles() {
+        let g = gen::erdos_renyi(200, 2000, 9).symmetrize();
+        let pruned = g.prune_by_degree();
+        let csr = pruned.to_csr();
+        let merge = crate::lowlevel::triangle_count_merge(&csr);
+        let hash = crate::lowlevel::triangle_count_hash(&csr);
+        let pair = crate::pairwise::triangle_count(&pruned.edges);
+        assert_eq!(merge, hash);
+        assert_eq!(merge, pair);
+        assert!(merge > 0, "ER(200,2000) has triangles");
+    }
+}

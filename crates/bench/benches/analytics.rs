@@ -1,0 +1,45 @@
+//! Criterion benches for the graph-analytics workloads — the measured form
+//! of paper Tables 6 (PageRank) and 7 (SSSP).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eh_core::Config;
+use eh_graph::paper_datasets;
+
+fn bench_table6_pagerank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6_pagerank");
+    group.sample_size(10);
+    let g = paper_datasets()[2].generate_scaled(0.05); // LiveJournal analog
+    group.bench_function("emptyheaded", |b| {
+        b.iter(|| eh_core::algorithms::pagerank(&g, 5, Config::default()).unwrap())
+    });
+    group.bench_function("galois_class", |b| {
+        b.iter(|| eh_baselines::lowlevel::pagerank(&g, 5))
+    });
+    group.bench_function("socialite_class", |b| {
+        b.iter(|| eh_baselines::pairwise::pagerank(&g.edges, g.num_nodes, 5))
+    });
+    group.finish();
+}
+
+fn bench_table7_sssp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table7_sssp");
+    group.sample_size(10);
+    let g = paper_datasets()[2].generate_scaled(0.05);
+    let start = g.max_degree_node();
+    group.bench_function("emptyheaded_seminaive", |b| {
+        b.iter(|| eh_core::algorithms::sssp(&g, start, Config::default()).unwrap())
+    });
+    group.bench_function("galois_class_bfs", |b| {
+        b.iter(|| eh_baselines::lowlevel::sssp_bfs(&g, start))
+    });
+    group.bench_function("powergraph_class_bf", |b| {
+        b.iter(|| eh_baselines::lowlevel::sssp_bellman_ford(&g, start))
+    });
+    group.bench_function("socialite_class_naive", |b| {
+        b.iter(|| eh_baselines::pairwise::sssp_naive_datalog(&g.edges, g.num_nodes, start))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table6_pagerank, bench_table7_sssp);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion benches for the set-intersection kernels — the measured form
+//! of paper Figures 5 and 6 and the §4.2 kernel comparisons.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eh_set::{uint, IntersectConfig, LayoutKind, Set};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_set(domain: u32, density: f64, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..domain).filter(|_| rng.gen_bool(density)).collect()
+}
+
+/// Figure 5: uint vs bitset across densities.
+fn bench_fig5_density_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_density");
+    group.sample_size(20);
+    let domain = 1 << 18;
+    let cfg = IntersectConfig::default();
+    for &density in &[1e-3, 1e-2, 1e-1] {
+        let a = random_set(domain, density, 1);
+        let b = random_set(domain, density, 2);
+        for kind in [LayoutKind::Uint, LayoutKind::Bitset] {
+            let sa = Set::from_sorted(&a, kind);
+            let sb = Set::from_sorted(&b, kind);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind:?}"), format!("{density:.0e}")),
+                &(sa, sb),
+                |bch, (sa, sb)| bch.iter(|| eh_set::intersect_count(sa, sb, &cfg)),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Figure 6: composite layout on mixed dense/sparse sets.
+fn bench_fig6_composite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_composite");
+    group.sample_size(20);
+    let cfg = IntersectConfig::default();
+    for &card in &[256usize, 4096] {
+        let make = |seed: u64| {
+            let mut v: Vec<u32> = (0..8192).collect();
+            v.extend(random_set(1 << 22, card as f64 / (1 << 22) as f64, seed).iter().map(|x| x + 8192));
+            v
+        };
+        let a = make(3);
+        let b = make(4);
+        for kind in [LayoutKind::Uint, LayoutKind::Bitset, LayoutKind::Block] {
+            let sa = Set::from_sorted(&a, kind);
+            let sb = Set::from_sorted(&b, kind);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind:?}"), card),
+                &(sa, sb),
+                |bch, (sa, sb)| bch.iter(|| eh_set::intersect_count(sa, sb, &cfg)),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// §4.2 kernel shoot-out: merge vs shuffle vs gallop vs hybrid on uint.
+fn bench_uint_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uint_kernels");
+    group.sample_size(20);
+    let balanced_a = random_set(1 << 18, 0.01, 5);
+    let balanced_b = random_set(1 << 18, 0.01, 6);
+    let small = random_set(1 << 18, 0.0002, 7);
+    group.bench_function("merge/balanced", |b| {
+        b.iter(|| uint::count_merge_scalar(&balanced_a, &balanced_b))
+    });
+    group.bench_function("shuffle/balanced", |b| {
+        b.iter(|| uint::count_shuffle(&balanced_a, &balanced_b))
+    });
+    group.bench_function("hybrid/balanced", |b| {
+        b.iter(|| uint::count_hybrid(&balanced_a, &balanced_b, true))
+    });
+    group.bench_function("merge/skewed", |b| {
+        b.iter(|| uint::count_merge_scalar(&small, &balanced_b))
+    });
+    group.bench_function("gallop/skewed", |b| {
+        b.iter(|| uint::count_gallop(&small, &balanced_b))
+    });
+    group.bench_function("hybrid/skewed", |b| {
+        b.iter(|| uint::count_hybrid(&small, &balanced_b, true))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig5_density_sweep,
+    bench_fig6_composite,
+    bench_uint_kernels
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benches for complex pattern queries — the measured form of
+//! paper Table 8 (K4 / Lollipop / Barbell with the GHD ablation) and
+//! Table 13 (selections with push-down).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eh_bench::{queries, PreparedQuery};
+use eh_core::Config;
+use eh_graph::paper_datasets;
+
+fn bench_table8_patterns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table8_patterns");
+    group.sample_size(10);
+    let spec = &paper_datasets()[1]; // Higgs analog
+    let g = spec.generate_scaled(0.02);
+    let pruned = g.prune_by_degree();
+    let mut k4 = PreparedQuery::new(&pruned, Config::default(), queries::K4);
+    group.bench_function("k4/full", |b| b.iter(|| k4.run()));
+    let mut k4_ra = PreparedQuery::new(&pruned, Config::no_layout_no_algorithms(), queries::K4);
+    group.bench_function("k4/-RA", |b| b.iter(|| k4_ra.run()));
+    let mut lolli = PreparedQuery::new(&g, Config::default(), queries::LOLLIPOP);
+    group.bench_function("lollipop/full", |b| b.iter(|| lolli.run()));
+    let mut lolli_nghd = PreparedQuery::new(&g, Config::no_ghd(), queries::LOLLIPOP);
+    group.bench_function("lollipop/-GHD", |b| b.iter(|| lolli_nghd.run()));
+    let mut barbell = PreparedQuery::new(&g, Config::default(), queries::BARBELL);
+    group.bench_function("barbell/full", |b| b.iter(|| barbell.run()));
+    // barbell/-GHD is Θ(N³) — the paper reports t/o; excluded here.
+    group.finish();
+}
+
+fn bench_table13_selections(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table13_selections");
+    group.sample_size(10);
+    let spec = &paper_datasets()[4]; // Patents analog
+    let g = spec.generate_scaled(0.05);
+    let node = g.max_degree_node();
+    let sk4 = format!(
+        "SK4(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z),Edge(x,u),Edge(y,u),Edge(z,u),Edge(x,'{node}'); w=<<COUNT(*)>>."
+    );
+    let mut with_pd = PreparedQuery::new(&g, Config::default(), &sk4);
+    group.bench_function("sk4/push-down", |b| b.iter(|| with_pd.run()));
+    let mut cfg = Config::default();
+    cfg.plan.push_down_selections = false;
+    let mut without_pd = PreparedQuery::new(&g, cfg, &sk4);
+    group.bench_function("sk4/no-push-down", |b| b.iter(|| without_pd.run()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_table8_patterns, bench_table13_selections);
+criterion_main!(benches);

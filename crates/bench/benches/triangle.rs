@@ -1,0 +1,49 @@
+//! Criterion benches for triangle counting — the measured form of paper
+//! Tables 5, 10, and 11 on one representative analog per skew regime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eh_bench::{queries, PreparedQuery};
+use eh_core::Config;
+use eh_graph::paper_datasets;
+
+fn bench_table5_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_triangle");
+    group.sample_size(10);
+    for (idx, label) in [(0usize, "googleplus"), (4usize, "patents")] {
+        let g = paper_datasets()[idx].generate_scaled(0.05).prune_by_degree();
+        let csr = g.to_csr();
+        let mut eh = PreparedQuery::new(&g, Config::default(), queries::TRIANGLE);
+        group.bench_function(format!("{label}/emptyheaded"), |b| b.iter(|| eh.run()));
+        group.bench_function(format!("{label}/snapr_merge"), |b| {
+            b.iter(|| eh_baselines::lowlevel::triangle_count_merge(&csr))
+        });
+        group.bench_function(format!("{label}/powergraph_hash"), |b| {
+            b.iter(|| eh_baselines::lowlevel::triangle_count_hash(&csr))
+        });
+        group.bench_function(format!("{label}/socialite_pairwise"), |b| {
+            b.iter(|| eh_baselines::pairwise::triangle_count(&g.edges))
+        });
+        let mut lb = PreparedQuery::new(&g, Config::no_layout_no_algorithms(), queries::TRIANGLE);
+        group.bench_function(format!("{label}/logicblox_class"), |b| b.iter(|| lb.run()));
+    }
+    group.finish();
+}
+
+fn bench_table11_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table11_ablations");
+    group.sample_size(10);
+    let g = paper_datasets()[0].generate_scaled(0.05).prune_by_degree();
+    for (label, cfg) in [
+        ("full", Config::default()),
+        ("-S", Config::no_simd()),
+        ("-R", Config::uint_only()),
+        ("-RA", Config::no_layout_no_algorithms()),
+    ] {
+        let mut pq = PreparedQuery::new(&g, cfg, queries::TRIANGLE);
+        group.bench_function(label, |b| b.iter(|| pq.run()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table5_engines, bench_table11_ablations);
+criterion_main!(benches);

@@ -1,0 +1,268 @@
+//! The [`Database`]: relation registry + query entry point.
+
+use crate::result::QueryResult;
+use eh_exec::{
+    execute_recursive_rule, execute_rule, Catalog, Config, ExecError, MemCatalog, Relation,
+};
+use eh_graph::Graph;
+use eh_query::{parse_program, Rule};
+use eh_semiring::DynValue;
+use std::fmt;
+
+/// Top-level error type.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CoreError {
+    /// Query text failed to parse.
+    Parse(String),
+    /// Rule failed validation or planning.
+    Invalid(String),
+    /// Execution failed.
+    Exec(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Parse(m) => write!(f, "parse error: {m}"),
+            CoreError::Invalid(m) => write!(f, "invalid rule: {m}"),
+            CoreError::Exec(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<ExecError> for CoreError {
+    fn from(e: ExecError) -> Self {
+        CoreError::Exec(e.to_string())
+    }
+}
+
+/// An in-memory EmptyHeaded database: named relations plus an engine
+/// [`Config`] controlling layouts, kernels, and the query compiler.
+pub struct Database {
+    catalog: MemCatalog,
+    config: Config,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// Empty database with the default (fully optimized) configuration.
+    pub fn new() -> Database {
+        Database {
+            catalog: MemCatalog::new(),
+            config: Config::default(),
+        }
+    }
+
+    /// Empty database with a custom engine configuration (ablations,
+    /// thread counts, forced layouts).
+    pub fn with_config(config: Config) -> Database {
+        Database {
+            catalog: MemCatalog::new(),
+            config,
+        }
+    }
+
+    /// Current engine configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Mutable engine configuration (applies to subsequent queries).
+    pub fn config_mut(&mut self) -> &mut Config {
+        &mut self.config
+    }
+
+    /// Register a binary edge relation from (src, dst) pairs.
+    pub fn load_edges(&mut self, name: &str, edges: &[(u32, u32)]) {
+        let rows: Vec<Vec<u32>> = edges.iter().map(|&(s, d)| vec![s, d]).collect();
+        self.catalog.insert(name, Relation::from_rows(2, rows));
+    }
+
+    /// Register a graph's edge list as a binary relation.
+    pub fn load_graph(&mut self, name: &str, graph: &Graph) {
+        self.load_edges(name, &graph.edges);
+    }
+
+    /// Register an arbitrary relation.
+    pub fn register(&mut self, name: &str, relation: Relation) {
+        self.catalog.insert(name, relation);
+    }
+
+    /// Register a scalar (arity-0) relation usable in head expressions
+    /// (e.g. the `N` of `y = 1/N`).
+    pub fn register_scalar(&mut self, name: &str, value: DynValue) {
+        self.catalog.insert(name, Relation::new_scalar(value));
+    }
+
+    /// Bind a query-text constant (e.g. `'start'`) to a node id.
+    pub fn define_const(&mut self, text: &str, id: u32) {
+        self.catalog.define_const(text, id);
+    }
+
+    /// Look up a stored relation.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.catalog.relation(name)
+    }
+
+    /// Remove a relation (returns it if present).
+    pub fn drop_relation(&mut self, name: &str) -> Option<Relation> {
+        self.catalog.remove(name)
+    }
+
+    /// Parse and execute a program (one or more rules, in order). Each
+    /// rule's result is stored under its head name and visible to later
+    /// rules; the last rule's result is returned.
+    ///
+    /// Recursive rules (`*` heads) use the stored relation of the same
+    /// name as the base case, per the paper's PageRank/SSSP programs.
+    pub fn query(&mut self, text: &str) -> Result<QueryResult, CoreError> {
+        let program = parse_program(text).map_err(|e| CoreError::Parse(e.to_string()))?;
+        let mut last: Option<(String, Relation)> = None;
+        for rule in &program.rules {
+            eh_query::validate_rule(rule).map_err(|e| CoreError::Invalid(e.to_string()))?;
+            let name = rule.head.relation.clone();
+            let result = self.execute_one(rule)?;
+            self.catalog.insert(&name, result.clone());
+            last = Some((name, result));
+        }
+        let (name, relation) = last.expect("parser guarantees at least one rule");
+        Ok(QueryResult::new(name, relation))
+    }
+
+    fn execute_one(&self, rule: &Rule) -> Result<Relation, CoreError> {
+        let recursive = rule.head.recursion.is_some() || rule.is_recursive();
+        if recursive {
+            let initial = self
+                .catalog
+                .relation(&rule.head.relation)
+                .cloned()
+                .ok_or_else(|| {
+                    CoreError::Invalid(format!(
+                        "recursive rule '{}' has no base case relation",
+                        rule.head.relation
+                    ))
+                })?;
+            Ok(execute_recursive_rule(
+                rule,
+                initial,
+                &self.catalog,
+                &self.config,
+            )?)
+        } else {
+            Ok(execute_rule(rule, &self.catalog, &self.config)?)
+        }
+    }
+
+    /// Access the underlying catalog (for advanced integrations).
+    pub fn catalog(&self) -> &MemCatalog {
+        &self.catalog
+    }
+
+    /// Compile a single non-recursive rule once for repeated execution —
+    /// query compilation (GHD search, LP solves, code generation) is paid
+    /// here, not per run, matching the paper's measurement methodology
+    /// (§5.1.3 excludes compilation time).
+    pub fn prepare(&self, text: &str) -> Result<Prepared, CoreError> {
+        let rule = eh_query::parse_rule(text).map_err(|e| CoreError::Parse(e.to_string()))?;
+        eh_query::validate_rule(&rule).map_err(|e| CoreError::Invalid(e.to_string()))?;
+        if rule.head.recursion.is_some() || rule.is_recursive() {
+            return Err(CoreError::Invalid(
+                "prepare() supports non-recursive rules; use query() for recursion".into(),
+            ));
+        }
+        let ghd_plan =
+            eh_ghd::plan_rule(&rule, &self.config.plan).map_err(CoreError::Invalid)?;
+        let plan = eh_exec::PhysicalPlan::compile(&rule, &ghd_plan);
+        Ok(Prepared {
+            name: rule.head.relation.clone(),
+            plan,
+        })
+    }
+}
+
+/// A compiled statement, executable repeatedly without re-planning.
+pub struct Prepared {
+    name: String,
+    plan: eh_exec::PhysicalPlan,
+}
+
+impl Prepared {
+    /// Execute against the database's current relations.
+    pub fn execute(&self, db: &Database) -> Result<QueryResult, CoreError> {
+        let rel = eh_exec::execute_plan(&self.plan, &db.catalog, &db.config)?;
+        Ok(QueryResult::new(self.name.clone(), rel))
+    }
+
+    /// The compiled physical plan (inspectable via `render()`).
+    pub fn plan(&self) -> &eh_exec::PhysicalPlan {
+        &self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_errors_surface() {
+        let mut db = Database::new();
+        assert!(matches!(db.query("not a rule"), Err(CoreError::Parse(_))));
+    }
+
+    #[test]
+    fn unknown_relation_is_exec_error() {
+        let mut db = Database::new();
+        assert!(matches!(
+            db.query("T(x) :- Nope(x,y)."),
+            Err(CoreError::Exec(_))
+        ));
+    }
+
+    #[test]
+    fn recursion_without_base_case_is_invalid() {
+        let mut db = Database::new();
+        db.load_edges("Edge", &[(0, 1)]);
+        let r = db.query("R(x;y:int)* :- Edge(w,x),R(w); y=<<MIN(w)>>+1.");
+        assert!(matches!(r, Err(CoreError::Invalid(_))));
+    }
+
+    #[test]
+    fn scalar_registration() {
+        let mut db = Database::new();
+        db.load_edges("E", &[(0, 1), (1, 2)]);
+        db.register_scalar("N", DynValue::F64(2.0));
+        let out = db.query("P(x;y:float) :- E(x,z); y=1/N.").unwrap();
+        for (_, v) in out.annotated_rows() {
+            assert_eq!(v.as_f64(), 0.5);
+        }
+    }
+
+    #[test]
+    fn config_ablation_switch() {
+        let mut db = Database::with_config(Config::no_ghd());
+        db.load_edges("E", &[(0, 1), (1, 2), (0, 2)]);
+        let out = db
+            .query("C(;w:long) :- E(x,y),E(y,z),E(x,z); w=<<COUNT(*)>>.")
+            .unwrap();
+        assert_eq!(out.scalar_u64(), Some(1));
+        assert!(!db.config().plan.ghd_optimizations);
+        db.config_mut().plan.ghd_optimizations = true;
+        assert!(db.config().plan.ghd_optimizations);
+    }
+
+    #[test]
+    fn drop_relation() {
+        let mut db = Database::new();
+        db.load_edges("E", &[(0, 1)]);
+        assert!(db.relation("E").is_some());
+        assert!(db.drop_relation("E").is_some());
+        assert!(db.relation("E").is_none());
+    }
+}

@@ -1,0 +1,111 @@
+//! Query results.
+
+use eh_exec::Relation;
+use eh_semiring::DynValue;
+
+/// The result of a query: the head relation's name and contents.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    name: String,
+    relation: Relation,
+}
+
+impl QueryResult {
+    pub(crate) fn new(name: String, relation: Relation) -> QueryResult {
+        QueryResult { name, relation }
+    }
+
+    /// Head relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying relation.
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    /// Number of result rows.
+    pub fn num_rows(&self) -> usize {
+        self.relation.len()
+    }
+
+    /// True if the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.relation.is_empty()
+    }
+
+    /// Result rows (dictionary-encoded values).
+    pub fn rows(&self) -> &[Vec<u32>] {
+        self.relation.rows()
+    }
+
+    /// For scalar (aggregate-only) results: the value.
+    pub fn scalar(&self) -> Option<DynValue> {
+        self.relation.scalar_value()
+    }
+
+    /// Scalar as u64 (COUNT results).
+    pub fn scalar_u64(&self) -> Option<u64> {
+        self.scalar().map(|v| v.as_u64())
+    }
+
+    /// Scalar as f64 (SUM results).
+    pub fn scalar_f64(&self) -> Option<f64> {
+        self.scalar().map(|v| v.as_f64())
+    }
+
+    /// Rows paired with their annotations (annotated results only; the
+    /// annotation defaults to 0 if absent).
+    pub fn annotated_rows(&self) -> Vec<(&[u32], DynValue)> {
+        let annots = self.relation.annotations();
+        self.relation
+            .rows()
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                (
+                    r.as_slice(),
+                    annots.map(|a| a[i]).unwrap_or(DynValue::U64(0)),
+                )
+            })
+            .collect()
+    }
+
+    /// Annotation for a specific key tuple.
+    pub fn annotation_for(&self, key: &[u32]) -> Option<DynValue> {
+        let pos = self.relation.rows().iter().position(|r| r == key)?;
+        self.relation.annotations().map(|a| a[pos])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eh_semiring::AggOp;
+
+    #[test]
+    fn accessors() {
+        let rel = Relation::from_annotated_rows(
+            1,
+            vec![vec![3], vec![7]],
+            vec![DynValue::U64(10), DynValue::U64(20)],
+            AggOp::Sum,
+        );
+        let r = QueryResult::new("Q".into(), rel);
+        assert_eq!(r.name(), "Q");
+        assert_eq!(r.num_rows(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.annotation_for(&[7]), Some(DynValue::U64(20)));
+        assert_eq!(r.annotation_for(&[9]), None);
+        assert_eq!(r.annotated_rows().len(), 2);
+        assert_eq!(r.scalar(), None, "not a scalar result");
+    }
+
+    #[test]
+    fn scalar_result() {
+        let r = QueryResult::new("C".into(), Relation::new_scalar(DynValue::U64(42)));
+        assert_eq!(r.scalar_u64(), Some(42));
+        assert_eq!(r.scalar_f64(), Some(42.0));
+    }
+}

@@ -1,0 +1,126 @@
+//! Engine configuration — every paper ablation as a flag.
+
+use eh_ghd::PlanOptions;
+use eh_set::{IntersectConfig, LayoutKind, LayoutPolicy};
+
+/// Execution-engine configuration.
+///
+/// The presets reproduce the ablation columns of paper Tables 8 and 11:
+/// [`Config::uint_only`] is `-R` (no layout optimization),
+/// [`Config::no_layout_no_algorithms`] is `-RA`,
+/// [`Config::no_simd`] is `-S`, and [`Config::no_ghd`] is the single-node
+/// (LogicBlox-class) plan `-GHD`.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Set-layout decision policy (default: per-set optimizer).
+    pub layout_policy: LayoutPolicy,
+    /// Intersection kernel flags (SIMD, algorithm selection).
+    pub intersect: IntersectConfig,
+    /// Query-compiler options (GHD optimizations, push-down, dedup).
+    pub plan: PlanOptions,
+    /// Worker threads for the outer Generic-Join loop (1 = serial).
+    pub threads: usize,
+    /// Force naive recursion even for monotone aggregates (ablation; the
+    /// engine normally picks seminaive for MIN/MAX, paper §3.3.2).
+    pub force_naive_recursion: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            layout_policy: LayoutPolicy::SetLevel,
+            intersect: IntersectConfig::full(),
+            plan: PlanOptions::default(),
+            threads: 1,
+            force_naive_recursion: false,
+        }
+    }
+}
+
+impl Config {
+    /// `-R`: homogeneous uint layout — no density-skew optimization.
+    pub fn uint_only() -> Config {
+        Config {
+            layout_policy: LayoutPolicy::Fixed(LayoutKind::Uint),
+            ..Default::default()
+        }
+    }
+
+    /// `-RA`: uint-only layouts *and* no intersection-algorithm selection
+    /// (plain scalar merge) — neither skew dimension handled.
+    pub fn no_layout_no_algorithms() -> Config {
+        Config {
+            layout_policy: LayoutPolicy::Fixed(LayoutKind::Uint),
+            intersect: IntersectConfig::no_algorithms(),
+            ..Default::default()
+        }
+    }
+
+    /// `-S`: scalar kernels only (layout optimizer still active).
+    pub fn no_simd() -> Config {
+        Config {
+            intersect: IntersectConfig::no_simd(),
+            ..Default::default()
+        }
+    }
+
+    /// `-GHD`: single-node GHD plan (the generic WCOJ algorithm with no
+    /// decomposition — LogicBlox's strategy).
+    pub fn no_ghd() -> Config {
+        Config {
+            plan: PlanOptions {
+                ghd_optimizations: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    /// Set worker thread count.
+    pub fn with_threads(mut self, threads: usize) -> Config {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Relation-level layout decision (paper §4.3 "Relation Level"): one
+    /// forced layout for everything.
+    pub fn relation_level(kind: LayoutKind) -> Config {
+        Config {
+            layout_policy: LayoutPolicy::Fixed(kind),
+            ..Default::default()
+        }
+    }
+
+    /// Block-level (composite) layout everywhere (paper §4.3 "Block Level").
+    pub fn block_level() -> Config {
+        Config {
+            layout_policy: LayoutPolicy::BlockLevel,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_set_expected_flags() {
+        assert_eq!(
+            Config::uint_only().layout_policy,
+            LayoutPolicy::Fixed(LayoutKind::Uint)
+        );
+        assert!(!Config::no_simd().intersect.simd);
+        assert!(Config::no_simd().intersect.algorithm_optimizer);
+        let ra = Config::no_layout_no_algorithms();
+        assert!(!ra.intersect.algorithm_optimizer);
+        assert!(!Config::no_ghd().plan.ghd_optimizations);
+        assert!(Config::default().plan.ghd_optimizations);
+    }
+
+    #[test]
+    fn thread_floor_is_one() {
+        assert_eq!(Config::default().with_threads(0).threads, 1);
+        assert_eq!(Config::default().with_threads(8).threads, 8);
+    }
+}

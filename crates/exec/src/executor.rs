@@ -1,0 +1,1176 @@
+//! Plan execution: Generic-Join within GHD nodes, Yannakakis across them
+//! (paper §3.3.2, Algorithm 1, Example 3.3).
+
+use crate::config::Config;
+use crate::plan::{AtomPlan, PhysicalPlan, PlanNode};
+use crate::storage::{Catalog, Relation};
+use eh_query::ast::Expr;
+use eh_query::Rule;
+use eh_semiring::{AggOp, DynValue};
+use eh_set::{intersect, intersect_count, Set};
+use eh_trie::{NodeId, Trie};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Execution failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecError {
+    /// A body relation is not in the catalog.
+    UnknownRelation(String),
+    /// The atom's term count does not match the stored relation's arity.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Arity expected by the query atom.
+        expected: usize,
+        /// Arity of the stored relation.
+        actual: usize,
+    },
+    /// Query-compiler failure.
+    Plan(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownRelation(r) => write!(f, "unknown relation '{r}'"),
+            ExecError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "relation '{relation}' has arity {actual}, query uses {expected}"
+            ),
+            ExecError::Plan(m) => write!(f, "planning failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Intermediate result of one GHD node's bottom-up evaluation.
+#[derive(Clone, Debug, Default)]
+pub struct NodeResult {
+    /// Attribute names of the columns.
+    pub attrs: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<u32>>,
+    /// Early-aggregated annotation per row (aggregate queries only).
+    pub annots: Option<Vec<DynValue>>,
+}
+
+/// Compile and execute a single (non-recursive) rule.
+pub fn execute_rule(
+    rule: &Rule,
+    catalog: &dyn Catalog,
+    cfg: &Config,
+) -> Result<Relation, ExecError> {
+    let ghd_plan = eh_ghd::plan_rule(rule, &cfg.plan).map_err(ExecError::Plan)?;
+    let plan = PhysicalPlan::compile(rule, &ghd_plan);
+    execute_plan(&plan, catalog, cfg)
+}
+
+/// Execute a compiled physical plan.
+pub fn execute_plan(
+    plan: &PhysicalPlan,
+    catalog: &dyn Catalog,
+    cfg: &Config,
+) -> Result<Relation, ExecError> {
+    let is_agg = plan.agg.is_some();
+    let op = plan.agg.as_ref().map(|a| a.op).unwrap_or(AggOp::Count);
+    // Bottom-up pass: children execute before parents (plan order).
+    let mut results: Vec<Option<Arc<NodeResult>>> = vec![None; plan.nodes.len()];
+    for node in &plan.nodes {
+        if let Some(j) = node.equiv_to {
+            // Redundant-work elimination (paper App. B.2): reuse the
+            // earlier node's rows, relabeled to this node's output
+            // attributes (the canonical bijection aligns the columns).
+            if let Some(prev) = &results[j] {
+                if prev.attrs.len() == node.output_attrs.len() {
+                    results[node.id] = Some(Arc::new(NodeResult {
+                        attrs: node.output_attrs.clone(),
+                        rows: prev.rows.clone(),
+                        annots: prev.annots.clone(),
+                    }));
+                    continue;
+                }
+            }
+        }
+        let result = run_node(node, plan, catalog, cfg, &results, is_agg, op)?;
+        results[node.id] = Some(Arc::new(result));
+    }
+    let root = results[plan.root().id].as_ref().unwrap();
+    // Top-down pass (Yannakakis): assemble full tuples unless skippable.
+    let assembled = if plan.skip_top_down {
+        NodeResult::clone(root)
+    } else {
+        assemble(plan.root().id, plan, &results, is_agg, op)
+    };
+    finalize(plan, assembled, catalog, is_agg, op)
+}
+
+/// Per-atom execution state during Generic-Join.
+#[derive(Clone)]
+struct AtomExec {
+    trie: Arc<Trie>,
+    /// Node-attr indices this atom binds, ascending.
+    attr_levels: Vec<usize>,
+    /// Trie path: `stack[k]` is consulted when binding `attr_levels[k]`.
+    stack: Vec<NodeId>,
+    /// Monotone rank cursors parallel to `stack` — values at each depth
+    /// arrive ascending, so rank probes only ever move forward.
+    hints: Vec<usize>,
+    /// Whether leaf values carry annotations to multiply in.
+    annotated: bool,
+}
+
+/// Everything Generic-Join needs for one GHD node.
+struct GjContext<'a> {
+    atoms: Vec<AtomExec>,
+    attrs_len: usize,
+    /// For each output column, the node-attr index it reads.
+    output_levels: Vec<usize>,
+    /// Whether an attr index is retained in the output.
+    is_output: Vec<bool>,
+    /// Reusable per-level value buffers (no allocation in the loop nest).
+    scratch: Vec<Vec<u32>>,
+    cfg: &'a Config,
+    is_agg: bool,
+    op: AggOp,
+}
+
+/// A pass-through hasher for u32 keys: node ids are already uniformly
+/// distributed after dictionary encoding, so SipHash is pure overhead in
+/// the aggregation hot loop.
+#[derive(Clone, Copy, Default)]
+pub struct IdentityHasher(u64);
+
+impl std::hash::Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ b as u64;
+        }
+    }
+    fn write_u32(&mut self, v: u32) {
+        // Multiplicative scramble keeps clustering harmless.
+        self.0 = (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+/// `BuildHasher` for [`IdentityHasher`].
+#[derive(Clone, Copy, Default)]
+pub struct IdentityBuild;
+
+impl std::hash::BuildHasher for IdentityBuild {
+    type Hasher = IdentityHasher;
+    fn build_hasher(&self) -> IdentityHasher {
+        IdentityHasher(0)
+    }
+}
+
+/// Emission sink: scalar accumulator (no key vars), aggregate fold, or
+/// row collection.
+enum Sink {
+    /// Scalar aggregate (COUNT(*)-style) — no hashing in the hot loop.
+    Scalar {
+        acc: DynValue,
+        any: bool,
+    },
+    /// Single-key aggregate — u32 keys, cheap hash, no per-emit allocation.
+    Agg1(HashMap<u32, DynValue, IdentityBuild>),
+    Agg(HashMap<Vec<u32>, DynValue>),
+    Rows(Vec<Vec<u32>>),
+}
+
+/// Execute Generic-Join at one GHD node.
+#[allow(clippy::too_many_arguments)]
+fn run_node(
+    node: &PlanNode,
+    plan: &PhysicalPlan,
+    catalog: &dyn Catalog,
+    cfg: &Config,
+    results: &[Option<Arc<NodeResult>>],
+    is_agg: bool,
+    op: AggOp,
+) -> Result<NodeResult, ExecError> {
+    let mut atoms: Vec<AtomExec> = Vec::new();
+    // Annotation product of fully-constant atoms and scalar factors.
+    let mut base_product = op.one();
+    let mut empty = false;
+    for ap in &node.atoms {
+        match build_atom(ap, node, catalog, cfg, is_agg, op)? {
+            BuiltAtom::Live(a) => atoms.push(a),
+            BuiltAtom::ConstOnly(annot) => {
+                base_product = op.times(base_product, annot);
+            }
+            BuiltAtom::Empty => {
+                empty = true;
+            }
+        }
+    }
+    // Children join in as atoms over their interface attributes.
+    for &child_id in &node.children {
+        let child_plan = &plan.nodes[child_id];
+        let child_result = results[child_id].as_ref().unwrap();
+        let (rel, fully_folded) =
+            child_as_relation(child_plan, child_result, is_agg, op, plan.skip_top_down);
+        if rel.is_empty() {
+            empty = true;
+        }
+        let attr_levels: Vec<usize> = child_plan
+            .interface
+            .iter()
+            .map(|a| node.attrs.iter().position(|x| x == a).unwrap())
+            .collect();
+        // Trie order: interface columns sorted by parent attr order.
+        let mut order: Vec<usize> = (0..child_plan.interface.len()).collect();
+        order.sort_by_key(|&i| attr_levels[i]);
+        let sorted_levels: Vec<usize> = order.iter().map(|&i| attr_levels[i]).collect();
+        let trie = rel.trie(&order, cfg.layout_policy);
+        atoms.push(AtomExec {
+            trie,
+            attr_levels: sorted_levels,
+            stack: vec![0],
+            hints: vec![0],
+            annotated: fully_folded && is_agg,
+        });
+    }
+    let output_levels: Vec<usize> = node
+        .output_attrs
+        .iter()
+        .map(|a| node.attrs.iter().position(|x| x == a).unwrap())
+        .collect();
+    let mut is_output = vec![false; node.attrs.len()];
+    for &l in &output_levels {
+        is_output[l] = true;
+    }
+    let mut ctx = GjContext {
+        atoms,
+        attrs_len: node.attrs.len(),
+        output_levels,
+        is_output,
+        scratch: vec![Vec::new(); node.attrs.len()],
+        cfg,
+        is_agg,
+        op,
+    };
+    let mut sink = if is_agg {
+        match node.output_attrs.len() {
+            0 => Sink::Scalar {
+                acc: op.zero(),
+                any: false,
+            },
+            1 => Sink::Agg1(HashMap::with_hasher(IdentityBuild)),
+            _ => Sink::Agg(HashMap::new()),
+        }
+    } else {
+        Sink::Rows(Vec::new())
+    };
+    if !empty {
+        if cfg.threads > 1 && ctx.attrs_len > 1 {
+            gj_parallel(&mut ctx, base_product, &mut sink, cfg.threads);
+        } else {
+            let mut bindings = vec![0u32; ctx.attrs_len];
+            gj(&mut ctx, 0, base_product, &mut bindings, &mut sink);
+        }
+    }
+    let (rows, annots) = match sink {
+        Sink::Scalar { acc, any } => {
+            if any {
+                (vec![vec![]], Some(vec![acc]))
+            } else {
+                (Vec::new(), Some(Vec::new()))
+            }
+        }
+        Sink::Agg1(map) => {
+            let mut entries: Vec<(u32, DynValue)> = map.into_iter().collect();
+            entries.sort_by_key(|e| e.0);
+            let mut rows = Vec::with_capacity(entries.len());
+            let mut annots = Vec::with_capacity(entries.len());
+            for (k, v) in entries {
+                rows.push(vec![k]);
+                annots.push(v);
+            }
+            (rows, Some(annots))
+        }
+        Sink::Agg(map) => {
+            let mut rows = Vec::with_capacity(map.len());
+            let mut annots = Vec::with_capacity(map.len());
+            let mut entries: Vec<(Vec<u32>, DynValue)> = map.into_iter().collect();
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            for (k, v) in entries {
+                rows.push(k);
+                annots.push(v);
+            }
+            (rows, Some(annots))
+        }
+        Sink::Rows(mut rows) => {
+            rows.sort();
+            rows.dedup();
+            (rows, None)
+        }
+    };
+    Ok(NodeResult {
+        attrs: node.output_attrs.clone(),
+        rows,
+        annots,
+    })
+}
+
+enum BuiltAtom {
+    Live(AtomExec),
+    /// All positions constant and present: contributes only an annotation.
+    ConstOnly(DynValue),
+    /// Constant prefix missing from the relation: node result is empty.
+    Empty,
+}
+
+fn build_atom(
+    ap: &AtomPlan,
+    node: &PlanNode,
+    catalog: &dyn Catalog,
+    cfg: &Config,
+    is_agg: bool,
+    op: AggOp,
+) -> Result<BuiltAtom, ExecError> {
+    let rel = catalog
+        .relation(&ap.relation)
+        .ok_or_else(|| ExecError::UnknownRelation(ap.relation.clone()))?;
+    if rel.arity() != ap.trie_order.len() {
+        return Err(ExecError::ArityMismatch {
+            relation: ap.relation.clone(),
+            expected: ap.trie_order.len(),
+            actual: rel.arity(),
+        });
+    }
+    let trie = rel.trie(&ap.trie_order, cfg.layout_policy);
+    // Resolve and descend the constant prefix once (selection push-down
+    // within the node: selections are the first trie levels).
+    let mut consts = Vec::with_capacity(ap.const_prefix.len());
+    for c in &ap.const_prefix {
+        match catalog.resolve_const(c) {
+            Some(id) => consts.push(id),
+            None => return Ok(BuiltAtom::Empty),
+        }
+    }
+    if ap.attr_levels.is_empty() {
+        // Fully-constant atom: an existence filter (+ annotation).
+        let Some((last, prefix)) = consts.split_last() else {
+            return Ok(BuiltAtom::Empty);
+        };
+        let Some(n) = trie.select_node(prefix) else {
+            return Ok(BuiltAtom::Empty);
+        };
+        let Some(rank) = n.set.rank(*last) else {
+            return Ok(BuiltAtom::Empty);
+        };
+        let annot = if is_agg && rel.is_annotated() && !ap.secondary {
+            n.annots.get(rank).copied().unwrap_or(op.one())
+        } else {
+            op.one()
+        };
+        return Ok(BuiltAtom::ConstOnly(annot));
+    }
+    // Find the trie node after the constant prefix.
+    let start = match descend(&trie, &consts) {
+        Some(id) => id,
+        None => return Ok(BuiltAtom::Empty),
+    };
+    // Map attr levels into this node's attr order (already provided).
+    let attr_levels: Vec<usize> = ap
+        .attr_levels
+        .iter()
+        .map(|&ai| {
+            debug_assert!(ai < node.attrs.len());
+            ai
+        })
+        .collect();
+    Ok(BuiltAtom::Live(AtomExec {
+        trie,
+        attr_levels,
+        stack: vec![start],
+        hints: vec![0],
+        annotated: is_agg && rel.is_annotated() && !ap.secondary,
+    }))
+}
+
+/// Walk a constant prefix from the root; returns the reached node id.
+fn descend(trie: &Trie, prefix: &[u32]) -> Option<NodeId> {
+    let mut id: NodeId = 0;
+    for &v in prefix {
+        let n = trie.node(id);
+        let rank = n.set.rank(v)?;
+        id = *n.children.get(rank)?;
+    }
+    Some(id)
+}
+
+/// The generic worst-case optimal join over one node (Algorithm 1), with
+/// early aggregation and the innermost count fast path.
+fn gj(
+    ctx: &mut GjContext<'_>,
+    level: usize,
+    product: DynValue,
+    bindings: &mut Vec<u32>,
+    sink: &mut Sink,
+) {
+    if level == ctx.attrs_len {
+        emit(ctx, bindings, product, sink);
+        return;
+    }
+    // Atoms participating at this level, with their stack depth.
+    let participating: Vec<(usize, usize)> = ctx
+        .atoms
+        .iter()
+        .enumerate()
+        .filter_map(|(i, a)| {
+            a.attr_levels
+                .iter()
+                .position(|&l| l == level)
+                .map(|d| (i, d))
+        })
+        .collect();
+    if participating.is_empty() {
+        // Attribute bound by no live atom at this node (can happen when a
+        // selection removed the only binding atom): nothing to iterate.
+        return;
+    }
+    // Innermost count fast path (paper §5.3: aggregate queries never
+    // materialize the deepest intersection): the last attribute, not in
+    // the output, no annotated atom bottoming out here.
+    let last_level = level + 1 == ctx.attrs_len;
+    let no_leaf_annots = participating.iter().all(|&(i, d)| {
+        let a = &ctx.atoms[i];
+        !(a.annotated && d + 1 == a.attr_levels.len())
+    });
+    if last_level && ctx.is_agg && !ctx.is_output[level] && no_leaf_annots {
+        let count = {
+            let sets: Vec<&Set> = participating
+                .iter()
+                .map(|&(i, d)| {
+                    let a = &ctx.atoms[i];
+                    &a.trie.node(a.stack[d]).set
+                })
+                .collect();
+            count_all(&sets, ctx.cfg)
+        };
+        if count > 0 {
+            let folded = fold_count(ctx.op, product, count);
+            emit(ctx, bindings, folded, sink);
+        }
+        return;
+    }
+    // Fill this level's value buffer without allocating: smallest set
+    // first, pairwise from there (min property at every step).
+    let mut merged = std::mem::take(&mut ctx.scratch[level]);
+    merged.clear();
+    {
+        let mut sets: Vec<&Set> = participating
+            .iter()
+            .map(|&(i, d)| {
+                let a = &ctx.atoms[i];
+                &a.trie.node(a.stack[d]).set
+            })
+            .collect();
+        sets.sort_by_key(|s| s.len());
+        match sets.len() {
+            0 => unreachable!("participating is non-empty"),
+            1 => merged.extend(sets[0].iter()),
+            2 => eh_set::intersect::intersect_values(
+                sets[0],
+                sets[1],
+                &ctx.cfg.intersect,
+                &mut merged,
+            ),
+            _ => {
+                let mut acc = intersect(sets[0], sets[1], &ctx.cfg.intersect);
+                for s in &sets[2..sets.len() - 1] {
+                    acc = intersect(&acc, s, &ctx.cfg.intersect);
+                }
+                eh_set::intersect::intersect_values(
+                    &acc,
+                    sets[sets.len() - 1],
+                    &ctx.cfg.intersect,
+                    &mut merged,
+                );
+            }
+        }
+    }
+    // Fresh ascent at this level: reset each participating atom's cursor.
+    for &(i, d) in &participating {
+        ctx.atoms[i].hints[d] = 0;
+    }
+    for idx in 0..merged.len() {
+        let v = merged[idx];
+        bindings[level] = v;
+        let mut prod = product;
+        let mut ok = true;
+        // Advance each participating atom's trie cursor.
+        for &(i, d) in &participating {
+            let a = &mut ctx.atoms[i];
+            let node_id = a.stack[d];
+            let (child, annot) = {
+                let n = a.trie.node(node_id);
+                let mut hint = a.hints[d];
+                let rank = match n.set.rank_hinted(v, &mut hint) {
+                    Some(r) => {
+                        a.hints[d] = hint;
+                        r
+                    }
+                    None => {
+                        a.hints[d] = hint;
+                        ok = false;
+                        break;
+                    }
+                };
+                let is_leaf = d + 1 == a.attr_levels.len();
+                let child = if is_leaf {
+                    None
+                } else {
+                    Some(n.children[rank])
+                };
+                let annot = if is_leaf && a.annotated {
+                    n.annots.get(rank).copied()
+                } else {
+                    None
+                };
+                (child, annot)
+            };
+            if let Some(c) = child {
+                a.stack.truncate(d + 1);
+                a.stack.push(c);
+                a.hints.truncate(d + 1);
+                a.hints.push(0);
+            }
+            if let Some(an) = annot {
+                prod = ctx.op.times(prod, an);
+            }
+        }
+        if ok {
+            gj(ctx, level + 1, prod, bindings, sink);
+        }
+    }
+    // Return the buffer for reuse by sibling invocations at this level.
+    ctx.scratch[level] = merged;
+}
+
+/// Parallel Generic-Join: partition the outermost attribute's value range
+/// across worker threads (the paper parallelizes the first loop of the
+/// generated code the same way), then merge the per-thread sinks with `⊕`.
+fn gj_parallel(ctx: &mut GjContext<'_>, base_product: DynValue, sink: &mut Sink, threads: usize) {
+    // Level-0 participants and merged values (same prologue as `gj`).
+    let participating: Vec<(usize, usize)> = ctx
+        .atoms
+        .iter()
+        .enumerate()
+        .filter_map(|(i, a)| a.attr_levels.iter().position(|&l| l == 0).map(|d| (i, d)))
+        .collect();
+    if participating.is_empty() {
+        return;
+    }
+    let mut merged: Vec<u32> = Vec::new();
+    {
+        let mut sets: Vec<&Set> = participating
+            .iter()
+            .map(|&(i, d)| {
+                let a = &ctx.atoms[i];
+                &a.trie.node(a.stack[d]).set
+            })
+            .collect();
+        sets.sort_by_key(|s| s.len());
+        match sets.len() {
+            1 => merged.extend(sets[0].iter()),
+            _ => {
+                let mut acc = sets[0].clone();
+                for s in &sets[1..sets.len() - 1] {
+                    acc = intersect(&acc, s, &ctx.cfg.intersect);
+                }
+                eh_set::intersect::intersect_values(
+                    &acc,
+                    sets[sets.len() - 1],
+                    &ctx.cfg.intersect,
+                    &mut merged,
+                );
+            }
+        }
+    }
+    if merged.is_empty() {
+        return;
+    }
+    let chunk = merged.len().div_ceil(threads);
+    let results: Vec<Sink> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = merged
+            .chunks(chunk)
+            .map(|vals| {
+                let atoms = ctx.atoms.clone();
+                let cfg = ctx.cfg;
+                let output_levels = ctx.output_levels.clone();
+                let is_output = ctx.is_output.clone();
+                let attrs_len = ctx.attrs_len;
+                let is_agg = ctx.is_agg;
+                let op = ctx.op;
+                let part = participating.clone();
+                scope.spawn(move |_| {
+                    let mut local = GjContext {
+                        atoms,
+                        attrs_len,
+                        output_levels,
+                        is_output,
+                        scratch: vec![Vec::new(); attrs_len],
+                        cfg,
+                        is_agg,
+                        op,
+                    };
+                    let mut local_sink = if is_agg {
+                        if local.output_levels.is_empty() {
+                            Sink::Scalar {
+                                acc: op.zero(),
+                                any: false,
+                            }
+                        } else if local.output_levels.len() == 1 {
+                            Sink::Agg1(HashMap::with_hasher(IdentityBuild))
+                        } else {
+                            Sink::Agg(HashMap::new())
+                        }
+                    } else {
+                        Sink::Rows(Vec::new())
+                    };
+                    let mut bindings = vec![0u32; attrs_len];
+                    for &(i, d) in &part {
+                        local.atoms[i].hints[d] = 0;
+                    }
+                    for &v in vals {
+                        bindings[0] = v;
+                        let mut prod = base_product;
+                        let mut ok = true;
+                        for &(i, d) in &part {
+                            let a = &mut local.atoms[i];
+                            let node_id = a.stack[d];
+                            let n = a.trie.node(node_id);
+                            let mut hint = a.hints[d];
+                            let Some(rank) = n.set.rank_hinted(v, &mut hint) else {
+                                a.hints[d] = hint;
+                                ok = false;
+                                break;
+                            };
+                            a.hints[d] = hint;
+                            let is_leaf = d + 1 == a.attr_levels.len();
+                            if !is_leaf {
+                                let c = n.children[rank];
+                                a.stack.truncate(d + 1);
+                                a.stack.push(c);
+                                a.hints.truncate(d + 1);
+                                a.hints.push(0);
+                            } else if a.annotated {
+                                if let Some(an) = n.annots.get(rank).copied() {
+                                    prod = op.times(prod, an);
+                                }
+                            }
+                        }
+                        if ok {
+                            gj(&mut local, 1, prod, &mut bindings, &mut local_sink);
+                        }
+                    }
+                    local_sink
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("worker thread panicked");
+    // Merge per-thread sinks.
+    let op = ctx.op;
+    for local in results {
+        match (&mut *sink, local) {
+            (Sink::Scalar { acc, any }, Sink::Scalar { acc: a2, any: n2 }) => {
+                if n2 {
+                    *acc = op.plus(*acc, a2);
+                    *any = true;
+                }
+            }
+            (Sink::Agg1(map), Sink::Agg1(m2)) => {
+                for (k, v) in m2 {
+                    map.entry(k)
+                        .and_modify(|x| *x = op.plus(*x, v))
+                        .or_insert(v);
+                }
+            }
+            (Sink::Agg(map), Sink::Agg(m2)) => {
+                for (k, v) in m2 {
+                    map.entry(k)
+                        .and_modify(|x| *x = op.plus(*x, v))
+                        .or_insert(v);
+                }
+            }
+            (Sink::Rows(rows), Sink::Rows(r2)) => rows.extend(r2),
+            _ => unreachable!("sink kinds match across threads"),
+        }
+    }
+}
+
+/// Emit one assignment: fold into the scalar/aggregate sink or push a row.
+fn emit(ctx: &GjContext<'_>, bindings: &[u32], product: DynValue, sink: &mut Sink) {
+    match sink {
+        Sink::Scalar { acc, any } => {
+            *acc = ctx.op.plus(*acc, product);
+            *any = true;
+        }
+        Sink::Agg1(map) => {
+            let key = bindings[ctx.output_levels[0]];
+            let op = ctx.op;
+            map.entry(key)
+                .and_modify(|v| *v = op.plus(*v, product))
+                .or_insert(product);
+        }
+        Sink::Agg(map) => {
+            let tuple: Vec<u32> = ctx.output_levels.iter().map(|&l| bindings[l]).collect();
+            let op = ctx.op;
+            map.entry(tuple)
+                .and_modify(|v| *v = op.plus(*v, product))
+                .or_insert(product);
+        }
+        Sink::Rows(rows) => {
+            let tuple: Vec<u32> = ctx.output_levels.iter().map(|&l| bindings[l]).collect();
+            rows.push(tuple);
+        }
+    }
+}
+
+/// Count a multiway intersection without materializing the final set.
+fn count_all(sets: &[&Set], cfg: &Config) -> usize {
+    match sets.len() {
+        0 => 0,
+        1 => sets[0].len(),
+        2 => intersect_count(sets[0], sets[1], &cfg.intersect),
+        _ => {
+            // Materialize all but the last pair, ordered smallest-first.
+            let mut order: Vec<usize> = (0..sets.len()).collect();
+            order.sort_by_key(|&i| sets[i].len());
+            let mut acc = intersect(sets[order[0]], sets[order[1]], &cfg.intersect);
+            for &i in &order[2..order.len() - 1] {
+                if acc.is_empty() {
+                    return 0;
+                }
+                acc = intersect(&acc, sets[i], &cfg.intersect);
+            }
+            intersect_count(&acc, sets[*order.last().unwrap()], &cfg.intersect)
+        }
+    }
+}
+
+/// Fold `count` identical contributions of `product` into one value:
+/// `⊕`-ing `product` with itself `count` times.
+fn fold_count(op: AggOp, product: DynValue, count: usize) -> DynValue {
+    match op {
+        // x ⊕ ... ⊕ x (count times) = count·x in ℕ/ℝ semirings.
+        AggOp::Count => DynValue::U64(product.as_u64().wrapping_mul(count as u64)),
+        AggOp::Sum => DynValue::F64(product.as_f64() * count as f64),
+        // min(x, x, ...) = x.
+        AggOp::Min | AggOp::Max => product,
+    }
+}
+
+/// Present a child's bottom-up result to its parent as a relation over the
+/// interface attributes. Returns `(relation, fully_folded)`:
+/// `fully_folded` is true when the child's output is exactly its interface,
+/// so its aggregated annotation can be multiplied in directly.
+fn child_as_relation(
+    child: &PlanNode,
+    result: &NodeResult,
+    is_agg: bool,
+    op: AggOp,
+    _skip_top_down: bool,
+) -> (Relation, bool) {
+    let fully_folded = child.output_attrs == child.interface;
+    if fully_folded {
+        let rel = if is_agg {
+            Relation::from_annotated_rows(
+                child.interface.len(),
+                result.rows.clone(),
+                result
+                    .annots
+                    .clone()
+                    .unwrap_or_else(|| vec![op.one(); result.rows.len()]),
+                op,
+            )
+        } else {
+            Relation::from_rows(child.interface.len(), result.rows.clone())
+        };
+        return (rel, true);
+    }
+    // Project to the interface (semijoin role only); annotations, if any,
+    // are applied during the top-down pass.
+    let iface_idx: Vec<usize> = child
+        .interface
+        .iter()
+        .map(|a| result.attrs.iter().position(|x| x == a).unwrap())
+        .collect();
+    let mut rows: Vec<Vec<u32>> = result
+        .rows
+        .iter()
+        .map(|r| iface_idx.iter().map(|&i| r[i]).collect())
+        .collect();
+    rows.sort();
+    rows.dedup();
+    (Relation::from_rows(child.interface.len(), rows), false)
+}
+
+/// Yannakakis top-down pass: extend each node's rows with its children's
+/// non-interface output columns (joined on the interface), multiplying
+/// annotations for aggregate queries.
+fn assemble(
+    node_id: usize,
+    plan: &PhysicalPlan,
+    results: &[Option<Arc<NodeResult>>],
+    is_agg: bool,
+    op: AggOp,
+) -> NodeResult {
+    let node = &plan.nodes[node_id];
+    let own = results[node_id].as_ref().unwrap();
+    let mut attrs = own.attrs.clone();
+    let mut rows = own.rows.clone();
+    let mut annots = if is_agg {
+        own.annots
+            .clone()
+            .or_else(|| Some(vec![op.one(); rows.len()]))
+    } else {
+        None
+    };
+    for &child_id in &node.children {
+        let child = assemble(child_id, plan, results, is_agg, op);
+        let child_plan = &plan.nodes[child_id];
+        // Index child rows by interface tuple.
+        let iface_idx: Vec<usize> = child_plan
+            .interface
+            .iter()
+            .map(|a| child.attrs.iter().position(|x| x == a).unwrap())
+            .collect();
+        let ext_idx: Vec<usize> = (0..child.attrs.len())
+            .filter(|i| !iface_idx.contains(i))
+            .collect();
+        let mut index: HashMap<Vec<u32>, Vec<(Vec<u32>, DynValue)>> = HashMap::new();
+        for (ri, row) in child.rows.iter().enumerate() {
+            let key: Vec<u32> = iface_idx.iter().map(|&i| row[i]).collect();
+            let ext: Vec<u32> = ext_idx.iter().map(|&i| row[i]).collect();
+            let an = child
+                .annots
+                .as_ref()
+                .map(|a| a[ri])
+                .unwrap_or_else(|| op.one());
+            index.entry(key).or_default().push((ext, an));
+        }
+        // Parent-side interface column positions.
+        let parent_iface_idx: Vec<usize> = child_plan
+            .interface
+            .iter()
+            .map(|a| attrs.iter().position(|x| x == a).unwrap())
+            .collect();
+        let mut new_rows = Vec::new();
+        let mut new_annots = annots.as_ref().map(|_| Vec::new());
+        for (ri, row) in rows.iter().enumerate() {
+            let key: Vec<u32> = parent_iface_idx.iter().map(|&i| row[i]).collect();
+            if let Some(matches) = index.get(&key) {
+                for (ext, an) in matches {
+                    let mut r = row.clone();
+                    r.extend_from_slice(ext);
+                    new_rows.push(r);
+                    if let Some(na) = new_annots.as_mut() {
+                        let base = annots.as_ref().unwrap()[ri];
+                        na.push(op.times(base, *an));
+                    }
+                }
+            }
+        }
+        for &i in &ext_idx {
+            attrs.push(child.attrs[i].clone());
+        }
+        rows = new_rows;
+        annots = new_annots;
+    }
+    NodeResult {
+        attrs,
+        rows,
+        annots,
+    }
+}
+
+/// Project to the head variables, fold duplicates, and apply the head
+/// expression.
+fn finalize(
+    plan: &PhysicalPlan,
+    result: NodeResult,
+    catalog: &dyn Catalog,
+    is_agg: bool,
+    op: AggOp,
+) -> Result<Relation, ExecError> {
+    let key_idx: Vec<usize> = plan
+        .output_vars
+        .iter()
+        .map(|a| {
+            result
+                .attrs
+                .iter()
+                .position(|x| x == a)
+                .expect("output var must be in assembled attrs")
+        })
+        .collect();
+    if !is_agg {
+        let mut rows: Vec<Vec<u32>> = result
+            .rows
+            .iter()
+            .map(|r| key_idx.iter().map(|&i| r[i]).collect())
+            .collect();
+        rows.sort();
+        rows.dedup();
+        return Ok(Relation::from_rows(plan.output_vars.len(), rows));
+    }
+    let spec = plan.agg.as_ref().unwrap();
+    // Group by key, ⊕-fold.
+    let mut map: HashMap<Vec<u32>, DynValue> = HashMap::new();
+    for (ri, row) in result.rows.iter().enumerate() {
+        let key: Vec<u32> = key_idx.iter().map(|&i| row[i]).collect();
+        let an = result
+            .annots
+            .as_ref()
+            .map(|a| a[ri])
+            .unwrap_or_else(|| op.one());
+        map.entry(key)
+            .and_modify(|v| *v = op.plus(*v, an))
+            .or_insert(an);
+    }
+    let scalars = |name: &str| -> Option<f64> {
+        catalog
+            .relation(name)
+            .and_then(|r| r.scalar_value())
+            .map(|v| v.as_f64())
+    };
+    let apply = |v: DynValue| -> DynValue {
+        match &spec.expr {
+            Expr::Agg(..) => v,
+            e => {
+                let out = e.eval(v.as_f64(), &scalars).unwrap_or(f64::NAN);
+                match op {
+                    AggOp::Count | AggOp::Min => DynValue::U64(out as u64),
+                    AggOp::Sum | AggOp::Max => DynValue::F64(out),
+                }
+            }
+        }
+    };
+    if plan.output_vars.is_empty() {
+        // Scalar result.
+        let total = map
+            .into_values()
+            .fold(op.zero(), |acc, v| op.plus(acc, v));
+        return Ok(Relation::new_scalar(apply(total)));
+    }
+    let mut entries: Vec<(Vec<u32>, DynValue)> = map.into_iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut rows = Vec::with_capacity(entries.len());
+    let mut annots = Vec::with_capacity(entries.len());
+    for (k, v) in entries {
+        rows.push(k);
+        annots.push(apply(v));
+    }
+    Ok(Relation::from_annotated_rows(
+        plan.output_vars.len(),
+        rows,
+        annots,
+        op,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemCatalog;
+    use eh_query::parse_rule;
+
+    fn path_catalog() -> MemCatalog {
+        let mut cat = MemCatalog::new();
+        cat.insert(
+            "E",
+            Relation::from_rows(2, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![1, 3]]),
+        );
+        cat
+    }
+
+    #[test]
+    fn two_hop_join() {
+        let cat = path_catalog();
+        let rule = parse_rule("P(x,z) :- E(x,y),E(y,z).").unwrap();
+        let out = execute_rule(&rule, &cat, &Config::default()).unwrap();
+        let mut rows = out.rows().to_vec();
+        rows.sort();
+        assert_eq!(rows, vec![vec![0, 2], vec![0, 3], vec![1, 3]]);
+    }
+
+    #[test]
+    fn projection_dedups() {
+        let cat = path_catalog();
+        let rule = parse_rule("S(x) :- E(x,y).").unwrap();
+        let out = execute_rule(&rule, &cat, &Config::default()).unwrap();
+        assert_eq!(out.rows(), &[vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn count_two_hops() {
+        let cat = path_catalog();
+        let rule = parse_rule("C(;w:long) :- E(x,y),E(y,z); w=<<COUNT(*)>>.").unwrap();
+        let out = execute_rule(&rule, &cat, &Config::default()).unwrap();
+        assert_eq!(out.scalar().unwrap().as_u64(), 3);
+    }
+
+    #[test]
+    fn count_grouped_by_key() {
+        let cat = path_catalog();
+        let rule = parse_rule("D(x;w:long) :- E(x,y); w=<<COUNT(*)>>.").unwrap();
+        let out = execute_rule(&rule, &cat, &Config::default()).unwrap();
+        assert_eq!(out.rows(), &[vec![0], vec![1], vec![2]]);
+        let annots = out.annotations().unwrap();
+        assert_eq!(annots[0].as_u64(), 1); // 0 -> {1}
+        assert_eq!(annots[1].as_u64(), 2); // 1 -> {2,3}
+        assert_eq!(annots[2].as_u64(), 1); // 2 -> {3}
+    }
+
+    #[test]
+    fn selection_filters() {
+        let cat = path_catalog();
+        let rule = parse_rule("Q(y) :- E('1',y).").unwrap();
+        let out = execute_rule(&rule, &cat, &Config::default()).unwrap();
+        assert_eq!(out.rows(), &[vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn selection_missing_constant_is_empty() {
+        let cat = path_catalog();
+        let rule = parse_rule("Q(y) :- E('99',y).").unwrap();
+        let out = execute_rule(&rule, &cat, &Config::default()).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let cat = path_catalog();
+        let rule = parse_rule("Q(x) :- Nope(x,y).").unwrap();
+        match execute_rule(&rule, &cat, &Config::default()) {
+            Err(ExecError::UnknownRelation(r)) => assert_eq!(r, "Nope"),
+            other => panic!("expected UnknownRelation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arity_mismatch_errors() {
+        let cat = path_catalog();
+        let rule = parse_rule("Q(x) :- E(x,y,z).").unwrap();
+        assert!(matches!(
+            execute_rule(&rule, &cat, &Config::default()),
+            Err(ExecError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn annotated_sum_aggregation() {
+        // Weighted edges; total weight of 2-paths = sum over (x,y,z) of
+        // w(x,y)*w(y,z).
+        let mut cat = MemCatalog::new();
+        cat.insert(
+            "W",
+            Relation::from_annotated_rows(
+                2,
+                vec![vec![0, 1], vec![1, 2], vec![1, 3]],
+                vec![
+                    DynValue::F64(2.0),
+                    DynValue::F64(3.0),
+                    DynValue::F64(5.0),
+                ],
+                AggOp::Sum,
+            ),
+        );
+        let rule = parse_rule("C(;w:float) :- W(x,y),W(y,z); w=<<SUM(z)>>.").unwrap();
+        let out = execute_rule(&rule, &cat, &Config::default()).unwrap();
+        // paths: (0,1,2): 2*3=6, (0,1,3): 2*5=10 → 16.
+        assert_eq!(out.scalar().unwrap().as_f64(), 16.0);
+    }
+
+    #[test]
+    fn barbell_count_with_dedup_matches_no_dedup() {
+        // Small undirected clique graph where barbells exist.
+        let mut edges = Vec::new();
+        for a in 0..5u32 {
+            for b in 0..5u32 {
+                if a != b {
+                    edges.push(vec![a, b]);
+                }
+            }
+        }
+        let mut cat = MemCatalog::new();
+        cat.insert("E", Relation::from_rows(2, edges));
+        let rule = parse_rule(
+            "B(;w:long) :- E(x,y),E(y,z),E(x,z),E(x,a),E(a,b),E(b,c),E(a,c); w=<<COUNT(*)>>.",
+        )
+        .unwrap();
+        let with = execute_rule(&rule, &cat, &Config::default()).unwrap();
+        let mut cfg = Config::default();
+        cfg.plan.dedup_nodes = false;
+        let without = execute_rule(&rule, &cat, &cfg).unwrap();
+        assert_eq!(
+            with.scalar().unwrap().as_u64(),
+            without.scalar().unwrap().as_u64()
+        );
+        let single = execute_rule(&rule, &cat, &Config::no_ghd()).unwrap();
+        assert_eq!(
+            with.scalar().unwrap().as_u64(),
+            single.scalar().unwrap().as_u64()
+        );
+    }
+
+    #[test]
+    fn barbell_materialization_top_down() {
+        // Two triangles joined by a bridge: (0,1,2) and (3,4,5), bridge 0-3.
+        let tri = |a: u32, b: u32, c: u32| {
+            vec![
+                (a, b),
+                (b, a),
+                (b, c),
+                (c, b),
+                (a, c),
+                (c, a),
+            ]
+        };
+        let mut edges: Vec<(u32, u32)> = tri(0, 1, 2);
+        edges.extend(tri(3, 4, 5));
+        edges.push((0, 3));
+        edges.push((3, 0));
+        let rows: Vec<Vec<u32>> = edges.into_iter().map(|(a, b)| vec![a, b]).collect();
+        let mut cat = MemCatalog::new();
+        cat.insert("E", Relation::from_rows(2, rows));
+        let rule = parse_rule(
+            "B(x,y,z,a,b,c) :- E(x,y),E(y,z),E(x,z),E(x,a),E(a,b),E(b,c),E(a,c).",
+        )
+        .unwrap();
+        let out = execute_rule(&rule, &cat, &Config::default()).unwrap();
+        assert!(!out.is_empty());
+        // Every emitted row must satisfy all seven body atoms.
+        let has = |a: u32, b: u32| cat.relation("E").unwrap().rows().contains(&vec![a, b]);
+        for row in out.rows() {
+            let (x, y, z, a, b, c) = (row[0], row[1], row[2], row[3], row[4], row[5]);
+            assert!(has(x, y) && has(y, z) && has(x, z), "left triangle {row:?}");
+            assert!(has(a, b) && has(b, c) && has(a, c), "right triangle {row:?}");
+            assert!(has(x, a), "bridge {row:?}");
+        }
+        // Cross-triangle barbells over the explicit 0-3 bridge must appear.
+        assert!(out
+            .rows()
+            .iter()
+            .any(|r| (r[0] == 0 && r[3] == 3) || (r[0] == 3 && r[3] == 0)));
+        // Cross-check the full result against the single-node plan.
+        let single = execute_rule(&rule, &cat, &Config::no_ghd()).unwrap();
+        assert_eq!(out.rows().len(), single.rows().len());
+        assert_eq!(out.rows(), single.rows());
+    }
+}

@@ -1,0 +1,291 @@
+//! Relations and catalogs: the executor's view of stored data.
+//!
+//! A [`Relation`] owns its rows (dictionary-encoded u32 tuples, optional
+//! annotations) and lazily materializes [`eh_trie::Trie`]s per column
+//! order — the paper stores "both orders for each edge relation" (§2.2
+//! "Column (Index) Order"); we generalize to caching any requested order.
+
+use eh_semiring::{AggOp, DynValue};
+use eh_set::LayoutPolicy;
+use eh_trie::{Trie, TrieBuilder};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A stored relation: rows + optional annotations + trie cache.
+#[derive(Debug)]
+pub struct Relation {
+    arity: usize,
+    rows: Vec<Vec<u32>>,
+    annots: Option<Vec<DynValue>>,
+    /// ⊕ used to combine duplicate-tuple annotations.
+    combine: AggOp,
+    tries: RwLock<HashMap<(Vec<usize>, LayoutPolicyKey), Arc<Trie>>>,
+}
+
+/// Hashable stand-in for [`LayoutPolicy`] (which holds no Eq-unfriendly
+/// data but lives in another crate without Hash).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum LayoutPolicyKey {
+    FixedUint,
+    FixedBitset,
+    FixedBlock,
+    SetLevel,
+    BlockLevel,
+}
+
+fn policy_key(p: LayoutPolicy) -> LayoutPolicyKey {
+    match p {
+        LayoutPolicy::Fixed(eh_set::LayoutKind::Uint) => LayoutPolicyKey::FixedUint,
+        LayoutPolicy::Fixed(eh_set::LayoutKind::Bitset) => LayoutPolicyKey::FixedBitset,
+        LayoutPolicy::Fixed(eh_set::LayoutKind::Block) => LayoutPolicyKey::FixedBlock,
+        LayoutPolicy::SetLevel => LayoutPolicyKey::SetLevel,
+        LayoutPolicy::BlockLevel => LayoutPolicyKey::BlockLevel,
+    }
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        Relation {
+            arity: self.arity,
+            rows: self.rows.clone(),
+            annots: self.annots.clone(),
+            combine: self.combine,
+            tries: RwLock::new(self.tries.read().clone()),
+        }
+    }
+}
+
+impl Relation {
+    /// Unannotated relation from rows.
+    pub fn from_rows(arity: usize, rows: Vec<Vec<u32>>) -> Relation {
+        Relation {
+            arity,
+            rows,
+            annots: None,
+            combine: AggOp::Sum,
+            tries: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Annotated relation from rows and parallel values.
+    pub fn from_annotated_rows(
+        arity: usize,
+        rows: Vec<Vec<u32>>,
+        annots: Vec<DynValue>,
+        combine: AggOp,
+    ) -> Relation {
+        assert_eq!(rows.len(), annots.len());
+        Relation {
+            arity,
+            rows,
+            annots: Some(annots),
+            combine,
+            tries: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// A scalar relation (arity 0) holding one annotation value.
+    pub fn new_scalar(value: DynValue) -> Relation {
+        Relation {
+            arity: 0,
+            rows: vec![vec![]],
+            annots: Some(vec![value]),
+            combine: AggOp::Sum,
+            tries: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The stored rows.
+    pub fn rows(&self) -> &[Vec<u32>] {
+        &self.rows
+    }
+
+    /// Parallel annotations, if any.
+    pub fn annotations(&self) -> Option<&[DynValue]> {
+        self.annots.as_deref()
+    }
+
+    /// Whether tuples carry annotation values.
+    pub fn is_annotated(&self) -> bool {
+        self.annots.is_some()
+    }
+
+    /// Number of rows (before dedup).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the relation holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// For a scalar (arity-0) relation: its single value.
+    pub fn scalar_value(&self) -> Option<DynValue> {
+        if self.arity == 0 {
+            self.annots.as_ref().and_then(|a| a.first().copied())
+        } else {
+            None
+        }
+    }
+
+    /// Alias of [`Relation::scalar_value`], also usable for 0-ary results.
+    pub fn scalar(&self) -> Option<DynValue> {
+        self.scalar_value()
+    }
+
+    /// Trie of this relation with columns permuted by `order`
+    /// (`order[level] = source column`), cached per `(order, policy)`.
+    pub fn trie(&self, order: &[usize], policy: LayoutPolicy) -> Arc<Trie> {
+        assert_eq!(order.len(), self.arity, "order must cover all columns");
+        let key = (order.to_vec(), policy_key(policy));
+        if let Some(t) = self.tries.read().get(&key) {
+            return Arc::clone(t);
+        }
+        let reordered: Vec<Vec<u32>> = self
+            .rows
+            .iter()
+            .map(|row| order.iter().map(|&c| row[c]).collect())
+            .collect();
+        let builder = TrieBuilder::new(self.arity)
+            .policy(policy)
+            .combine(self.combine);
+        let trie = Arc::new(match &self.annots {
+            Some(a) => builder.build_annotated(&reordered, a),
+            None => builder.build(&reordered),
+        });
+        self.tries.write().insert(key, Arc::clone(&trie));
+        trie
+    }
+
+    /// Identity-order trie.
+    pub fn trie_default(&self, policy: LayoutPolicy) -> Arc<Trie> {
+        let order: Vec<usize> = (0..self.arity).collect();
+        self.trie(&order, policy)
+    }
+}
+
+/// The executor's access to named relations and constant resolution.
+pub trait Catalog: Sync {
+    /// Look up a relation by name.
+    fn relation(&self, name: &str) -> Option<&Relation>;
+
+    /// Resolve a query-text constant (e.g. `'start'` or `'42'`) to its
+    /// dictionary-encoded id. The default parses integers directly —
+    /// callers with string dictionaries override this.
+    fn resolve_const(&self, text: &str) -> Option<u32> {
+        text.parse().ok()
+    }
+}
+
+/// A simple in-memory catalog.
+#[derive(Default)]
+pub struct MemCatalog {
+    relations: HashMap<String, Relation>,
+    constants: HashMap<String, u32>,
+}
+
+impl MemCatalog {
+    /// Empty catalog.
+    pub fn new() -> MemCatalog {
+        MemCatalog::default()
+    }
+
+    /// Insert or replace a relation.
+    pub fn insert(&mut self, name: &str, rel: Relation) {
+        self.relations.insert(name.to_string(), rel);
+    }
+
+    /// Register a named constant (dictionary entry) for selections.
+    pub fn define_const(&mut self, text: &str, id: u32) {
+        self.constants.insert(text.to_string(), id);
+    }
+
+    /// Remove a relation.
+    pub fn remove(&mut self, name: &str) -> Option<Relation> {
+        self.relations.remove(name)
+    }
+
+    /// Iterate relation names.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+}
+
+impl Catalog for MemCatalog {
+    fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    fn resolve_const(&self, text: &str) -> Option<u32> {
+        self.constants
+            .get(text)
+            .copied()
+            .or_else(|| text.parse().ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trie_caching_and_reordering() {
+        let r = Relation::from_rows(2, vec![vec![1, 10], vec![2, 20], vec![1, 30]]);
+        let fwd = r.trie(&[0, 1], LayoutPolicy::SetLevel);
+        let fwd2 = r.trie(&[0, 1], LayoutPolicy::SetLevel);
+        assert!(Arc::ptr_eq(&fwd, &fwd2), "cache hit");
+        assert_eq!(fwd.select(&[1]).unwrap().to_vec(), vec![10, 30]);
+        let rev = r.trie(&[1, 0], LayoutPolicy::SetLevel);
+        assert_eq!(rev.select(&[10]).unwrap().to_vec(), vec![1]);
+        assert_eq!(rev.root().set.to_vec(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn policies_cached_separately() {
+        let rows: Vec<Vec<u32>> = (0..600u32).map(|i| vec![0, i]).collect();
+        let r = Relation::from_rows(2, rows);
+        let auto = r.trie(&[0, 1], LayoutPolicy::SetLevel);
+        let uint = r.trie(&[0, 1], LayoutPolicy::Fixed(eh_set::LayoutKind::Uint));
+        assert_ne!(auto.layout_census(), uint.layout_census());
+    }
+
+    #[test]
+    fn annotated_relation_roundtrip() {
+        let r = Relation::from_annotated_rows(
+            1,
+            vec![vec![3], vec![5]],
+            vec![DynValue::F64(0.5), DynValue::F64(0.25)],
+            AggOp::Sum,
+        );
+        let t = r.trie_default(LayoutPolicy::SetLevel);
+        assert_eq!(t.annotation(&[3]), Some(DynValue::F64(0.5)));
+        assert_eq!(t.annotation(&[5]), Some(DynValue::F64(0.25)));
+    }
+
+    #[test]
+    fn scalar_relation() {
+        let r = Relation::new_scalar(DynValue::U64(42));
+        assert_eq!(r.arity(), 0);
+        assert_eq!(r.scalar_value(), Some(DynValue::U64(42)));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn catalog_lookup_and_consts() {
+        let mut cat = MemCatalog::new();
+        cat.insert("E", Relation::from_rows(2, vec![vec![0, 1]]));
+        cat.define_const("start", 7);
+        assert!(cat.relation("E").is_some());
+        assert!(cat.relation("missing").is_none());
+        assert_eq!(cat.resolve_const("start"), Some(7));
+        assert_eq!(cat.resolve_const("123"), Some(123));
+        assert_eq!(cat.resolve_const("nope"), None);
+    }
+}

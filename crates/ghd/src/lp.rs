@@ -1,0 +1,293 @@
+//! Fractional edge-cover linear programs and AGM bounds (paper §2.1).
+//!
+//! AGM: for a feasible fractional cover `x` of query hypergraph `H`,
+//! `|out| ≤ Π_e |R_e|^{x_e}`. The tightest bound minimizes
+//! `Σ_e x_e · log|R_e|`, a small covering LP ("take the log of Eq. 1 and
+//! solve the linear program", paper footnote 3). With unit costs the LP
+//! value is the *fractional edge cover number*, whose maximum over GHD
+//! nodes is the fractional hypertree width.
+//!
+//! The solver is a dense two-phase simplex — queries have ≤ ~10 edges and
+//! variables, so exotic numerics are unnecessary.
+
+/// Solve the covering LP: minimize `c·x` s.t. `A x ≥ 1`, `x ≥ 0`.
+///
+/// `a[row][col]` has one row per vertex and one column per edge
+/// (`a[v][e] = 1.0` iff edge `e` contains vertex `v`). Returns the optimum
+/// value and an optimal `x`, or `None` if infeasible (a vertex covered by
+/// no edge).
+pub fn solve_cover_lp(costs: &[f64], a: &[Vec<f64>]) -> Option<(f64, Vec<f64>)> {
+    let n = costs.len();
+    let m = a.len();
+    if m == 0 {
+        return Some((0.0, vec![0.0; n]));
+    }
+    for row in a {
+        debug_assert_eq!(row.len(), n);
+        if row.iter().all(|&v| v == 0.0) {
+            return None;
+        }
+    }
+    // Standard form: minimize c·x s.t. A x − s = 1, x,s ≥ 0.
+    // Phase 1: add artificial variables, minimize their sum.
+    // Tableau columns: [x(n) | s(m) | art(m) | rhs].
+    let cols = n + m + m + 1;
+    let mut t = vec![vec![0.0f64; cols]; m + 1];
+    for (i, row) in a.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            t[i][j] = v;
+        }
+        t[i][n + i] = -1.0; // surplus
+        t[i][n + m + i] = 1.0; // artificial
+        t[i][cols - 1] = 1.0; // rhs
+    }
+    // Phase-1 objective row: minimize sum of artificials → row = -(sum of
+    // constraint rows) restricted to non-artificial columns.
+    let mut basis: Vec<usize> = (0..m).map(|i| n + m + i).collect();
+    for j in 0..cols {
+        let mut s = 0.0;
+        for i in 0..m {
+            s += t[i][j];
+        }
+        t[m][j] = if (n + m..n + m + m).contains(&j) { 0.0 } else { -s };
+    }
+    // The objective value lives at t[m][cols-1] (negated sum of rhs).
+    simplex(&mut t, &mut basis, cols)?;
+    let phase1 = -t[m][cols - 1];
+    if phase1 > 1e-7 {
+        return None; // infeasible
+    }
+    // Drive any remaining artificial variables out of the basis.
+    for i in 0..m {
+        if basis[i] >= n + m {
+            // Find a non-artificial column with nonzero coefficient.
+            if let Some(j) = (0..n + m).find(|&j| t[i][j].abs() > 1e-9) {
+                pivot(&mut t, i, j, cols);
+                basis[i] = j;
+            }
+        }
+    }
+    // Phase 2: replace objective with the real costs (on x columns only).
+    for j in 0..cols {
+        t[m][j] = 0.0;
+    }
+    for j in 0..n {
+        t[m][j] = costs[j];
+    }
+    // Express objective in terms of non-basic variables.
+    for i in 0..m {
+        let b = basis[i];
+        let coef = t[m][b];
+        if coef.abs() > 1e-12 {
+            for j in 0..cols {
+                t[m][j] -= coef * t[i][j];
+            }
+        }
+    }
+    // Zero out artificial columns so they are never re-entered.
+    for row in t.iter_mut() {
+        for j in n + m..n + m + m {
+            row[j] = 0.0;
+        }
+    }
+    simplex(&mut t, &mut basis, cols)?;
+    let mut x = vec![0.0; n];
+    for i in 0..m {
+        if basis[i] < n {
+            x[basis[i]] = t[i][cols - 1];
+        }
+    }
+    let value = costs.iter().zip(&x).map(|(c, v)| c * v).sum();
+    Some((value, x))
+}
+
+/// Run primal simplex to optimality on a minimization tableau whose
+/// objective row (last) holds *reduced costs* (entering column = most
+/// negative). Returns `None` on unboundedness (cannot happen for covering
+/// LPs but kept for safety).
+fn simplex(t: &mut [Vec<f64>], basis: &mut [usize], cols: usize) -> Option<()> {
+    let m = basis.len();
+    for _iter in 0..10_000 {
+        // Entering column: most negative reduced cost.
+        let mut enter = None;
+        let mut best = -1e-9;
+        for j in 0..cols - 1 {
+            if t[m][j] < best {
+                best = t[m][j];
+                enter = Some(j);
+            }
+        }
+        let Some(e) = enter else {
+            return Some(()); // optimal
+        };
+        // Leaving row: min ratio test.
+        let mut leave = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            if t[i][e] > 1e-9 {
+                let ratio = t[i][cols - 1] / t[i][e];
+                if ratio < best_ratio - 1e-12 {
+                    best_ratio = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let l = leave?;
+        pivot(t, l, e, cols);
+        basis[l] = e;
+    }
+    None
+}
+
+fn pivot(t: &mut [Vec<f64>], row: usize, col: usize, cols: usize) {
+    let p = t[row][col];
+    for j in 0..cols {
+        t[row][j] /= p;
+    }
+    for i in 0..t.len() {
+        if i != row {
+            let f = t[i][col];
+            if f.abs() > 1e-12 {
+                for j in 0..cols {
+                    t[i][j] -= f * t[row][j];
+                }
+            }
+        }
+    }
+}
+
+/// Fractional edge-cover number of the vertices `cover_vars` using the
+/// given edges (each a set of vertex ids) with unit costs. This is the AGM
+/// exponent: with all relations of size `N`, the node's output is bounded
+/// by `N^value`. Returns `None` if some vertex is uncoverable.
+pub fn agm_exponent(cover_vars: &[usize], edges: &[Vec<usize>]) -> Option<f64> {
+    if cover_vars.is_empty() {
+        return Some(0.0);
+    }
+    let costs = vec![1.0; edges.len()];
+    let a: Vec<Vec<f64>> = cover_vars
+        .iter()
+        .map(|&v| {
+            edges
+                .iter()
+                .map(|e| if e.contains(&v) { 1.0 } else { 0.0 })
+                .collect()
+        })
+        .collect();
+    solve_cover_lp(&costs, &a).map(|(val, _)| val)
+}
+
+/// AGM bound with per-edge relation sizes: `Π_e |R_e|^{x_e}` minimized,
+/// returned in log scale (`Σ x_e ln|R_e|`), plus the witness cover.
+pub fn agm_bound_log(
+    cover_vars: &[usize],
+    edges: &[Vec<usize>],
+    sizes: &[f64],
+) -> Option<(f64, Vec<f64>)> {
+    if cover_vars.is_empty() {
+        return Some((0.0, vec![0.0; edges.len()]));
+    }
+    let costs: Vec<f64> = sizes.iter().map(|&s| s.max(1.0).ln()).collect();
+    let a: Vec<Vec<f64>> = cover_vars
+        .iter()
+        .map(|&v| {
+            edges
+                .iter()
+                .map(|e| if e.contains(&v) { 1.0 } else { 0.0 })
+                .collect()
+        })
+        .collect();
+    solve_cover_lp(&costs, &a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_cover_is_three_halves() {
+        // Paper Example 2.1: triangle fractional cover (1/2,1/2,1/2).
+        let edges = vec![vec![0, 1], vec![1, 2], vec![0, 2]];
+        let w = agm_exponent(&[0, 1, 2], &edges).unwrap();
+        assert!((w - 1.5).abs() < 1e-6, "got {w}");
+    }
+
+    #[test]
+    fn single_edge_cover() {
+        let edges = vec![vec![0, 1]];
+        let w = agm_exponent(&[0, 1], &edges).unwrap();
+        assert!((w - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn four_clique_cover_is_two() {
+        // K4 on vertices 0..4, all 6 edges; fractional cover number = 2.
+        let edges = vec![
+            vec![0, 1],
+            vec![1, 2],
+            vec![0, 2],
+            vec![0, 3],
+            vec![1, 3],
+            vec![2, 3],
+        ];
+        let w = agm_exponent(&[0, 1, 2, 3], &edges).unwrap();
+        assert!((w - 2.0).abs() < 1e-6, "got {w}");
+    }
+
+    #[test]
+    fn barbell_cover_is_three() {
+        // Paper Example 3.1: 7 edges, cover (1/2 ×6, 0) → 3.
+        let edges = vec![
+            vec![0, 1],
+            vec![1, 2],
+            vec![0, 2],
+            vec![0, 3],
+            vec![3, 4],
+            vec![4, 5],
+            vec![3, 5],
+        ];
+        let w = agm_exponent(&[0, 1, 2, 3, 4, 5], &edges).unwrap();
+        assert!((w - 3.0).abs() < 1e-6, "got {w}");
+    }
+
+    #[test]
+    fn infeasible_when_vertex_uncovered() {
+        let edges = vec![vec![0, 1]];
+        assert!(agm_exponent(&[0, 1, 2], &edges).is_none());
+    }
+
+    #[test]
+    fn empty_cover() {
+        assert_eq!(agm_exponent(&[], &[vec![0]]), Some(0.0));
+    }
+
+    #[test]
+    fn weighted_bound_prefers_small_relations() {
+        // Two ways to cover vertex 0: edge A (size e^1) or edge B (size e^2).
+        let edges = vec![vec![0], vec![0]];
+        let sizes = vec![std::f64::consts::E, std::f64::consts::E * std::f64::consts::E];
+        let (log_bound, x) = agm_bound_log(&[0], &edges, &sizes).unwrap();
+        assert!((log_bound - 1.0).abs() < 1e-6);
+        assert!((x[0] - 1.0).abs() < 1e-6);
+        assert!(x[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn lp_solver_direct() {
+        // min x+y s.t. x ≥ 1, y ≥ 1 → 2.
+        let (v, x) = solve_cover_lp(
+            &[1.0, 1.0],
+            &[vec![1.0, 0.0], vec![0.0, 1.0]],
+        )
+        .unwrap();
+        assert!((v - 2.0).abs() < 1e-6);
+        assert!((x[0] - 1.0).abs() < 1e-6 && (x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lp_no_constraints() {
+        let (v, x) = solve_cover_lp(&[1.0, 2.0], &[]).unwrap();
+        assert_eq!(v, 0.0);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+}

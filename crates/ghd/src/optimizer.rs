@@ -1,0 +1,392 @@
+//! GHD selection, attribute ordering, selection push-down, and redundant
+//! node elimination (paper §3.2, Appendix B).
+
+use crate::decompose::{enumerate_ghds, single_node_ghd, Ghd, GhdNode};
+use crate::hypergraph::Hypergraph;
+use eh_query::Rule;
+
+/// Compiler options — the query-compiler ablation knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanOptions {
+    /// Enumerate GHDs and pick the minimum-width one. `false` forces the
+    /// single-node plan (the paper's `-GHD` ablation / LogicBlox's plan).
+    pub ghd_optimizations: bool,
+    /// Break width ties toward maximal selection depth (App. B.1.1).
+    pub push_down_selections: bool,
+    /// Detect equivalent GHD nodes so they are computed once (App. B.2).
+    pub dedup_nodes: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions {
+            ghd_optimizations: true,
+            push_down_selections: true,
+            dedup_nodes: true,
+        }
+    }
+}
+
+/// A compiled logical plan: the chosen GHD plus the global attribute order
+/// and bookkeeping the code generator consumes.
+#[derive(Clone, Debug)]
+pub struct GhdPlan {
+    /// The rule's hypergraph.
+    pub hypergraph: Hypergraph,
+    /// The winning decomposition.
+    pub ghd: Ghd,
+    /// Global attribute order (variable names), from the pre-order
+    /// traversal of the GHD with selected attributes hoisted first.
+    pub attr_order: Vec<String>,
+    /// For each node (pre-order index), `Some(j)` if it is equivalent to
+    /// earlier node `j` and its result can be reused.
+    pub node_equiv: Vec<Option<usize>>,
+    /// True when the top-down Yannakakis pass can be skipped because every
+    /// output attribute already appears in the root node (App. B.2).
+    pub skip_top_down: bool,
+}
+
+/// Compile a rule into a [`GhdPlan`].
+pub fn plan_rule(rule: &Rule, opts: &PlanOptions) -> Result<GhdPlan, String> {
+    eh_query::validate_rule(rule).map_err(|e| e.to_string())?;
+    let hg = Hypergraph::from_rule(rule);
+    if hg.num_edges() == 0 {
+        return Err("rule has no body atoms".into());
+    }
+    let ghd = if opts.ghd_optimizations {
+        choose_ghd(&hg, opts.push_down_selections, opts.dedup_nodes)
+    } else {
+        single_node_ghd(&hg)
+    };
+    let attr_order = attribute_order(&hg, &ghd);
+    let node_equiv = if opts.dedup_nodes {
+        equivalent_nodes(&hg, &ghd)
+    } else {
+        let n = ghd.node_count();
+        vec![None; n]
+    };
+    // Skip the top-down pass when the root already holds every output
+    // attribute (e.g. aggregate-only queries with no key vars).
+    let root_vars: Vec<&str> = ghd
+        .root
+        .chi
+        .iter()
+        .map(|&v| hg.vars[v].as_str())
+        .collect();
+    let skip_top_down = rule
+        .head
+        .key_vars
+        .iter()
+        .all(|v| root_vars.contains(&v.as_str()));
+    Ok(GhdPlan {
+        hypergraph: hg,
+        ghd,
+        attr_order,
+        node_equiv,
+        skip_top_down,
+    })
+}
+
+/// Pick the minimum-width GHD; tie-break toward maximal selection depth
+/// (push-down across nodes), then toward more reusable (equivalent) nodes
+/// (App. B.2 dedup pays off only if the shape exposes equivalent subtrees),
+/// then toward fewer nodes, then toward fewer total attributes.
+fn choose_ghd(hg: &Hypergraph, push_down: bool, prefer_dedup: bool) -> Ghd {
+    let mut candidates = enumerate_ghds(hg);
+    // Drop dominated "wrapper" decompositions: a node with a single child
+    // whose χ contains the node's entire χ does no join work of its own —
+    // it only forces the child to materialize a large interface. Such
+    // plans can trick the selection-depth tie-break.
+    candidates.retain(|g| !has_wrapper_node(&g.root));
+    if candidates.is_empty() {
+        return single_node_ghd(hg);
+    }
+    // Precompute all tie-break keys once; signatures are not cheap.
+    let mut keyed: Vec<(f64, usize, usize, usize, usize, Ghd)> = candidates
+        .drain(..)
+        .map(|g| {
+            let sel = if push_down {
+                selection_depth(hg, &g.root, 0)
+            } else {
+                0
+            };
+            let equiv = if prefer_dedup {
+                equivalent_nodes(hg, &g)
+                    .iter()
+                    .filter(|e| e.is_some())
+                    .count()
+            } else {
+                0
+            };
+            (g.width, sel, equiv, g.node_count(), total_chi(&g.root), g)
+        })
+        .collect();
+    keyed.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap()
+            .then_with(|| b.1.cmp(&a.1))
+            .then_with(|| b.2.cmp(&a.2))
+            .then_with(|| a.3.cmp(&b.3))
+            .then_with(|| a.4.cmp(&b.4))
+    });
+    keyed.into_iter().next().unwrap().5
+}
+
+/// True if any node has exactly one child whose χ is a superset of the
+/// node's χ (a dominated wrapper — the child subsumes it).
+fn has_wrapper_node(node: &GhdNode) -> bool {
+    if node.children.len() == 1 {
+        let child = &node.children[0];
+        if node.chi.iter().all(|v| child.chi.contains(v)) {
+            return true;
+        }
+    }
+    node.children.iter().any(has_wrapper_node)
+}
+
+/// Selection depth: sum over selection-carrying edges of the depth of the
+/// node that joins them (paper App. B.1.1 step 3 — deeper selections run
+/// earlier in the bottom-up pass).
+fn selection_depth(hg: &Hypergraph, node: &GhdNode, depth: usize) -> usize {
+    let here: usize = node
+        .lambda
+        .iter()
+        .filter(|&&e| hg.edges[e].has_selection())
+        .count()
+        * depth;
+    here + node
+        .children
+        .iter()
+        .map(|c| selection_depth(hg, c, depth + 1))
+        .sum::<usize>()
+}
+
+fn total_chi(node: &GhdNode) -> usize {
+    node.chi.len() + node.children.iter().map(total_chi).sum::<usize>()
+}
+
+/// Global attribute order: pre-order traversal over the GHD, appending each
+/// node's attributes to a queue (paper §3.2); within a node, attributes
+/// with selections come first (App. B.1 "Within a Node"), then by how many
+/// of the node's relations contain them (descending).
+fn attribute_order(hg: &Hypergraph, ghd: &Ghd) -> Vec<String> {
+    let mut order: Vec<usize> = Vec::new();
+    let mut seen = vec![false; hg.num_vars()];
+    let selected = hg.selected_vars();
+    ghd.root.preorder(&mut |node| {
+        let mut local: Vec<usize> = node.chi.clone();
+        local.sort_by_key(|&v| {
+            let is_sel = selected.contains(&v);
+            let freq = node
+                .lambda
+                .iter()
+                .filter(|&&e| hg.edges[e].vars.contains(&v))
+                .count();
+            (std::cmp::Reverse(is_sel as usize), std::cmp::Reverse(freq), v)
+        });
+        for v in local {
+            if !seen[v] {
+                seen[v] = true;
+                order.push(v);
+            }
+        }
+    });
+    order.into_iter().map(|v| hg.vars[v].clone()).collect()
+}
+
+/// Pre-order node equivalence: `result[i] = Some(j)` when node `i`'s
+/// bottom-up result equals node `j`'s (identical join pattern on the same
+/// relations, identical selections, equivalent subtrees — paper App. B.2).
+fn equivalent_nodes(hg: &Hypergraph, ghd: &Ghd) -> Vec<Option<usize>> {
+    let mut sigs: Vec<String> = Vec::new();
+    ghd.root.preorder(&mut |node| {
+        sigs.push(canonical_signature(hg, node));
+    });
+    let mut out = vec![None; sigs.len()];
+    for i in 0..sigs.len() {
+        for j in 0..i {
+            if sigs[i] == sigs[j] {
+                out[i] = Some(j);
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Canonical form of a subtree, invariant under renaming of its variables:
+/// minimize the serialized atom list over all permutations of the node's
+/// local variables.
+fn canonical_signature(hg: &Hypergraph, node: &GhdNode) -> String {
+    let vars = &node.chi;
+    let k = vars.len();
+    let mut best: Option<String> = None;
+    // Permutations of local variable indices (k ≤ ~5 in practice).
+    let mut perm: Vec<usize> = (0..k).collect();
+    loop {
+        let mapping: std::collections::HashMap<usize, usize> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, perm[i]))
+            .collect();
+        let mut atoms: Vec<String> = node
+            .lambda
+            .iter()
+            .map(|&e| {
+                let edge = &hg.edges[e];
+                let positions: Vec<String> = edge
+                    .vars
+                    .iter()
+                    .map(|v| mapping.get(v).map_or("?".into(), |p| p.to_string()))
+                    .collect();
+                let sels: Vec<String> = edge
+                    .selections
+                    .iter()
+                    .map(|(p, c)| format!("{p}={c}"))
+                    .collect();
+                format!("{}({})[{}]", edge.relation, positions.join(","), sels.join(","))
+            })
+            .collect();
+        atoms.sort();
+        let mut children: Vec<String> = node
+            .children
+            .iter()
+            .map(|c| canonical_signature(hg, c))
+            .collect();
+        children.sort();
+        let sig = format!("{}|{}", atoms.join(";"), children.join(";"));
+        if best.as_ref().is_none_or(|b| sig < *b) {
+            best = Some(sig);
+        }
+        if !next_permutation(&mut perm) {
+            break;
+        }
+    }
+    best.unwrap_or_default()
+}
+
+/// In-place next lexicographic permutation; false when wrapped around.
+fn next_permutation(p: &mut [usize]) -> bool {
+    let n = p.len();
+    if n < 2 {
+        return false;
+    }
+    let mut i = n - 1;
+    while i > 0 && p[i - 1] >= p[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        p.sort_unstable();
+        return false;
+    }
+    let mut j = n - 1;
+    while p[j] <= p[i - 1] {
+        j -= 1;
+    }
+    p.swap(i - 1, j);
+    p[i..].reverse();
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eh_query::parse_rule;
+
+    #[test]
+    fn barbell_on_same_relation_dedups_triangle_nodes() {
+        let rule = parse_rule(
+            "B(x,y,z,a,b,c) :- E(x,y),E(y,z),E(x,z),E(x,a),E(a,b),E(b,c),E(a,c).",
+        )
+        .unwrap();
+        let plan = plan_rule(&rule, &PlanOptions::default()).unwrap();
+        assert!(
+            plan.node_equiv.iter().any(Option::is_some),
+            "the two triangle nodes must be recognized as equivalent: {:?}",
+            plan.node_equiv
+        );
+    }
+
+    #[test]
+    fn barbell_on_distinct_relations_does_not_dedup() {
+        let rule = parse_rule(
+            "B(x,y,z,a,b,c) :- R(x,y),S(y,z),T(x,z),U(x,a),R2(a,b),S2(b,c),T2(a,c).",
+        )
+        .unwrap();
+        let plan = plan_rule(&rule, &PlanOptions::default()).unwrap();
+        assert!(plan.node_equiv.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn aggregate_only_query_skips_top_down() {
+        let rule =
+            parse_rule("C(;w:long) :- E(x,y),E(y,z),E(x,z); w=<<COUNT(*)>>.").unwrap();
+        let plan = plan_rule(&rule, &PlanOptions::default()).unwrap();
+        assert!(plan.skip_top_down);
+    }
+
+    #[test]
+    fn attr_order_covers_all_vars_once() {
+        let rule = parse_rule(
+            "B(x,y,z,a,b,c) :- E(x,y),E(y,z),E(x,z),E(x,a),E(a,b),E(b,c),E(a,c).",
+        )
+        .unwrap();
+        let plan = plan_rule(&rule, &PlanOptions::default()).unwrap();
+        let mut sorted = plan.attr_order.clone();
+        sorted.sort();
+        let mut expect: Vec<String> = ["a", "b", "c", "x", "y", "z"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        expect.sort();
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn selection_pushdown_prefers_deeper_selected_nodes() {
+        // Barbell selection query (paper Table 12): selection on U's
+        // endpoint should not sit at the root when push-down is on.
+        let rule = parse_rule(
+            "SB(x,y,z,a,b,c) :- E(x,y),E(y,z),E(x,z),U(x,'7'),V('7',a),E(a,b),E(b,c),E(a,c).",
+        )
+        .unwrap();
+        let with = plan_rule(&rule, &PlanOptions::default()).unwrap();
+        let without = plan_rule(
+            &rule,
+            &PlanOptions {
+                push_down_selections: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Same width either way; push-down must not worsen it.
+        assert!(with.ghd.width <= without.ghd.width + 1e-9);
+    }
+
+    #[test]
+    fn no_body_is_an_error() {
+        // Constructed directly since the parser requires a body.
+        let rule = eh_query::Rule {
+            head: eh_query::HeadAtom {
+                relation: "T".into(),
+                key_vars: vec![],
+                annotation: None,
+                recursion: None,
+            },
+            body: vec![],
+            agg: None,
+        };
+        assert!(plan_rule(&rule, &PlanOptions::default()).is_err());
+    }
+
+    #[test]
+    fn next_permutation_cycles() {
+        let mut p = vec![0, 1, 2];
+        let mut count = 1;
+        while next_permutation(&mut p) {
+            count += 1;
+        }
+        assert_eq!(count, 6);
+        assert_eq!(p, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Synthetic graph generators.
+//!
+//! The paper's Appendix A.1 experiments use the "Snap Random Power-Law
+//! graph generator" with exponents 1–3; we implement a Chung–Lu style
+//! expected-degree model, which produces the same power-law degree
+//! distributions, plus Erdős–Rényi and complete graphs for worst-case
+//! join inputs (the AGM bound is tight on complete graphs).
+
+use crate::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi `G(n, m)`: `m` distinct directed edges drawn uniformly.
+pub fn erdos_renyi(n: u32, m: usize, seed: u64) -> Graph {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = std::collections::HashSet::with_capacity(m);
+    let cap = (n as u64 * (n as u64 - 1)).min(usize::MAX as u64) as usize;
+    let target = m.min(cap);
+    while edges.len() < target {
+        let s = rng.gen_range(0..n);
+        let d = rng.gen_range(0..n);
+        if s != d {
+            edges.insert((s, d));
+        }
+    }
+    Graph::from_dense(n, edges.into_iter().collect())
+}
+
+/// Chung–Lu power-law graph: node `i` gets expected weight
+/// `w_i ∝ (i+1)^{-1/(exponent-1)}`, and ~`m` undirected edges are sampled
+/// with probability proportional to `w_i · w_j`. Smaller exponents mean
+/// heavier tails (more density skew) — the x-axis of paper Figure 7.
+pub fn power_law(n: u32, m: usize, exponent: f64, seed: u64) -> Graph {
+    assert!(n >= 2);
+    assert!(exponent > 1.0, "power-law exponent must exceed 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let alpha = 1.0 / (exponent - 1.0);
+    let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
+    // Cumulative distribution for O(log n) weighted sampling.
+    let mut cdf = Vec::with_capacity(n as usize);
+    let mut acc = 0.0;
+    for &w in &weights {
+        acc += w;
+        cdf.push(acc);
+    }
+    let total = acc;
+    let sample = |rng: &mut StdRng| -> u32 {
+        let x = rng.gen_range(0.0..total);
+        match cdf.binary_search_by(|v| v.partial_cmp(&x).unwrap()) {
+            Ok(i) | Err(i) => (i as u32).min(n - 1),
+        }
+    };
+    let mut edges = std::collections::HashSet::with_capacity(m);
+    let mut attempts = 0usize;
+    let max_attempts = m.saturating_mul(50).max(1000);
+    while edges.len() < m && attempts < max_attempts {
+        attempts += 1;
+        let a = sample(&mut rng);
+        let b = sample(&mut rng);
+        if a != b {
+            let (s, d) = if a < b { (a, b) } else { (b, a) };
+            edges.insert((s, d));
+        }
+    }
+    // Return the undirected graph (both directions).
+    let mut dir = Vec::with_capacity(edges.len() * 2);
+    for (s, d) in edges {
+        dir.push((s, d));
+        dir.push((d, s));
+    }
+    Graph::from_dense(n, dir)
+}
+
+/// The complete graph `K_n` (both edge directions): the worst-case input
+/// for the triangle query — AGM's `N^{3/2}` bound is tight on it
+/// (paper Example 2.1).
+pub fn complete(n: u32) -> Graph {
+    let mut edges = Vec::with_capacity((n as usize) * (n as usize - 1));
+    for s in 0..n {
+        for d in 0..n {
+            if s != d {
+                edges.push((s, d));
+            }
+        }
+    }
+    Graph::from_dense(n, edges)
+}
+
+/// A "barbell-rich" graph: dense cluster + sparse path tail, used to
+/// exercise GHD early aggregation where the two-triangle structure matters.
+pub fn clustered(n_cluster: u32, n_tail: u32, seed: u64) -> Graph {
+    let mut g = complete(n_cluster);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = n_cluster + n_tail;
+    let mut edges = std::mem::take(&mut g.edges);
+    for i in n_cluster..n {
+        // Chain the tail and attach it to a random cluster node.
+        let prev = if i == n_cluster {
+            rng.gen_range(0..n_cluster)
+        } else {
+            i - 1
+        };
+        edges.push((prev, i));
+        edges.push((i, prev));
+    }
+    Graph::from_dense(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_shape() {
+        let g = erdos_renyi(100, 500, 42);
+        assert_eq!(g.num_nodes, 100);
+        assert_eq!(g.num_edges(), 500);
+        assert!(g.edges.iter().all(|&(s, d)| s != d));
+    }
+
+    #[test]
+    fn erdos_renyi_deterministic() {
+        let a = erdos_renyi(50, 200, 7);
+        let b = erdos_renyi(50, 200, 7);
+        assert_eq!(a.edges, b.edges);
+        let c = erdos_renyi(50, 200, 8);
+        assert_ne!(a.edges, c.edges);
+    }
+
+    #[test]
+    fn power_law_skew_increases_with_smaller_exponent() {
+        let heavy = power_law(2000, 10_000, 2.0, 1);
+        let light = power_law(2000, 10_000, 3.0, 1);
+        assert!(
+            heavy.degree_skewness() > light.degree_skewness(),
+            "exp 2.0 skewness {} must exceed exp 3.0 skewness {}",
+            heavy.degree_skewness(),
+            light.degree_skewness()
+        );
+    }
+
+    #[test]
+    fn power_law_is_undirected() {
+        let g = power_law(100, 300, 2.3, 5);
+        for &(s, d) in &g.edges {
+            assert!(g.edges.binary_search(&(d, s)).is_ok(), "missing reverse of ({s},{d})");
+        }
+    }
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 30);
+        // K6 has C(6,3)=20 triangles; directed closed triangles = 20*6.
+        let csr = g.to_csr();
+        let mut tri = 0;
+        for s in 0..6u32 {
+            for &d in csr.neighbors(s) {
+                for &e in csr.neighbors(d) {
+                    if csr.neighbors(e).contains(&s) {
+                        tri += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(tri, 120);
+    }
+
+    #[test]
+    fn clustered_connects_tail() {
+        let g = clustered(10, 5, 3);
+        assert_eq!(g.num_nodes, 15);
+        let deg = g.total_degrees();
+        assert!(deg.iter().all(|&d| d > 0), "no isolated nodes");
+    }
+}

@@ -1,0 +1,263 @@
+//! Node-ordering schemes (paper Appendix A.1.1).
+//!
+//! Dictionary-id assignment order changes set ranges/densities and, for
+//! symmetric queries with pruning, the number of comparisons. The paper
+//! evaluates seven schemes; `Hybrid` (BFS then stable sort by descending
+//! degree) is the proposal that tracks the best of BFS and Degree across
+//! power-law exponents (Figure 7).
+
+use crate::Graph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// The node-ordering schemes of Appendix A.1.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OrderingScheme {
+    /// Uniform-random relabeling (the baseline).
+    Random,
+    /// Breadth-first order from the highest-degree node.
+    Bfs,
+    /// Descending total degree (the widely used default).
+    Degree,
+    /// Ascending total degree.
+    RevDegree,
+    /// Sort by degree, then assign contiguous ids to each node's
+    /// neighbours starting from the highest-degree node (approximates BFS).
+    StrongRuns,
+    /// Order by neighbourhood-similarity shingles (Chierichetti et al.).
+    Shingle,
+    /// BFS followed by a stable sort on descending degree (the paper's
+    /// proposal: tracks BFS on high power-law exponents and Degree on low).
+    Hybrid,
+}
+
+impl OrderingScheme {
+    /// All schemes, in the order of paper Table 9.
+    pub const ALL: [OrderingScheme; 7] = [
+        OrderingScheme::Shingle,
+        OrderingScheme::Hybrid,
+        OrderingScheme::Bfs,
+        OrderingScheme::Degree,
+        OrderingScheme::RevDegree,
+        OrderingScheme::StrongRuns,
+        OrderingScheme::Random,
+    ];
+
+    /// Human-readable name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OrderingScheme::Random => "Random",
+            OrderingScheme::Bfs => "BFS",
+            OrderingScheme::Degree => "Degree",
+            OrderingScheme::RevDegree => "Reverse Degree",
+            OrderingScheme::StrongRuns => "Strong Run",
+            OrderingScheme::Shingle => "Shingles",
+            OrderingScheme::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// Compute the permutation `perm[old_id] = new_id` for a scheme.
+pub fn compute_ordering(g: &Graph, scheme: OrderingScheme) -> Vec<u32> {
+    let n = g.num_nodes as usize;
+    // `order[i]` = the old id that receives new id `i`.
+    let order: Vec<u32> = match scheme {
+        OrderingScheme::Random => {
+            let mut ids: Vec<u32> = (0..g.num_nodes).collect();
+            let mut rng = StdRng::seed_from_u64(0xE5EED ^ n as u64);
+            ids.shuffle(&mut rng);
+            ids
+        }
+        OrderingScheme::Degree => {
+            let deg = g.total_degrees();
+            let mut ids: Vec<u32> = (0..g.num_nodes).collect();
+            ids.sort_by_key(|&v| (std::cmp::Reverse(deg[v as usize]), v));
+            ids
+        }
+        OrderingScheme::RevDegree => {
+            let deg = g.total_degrees();
+            let mut ids: Vec<u32> = (0..g.num_nodes).collect();
+            ids.sort_by_key(|&v| (deg[v as usize], v));
+            ids
+        }
+        OrderingScheme::Bfs => bfs_order(g),
+        OrderingScheme::StrongRuns => strong_runs_order(g),
+        OrderingScheme::Shingle => shingle_order(g),
+        OrderingScheme::Hybrid => {
+            // BFS first; stable sort by descending degree keeps BFS order
+            // among equal-degree nodes (paper App. A.1.1).
+            let bfs = bfs_order(g);
+            let deg = g.total_degrees();
+            let mut ids = bfs;
+            ids.sort_by_key(|&v| std::cmp::Reverse(deg[v as usize]));
+            ids
+        }
+    };
+    // Invert: order[new] = old  →  perm[old] = new.
+    let mut perm = vec![0u32; n];
+    for (new_id, &old_id) in order.iter().enumerate() {
+        perm[old_id as usize] = new_id as u32;
+    }
+    perm
+}
+
+/// Relabel a graph by `perm[old] = new`.
+pub fn apply_ordering(g: &Graph, perm: &[u32]) -> Graph {
+    assert_eq!(perm.len(), g.num_nodes as usize);
+    let edges: Vec<(u32, u32)> = g
+        .edges
+        .iter()
+        .map(|&(s, d)| (perm[s as usize], perm[d as usize]))
+        .collect();
+    Graph::from_dense(g.num_nodes, edges)
+}
+
+/// BFS from the highest-degree node; unreached nodes appended by degree.
+fn bfs_order(g: &Graph) -> Vec<u32> {
+    let n = g.num_nodes as usize;
+    let csr = g.symmetrize().to_csr();
+    let deg = g.total_degrees();
+    let mut seeds: Vec<u32> = (0..g.num_nodes).collect();
+    seeds.sort_by_key(|&v| (std::cmp::Reverse(deg[v as usize]), v));
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for &seed in &seeds {
+        if visited[seed as usize] {
+            continue;
+        }
+        let mut q = VecDeque::new();
+        q.push_back(seed);
+        visited[seed as usize] = true;
+        while let Some(v) = q.pop_front() {
+            order.push(v);
+            for &w in csr.neighbors(v) {
+                if !visited[w as usize] {
+                    visited[w as usize] = true;
+                    q.push_back(w);
+                }
+            }
+        }
+    }
+    order
+}
+
+/// Strong runs: walk nodes by descending degree; for each, assign
+/// contiguous ids to its not-yet-placed neighbours.
+fn strong_runs_order(g: &Graph) -> Vec<u32> {
+    let n = g.num_nodes as usize;
+    let csr = g.symmetrize().to_csr();
+    let deg = g.total_degrees();
+    let mut by_degree: Vec<u32> = (0..g.num_nodes).collect();
+    by_degree.sort_by_key(|&v| (std::cmp::Reverse(deg[v as usize]), v));
+    let mut placed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for &v in &by_degree {
+        if !placed[v as usize] {
+            placed[v as usize] = true;
+            order.push(v);
+        }
+        for &w in csr.neighbors(v) {
+            if !placed[w as usize] {
+                placed[w as usize] = true;
+                order.push(w);
+            }
+        }
+    }
+    order
+}
+
+/// Shingle ordering: sort nodes by the minimum neighbour id of their
+/// neighbourhood (a 1-shingle), grouping similar neighbourhoods
+/// (Chierichetti et al., cited as [12]).
+fn shingle_order(g: &Graph) -> Vec<u32> {
+    let csr = g.symmetrize().to_csr();
+    let mut ids: Vec<u32> = (0..g.num_nodes).collect();
+    let shingle = |v: u32| -> u32 {
+        csr.neighbors(v).iter().copied().min().unwrap_or(u32::MAX)
+    };
+    ids.sort_by_key(|&v| (shingle(v), v));
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn validate_perm(perm: &[u32]) {
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            assert!(!seen[p as usize], "duplicate target {p}");
+            seen[p as usize] = true;
+        }
+    }
+
+    #[test]
+    fn all_schemes_produce_permutations() {
+        let g = gen::power_law(300, 1000, 2.2, 11);
+        for scheme in OrderingScheme::ALL {
+            let perm = compute_ordering(&g, scheme);
+            assert_eq!(perm.len(), g.num_nodes as usize, "{scheme:?}");
+            validate_perm(&perm);
+        }
+    }
+
+    #[test]
+    fn degree_ordering_puts_hub_first() {
+        // Star graph: hub must receive id 0 under Degree.
+        let edges: Vec<(u32, u32)> = (1..20).map(|i| (0, i)).collect();
+        let g = crate::Graph::from_dense(20, edges).symmetrize();
+        let perm = compute_ordering(&g, OrderingScheme::Degree);
+        assert_eq!(perm[0], 0);
+        let rev = compute_ordering(&g, OrderingScheme::RevDegree);
+        assert_eq!(rev[0], 19, "hub last under reverse degree");
+    }
+
+    #[test]
+    fn apply_preserves_structure() {
+        let g = gen::erdos_renyi(100, 400, 3);
+        let perm = compute_ordering(&g, OrderingScheme::Degree);
+        let h = apply_ordering(&g, &perm);
+        assert_eq!(h.num_edges(), g.num_edges());
+        assert_eq!(h.num_nodes, g.num_nodes);
+        // Degree multiset is invariant under relabeling.
+        let mut dg = g.total_degrees();
+        let mut dh = h.total_degrees();
+        dg.sort_unstable();
+        dh.sort_unstable();
+        assert_eq!(dg, dh);
+    }
+
+    #[test]
+    fn bfs_is_connected_prefix() {
+        // Path graph 0-1-2-3-4: BFS from any endpoint visits in path order.
+        let g = crate::Graph::from_dense(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)]).symmetrize();
+        let perm = compute_ordering(&g, OrderingScheme::Bfs);
+        validate_perm(&perm);
+        // Adjacent nodes must have close new ids in a path.
+        for &(s, d) in &g.edges {
+            let gap = (perm[s as usize] as i64 - perm[d as usize] as i64).abs();
+            assert!(gap <= 2);
+        }
+    }
+
+    #[test]
+    fn hybrid_matches_degree_on_uniform_degrees() {
+        // Cycle: all degrees equal, hybrid = BFS order.
+        let g = crate::Graph::from_dense(6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+            .symmetrize();
+        let hybrid = compute_ordering(&g, OrderingScheme::Hybrid);
+        let bfs = compute_ordering(&g, OrderingScheme::Bfs);
+        assert_eq!(hybrid, bfs);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_size() {
+        let g = gen::erdos_renyi(64, 200, 5);
+        let a = compute_ordering(&g, OrderingScheme::Random);
+        let b = compute_ordering(&g, OrderingScheme::Random);
+        assert_eq!(a, b);
+    }
+}

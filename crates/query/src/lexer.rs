@@ -1,0 +1,321 @@
+//! Tokenizer for the EmptyHeaded query language.
+
+use std::fmt;
+
+/// Lexical tokens.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Identifier (relation or variable name).
+    Ident(String),
+    /// Numeric literal (integer or float).
+    Number(f64),
+    /// Quoted string constant (single or double quotes).
+    Str(String),
+    /// `:-`
+    Implies,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `<<`
+    AggOpen,
+    /// `>>`
+    AggClose,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Implies => write!(f, ":-"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::Semicolon => write!(f, ";"),
+            Token::Colon => write!(f, ":"),
+            Token::Dot => write!(f, "."),
+            Token::Star => write!(f, "*"),
+            Token::Eq => write!(f, "="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::AggOpen => write!(f, "<<"),
+            Token::AggClose => write!(f, ">>"),
+        }
+    }
+}
+
+/// Streaming lexer over query text.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// New lexer over source text.
+    pub fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Tokenize everything, reporting the byte offset of any error.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, (usize, String)> {
+        let mut out = Vec::new();
+        while let Some(tok) = self.next_token()? {
+            out.push(tok);
+        }
+        Ok(out)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token>, (usize, String)> {
+        // Skip whitespace and `#` / `//` comments.
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                Some(b'#') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let start = self.pos;
+        let Some(c) = self.bump() else {
+            return Ok(None);
+        };
+        let tok = match c {
+            b'(' => Token::LParen,
+            b')' => Token::RParen,
+            b'[' => Token::LBracket,
+            b']' => Token::RBracket,
+            b',' => Token::Comma,
+            b';' => Token::Semicolon,
+            b'.' => Token::Dot,
+            b'*' => Token::Star,
+            b'=' => Token::Eq,
+            b'+' => Token::Plus,
+            b'-' => Token::Minus,
+            b'/' => Token::Slash,
+            b':' => {
+                if self.peek() == Some(b'-') {
+                    self.pos += 1;
+                    Token::Implies
+                } else {
+                    Token::Colon
+                }
+            }
+            b'<' => {
+                if self.peek() == Some(b'<') {
+                    self.pos += 1;
+                    Token::AggOpen
+                } else {
+                    return Err((start, "expected '<<'".into()));
+                }
+            }
+            b'>' => {
+                if self.peek() == Some(b'>') {
+                    self.pos += 1;
+                    Token::AggClose
+                } else {
+                    return Err((start, "expected '>>'".into()));
+                }
+            }
+            b'\'' | b'"' => {
+                let quote = c;
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some(ch) if ch == quote => break,
+                        Some(ch) => s.push(ch as char),
+                        None => return Err((start, "unterminated string".into())),
+                    }
+                }
+                Token::Str(s)
+            }
+            c if c.is_ascii_digit() => {
+                let mut end = self.pos;
+                while let Some(ch) = self.src.get(end) {
+                    if ch.is_ascii_digit() || *ch == b'.' {
+                        // Don't swallow the rule-terminating dot: a dot is
+                        // part of the number only if followed by a digit.
+                        if *ch == b'.'
+                            && !self
+                                .src
+                                .get(end + 1)
+                                .is_some_and(|d| d.is_ascii_digit())
+                        {
+                            break;
+                        }
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = std::str::from_utf8(&self.src[start..end]).unwrap();
+                self.pos = end;
+                let n: f64 = text
+                    .parse()
+                    .map_err(|e| (start, format!("bad number {text}: {e}")))?;
+                Token::Number(n)
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut end = self.pos;
+                while let Some(ch) = self.src.get(end) {
+                    if ch.is_ascii_alphanumeric() || *ch == b'_' {
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = std::str::from_utf8(&self.src[start..end]).unwrap();
+                self.pos = end;
+                Token::Ident(text.to_string())
+            }
+            other => {
+                return Err((start, format!("unexpected character '{}'", other as char)));
+            }
+        };
+        Ok(Some(tok))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(s: &str) -> Vec<Token> {
+        Lexer::new(s).tokenize().unwrap()
+    }
+
+    #[test]
+    fn simple_rule() {
+        let toks = lex("T(x,y) :- R(x,y).");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("T".into()),
+                Token::LParen,
+                Token::Ident("x".into()),
+                Token::Comma,
+                Token::Ident("y".into()),
+                Token::RParen,
+                Token::Implies,
+                Token::Ident("R".into()),
+                Token::LParen,
+                Token::Ident("x".into()),
+                Token::Comma,
+                Token::Ident("y".into()),
+                Token::RParen,
+                Token::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn agg_tokens() {
+        let toks = lex("w=<<COUNT(*)>>");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("w".into()),
+                Token::Eq,
+                Token::AggOpen,
+                Token::Ident("COUNT".into()),
+                Token::LParen,
+                Token::Star,
+                Token::RParen,
+                Token::AggClose,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_vs_rule_dot() {
+        let toks = lex("y=0.15+0.85*z.");
+        assert!(matches!(toks[2], Token::Number(n) if (n - 0.15).abs() < 1e-12));
+        assert!(matches!(toks[4], Token::Number(n) if (n - 0.85).abs() < 1e-12));
+        assert_eq!(*toks.last().unwrap(), Token::Dot);
+        // integer followed by terminating dot:
+        let toks = lex("y=1.");
+        assert!(matches!(toks[2], Token::Number(n) if n == 1.0));
+        assert_eq!(*toks.last().unwrap(), Token::Dot);
+    }
+
+    #[test]
+    fn strings_both_quotes() {
+        assert_eq!(lex("'abc'"), vec![Token::Str("abc".into())]);
+        assert_eq!(lex("\"abc\""), vec![Token::Str("abc".into())]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = lex("# header\nT(x) :- R(x). // trailing");
+        assert_eq!(toks.len(), 10);
+    }
+
+    #[test]
+    fn recursion_annotation() {
+        let toks = lex("P(x;y:float)*[i=5]");
+        assert!(toks.contains(&Token::Star));
+        assert!(toks.contains(&Token::LBracket));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Lexer::new("T(x) :- R(x)?").tokenize().is_err());
+        assert!(Lexer::new("'unterminated").tokenize().is_err());
+        assert!(Lexer::new("a < b").tokenize().is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! Semantic validation of parsed rules.
+
+use crate::ast::{Rule, Term};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Why a rule was rejected.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ValidationError {
+    /// A head variable never appears in the body (unsafe rule).
+    UnboundHeadVar(String),
+    /// The aggregation clause defines a different alias than the head
+    /// annotation declares.
+    AggAliasMismatch {
+        /// Alias declared in the head.
+        declared: String,
+        /// Alias defined in the aggregation clause.
+        defined: String,
+    },
+    /// Head declares an annotation but the rule has no aggregation clause.
+    MissingAggClause(String),
+    /// An aggregated variable never appears in the body.
+    UnboundAggVar(String),
+    /// A body atom has no terms.
+    EmptyAtom(String),
+    /// The same variable appears twice in one atom — not supported
+    /// (EmptyHeaded requires distinct attributes per relation).
+    RepeatedVarInAtom {
+        /// Relation with the repeated variable.
+        relation: String,
+        /// The repeated variable.
+        var: String },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::UnboundHeadVar(v) => {
+                write!(f, "head variable '{v}' does not appear in the body")
+            }
+            ValidationError::AggAliasMismatch { declared, defined } => write!(
+                f,
+                "aggregation defines '{defined}' but head declares '{declared}'"
+            ),
+            ValidationError::MissingAggClause(v) => {
+                write!(f, "head declares annotation '{v}' but no aggregation clause given")
+            }
+            ValidationError::UnboundAggVar(v) => {
+                write!(f, "aggregated variable '{v}' does not appear in the body")
+            }
+            ValidationError::EmptyAtom(r) => write!(f, "atom '{r}' has no terms"),
+            ValidationError::RepeatedVarInAtom { relation, var } => {
+                write!(f, "variable '{var}' repeats within atom '{relation}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Check rule safety and aggregation consistency.
+pub fn validate_rule(rule: &Rule) -> Result<(), ValidationError> {
+    let body_vars: HashSet<&str> = rule
+        .body
+        .iter()
+        .flat_map(|a| a.vars())
+        .collect();
+
+    for atom in &rule.body {
+        if atom.terms.is_empty() {
+            return Err(ValidationError::EmptyAtom(atom.relation.clone()));
+        }
+        let mut seen = HashSet::new();
+        for t in &atom.terms {
+            if let Term::Var(v) = t {
+                if !seen.insert(v.as_str()) {
+                    return Err(ValidationError::RepeatedVarInAtom {
+                        relation: atom.relation.clone(),
+                        var: v.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    for v in &rule.head.key_vars {
+        if !body_vars.contains(v.as_str()) {
+            return Err(ValidationError::UnboundHeadVar(v.clone()));
+        }
+    }
+
+    if let Some(ann) = &rule.head.annotation {
+        match &rule.agg {
+            None => return Err(ValidationError::MissingAggClause(ann.name.clone())),
+            Some(agg) => {
+                if agg.result_var != ann.name {
+                    return Err(ValidationError::AggAliasMismatch {
+                        declared: ann.name.clone(),
+                        defined: agg.result_var.clone(),
+                    });
+                }
+                if let crate::ast::Expr::Agg(_, vars) = find_agg(&agg.expr) {
+                    for v in vars {
+                        if !body_vars.contains(v.as_str()) {
+                            return Err(ValidationError::UnboundAggVar(v.clone()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Find the aggregate node in an expression tree (or a trivial placeholder).
+fn find_agg(expr: &crate::ast::Expr) -> &crate::ast::Expr {
+    use crate::ast::Expr;
+    match expr {
+        Expr::Agg(..) => expr,
+        Expr::Binary(_, l, r) => {
+            let lf = find_agg(l);
+            if matches!(lf, Expr::Agg(..)) {
+                lf
+            } else {
+                find_agg(r)
+            }
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_rule;
+
+    #[test]
+    fn valid_rules_pass() {
+        for q in [
+            "T(x,y) :- R(x,y).",
+            "T(x) :- R(x,y),S(y,x).",
+            "C(;w:long) :- R(x,y); w=<<COUNT(*)>>.",
+            "P(x;y:float) :- E(x,z); y=1/N.",
+        ] {
+            validate_rule(&parse_rule(q).unwrap()).unwrap();
+        }
+    }
+
+    #[test]
+    fn unbound_head_var() {
+        let r = parse_rule("T(x,q) :- R(x,y).").unwrap();
+        assert_eq!(
+            validate_rule(&r),
+            Err(ValidationError::UnboundHeadVar("q".into()))
+        );
+    }
+
+    #[test]
+    fn missing_agg_clause() {
+        let r = parse_rule("T(x;w:long) :- R(x,y).").unwrap();
+        assert!(matches!(
+            validate_rule(&r),
+            Err(ValidationError::MissingAggClause(_))
+        ));
+    }
+
+    #[test]
+    fn agg_alias_mismatch() {
+        let r = parse_rule("T(x;w:long) :- R(x,y); v=<<COUNT(*)>>.").unwrap();
+        assert!(matches!(
+            validate_rule(&r),
+            Err(ValidationError::AggAliasMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unbound_agg_var() {
+        let r = parse_rule("T(x;w:long) :- R(x,y); w=<<SUM(q)>>.").unwrap();
+        assert_eq!(
+            validate_rule(&r),
+            Err(ValidationError::UnboundAggVar("q".into()))
+        );
+    }
+
+    #[test]
+    fn repeated_var_in_atom() {
+        let r = parse_rule("T(x) :- R(x,x).").unwrap();
+        assert!(matches!(
+            validate_rule(&r),
+            Err(ValidationError::RepeatedVarInAtom { .. })
+        ));
+    }
+}

@@ -1,0 +1,214 @@
+//! Dynamically-typed aggregation values and operators.
+//!
+//! The query layer doesn't know annotation types at compile time (the user
+//! writes `w:long` / `y:float` in the rule head, paper Table 1), so the
+//! executor manipulates annotations through [`DynValue`] and [`AggOp`].
+
+use crate::{Count, MaxF64, MinPlus, Semiring, SumF64};
+
+/// The aggregate operators the surface language supports
+/// (`<<COUNT(*)>>`, `<<SUM(z)>>`, `<<MIN(w)>>`, `<<MAX(w)>>`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AggOp {
+    /// `COUNT` — counting semiring, default init 1.
+    Count,
+    /// `SUM` — real semiring, default init 1 (paper App. A.2).
+    Sum,
+    /// `MIN` — tropical min-plus semiring, monotone (enables seminaive).
+    Min,
+    /// `MAX` — max semiring, monotone (enables seminaive).
+    Max,
+}
+
+impl AggOp {
+    /// Parse the operator name used inside `<<...>>`.
+    pub fn parse(name: &str) -> Option<AggOp> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggOp::Count),
+            "SUM" => Some(AggOp::Sum),
+            "MIN" => Some(AggOp::Min),
+            "MAX" => Some(AggOp::Max),
+            _ => None,
+        }
+    }
+
+    /// Whether the aggregate is monotone under repeated application — the
+    /// condition EmptyHeaded checks to decide *seminaive* evaluation of a
+    /// recursive rule (paper §3.3.2): MIN/MAX converge monotonically.
+    pub fn is_monotone(self) -> bool {
+        matches!(self, AggOp::Min | AggOp::Max)
+    }
+
+    /// Additive identity for this operator's carrier semiring.
+    pub fn zero(self) -> DynValue {
+        match self {
+            AggOp::Count => DynValue::U64(Count::ZERO.0),
+            AggOp::Sum => DynValue::F64(SumF64::ZERO.0),
+            AggOp::Min => DynValue::U64(MinPlus::ZERO.0 as u64),
+            AggOp::Max => DynValue::F64(MaxF64::ZERO.0),
+        }
+    }
+
+    /// Default initialization value for an un-annotated base relation
+    /// (paper: "COUNT and SUM use an initialization value of 1").
+    pub fn one(self) -> DynValue {
+        match self {
+            AggOp::Count => DynValue::U64(1),
+            AggOp::Sum => DynValue::F64(1.0),
+            AggOp::Min => DynValue::U64(0),
+            AggOp::Max => DynValue::F64(1.0),
+        }
+    }
+
+    /// Semiring `⊕` for this operator.
+    pub fn plus(self, a: DynValue, b: DynValue) -> DynValue {
+        match self {
+            AggOp::Count => DynValue::U64(a.as_u64().wrapping_add(b.as_u64())),
+            AggOp::Sum => DynValue::F64(a.as_f64() + b.as_f64()),
+            AggOp::Min => DynValue::U64(a.as_u64().min(b.as_u64())),
+            AggOp::Max => DynValue::F64(if a.as_f64() >= b.as_f64() {
+                a.as_f64()
+            } else {
+                b.as_f64()
+            }),
+        }
+    }
+
+    /// Semiring `⊗` for this operator.
+    pub fn times(self, a: DynValue, b: DynValue) -> DynValue {
+        match self {
+            AggOp::Count => DynValue::U64(a.as_u64().wrapping_mul(b.as_u64())),
+            AggOp::Sum => DynValue::F64(a.as_f64() * b.as_f64()),
+            AggOp::Min => {
+                let (x, y) = (a.as_u64(), b.as_u64());
+                if x == u32::MAX as u64 || y == u32::MAX as u64 {
+                    DynValue::U64(u32::MAX as u64)
+                } else {
+                    DynValue::U64(x.saturating_add(y))
+                }
+            }
+            AggOp::Max => DynValue::F64(a.as_f64() * b.as_f64()),
+        }
+    }
+}
+
+/// A dynamically-typed annotation value.
+///
+/// EmptyHeaded relations carry one annotation column of a declared type;
+/// the executor sees it as a `DynValue` and dispatches on the [`AggOp`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DynValue {
+    /// Integer-carried annotations (COUNT, MIN distances).
+    U64(u64),
+    /// Float-carried annotations (SUM, MAX, PageRank values).
+    F64(f64),
+}
+
+impl DynValue {
+    /// Read as u64 (F64 values are truncated).
+    pub fn as_u64(self) -> u64 {
+        match self {
+            DynValue::U64(v) => v,
+            DynValue::F64(v) => v as u64,
+        }
+    }
+
+    /// Read as f64.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            DynValue::U64(v) => v as f64,
+            DynValue::F64(v) => v,
+        }
+    }
+
+    /// Approximate equality for convergence tests (PageRank fixpoints).
+    pub fn approx_eq(self, other: DynValue, eps: f64) -> bool {
+        (self.as_f64() - other.as_f64()).abs() <= eps
+    }
+}
+
+impl Default for DynValue {
+    fn default() -> Self {
+        DynValue::U64(0)
+    }
+}
+
+impl From<u64> for DynValue {
+    fn from(v: u64) -> Self {
+        DynValue::U64(v)
+    }
+}
+
+impl From<f64> for DynValue {
+    fn from(v: f64) -> Self {
+        DynValue::F64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_ops() {
+        assert_eq!(AggOp::parse("COUNT"), Some(AggOp::Count));
+        assert_eq!(AggOp::parse("sum"), Some(AggOp::Sum));
+        assert_eq!(AggOp::parse("Min"), Some(AggOp::Min));
+        assert_eq!(AggOp::parse("MAX"), Some(AggOp::Max));
+        assert_eq!(AggOp::parse("AVG"), None);
+    }
+
+    #[test]
+    fn monotonicity_flags() {
+        assert!(AggOp::Min.is_monotone());
+        assert!(AggOp::Max.is_monotone());
+        assert!(!AggOp::Count.is_monotone());
+        assert!(!AggOp::Sum.is_monotone());
+    }
+
+    #[test]
+    fn count_dyn_matches_static() {
+        let op = AggOp::Count;
+        let a = op.times(DynValue::U64(3), DynValue::U64(4));
+        assert_eq!(a, DynValue::U64(12));
+        let s = op.plus(a, DynValue::U64(5));
+        assert_eq!(s, DynValue::U64(17));
+        assert_eq!(op.plus(op.zero(), DynValue::U64(9)), DynValue::U64(9));
+    }
+
+    #[test]
+    fn min_dyn_saturates_at_inf() {
+        let op = AggOp::Min;
+        let inf = op.zero();
+        assert_eq!(op.times(inf, DynValue::U64(1)), inf);
+        assert_eq!(
+            op.plus(DynValue::U64(7), DynValue::U64(3)),
+            DynValue::U64(3)
+        );
+        assert_eq!(
+            op.times(DynValue::U64(7), DynValue::U64(3)),
+            DynValue::U64(10)
+        );
+    }
+
+    #[test]
+    fn sum_dyn() {
+        let op = AggOp::Sum;
+        assert_eq!(
+            op.plus(DynValue::F64(0.25), DynValue::F64(0.5)),
+            DynValue::F64(0.75)
+        );
+        assert_eq!(
+            op.times(DynValue::F64(0.5), DynValue::F64(0.5)),
+            DynValue::F64(0.25)
+        );
+        assert_eq!(op.one(), DynValue::F64(1.0));
+    }
+
+    #[test]
+    fn approx_eq() {
+        assert!(DynValue::F64(1.0).approx_eq(DynValue::F64(1.0 + 1e-12), 1e-9));
+        assert!(!DynValue::F64(1.0).approx_eq(DynValue::F64(1.1), 1e-9));
+        assert!(DynValue::U64(5).approx_eq(DynValue::F64(5.0), 0.0));
+    }
+}

@@ -1,0 +1,395 @@
+//! The `bitset` layout: a sequence of `(offset, 256-bit block)` pairs
+//! (paper Figure 4).
+//!
+//! The offsets are packed contiguously and are themselves a `uint` set of
+//! block ids, so offset intersection reuses the uint kernels; matching
+//! blocks are then combined with SIMD `AND` (paper §4.2 "BITSET ∩ BITSET").
+//! A rank directory (cumulative popcounts per block) supports O(1)-ish rank
+//! queries for trie child addressing.
+
+use crate::simd;
+use crate::{bit_of, block_of, Block, BLOCK_BITS, BLOCK_WORDS};
+
+/// Bitset layout: parallel arrays of block offsets and 256-bit blocks.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct BitsetSet {
+    /// Sorted block ids (the `o1..on` offsets of Figure 4).
+    offsets: Vec<u32>,
+    /// 256-bit bitvector per offset (the `b1..bn` blocks of Figure 4).
+    blocks: Vec<Block>,
+    /// `ranks[i]` = number of set bits in blocks `0..i` (exclusive prefix).
+    ranks: Vec<u32>,
+    /// Total cardinality.
+    card: usize,
+}
+
+impl BitsetSet {
+    /// Build from sorted, deduplicated values.
+    pub fn from_sorted(values: &[u32]) -> BitsetSet {
+        let mut offsets = Vec::new();
+        let mut blocks: Vec<Block> = Vec::new();
+        for &v in values {
+            let blk = block_of(v);
+            if offsets.last() != Some(&blk) {
+                offsets.push(blk);
+                blocks.push([0u64; BLOCK_WORDS]);
+            }
+            let bit = bit_of(v);
+            blocks.last_mut().unwrap()[(bit / 64) as usize] |= 1u64 << (bit % 64);
+        }
+        let mut ranks = Vec::with_capacity(offsets.len());
+        let mut acc = 0u32;
+        for b in &blocks {
+            ranks.push(acc);
+            acc += simd::block_count(b);
+        }
+        BitsetSet {
+            offsets,
+            blocks,
+            ranks,
+            card: acc as usize,
+        }
+    }
+
+    /// Construct directly from parts (used by intersection kernels).
+    pub(crate) fn from_parts(offsets: Vec<u32>, blocks: Vec<Block>) -> BitsetSet {
+        debug_assert_eq!(offsets.len(), blocks.len());
+        let mut ranks = Vec::with_capacity(offsets.len());
+        let mut acc = 0u32;
+        for b in &blocks {
+            ranks.push(acc);
+            acc += simd::block_count(b);
+        }
+        BitsetSet {
+            offsets,
+            blocks,
+            ranks,
+            card: acc as usize,
+        }
+    }
+
+    /// Sorted block ids.
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Blocks parallel to [`Self::offsets`].
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> usize {
+        self.card
+    }
+
+    /// True if no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.card == 0
+    }
+
+    /// Heap bytes (offsets + blocks + rank directory).
+    pub fn bytes(&self) -> usize {
+        self.offsets.len() * 4 + self.blocks.len() * BLOCK_WORDS * 8 + self.ranks.len() * 4
+    }
+
+    /// Index of the block with id `blk`, if present.
+    #[inline]
+    fn block_index(&self, blk: u32) -> Option<usize> {
+        self.offsets.binary_search(&blk).ok()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: u32) -> bool {
+        match self.block_index(block_of(v)) {
+            Some(i) => {
+                let bit = bit_of(v);
+                self.blocks[i][(bit / 64) as usize] & (1u64 << (bit % 64)) != 0
+            }
+            None => false,
+        }
+    }
+
+    /// Rank of `v` given that block index `i` holds `v`'s block (cursor
+    /// support for `Set::rank_hinted`).
+    pub(crate) fn rank_in_block(&self, i: usize, v: u32) -> Option<usize> {
+        debug_assert_eq!(self.offsets[i], block_of(v));
+        let bit = bit_of(v);
+        let word = (bit / 64) as usize;
+        let mask = 1u64 << (bit % 64);
+        let blk = &self.blocks[i];
+        if blk[word] & mask == 0 {
+            return None;
+        }
+        let mut r = self.ranks[i];
+        for w in 0..word {
+            r += blk[w].count_ones();
+        }
+        r += (blk[word] & (mask - 1)).count_ones();
+        Some(r as usize)
+    }
+
+    /// Rank of `v` (its index in ascending order), if present.
+    pub fn rank(&self, v: u32) -> Option<usize> {
+        let i = self.block_index(block_of(v))?;
+        let bit = bit_of(v);
+        let word = (bit / 64) as usize;
+        let mask = 1u64 << (bit % 64);
+        let blk = &self.blocks[i];
+        if blk[word] & mask == 0 {
+            return None;
+        }
+        let mut r = self.ranks[i];
+        for w in 0..word {
+            r += blk[w].count_ones();
+        }
+        r += (blk[word] & (mask - 1)).count_ones();
+        Some(r as usize)
+    }
+
+    /// Largest value, if any.
+    pub fn max(&self) -> Option<u32> {
+        let i = self.blocks.len().checked_sub(1)?;
+        let base = self.offsets[i] * BLOCK_BITS;
+        let blk = &self.blocks[i];
+        for w in (0..BLOCK_WORDS).rev() {
+            if blk[w] != 0 {
+                return Some(base + w as u32 * 64 + 63 - blk[w].leading_zeros());
+            }
+        }
+        None
+    }
+
+    /// Iterate values in ascending order.
+    pub fn iter(&self) -> BitsetIter<'_> {
+        BitsetIter {
+            set: self,
+            block: 0,
+            word: 0,
+            bits: if self.blocks.is_empty() {
+                0
+            } else {
+                self.blocks[0][0]
+            },
+        }
+    }
+}
+
+/// Ascending-order iterator over a [`BitsetSet`].
+pub struct BitsetIter<'a> {
+    set: &'a BitsetSet,
+    block: usize,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for BitsetIter<'_> {
+    type Item = u32;
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            if self.block >= self.set.blocks.len() {
+                return None;
+            }
+            if self.bits != 0 {
+                let tz = self.bits.trailing_zeros();
+                self.bits &= self.bits - 1;
+                let base = self.set.offsets[self.block] * BLOCK_BITS;
+                return Some(base + self.word as u32 * 64 + tz);
+            }
+            self.word += 1;
+            if self.word == BLOCK_WORDS {
+                self.word = 0;
+                self.block += 1;
+                if self.block >= self.set.blocks.len() {
+                    return None;
+                }
+            }
+            self.bits = self.set.blocks[self.block][self.word];
+        }
+    }
+}
+
+/// bitset ∩ bitset: intersect the offset arrays with the uint kernel, then
+/// AND matching blocks (dropping blocks that come out empty).
+pub fn intersect_bitset_bitset(a: &BitsetSet, b: &BitsetSet, simd_on: bool) -> BitsetSet {
+    let mut offsets = Vec::new();
+    let mut blocks = Vec::new();
+    for_common_blocks(a, b, |blk, ba, bb| {
+        let anded = if simd_on {
+            simd::and_block(ba, bb)
+        } else {
+            simd::and_block_scalar(ba, bb)
+        };
+        if anded.iter().any(|w| *w != 0) {
+            offsets.push(blk);
+            blocks.push(anded);
+        }
+    });
+    BitsetSet::from_parts(offsets, blocks)
+}
+
+/// Count-only bitset ∩ bitset (AND + popcount, no materialization).
+pub fn count_bitset_bitset(a: &BitsetSet, b: &BitsetSet) -> usize {
+    let mut n = 0usize;
+    for_common_blocks(a, b, |_, ba, bb| {
+        n += simd::and_block_count(ba, bb) as usize;
+    });
+    n
+}
+
+/// Merge-walk the two offset arrays invoking `f` on each common block.
+#[inline]
+fn for_common_blocks<'a>(
+    a: &'a BitsetSet,
+    b: &'a BitsetSet,
+    mut f: impl FnMut(u32, &'a Block, &'a Block),
+) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.offsets.len() && j < b.offsets.len() {
+        let (x, y) = (a.offsets[i], b.offsets[j]);
+        if x == y {
+            f(x, &a.blocks[i], &b.blocks[j]);
+            i += 1;
+            j += 1;
+        } else if x < y {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+}
+
+/// uint ∩ bitset: probe each uint value's block (masking low bits, paper
+/// §4.2 "UINT ∩ BITSET"); the result is stored as uint since an intersection
+/// is at most as dense as its sparser input.
+pub fn intersect_uint_bitset(a: &[u32], b: &BitsetSet, out: &mut Vec<u32>) {
+    // Walk uint values and the offset array in tandem; the offset array is
+    // sorted so we only move forward (this is the min-property guarantee:
+    // cost ∝ |a| + #blocks visited).
+    let mut j = 0usize;
+    for &v in a {
+        let blk = block_of(v);
+        while j < b.offsets.len() && b.offsets[j] < blk {
+            j += 1;
+        }
+        if j == b.offsets.len() {
+            break;
+        }
+        if b.offsets[j] == blk {
+            let bit = bit_of(v);
+            if b.blocks[j][(bit / 64) as usize] & (1u64 << (bit % 64)) != 0 {
+                out.push(v);
+            }
+        }
+    }
+}
+
+/// Count-only uint ∩ bitset.
+pub fn count_uint_bitset(a: &[u32], b: &BitsetSet) -> usize {
+    let mut j = 0usize;
+    let mut n = 0usize;
+    for &v in a {
+        let blk = block_of(v);
+        while j < b.offsets.len() && b.offsets[j] < blk {
+            j += 1;
+        }
+        if j == b.offsets.len() {
+            break;
+        }
+        if b.offsets[j] == blk {
+            let bit = bit_of(v);
+            if b.blocks[j][(bit / 64) as usize] & (1u64 << (bit % 64)) != 0 {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(vals: &[u32]) -> BitsetSet {
+        BitsetSet::from_sorted(vals)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let vals = vec![0, 1, 63, 64, 255, 256, 300, 511, 512, 100_000];
+        let s = bs(&vals);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vals);
+        assert_eq!(s.len(), vals.len());
+        assert_eq!(s.max(), Some(100_000));
+    }
+
+    #[test]
+    fn contains_and_rank() {
+        let vals = vec![3, 64, 255, 256, 700];
+        let s = bs(&vals);
+        for (i, &v) in vals.iter().enumerate() {
+            assert!(s.contains(v));
+            assert_eq!(s.rank(v), Some(i));
+        }
+        assert!(!s.contains(4));
+        assert_eq!(s.rank(4), None);
+        assert!(!s.contains(10_000));
+    }
+
+    #[test]
+    fn empty() {
+        let s = bs(&[]);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn bitset_and_bitset() {
+        let a = bs(&[1, 2, 3, 300, 301, 600]);
+        let b = bs(&[2, 3, 4, 301, 999]);
+        let r = intersect_bitset_bitset(&a, &b, true);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![2, 3, 301]);
+        assert_eq!(count_bitset_bitset(&a, &b), 3);
+        let r2 = intersect_bitset_bitset(&a, &b, false);
+        assert_eq!(r2, r);
+    }
+
+    #[test]
+    fn empty_blocks_dropped() {
+        let a = bs(&[1, 300]);
+        let b = bs(&[2, 300]);
+        let r = intersect_bitset_bitset(&a, &b, true);
+        assert_eq!(r.offsets().len(), 1, "block 0 ANDs to zero and is dropped");
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![300]);
+    }
+
+    #[test]
+    fn uint_and_bitset() {
+        let a = vec![2, 5, 301, 999, 5000];
+        let b = bs(&[2, 3, 301, 5000, 5001]);
+        let mut out = Vec::new();
+        intersect_uint_bitset(&a, &b, &mut out);
+        assert_eq!(out, vec![2, 301, 5000]);
+        assert_eq!(count_uint_bitset(&a, &b), 3);
+    }
+
+    #[test]
+    fn uint_and_bitset_disjoint() {
+        let a = vec![10_000, 20_000];
+        let b = bs(&[1, 2, 3]);
+        let mut out = Vec::new();
+        intersect_uint_bitset(&a, &b, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn dense_block_full() {
+        let vals: Vec<u32> = (256..512).collect();
+        let s = bs(&vals);
+        assert_eq!(s.offsets(), &[1]);
+        assert_eq!(s.len(), 256);
+        assert_eq!(s.rank(256), Some(0));
+        assert_eq!(s.rank(511), Some(255));
+    }
+}

@@ -1,0 +1,449 @@
+//! The composite block layout (paper §4.3 "Block Level").
+//!
+//! The domain is chopped into fixed 256-value blocks; each block is stored
+//! sparse (in-block u8 offsets) or dense (a 256-bit bitvector) depending on
+//! its local density. This copes with *internal* skew — e.g. a set with a
+//! long sparse region followed by a dense run (paper Figure 6) — at the cost
+//! of per-block dispatch.
+
+use crate::simd;
+use crate::{bit_of, block_of, Block, BLOCK_BITS, BLOCK_WORDS};
+
+/// Blocks with at least this many elements (out of 256) are stored dense.
+/// 32 elements × 8 bits = 256 bits, the break-even point with the bitvector.
+pub const DENSE_THRESHOLD: usize = 32;
+
+/// Per-block payload: sparse in-block offsets or a dense bitvector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BlockData {
+    /// Sorted in-block offsets (values are `base + offset`).
+    Sparse(Vec<u8>),
+    /// 256-bit bitvector.
+    Dense(Block),
+}
+
+impl BlockData {
+    fn len(&self) -> usize {
+        match self {
+            BlockData::Sparse(v) => v.len(),
+            BlockData::Dense(b) => simd::block_count(b) as usize,
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        match self {
+            BlockData::Sparse(v) => v.len(),
+            BlockData::Dense(_) => BLOCK_WORDS * 8,
+        }
+    }
+}
+
+/// Composite layout: sorted block ids with per-block sparse/dense payloads.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct BlockSet {
+    ids: Vec<u32>,
+    data: Vec<BlockData>,
+    /// Exclusive prefix cardinalities for rank queries.
+    ranks: Vec<u32>,
+    card: usize,
+}
+
+impl BlockSet {
+    /// Build from sorted, deduplicated values, choosing sparse/dense per
+    /// block by [`DENSE_THRESHOLD`].
+    pub fn from_sorted(values: &[u32]) -> BlockSet {
+        let mut ids: Vec<u32> = Vec::new();
+        let mut data: Vec<BlockData> = Vec::new();
+        let mut i = 0usize;
+        while i < values.len() {
+            let blk = block_of(values[i]);
+            let mut j = i;
+            while j < values.len() && block_of(values[j]) == blk {
+                j += 1;
+            }
+            let run = &values[i..j];
+            ids.push(blk);
+            if run.len() >= DENSE_THRESHOLD {
+                let mut b = [0u64; BLOCK_WORDS];
+                for &v in run {
+                    let bit = bit_of(v);
+                    b[(bit / 64) as usize] |= 1u64 << (bit % 64);
+                }
+                data.push(BlockData::Dense(b));
+            } else {
+                data.push(BlockData::Sparse(run.iter().map(|&v| bit_of(v) as u8).collect()));
+            }
+            i = j;
+        }
+        Self::from_parts(ids, data)
+    }
+
+    fn from_parts(ids: Vec<u32>, data: Vec<BlockData>) -> BlockSet {
+        let mut ranks = Vec::with_capacity(ids.len());
+        let mut acc = 0u32;
+        for d in &data {
+            ranks.push(acc);
+            acc += d.len() as u32;
+        }
+        BlockSet {
+            ids,
+            data,
+            ranks,
+            card: acc as usize,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.card
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.card == 0
+    }
+
+    /// Heap bytes.
+    pub fn bytes(&self) -> usize {
+        self.ids.len() * 4
+            + self.ranks.len() * 4
+            + self.data.iter().map(BlockData::bytes).sum::<usize>()
+    }
+
+    /// Fraction of blocks stored dense (diagnostics for Fig. 6).
+    pub fn dense_fraction(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let dense = self
+            .data
+            .iter()
+            .filter(|d| matches!(d, BlockData::Dense(_)))
+            .count();
+        dense as f64 / self.data.len() as f64
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: u32) -> bool {
+        let Ok(i) = self.ids.binary_search(&block_of(v)) else {
+            return false;
+        };
+        let bit = bit_of(v);
+        match &self.data[i] {
+            BlockData::Sparse(offs) => offs.binary_search(&(bit as u8)).is_ok(),
+            BlockData::Dense(b) => b[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0,
+        }
+    }
+
+    /// Rank of `v`, if present.
+    pub fn rank(&self, v: u32) -> Option<usize> {
+        let i = self.ids.binary_search(&block_of(v)).ok()?;
+        let bit = bit_of(v);
+        match &self.data[i] {
+            BlockData::Sparse(offs) => {
+                let k = offs.binary_search(&(bit as u8)).ok()?;
+                Some(self.ranks[i] as usize + k)
+            }
+            BlockData::Dense(b) => {
+                let word = (bit / 64) as usize;
+                let mask = 1u64 << (bit % 64);
+                if b[word] & mask == 0 {
+                    return None;
+                }
+                let mut r = self.ranks[i];
+                for w in 0..word {
+                    r += b[w].count_ones();
+                }
+                r += (b[word] & (mask - 1)).count_ones();
+                Some(r as usize)
+            }
+        }
+    }
+
+    /// Largest value, if any.
+    pub fn max(&self) -> Option<u32> {
+        let i = self.ids.len().checked_sub(1)?;
+        let base = self.ids[i] * BLOCK_BITS;
+        match &self.data[i] {
+            BlockData::Sparse(offs) => offs.last().map(|&o| base + o as u32),
+            BlockData::Dense(b) => {
+                for w in (0..BLOCK_WORDS).rev() {
+                    if b[w] != 0 {
+                        return Some(base + w as u32 * 64 + 63 - b[w].leading_zeros());
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Iterate values in ascending order.
+    pub fn iter(&self) -> BlockSetIter<'_> {
+        BlockSetIter {
+            set: self,
+            block: 0,
+            pos: 0,
+            word: 0,
+            bits: match self.data.first() {
+                Some(BlockData::Dense(b)) => b[0],
+                _ => 0,
+            },
+        }
+    }
+}
+
+/// Ascending-order iterator over a [`BlockSet`].
+pub struct BlockSetIter<'a> {
+    set: &'a BlockSet,
+    block: usize,
+    /// Position within a sparse block.
+    pos: usize,
+    /// Word index within a dense block.
+    word: usize,
+    /// Remaining bits of the current dense word.
+    bits: u64,
+}
+
+impl BlockSetIter<'_> {
+    fn advance_block(&mut self) {
+        self.block += 1;
+        self.pos = 0;
+        self.word = 0;
+        self.bits = match self.set.data.get(self.block) {
+            Some(BlockData::Dense(b)) => b[0],
+            _ => 0,
+        };
+    }
+}
+
+impl Iterator for BlockSetIter<'_> {
+    type Item = u32;
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            let data = self.set.data.get(self.block)?;
+            let base = self.set.ids[self.block] * BLOCK_BITS;
+            match data {
+                BlockData::Sparse(offs) => {
+                    if self.pos < offs.len() {
+                        let v = base + offs[self.pos] as u32;
+                        self.pos += 1;
+                        return Some(v);
+                    }
+                    self.advance_block();
+                }
+                BlockData::Dense(b) => {
+                    if self.bits != 0 {
+                        let tz = self.bits.trailing_zeros();
+                        self.bits &= self.bits - 1;
+                        return Some(base + self.word as u32 * 64 + tz);
+                    }
+                    self.word += 1;
+                    if self.word == BLOCK_WORDS {
+                        self.advance_block();
+                    } else {
+                        self.bits = b[self.word];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// block ∩ block: merge the block-id arrays; per matching block dispatch on
+/// the four sparse/dense combinations.
+pub fn intersect_block_block(a: &BlockSet, b: &BlockSet, simd_on: bool) -> BlockSet {
+    let mut ids = Vec::new();
+    let mut data = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.ids.len() && j < b.ids.len() {
+        let (x, y) = (a.ids[i], b.ids[j]);
+        if x == y {
+            if let Some(d) = intersect_block_data(&a.data[i], &b.data[j], simd_on) {
+                ids.push(x);
+                data.push(d);
+            }
+            i += 1;
+            j += 1;
+        } else if x < y {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    BlockSet::from_parts(ids, data)
+}
+
+/// Count-only block ∩ block.
+pub fn count_block_block(a: &BlockSet, b: &BlockSet) -> usize {
+    let mut n = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.ids.len() && j < b.ids.len() {
+        let (x, y) = (a.ids[i], b.ids[j]);
+        if x == y {
+            n += count_block_data(&a.data[i], &b.data[j]);
+            i += 1;
+            j += 1;
+        } else if x < y {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    n
+}
+
+fn intersect_block_data(a: &BlockData, b: &BlockData, simd_on: bool) -> Option<BlockData> {
+    use BlockData::*;
+    let out = match (a, b) {
+        (Dense(x), Dense(y)) => {
+            let anded = if simd_on {
+                simd::and_block(x, y)
+            } else {
+                simd::and_block_scalar(x, y)
+            };
+            if anded.iter().all(|w| *w == 0) {
+                return None;
+            }
+            Dense(anded)
+        }
+        (Sparse(xs), Sparse(ys)) => {
+            let mut out = Vec::new();
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < xs.len() && j < ys.len() {
+                if xs[i] == ys[j] {
+                    out.push(xs[i]);
+                    i += 1;
+                    j += 1;
+                } else if xs[i] < ys[j] {
+                    i += 1;
+                } else {
+                    j += 1;
+                }
+            }
+            if out.is_empty() {
+                return None;
+            }
+            Sparse(out)
+        }
+        (Sparse(xs), Dense(y)) | (Dense(y), Sparse(xs)) => {
+            let out: Vec<u8> = xs
+                .iter()
+                .copied()
+                .filter(|&o| y[(o / 64) as usize] & (1u64 << (o % 64)) != 0)
+                .collect();
+            if out.is_empty() {
+                return None;
+            }
+            Sparse(out)
+        }
+    };
+    Some(out)
+}
+
+fn count_block_data(a: &BlockData, b: &BlockData) -> usize {
+    use BlockData::*;
+    match (a, b) {
+        (Dense(x), Dense(y)) => simd::and_block_count(x, y) as usize,
+        (Sparse(xs), Sparse(ys)) => {
+            let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+            while i < xs.len() && j < ys.len() {
+                if xs[i] == ys[j] {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                } else if xs[i] < ys[j] {
+                    i += 1;
+                } else {
+                    j += 1;
+                }
+            }
+            n
+        }
+        (Sparse(xs), Dense(y)) | (Dense(y), Sparse(xs)) => xs
+            .iter()
+            .filter(|&&o| y[(o / 64) as usize] & (1u64 << (o % 64)) != 0)
+            .count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_and_dense_blocks_chosen() {
+        // Block 0: 3 values (sparse). Block 1: 200 values (dense).
+        let mut vals: Vec<u32> = vec![1, 5, 9];
+        vals.extend(256..456);
+        let s = BlockSet::from_sorted(&vals);
+        assert_eq!(s.len(), 203);
+        assert!(matches!(s.data[0], BlockData::Sparse(_)));
+        assert!(matches!(s.data[1], BlockData::Dense(_)));
+        assert!((s.dense_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vals);
+    }
+
+    #[test]
+    fn contains_rank_max() {
+        let mut vals: Vec<u32> = vec![1, 5, 9];
+        vals.extend(256..456);
+        let s = BlockSet::from_sorted(&vals);
+        for (i, &v) in vals.iter().enumerate() {
+            assert!(s.contains(v));
+            assert_eq!(s.rank(v), Some(i));
+        }
+        assert!(!s.contains(2));
+        assert!(!s.contains(500));
+        assert_eq!(s.rank(2), None);
+        assert_eq!(s.max(), Some(455));
+    }
+
+    #[test]
+    fn intersection_mixed_blocks() {
+        let mut a_vals: Vec<u32> = vec![1, 5, 9];
+        a_vals.extend(256..456);
+        let mut b_vals: Vec<u32> = (0..200).collect(); // dense block 0
+        b_vals.push(300); // sparse-ish overlap in block 1
+        b_vals.push(455);
+        let a = BlockSet::from_sorted(&a_vals);
+        let b = BlockSet::from_sorted(&b_vals);
+        let expect: Vec<u32> = a_vals
+            .iter()
+            .copied()
+            .filter(|v| b_vals.contains(v))
+            .collect();
+        let r = intersect_block_block(&a, &b, true);
+        assert_eq!(r.iter().collect::<Vec<_>>(), expect);
+        assert_eq!(count_block_block(&a, &b), expect.len());
+        let r2 = intersect_block_block(&a, &b, false);
+        assert_eq!(r2.iter().collect::<Vec<_>>(), expect);
+    }
+
+    #[test]
+    fn empty_result_blocks_are_dropped() {
+        let a = BlockSet::from_sorted(&[1, 2, 3]);
+        let b = BlockSet::from_sorted(&[4, 5, 6]);
+        let r = intersect_block_block(&a, &b, true);
+        assert!(r.is_empty());
+        assert_eq!(r.ids.len(), 0);
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = BlockSet::from_sorted(&[]);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.dense_fraction(), 0.0);
+    }
+
+    #[test]
+    fn dense_threshold_boundary() {
+        let vals: Vec<u32> = (0..DENSE_THRESHOLD as u32).collect();
+        let s = BlockSet::from_sorted(&vals);
+        assert!(matches!(s.data[0], BlockData::Dense(_)));
+        let vals: Vec<u32> = (0..DENSE_THRESHOLD as u32 - 1).collect();
+        let s = BlockSet::from_sorted(&vals);
+        assert!(matches!(s.data[0], BlockData::Sparse(_)));
+    }
+}

@@ -1,0 +1,301 @@
+//! The intersection dispatcher: one entry point over every pair of layouts.
+//!
+//! [`intersect`] and [`intersect_count`] dispatch on the layout pair and the
+//! [`IntersectConfig`] (SIMD on/off for the `-S` ablation, algorithm
+//! optimizer on/off for the `-RA` ablation). All kernels preserve the min
+//! property (paper §2.1, §4.2), so Generic-Join built on top of this module
+//! inherits its worst-case optimality.
+
+use crate::bitset::{self, BitsetSet};
+use crate::block::{self, BlockSet};
+use crate::uint::{self, UintSet};
+use crate::{bit_of, block_of, Set};
+
+/// Which uint∩uint algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IntersectAlgo {
+    /// Scalar two-pointer merge.
+    MergeScalar,
+    /// SIMD shuffling (SSE all-vs-all compare).
+    Shuffle,
+    /// Exponential search from the smaller set.
+    Gallop,
+    /// EmptyHeaded default: gallop at ≥32:1 cardinality ratio, else shuffle.
+    Hybrid,
+}
+
+/// Kernel configuration — the execution-engine ablation knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IntersectConfig {
+    /// Use SIMD kernels (`false` reproduces the `-S` ablation, Table 11).
+    pub simd: bool,
+    /// Select set-intersection algorithms by cardinality skew (`false`
+    /// forces plain merge, part of the `-RA` ablation, Table 8).
+    pub algorithm_optimizer: bool,
+}
+
+impl Default for IntersectConfig {
+    fn default() -> Self {
+        IntersectConfig {
+            simd: true,
+            algorithm_optimizer: true,
+        }
+    }
+}
+
+impl IntersectConfig {
+    /// The configuration EmptyHeaded ships with.
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// Scalar-only (paper `-S`).
+    pub fn no_simd() -> Self {
+        IntersectConfig {
+            simd: false,
+            algorithm_optimizer: true,
+        }
+    }
+
+    /// No algorithm selection (merge only; with uint-only layouts this is
+    /// the paper's `-RA`).
+    pub fn no_algorithms() -> Self {
+        IntersectConfig {
+            simd: false,
+            algorithm_optimizer: false,
+        }
+    }
+
+    fn uint_uint(&self, a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+        if !self.algorithm_optimizer {
+            uint::intersect_merge_scalar(a, b, out);
+        } else {
+            uint::intersect_hybrid(a, b, self.simd, out);
+        }
+    }
+
+    fn uint_uint_count(&self, a: &[u32], b: &[u32]) -> usize {
+        if !self.algorithm_optimizer {
+            uint::count_merge_scalar(a, b)
+        } else {
+            uint::count_hybrid(a, b, self.simd)
+        }
+    }
+}
+
+/// Intersect two sets, materializing the result. The result layout follows
+/// the paper's rule: it is at most as dense as the sparser input, so
+/// uint×anything yields uint, bitset×bitset yields bitset, composite
+/// combinations stay composite.
+pub fn intersect(a: &Set, b: &Set, cfg: &IntersectConfig) -> Set {
+    match (a, b) {
+        (Set::Uint(x), Set::Uint(y)) => {
+            let mut out = Vec::new();
+            cfg.uint_uint(x.values(), y.values(), &mut out);
+            Set::Uint(UintSet::new(out))
+        }
+        (Set::Uint(x), Set::Bitset(y)) | (Set::Bitset(y), Set::Uint(x)) => {
+            let mut out = Vec::new();
+            bitset::intersect_uint_bitset(x.values(), y, &mut out);
+            Set::Uint(UintSet::new(out))
+        }
+        (Set::Bitset(x), Set::Bitset(y)) => {
+            Set::Bitset(bitset::intersect_bitset_bitset(x, y, cfg.simd))
+        }
+        (Set::Block(x), Set::Block(y)) => {
+            Set::Block(block::intersect_block_block(x, y, cfg.simd))
+        }
+        (Set::Uint(x), Set::Block(y)) | (Set::Block(y), Set::Uint(x)) => {
+            let mut out = Vec::new();
+            intersect_uint_block(x.values(), y, &mut out);
+            Set::Uint(UintSet::new(out))
+        }
+        (Set::Bitset(x), Set::Block(y)) | (Set::Block(y), Set::Bitset(x)) => {
+            let mut out = Vec::new();
+            intersect_bitset_block(x, y, &mut out);
+            Set::Uint(UintSet::new(out))
+        }
+    }
+}
+
+/// Count an intersection without materializing it (used by aggregate-only
+/// queries, where the innermost Generic-Join loop is a pure count).
+pub fn intersect_count(a: &Set, b: &Set, cfg: &IntersectConfig) -> usize {
+    match (a, b) {
+        (Set::Uint(x), Set::Uint(y)) => cfg.uint_uint_count(x.values(), y.values()),
+        (Set::Uint(x), Set::Bitset(y)) | (Set::Bitset(y), Set::Uint(x)) => {
+            bitset::count_uint_bitset(x.values(), y)
+        }
+        (Set::Bitset(x), Set::Bitset(y)) => bitset::count_bitset_bitset(x, y),
+        (Set::Block(x), Set::Block(y)) => block::count_block_block(x, y),
+        (Set::Uint(x), Set::Block(y)) | (Set::Block(y), Set::Uint(x)) => {
+            x.values().iter().filter(|&&v| y.contains(v)).count()
+        }
+        (Set::Bitset(x), Set::Block(y)) | (Set::Block(y), Set::Bitset(x)) => {
+            let mut n = 0;
+            let mut out = Vec::new();
+            intersect_bitset_block(x, y, &mut out);
+            n += out.len();
+            n
+        }
+    }
+}
+
+/// Intersect two sets writing the result *values* into a caller-provided
+/// buffer — the allocation-free fast path for Generic-Join's loop levels,
+/// where only the ascending value stream is needed, not a layout.
+pub fn intersect_values(a: &Set, b: &Set, cfg: &IntersectConfig, out: &mut Vec<u32>) {
+    match (a, b) {
+        (Set::Uint(x), Set::Uint(y)) => cfg.uint_uint(x.values(), y.values(), out),
+        (Set::Uint(x), Set::Bitset(y)) | (Set::Bitset(y), Set::Uint(x)) => {
+            bitset::intersect_uint_bitset(x.values(), y, out);
+        }
+        (Set::Bitset(x), Set::Bitset(y)) => {
+            let r = bitset::intersect_bitset_bitset(x, y, cfg.simd);
+            out.extend(r.iter());
+        }
+        _ => {
+            let r = intersect(a, b, cfg);
+            out.extend(r.iter());
+        }
+    }
+}
+
+/// Intersect many sets left-to-right, smallest-first (the standard
+/// Generic-Join ordering: start from the smallest set so every step is
+/// bounded by the smallest input).
+pub fn intersect_all(sets: &[&Set], cfg: &IntersectConfig) -> Set {
+    if sets.is_empty() {
+        return Set::empty();
+    }
+    let mut order: Vec<usize> = (0..sets.len()).collect();
+    order.sort_by_key(|&i| sets[i].len());
+    let mut acc = sets[order[0]].clone();
+    for &i in &order[1..] {
+        if acc.is_empty() {
+            break;
+        }
+        acc = intersect(&acc, sets[i], cfg);
+    }
+    acc
+}
+
+fn intersect_uint_block(a: &[u32], b: &BlockSet, out: &mut Vec<u32>) {
+    for &v in a {
+        if b.contains(v) {
+            out.push(v);
+        }
+    }
+}
+
+fn intersect_bitset_block(a: &BitsetSet, b: &BlockSet, out: &mut Vec<u32>) {
+    // Walk the bitset's values and probe the composite set; the bitset is
+    // typically the denser side, so probe the composite's block index once
+    // per block by grouping.
+    let mut iter = a.iter().peekable();
+    while let Some(&v) = iter.peek() {
+        let blk = block_of(v);
+        // Values in this block:
+        let mut vals = Vec::new();
+        while let Some(&w) = iter.peek() {
+            if block_of(w) != blk {
+                break;
+            }
+            vals.push(w);
+            iter.next();
+        }
+        for v in vals {
+            let _ = bit_of(v);
+            if b.contains(v) {
+                out.push(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LayoutKind::{self, *};
+
+    fn mk(vals: &[u32], k: LayoutKind) -> Set {
+        Set::from_sorted(vals, k)
+    }
+
+    fn naive(a: &[u32], b: &[u32]) -> Vec<u32> {
+        a.iter().filter(|x| b.contains(x)).copied().collect()
+    }
+
+    const KINDS: [LayoutKind; 3] = [Uint, Bitset, Block];
+
+    #[test]
+    fn all_layout_pairs_agree() {
+        let a_vals: Vec<u32> = (0..400).map(|i| i * 3).collect();
+        let b_vals: Vec<u32> = (0..400).map(|i| i * 2 + 1).collect();
+        let expect = naive(&a_vals, &b_vals);
+        let cfg = IntersectConfig::default();
+        for ka in KINDS {
+            for kb in KINDS {
+                let a = mk(&a_vals, ka);
+                let b = mk(&b_vals, kb);
+                let r = intersect(&a, &b, &cfg);
+                assert_eq!(r.to_vec(), expect, "{ka:?} x {kb:?}");
+                assert_eq!(intersect_count(&a, &b, &cfg), expect.len(), "{ka:?} x {kb:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_layout_pairs_agree_scalar() {
+        let a_vals: Vec<u32> = (0..300).map(|i| i * 5).collect();
+        let b_vals: Vec<u32> = (10..250).collect();
+        let expect = naive(&a_vals, &b_vals);
+        let cfg = IntersectConfig::no_simd();
+        for ka in KINDS {
+            for kb in KINDS {
+                let r = intersect(&mk(&a_vals, ka), &mk(&b_vals, kb), &cfg);
+                assert_eq!(r.to_vec(), expect, "{ka:?} x {kb:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn result_layout_rule() {
+        let cfg = IntersectConfig::default();
+        let u = mk(&[1, 2, 3], Uint);
+        let b = mk(&[2, 3, 4], Bitset);
+        assert_eq!(intersect(&u, &b, &cfg).kind(), Uint);
+        assert_eq!(intersect(&b, &b, &cfg).kind(), Bitset);
+        assert_eq!(intersect(&u, &u, &cfg).kind(), Uint);
+    }
+
+    #[test]
+    fn intersect_all_multiway() {
+        let cfg = IntersectConfig::default();
+        let a = mk(&(0..100).collect::<Vec<_>>(), Uint);
+        let b = mk(&(0..100).filter(|v| v % 2 == 0).collect::<Vec<_>>(), Bitset);
+        let c = mk(&(0..100).filter(|v| v % 3 == 0).collect::<Vec<_>>(), Uint);
+        let r = intersect_all(&[&a, &b, &c], &cfg);
+        let expect: Vec<u32> = (0..100).filter(|v| v % 6 == 0).collect();
+        assert_eq!(r.to_vec(), expect);
+    }
+
+    #[test]
+    fn intersect_all_empty_args() {
+        let cfg = IntersectConfig::default();
+        assert!(intersect_all(&[], &cfg).is_empty());
+        let a = mk(&[], Uint);
+        let b = mk(&[1, 2], Uint);
+        assert!(intersect_all(&[&a, &b], &cfg).is_empty());
+    }
+
+    #[test]
+    fn no_algorithms_config_still_correct() {
+        let cfg = IntersectConfig::no_algorithms();
+        let small = mk(&[5, 500, 50_000], Uint);
+        let large_vals: Vec<u32> = (0..=10_000).map(|i| i * 5).collect();
+        let large = mk(&large_vals, Uint);
+        let r = intersect(&small, &large, &cfg);
+        assert_eq!(r.to_vec(), vec![5, 500, 50_000]);
+    }
+}

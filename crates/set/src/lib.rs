@@ -1,0 +1,321 @@
+//! Skew-aware set layouts and SIMD set-intersection kernels (paper §4).
+//!
+//! EmptyHeaded found that unoptimized set intersections account for ~95% of
+//! the runtime of the generic worst-case-optimal join, so the execution
+//! engine's core is a family of set *layouts* —
+//!
+//! * [`UintSet`] — a sorted array of 32-bit unsigned integers (sparse data),
+//! * [`BitsetSet`] — a sequence of `(offset, 256-bit block)` pairs
+//!   (dense data; paper Figure 4),
+//! * [`BlockSet`] — a *composite* layout that picks uint or bitset per
+//!   fixed-size block of the domain (paper §4.3 "Block Level"),
+//!
+//! — and a family of intersection kernels over every pair of layouts, all of
+//! which preserve the **min property**: the cost of an intersection is
+//! bounded by the size of the smaller input (within a constant factor given
+//! by the block size), which is what makes Generic-Join worst-case optimal.
+//!
+//! Kernels come in SIMD (SSE/AVX2, runtime-detected) and scalar flavours so
+//! the paper's `-S` ablation (Table 11) can be reproduced, and in
+//! materializing and count-only variants (aggregate queries never
+//! materialize, paper §5.3).
+
+pub mod bitset;
+pub mod block;
+pub mod intersect;
+pub mod layout;
+pub mod oracle;
+pub mod simd;
+pub mod skew;
+pub mod uint;
+
+pub use bitset::BitsetSet;
+pub use block::BlockSet;
+pub use intersect::{intersect, intersect_count, IntersectAlgo, IntersectConfig};
+pub use layout::{choose_layout, LayoutKind, LayoutLevel, LayoutPolicy};
+pub use uint::UintSet;
+
+/// Number of bits per bitset block — the width of an AVX register
+/// (paper §4.1, footnote 5: default block size 256).
+pub const BLOCK_BITS: u32 = 256;
+
+/// Number of 64-bit words per bitset block.
+pub const BLOCK_WORDS: usize = (BLOCK_BITS as usize) / 64;
+
+/// A 256-bit bitset block.
+pub type Block = [u64; BLOCK_WORDS];
+
+/// Block id containing value `v`.
+#[inline]
+pub fn block_of(v: u32) -> u32 {
+    v / BLOCK_BITS
+}
+
+/// Bit index of value `v` within its block.
+#[inline]
+pub fn bit_of(v: u32) -> u32 {
+    v % BLOCK_BITS
+}
+
+/// A set of u32 values in one of the three layouts.
+///
+/// This is the value type stored at every trie level; the layout is chosen
+/// per set by the [`layout`] optimizer (set level is EmptyHeaded's default).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Set {
+    /// Sorted array of u32 (sparse).
+    Uint(UintSet),
+    /// Offset/block bitvector pairs (dense).
+    Bitset(BitsetSet),
+    /// Composite per-block hybrid.
+    Block(BlockSet),
+}
+
+impl Set {
+    /// Build an empty uint set.
+    pub fn empty() -> Set {
+        Set::Uint(UintSet::new(Vec::new()))
+    }
+
+    /// Build from sorted, deduplicated values using the given layout.
+    pub fn from_sorted(values: &[u32], kind: LayoutKind) -> Set {
+        debug_assert!(values.windows(2).all(|w| w[0] < w[1]));
+        match kind {
+            LayoutKind::Uint => Set::Uint(UintSet::new(values.to_vec())),
+            LayoutKind::Bitset => Set::Bitset(BitsetSet::from_sorted(values)),
+            LayoutKind::Block => Set::Block(BlockSet::from_sorted(values)),
+        }
+    }
+
+    /// Build from sorted values, letting the set-level optimizer pick.
+    pub fn from_sorted_auto(values: &[u32]) -> Set {
+        Set::from_sorted(values, choose_layout(values))
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            Set::Uint(s) => s.len(),
+            Set::Bitset(s) => s.len(),
+            Set::Block(s) => s.len(),
+        }
+    }
+
+    /// True if the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Layout tag of this set.
+    pub fn kind(&self) -> LayoutKind {
+        match self {
+            Set::Uint(_) => LayoutKind::Uint,
+            Set::Bitset(_) => LayoutKind::Bitset,
+            Set::Block(_) => LayoutKind::Block,
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: u32) -> bool {
+        match self {
+            Set::Uint(s) => s.contains(v),
+            Set::Bitset(s) => s.contains(v),
+            Set::Block(s) => s.contains(v),
+        }
+    }
+
+    /// Rank of `v` — its index in sorted order — if present. Trie levels use
+    /// ranks to address child pointers and annotations uniformly across
+    /// layouts.
+    pub fn rank(&self, v: u32) -> Option<usize> {
+        match self {
+            Set::Uint(s) => s.rank(v),
+            Set::Bitset(s) => s.rank(v),
+            Set::Block(s) => s.rank(v),
+        }
+    }
+
+    /// Rank lookup with a monotone cursor: when callers probe ascending
+    /// values (the Generic-Join inner loops always do), `hint` carries the
+    /// previous position so each probe searches only forward. `hint` is a
+    /// layout-specific cursor — element index for uint, block index for
+    /// bitset/composite — and must start at 0 for a fresh ascent.
+    pub fn rank_hinted(&self, v: u32, hint: &mut usize) -> Option<usize> {
+        match self {
+            Set::Uint(s) => {
+                let values = s.values();
+                let start = (*hint).min(values.len());
+                match uint::gallop_from(values, start, v) {
+                    Ok(i) => {
+                        *hint = i + 1;
+                        Some(i)
+                    }
+                    Err(i) => {
+                        *hint = i;
+                        None
+                    }
+                }
+            }
+            Set::Bitset(s) => {
+                let blk = v / BLOCK_BITS;
+                let offsets = s.offsets();
+                let mut i = (*hint).min(offsets.len());
+                while i < offsets.len() && offsets[i] < blk {
+                    i += 1;
+                }
+                *hint = i;
+                if i < offsets.len() && offsets[i] == blk {
+                    s.rank_in_block(i, v)
+                } else {
+                    None
+                }
+            }
+            // The composite layout keeps its binary-search rank; block id
+            // lookup dominates and stays cheap.
+            Set::Block(s) => s.rank(v),
+        }
+    }
+
+    /// Iterate values in ascending order.
+    pub fn iter(&self) -> SetIter<'_> {
+        match self {
+            Set::Uint(s) => SetIter::Uint(s.values().iter()),
+            Set::Bitset(s) => SetIter::Bitset(s.iter()),
+            Set::Block(s) => SetIter::Block(s.iter()),
+        }
+    }
+
+    /// Collect values to a sorted vector (test/debug helper).
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.iter().collect()
+    }
+
+    /// Smallest value, if any.
+    pub fn min(&self) -> Option<u32> {
+        self.iter().next()
+    }
+
+    /// Largest value, if any.
+    pub fn max(&self) -> Option<u32> {
+        match self {
+            Set::Uint(s) => s.values().last().copied(),
+            Set::Bitset(s) => s.max(),
+            Set::Block(s) => s.max(),
+        }
+    }
+
+    /// Heap bytes used by the layout (drives Fig. 5/6 style tradeoffs).
+    pub fn bytes(&self) -> usize {
+        match self {
+            Set::Uint(s) => s.bytes(),
+            Set::Bitset(s) => s.bytes(),
+            Set::Block(s) => s.bytes(),
+        }
+    }
+
+    /// Density of the set over its value range `[min, max]`.
+    pub fn density(&self) -> f64 {
+        let n = self.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let range = (self.max().unwrap() - self.min().unwrap()) as f64 + 1.0;
+        n as f64 / range
+    }
+}
+
+/// Iterator over any layout's values in ascending order.
+pub enum SetIter<'a> {
+    /// Uint layout iterator.
+    Uint(std::slice::Iter<'a, u32>),
+    /// Bitset layout iterator.
+    Bitset(bitset::BitsetIter<'a>),
+    /// Composite layout iterator.
+    Block(block::BlockSetIter<'a>),
+}
+
+impl Iterator for SetIter<'_> {
+    type Item = u32;
+    fn next(&mut self) -> Option<u32> {
+        match self {
+            SetIter::Uint(i) => i.next().copied(),
+            SetIter::Bitset(i) => i.next(),
+            SetIter::Block(i) => i.next(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u32> {
+        vec![1, 5, 6, 7, 300, 301, 302, 303, 304, 1000]
+    }
+
+    #[test]
+    fn roundtrip_all_layouts() {
+        let v = sample();
+        for kind in [LayoutKind::Uint, LayoutKind::Bitset, LayoutKind::Block] {
+            let s = Set::from_sorted(&v, kind);
+            assert_eq!(s.to_vec(), v, "{kind:?}");
+            assert_eq!(s.len(), v.len());
+            assert_eq!(s.min(), Some(1));
+            assert_eq!(s.max(), Some(1000));
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn contains_and_rank_agree_across_layouts() {
+        let v = sample();
+        for kind in [LayoutKind::Uint, LayoutKind::Bitset, LayoutKind::Block] {
+            let s = Set::from_sorted(&v, kind);
+            for (i, &x) in v.iter().enumerate() {
+                assert!(s.contains(x), "{kind:?} contains {x}");
+                assert_eq!(s.rank(x), Some(i), "{kind:?} rank {x}");
+            }
+            for x in [0u32, 2, 299, 305, 999, 1001, 5000] {
+                assert!(!s.contains(x), "{kind:?} !contains {x}");
+                assert_eq!(s.rank(x), None);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let e = Set::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.min(), None);
+        assert_eq!(e.max(), None);
+        assert_eq!(e.to_vec(), Vec::<u32>::new());
+        assert_eq!(e.density(), 0.0);
+    }
+
+    #[test]
+    fn density() {
+        let s = Set::from_sorted(&[0, 1, 2, 3], LayoutKind::Uint);
+        assert!((s.density() - 1.0).abs() < 1e-12);
+        let s = Set::from_sorted(&[0, 9], LayoutKind::Uint);
+        assert!((s.density() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auto_layout_dense_picks_bitset() {
+        let dense: Vec<u32> = (0..1024).collect();
+        let s = Set::from_sorted_auto(&dense);
+        assert_eq!(s.kind(), LayoutKind::Bitset);
+        let sparse: Vec<u32> = (0..64).map(|i| i * 10_000).collect();
+        let s = Set::from_sorted_auto(&sparse);
+        assert_eq!(s.kind(), LayoutKind::Uint);
+    }
+
+    #[test]
+    fn block_helpers() {
+        assert_eq!(block_of(0), 0);
+        assert_eq!(block_of(255), 0);
+        assert_eq!(block_of(256), 1);
+        assert_eq!(bit_of(257), 1);
+    }
+}

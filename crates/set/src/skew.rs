@@ -1,0 +1,111 @@
+//! Skew statistics (paper §4, footnote 4).
+//!
+//! EmptyHeaded distinguishes two kinds of skew:
+//!
+//! * **density skew** — the density of neighbourhood sets varies wildly;
+//!   measured with Pearson's first skewness coefficient
+//!   `3·(mean − mode)/σ` over the degree distribution,
+//! * **cardinality skew** — the two inputs of an intersection differ wildly
+//!   in size; handled by the galloping kernel.
+
+/// Summary statistics of a sample (degrees, densities, set sizes...).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SkewStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Most frequent value (ties broken toward the smaller value).
+    pub mode: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Pearson's first skewness coefficient `3(mean − mode)/σ`.
+    pub pearson_first: f64,
+}
+
+/// Compute [`SkewStats`] over a sample of non-negative integers.
+/// Returns `None` for empty or constant samples (σ = 0).
+pub fn pearson_first_skew(sample: &[u32]) -> Option<SkewStats> {
+    if sample.is_empty() {
+        return None;
+    }
+    let n = sample.len() as f64;
+    let mean = sample.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let var = sample
+        .iter()
+        .map(|&v| {
+            let d = v as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    let std_dev = var.sqrt();
+    if std_dev == 0.0 {
+        return None;
+    }
+    // Mode via frequency count.
+    let mut counts = std::collections::HashMap::new();
+    for &v in sample {
+        *counts.entry(v).or_insert(0usize) += 1;
+    }
+    let mode = counts
+        .iter()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+        .map(|(&v, _)| v as f64)
+        .unwrap();
+    Some(SkewStats {
+        mean,
+        mode,
+        std_dev,
+        pearson_first: 3.0 * (mean - mode) / std_dev,
+    })
+}
+
+/// Cardinality-skew ratio of an intersection: `max(|a|,|b|) / min(|a|,|b|)`.
+/// The hybrid kernel switches to galloping when this exceeds 32.
+pub fn cardinality_ratio(a_len: usize, b_len: usize) -> f64 {
+    let (small, large) = if a_len <= b_len {
+        (a_len, b_len)
+    } else {
+        (b_len, a_len)
+    };
+    if small == 0 {
+        return f64::INFINITY;
+    }
+    large as f64 / small as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_sample_has_low_skew() {
+        let s = pearson_first_skew(&[1, 2, 2, 3]).unwrap();
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.mode, 2.0);
+        assert!(s.pearson_first.abs() < 1e-9);
+    }
+
+    #[test]
+    fn right_skewed_sample() {
+        // Power-law-ish: many 1s, a few huge values — mean > mode.
+        let mut sample = vec![1u32; 100];
+        sample.extend([50, 80, 100, 500]);
+        let s = pearson_first_skew(&sample).unwrap();
+        assert!(s.pearson_first > 0.0, "right skew must be positive");
+        assert_eq!(s.mode, 1.0);
+    }
+
+    #[test]
+    fn degenerate_samples() {
+        assert!(pearson_first_skew(&[]).is_none());
+        assert!(pearson_first_skew(&[7, 7, 7]).is_none(), "σ=0");
+    }
+
+    #[test]
+    fn cardinality_ratios() {
+        assert_eq!(cardinality_ratio(10, 10), 1.0);
+        assert_eq!(cardinality_ratio(1, 32), 32.0);
+        assert_eq!(cardinality_ratio(64, 2), 32.0);
+        assert!(cardinality_ratio(0, 5).is_infinite());
+    }
+}

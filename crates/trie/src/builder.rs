@@ -1,0 +1,259 @@
+//! Trie construction (paper Figure 2, right-hand side).
+//!
+//! Rows are sorted lexicographically in the chosen attribute (index) order,
+//! duplicates are collapsed (annotations combined with the aggregate's `⊕`),
+//! and the sorted run is recursively grouped into nested distinct-value
+//! sets. The [`eh_set::LayoutPolicy`] decides each set's physical layout.
+
+use crate::{NodeId, Trie, TrieNode};
+use eh_semiring::{AggOp, DynValue};
+use eh_set::LayoutPolicy;
+
+/// Builder for [`Trie`]s.
+#[derive(Clone, Debug)]
+pub struct TrieBuilder {
+    arity: usize,
+    policy: LayoutPolicy,
+    /// How to combine annotations of duplicate tuples.
+    combine: AggOp,
+}
+
+impl TrieBuilder {
+    /// New builder for relations of the given arity.
+    pub fn new(arity: usize) -> TrieBuilder {
+        TrieBuilder {
+            arity,
+            policy: LayoutPolicy::SetLevel,
+            combine: AggOp::Sum,
+        }
+    }
+
+    /// Set the layout policy (default: set-level optimizer).
+    pub fn policy(mut self, policy: LayoutPolicy) -> TrieBuilder {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the duplicate-annotation combiner (default: SUM).
+    pub fn combine(mut self, op: AggOp) -> TrieBuilder {
+        self.combine = op;
+        self
+    }
+
+    /// Build an unannotated trie from rows.
+    pub fn build(&self, rows: &[Vec<u32>]) -> Trie {
+        self.build_inner(rows, None)
+    }
+
+    /// Build an annotated trie from rows and parallel annotation values.
+    pub fn build_annotated(&self, rows: &[Vec<u32>], annots: &[DynValue]) -> Trie {
+        assert_eq!(rows.len(), annots.len(), "one annotation per row");
+        self.build_inner(rows, Some(annots))
+    }
+
+    fn build_inner(&self, rows: &[Vec<u32>], annots: Option<&[DynValue]>) -> Trie {
+        for r in rows {
+            assert_eq!(r.len(), self.arity, "row arity mismatch");
+        }
+        if rows.is_empty() || self.arity == 0 {
+            return Trie::empty(self.arity);
+        }
+        // Sort row indices lexicographically; combine duplicate rows.
+        let mut idx: Vec<usize> = (0..rows.len()).collect();
+        idx.sort_unstable_by(|&a, &b| rows[a].cmp(&rows[b]));
+        let mut sorted: Vec<&[u32]> = Vec::with_capacity(rows.len());
+        let mut sorted_annots: Vec<DynValue> = Vec::new();
+        for &i in &idx {
+            let row: &[u32] = &rows[i];
+            let a = annots.map(|an| an[i]).unwrap_or_else(|| self.combine.one());
+            if sorted.last() == Some(&row) {
+                if annots.is_some() {
+                    let last = sorted_annots.last_mut().unwrap();
+                    *last = self.combine.plus(*last, a);
+                }
+                continue;
+            }
+            sorted.push(row);
+            sorted_annots.push(a);
+        }
+        let tuple_count = sorted.len();
+        let mut nodes: Vec<TrieNode> = Vec::new();
+        // Reserve the root slot.
+        nodes.push(TrieNode {
+            set: eh_set::Set::empty(),
+            children: Vec::new(),
+            annots: Vec::new(),
+        });
+        let annotated = annots.is_some();
+        self.build_level(
+            &sorted,
+            &sorted_annots,
+            0,
+            0,
+            sorted.len(),
+            0,
+            &mut nodes,
+            annotated,
+        );
+        Trie::from_arena(self.arity, nodes, tuple_count, annotated)
+    }
+
+    /// Build the node for `rows[lo..hi]` at attribute `level`, writing into
+    /// arena slot `slot`. Rows in the range share a prefix of length `level`.
+    #[allow(clippy::too_many_arguments)]
+    fn build_level(
+        &self,
+        rows: &[&[u32]],
+        annots: &[DynValue],
+        level: usize,
+        lo: usize,
+        hi: usize,
+        slot: usize,
+        nodes: &mut Vec<TrieNode>,
+        annotated: bool,
+    ) {
+        let is_leaf = level + 1 == self.arity;
+        // Gather distinct values and their sub-ranges.
+        let mut values: Vec<u32> = Vec::new();
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        let mut i = lo;
+        while i < hi {
+            let v = rows[i][level];
+            let mut j = i + 1;
+            while j < hi && rows[j][level] == v {
+                j += 1;
+            }
+            values.push(v);
+            ranges.push((i, j));
+            i = j;
+        }
+        let set = self.policy.build(&values);
+        let mut node = TrieNode {
+            set,
+            children: Vec::new(),
+            annots: Vec::new(),
+        };
+        if is_leaf {
+            if annotated {
+                // One annotation per distinct leaf value: ⊕ over duplicates
+                // (duplicates were already collapsed, so each range is 1).
+                node.annots = ranges
+                    .iter()
+                    .map(|&(a, b)| {
+                        let mut acc = annots[a];
+                        for k in a + 1..b {
+                            acc = self.combine.plus(acc, annots[k]);
+                        }
+                        acc
+                    })
+                    .collect();
+            }
+            nodes[slot] = node;
+        } else {
+            // Allocate child slots first so ids are stable.
+            let first_child = nodes.len() as NodeId;
+            for _ in 0..values.len() {
+                nodes.push(TrieNode {
+                    set: eh_set::Set::empty(),
+                    children: Vec::new(),
+                    annots: Vec::new(),
+                });
+            }
+            node.children = (0..values.len() as u32).map(|k| first_child + k).collect();
+            nodes[slot] = node;
+            for (k, &(a, b)) in ranges.iter().enumerate() {
+                self.build_level(
+                    rows,
+                    annots,
+                    level + 1,
+                    a,
+                    b,
+                    (first_child + k as u32) as usize,
+                    nodes,
+                    annotated,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annotated_build_figure2() {
+        // Paper Figure 2: Manages(managerID, employeeID) annotated with
+        // employeeRating, after dictionary encoding.
+        let rows = vec![vec![0, 4], vec![1, 0], vec![0, 3], vec![2, 1]];
+        let annots = vec![
+            DynValue::F64(1.7),
+            DynValue::F64(3.8),
+            DynValue::F64(9.5),
+            DynValue::F64(6.4),
+        ];
+        let t = TrieBuilder::new(2).build_annotated(&rows, &annots);
+        assert!(t.is_annotated());
+        assert_eq!(t.annotation(&[0, 3]), Some(DynValue::F64(9.5)));
+        assert_eq!(t.annotation(&[0, 4]), Some(DynValue::F64(1.7)));
+        assert_eq!(t.annotation(&[1, 0]), Some(DynValue::F64(3.8)));
+        assert_eq!(t.annotation(&[2, 1]), Some(DynValue::F64(6.4)));
+        assert_eq!(t.annotation(&[2, 9]), None);
+    }
+
+    #[test]
+    fn duplicate_annotations_combine_with_plus() {
+        let rows = vec![vec![1, 2], vec![1, 2]];
+        let annots = vec![DynValue::F64(2.0), DynValue::F64(3.0)];
+        let t = TrieBuilder::new(2)
+            .combine(AggOp::Sum)
+            .build_annotated(&rows, &annots);
+        assert_eq!(t.tuple_count(), 1);
+        assert_eq!(t.annotation(&[1, 2]), Some(DynValue::F64(5.0)));
+    }
+
+    #[test]
+    fn duplicate_annotations_min() {
+        let rows = vec![vec![1, 2], vec![1, 2], vec![1, 2]];
+        let annots = vec![DynValue::U64(7), DynValue::U64(3), DynValue::U64(5)];
+        let t = TrieBuilder::new(2)
+            .combine(AggOp::Min)
+            .build_annotated(&rows, &annots);
+        assert_eq!(t.annotation(&[1, 2]), Some(DynValue::U64(3)));
+    }
+
+    #[test]
+    fn unannotated_scan_has_no_values() {
+        let rows = vec![vec![1, 2], vec![3, 4]];
+        let t = TrieBuilder::new(2).build(&rows);
+        assert!(!t.is_annotated());
+        for (_, a) in t.scan() {
+            assert!(a.is_none());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let rows = vec![vec![1, 2, 3]];
+        TrieBuilder::new(2).build(&rows);
+    }
+
+    #[test]
+    #[should_panic(expected = "one annotation per row")]
+    fn annotation_length_mismatch_panics() {
+        let rows = vec![vec![1, 2]];
+        TrieBuilder::new(2).build_annotated(&rows, &[]);
+    }
+
+    #[test]
+    fn forced_uint_policy() {
+        let rows: Vec<Vec<u32>> = (0..1000u32).map(|i| vec![0, i]).collect();
+        let t = TrieBuilder::new(2)
+            .policy(LayoutPolicy::Fixed(eh_set::LayoutKind::Uint))
+            .build(&rows);
+        let (uint, bitset, block) = t.layout_census();
+        assert_eq!(bitset + block, 0);
+        assert_eq!(uint, 2);
+    }
+}

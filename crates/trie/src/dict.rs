@@ -1,0 +1,160 @@
+//! Dictionary encoding (paper §2.2 "Dictionary Encoding").
+//!
+//! EmptyHeaded tries hold 32-bit values; arbitrary input keys (strings,
+//! 64-bit ids...) are mapped to dense u32 ids. The *order* of id
+//! assignment is the node ordering, which affects set density and —
+//! for symmetric queries with pruning — performance (paper App. A.1);
+//! [`Dictionary::remap`] applies a permutation produced by the ordering
+//! schemes in `eh-graph`.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A bidirectional mapping between original keys and dense u32 ids.
+#[derive(Clone, Debug, Default)]
+pub struct Dictionary<K: Eq + Hash + Clone> {
+    to_id: HashMap<K, u32>,
+    to_key: Vec<K>,
+}
+
+impl<K: Eq + Hash + Clone> Dictionary<K> {
+    /// Empty dictionary.
+    pub fn new() -> Dictionary<K> {
+        Dictionary {
+            to_id: HashMap::new(),
+            to_key: Vec::new(),
+        }
+    }
+
+    /// Id for `key`, allocating the next dense id on first sight.
+    pub fn encode(&mut self, key: K) -> u32 {
+        if let Some(&id) = self.to_id.get(&key) {
+            return id;
+        }
+        let id = self.to_key.len() as u32;
+        self.to_id.insert(key.clone(), id);
+        self.to_key.push(key);
+        id
+    }
+
+    /// Id for `key` if already present.
+    pub fn get(&self, key: &K) -> Option<u32> {
+        self.to_id.get(key).copied()
+    }
+
+    /// Original key for `id`.
+    pub fn decode(&self, id: u32) -> Option<&K> {
+        self.to_key.get(id as usize)
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.to_key.len()
+    }
+
+    /// True when no keys have been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.to_key.is_empty()
+    }
+
+    /// Apply a node-ordering permutation: `perm[old_id] = new_id`.
+    /// After remapping, `decode(new_id)` returns the key that previously
+    /// decoded from `old_id`. Panics if `perm` is not a permutation of
+    /// `0..len`.
+    pub fn remap(&mut self, perm: &[u32]) {
+        assert_eq!(perm.len(), self.to_key.len(), "permutation length");
+        let mut seen = vec![false; perm.len()];
+        for &p in perm {
+            assert!(
+                (p as usize) < perm.len() && !seen[p as usize],
+                "not a permutation"
+            );
+            seen[p as usize] = true;
+        }
+        let mut new_keys: Vec<Option<K>> = vec![None; perm.len()];
+        for (old, &new) in perm.iter().enumerate() {
+            new_keys[new as usize] = Some(self.to_key[old].clone());
+        }
+        self.to_key = new_keys.into_iter().map(Option::unwrap).collect();
+        self.to_id = self
+            .to_key
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.clone(), i as u32))
+            .collect();
+    }
+
+    /// Encode a whole column, in order.
+    pub fn encode_column<I: IntoIterator<Item = K>>(&mut self, col: I) -> Vec<u32> {
+        col.into_iter().map(|k| self.encode(k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_assignment_in_first_seen_order() {
+        let mut d = Dictionary::new();
+        // Paper Figure 2 ID map: 10→0, 20→1, 40→2, 300→3, 543→4.
+        for k in [10u64, 20, 10, 40, 300, 543] {
+            d.encode(k);
+        }
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.get(&10), Some(0));
+        assert_eq!(d.get(&20), Some(1));
+        assert_eq!(d.get(&40), Some(2));
+        assert_eq!(d.get(&300), Some(3));
+        assert_eq!(d.get(&543), Some(4));
+        assert_eq!(d.decode(3), Some(&300));
+        assert_eq!(d.decode(9), None);
+    }
+
+    #[test]
+    fn strings_work() {
+        let mut d = Dictionary::new();
+        let a = d.encode("alice".to_string());
+        let b = d.encode("bob".to_string());
+        assert_eq!(d.encode("alice".to_string()), a);
+        assert_ne!(a, b);
+        assert_eq!(d.decode(b), Some(&"bob".to_string()));
+    }
+
+    #[test]
+    fn remap_permutes_ids() {
+        let mut d = Dictionary::new();
+        for k in ["x", "y", "z"] {
+            d.encode(k.to_string());
+        }
+        // x:0→2, y:1→0, z:2→1
+        d.remap(&[2, 0, 1]);
+        assert_eq!(d.get(&"x".to_string()), Some(2));
+        assert_eq!(d.get(&"y".to_string()), Some(0));
+        assert_eq!(d.get(&"z".to_string()), Some(1));
+        assert_eq!(d.decode(0), Some(&"y".to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn remap_rejects_non_permutation() {
+        let mut d = Dictionary::new();
+        d.encode(1u64);
+        d.encode(2u64);
+        d.remap(&[0, 0]);
+    }
+
+    #[test]
+    fn encode_column() {
+        let mut d = Dictionary::new();
+        let ids = d.encode_column(vec![5u64, 7, 5, 9]);
+        assert_eq!(ids, vec![0, 1, 0, 2]);
+    }
+
+    #[test]
+    fn empty() {
+        let d: Dictionary<u64> = Dictionary::new();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Triangle counting across the paper's dataset analogs, EmptyHeaded vs
+//! the baseline engine classes (a small-scale preview of paper Table 5).
+//!
+//! ```sh
+//! cargo run --release --example triangle_census
+//! ```
+
+use emptyheaded::{algorithms, baselines, graph, Config};
+use std::time::Instant;
+
+fn main() {
+    let scale = 0.05; // keep the example snappy; the bench harness scales up
+    println!(
+        "{:<12} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "dataset", "triangles", "EH[s]", "EH-R[s]", "merge[s]", "hash[s]", "pairwise[s]"
+    );
+    for spec in graph::paper_datasets() {
+        let g = spec.generate_scaled(scale);
+        let pruned = g.prune_by_degree();
+        let csr = pruned.to_csr();
+
+        let t0 = Instant::now();
+        let eh = algorithms::triangle_count(&pruned, Config::default()).unwrap();
+        let t_eh = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let eh_r = algorithms::triangle_count(&pruned, Config::uint_only()).unwrap();
+        let t_eh_r = t0.elapsed().as_secs_f64();
+        assert_eq!(eh, eh_r);
+
+        let t0 = Instant::now();
+        let merge = baselines::lowlevel::triangle_count_merge(&csr);
+        let t_merge = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let hash = baselines::lowlevel::triangle_count_hash(&csr);
+        let t_hash = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let pair = baselines::pairwise::triangle_count(&pruned.edges);
+        let t_pair = t0.elapsed().as_secs_f64();
+
+        assert_eq!(eh, merge);
+        assert_eq!(eh, hash);
+        assert_eq!(eh, pair);
+        println!(
+            "{:<12} {:>9} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+            spec.name, eh, t_eh, t_eh_r, t_merge, t_hash, t_pair
+        );
+    }
+}

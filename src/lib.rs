@@ -1,0 +1,78 @@
+//! # EmptyHeaded (Rust reproduction)
+//!
+//! A from-scratch Rust implementation of *EmptyHeaded: A Relational Engine
+//! for Graph Processing* (Aberger, Tu, Olukotun, Ré — SIGMOD 2016): a
+//! high-level datalog-like query engine that executes graph pattern
+//! queries with worst-case optimal joins compiled through generalized
+//! hypertree decompositions (GHDs), over a trie storage engine with
+//! skew-aware SIMD set layouts.
+//!
+//! This umbrella crate re-exports the public API of the workspace:
+//!
+//! * [`Database`] / [`QueryResult`] — load relations, run queries
+//!   ([`eh_core`]),
+//! * [`Config`] — every engine knob the paper ablates (`-R`, `-RA`, `-S`,
+//!   `-GHD`),
+//! * [`Graph`] and the generators/orderings of [`graph`],
+//! * the lower layers for direct use: [`set`] (layouts + SIMD
+//!   intersections), [`trie`] (storage), [`query`] (language),
+//!   [`ghd`] (query compiler), [`exec`] (execution engine),
+//!   [`semiring`] (annotations), and [`baselines`] (comparison engines).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use emptyheaded::Database;
+//!
+//! let mut db = Database::new();
+//! db.load_edges("Edge", &[(0, 1), (1, 2), (0, 2)]);
+//! let n = db
+//!     .query("C(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.")
+//!     .unwrap();
+//! assert_eq!(n.scalar_u64(), Some(1));
+//! ```
+
+pub use eh_core::{algorithms, CoreError, Database, QueryResult};
+pub use eh_exec::{Config, Relation};
+pub use eh_graph::Graph;
+
+/// Set layouts and SIMD intersection kernels (paper §4).
+pub mod set {
+    pub use eh_set::*;
+}
+
+/// Trie storage engine and dictionary encoding (paper §2.2).
+pub mod trie {
+    pub use eh_trie::*;
+}
+
+/// The datalog-like query language (paper §2.3).
+pub mod query {
+    pub use eh_query::*;
+}
+
+/// GHD-based query compiler (paper §3).
+pub mod ghd {
+    pub use eh_ghd::*;
+}
+
+/// Execution engine: Generic-Join + Yannakakis + recursion (paper §3.3, §4).
+pub mod exec {
+    pub use eh_exec::*;
+}
+
+/// Semiring annotations (paper §2.3).
+pub mod semiring {
+    pub use eh_semiring::*;
+}
+
+/// Graph substrate: generators, orderings, dataset analogs (paper §5.1).
+pub mod graph {
+    pub use eh_graph::*;
+}
+
+/// Comparison engines: low-level CSR kernels and the pairwise-join class
+/// (paper §5.1.2).
+pub mod baselines {
+    pub use eh_baselines::*;
+}

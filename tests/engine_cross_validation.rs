@@ -1,0 +1,145 @@
+//! Cross-crate integration tests: the EmptyHeaded engine against the
+//! hand-coded baselines on randomized graphs, under every ablation.
+
+use emptyheaded::{algorithms, baselines, graph::gen, Config, Graph};
+
+fn all_configs() -> Vec<(&'static str, Config)> {
+    vec![
+        ("default", Config::default()),
+        ("-S", Config::no_simd()),
+        ("-R", Config::uint_only()),
+        ("-RA", Config::no_layout_no_algorithms()),
+        ("-GHD", Config::no_ghd()),
+        ("block-level", Config::block_level()),
+        (
+            "bitset-relation",
+            Config::relation_level(emptyheaded::set::LayoutKind::Bitset),
+        ),
+    ]
+}
+
+#[test]
+fn triangle_counts_match_baselines_on_er_graphs() {
+    for seed in [1u64, 2, 3] {
+        let g = gen::erdos_renyi(150, 1500, seed).symmetrize().prune_by_degree();
+        let expected = baselines::lowlevel::triangle_count_merge(&g.to_csr());
+        for (name, cfg) in all_configs() {
+            let got = algorithms::triangle_count(&g, cfg).unwrap();
+            assert_eq!(got, expected, "seed {seed} config {name}");
+        }
+    }
+}
+
+#[test]
+fn triangle_counts_match_on_power_law() {
+    let g = gen::power_law(400, 4000, 2.1, 5).prune_by_degree();
+    let expected = baselines::lowlevel::triangle_count_merge(&g.to_csr());
+    let expected_hash = baselines::lowlevel::triangle_count_hash(&g.to_csr());
+    let expected_pair = baselines::pairwise::triangle_count(&g.edges);
+    assert_eq!(expected, expected_hash);
+    assert_eq!(expected, expected_pair);
+    for (name, cfg) in all_configs() {
+        assert_eq!(
+            algorithms::triangle_count(&g, cfg).unwrap(),
+            expected,
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn four_clique_matches_pairwise() {
+    let g = gen::erdos_renyi(80, 1200, 7).symmetrize().prune_by_degree();
+    let expected = baselines::pairwise::four_clique_count(&g.edges);
+    for (name, cfg) in all_configs() {
+        assert_eq!(
+            algorithms::four_clique_count(&g, cfg).unwrap(),
+            expected,
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn lollipop_and_barbell_match_pairwise() {
+    let g = gen::erdos_renyi(60, 500, 11).symmetrize();
+    let lolli = baselines::pairwise::lollipop_count(&g.edges);
+    let barbell = baselines::pairwise::barbell_count(&g.edges);
+    for (name, cfg) in [
+        ("default", Config::default()),
+        ("-GHD", Config::no_ghd()),
+        ("-R", Config::uint_only()),
+    ] {
+        assert_eq!(algorithms::lollipop_count(&g, cfg).unwrap(), lolli, "{name}");
+        assert_eq!(algorithms::barbell_count(&g, cfg).unwrap(), barbell, "{name}");
+    }
+}
+
+#[test]
+fn pagerank_matches_lowlevel_everywhere() {
+    let g = gen::power_law(200, 1200, 2.4, 13);
+    let ll = baselines::lowlevel::pagerank(&g, 5);
+    let eh = algorithms::pagerank(&g, 5, Config::default()).unwrap();
+    for (v, (a, b)) in eh.iter().zip(&ll).enumerate() {
+        assert!((a - b).abs() < 1e-9, "node {v}: {a} vs {b}");
+    }
+}
+
+#[test]
+fn sssp_matches_bfs_from_multiple_sources() {
+    let g = gen::power_law(200, 1000, 2.2, 19);
+    for start in [g.max_degree_node(), 0, 10] {
+        let eh = algorithms::sssp(&g, start, Config::default()).unwrap();
+        let bfs = baselines::lowlevel::sssp_bfs(&g, start);
+        assert_eq!(eh, bfs, "start {start}");
+    }
+}
+
+#[test]
+fn sssp_naive_and_seminaive_agree() {
+    let g = gen::erdos_renyi(100, 400, 23).symmetrize();
+    let start = g.max_degree_node();
+    let semi = algorithms::sssp(&g, start, Config::default()).unwrap();
+    let mut cfg = Config::default();
+    cfg.force_naive_recursion = true;
+    let naive = algorithms::sssp(&g, start, cfg).unwrap();
+    assert_eq!(semi, naive);
+}
+
+#[test]
+fn node_ordering_does_not_change_counts() {
+    use emptyheaded::graph::{apply_ordering, compute_ordering, OrderingScheme};
+    let g = gen::power_law(200, 1500, 2.3, 29);
+    let base = algorithms::triangle_count(&g.prune_by_degree(), Config::default()).unwrap();
+    for scheme in OrderingScheme::ALL {
+        let perm = compute_ordering(&g, scheme);
+        let h = apply_ordering(&g, &perm);
+        let count = algorithms::triangle_count(&h.prune_by_degree(), Config::default()).unwrap();
+        assert_eq!(count, base, "{scheme:?}");
+    }
+}
+
+#[test]
+fn worst_case_input_complete_graph() {
+    // AGM bound is tight on K_n (paper Example 2.1): K12 has C(12,3)=220.
+    let g = gen::complete(12).prune_by_degree();
+    assert_eq!(
+        algorithms::triangle_count(&g, Config::default()).unwrap(),
+        220
+    );
+}
+
+#[test]
+fn empty_and_degenerate_graphs() {
+    let empty = Graph::default();
+    assert_eq!(algorithms::triangle_count(&empty, Config::default()).unwrap(), 0);
+    let single_edge = Graph::from_dense(2, vec![(1, 0)]);
+    assert_eq!(
+        algorithms::triangle_count(&single_edge, Config::default()).unwrap(),
+        0
+    );
+    assert_eq!(
+        algorithms::four_clique_count(&single_edge, Config::default()).unwrap(),
+        0
+    );
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the set layer: every layout and kernel
+//! combination must agree with a `BTreeSet` model.
+
+use emptyheaded::set::{
+    intersect, intersect_count, IntersectConfig, LayoutKind, Set,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn arb_values(max_len: usize, max_val: u32) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::btree_set(0..max_val, 0..max_len)
+        .prop_map(|s| s.into_iter().collect())
+}
+
+const KINDS: [LayoutKind; 3] = [LayoutKind::Uint, LayoutKind::Bitset, LayoutKind::Block];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_every_layout(vals in arb_values(300, 100_000)) {
+        for kind in KINDS {
+            let s = Set::from_sorted(&vals, kind);
+            prop_assert_eq!(s.to_vec(), vals.clone(), "{:?}", kind);
+            prop_assert_eq!(s.len(), vals.len());
+        }
+    }
+
+    #[test]
+    fn rank_is_index(vals in arb_values(200, 50_000)) {
+        for kind in KINDS {
+            let s = Set::from_sorted(&vals, kind);
+            for (i, &v) in vals.iter().enumerate() {
+                prop_assert_eq!(s.rank(v), Some(i));
+                prop_assert!(s.contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn absent_values_not_found(vals in arb_values(100, 10_000), probe in 0u32..20_000) {
+        let model: BTreeSet<u32> = vals.iter().copied().collect();
+        for kind in KINDS {
+            let s = Set::from_sorted(&vals, kind);
+            prop_assert_eq!(s.contains(probe), model.contains(&probe));
+        }
+    }
+
+    #[test]
+    fn intersection_matches_model(
+        a in arb_values(300, 5_000),
+        b in arb_values(300, 5_000),
+        simd in any::<bool>(),
+        algo in any::<bool>(),
+    ) {
+        let ma: BTreeSet<u32> = a.iter().copied().collect();
+        let mb: BTreeSet<u32> = b.iter().copied().collect();
+        let expect: Vec<u32> = ma.intersection(&mb).copied().collect();
+        let cfg = IntersectConfig { simd, algorithm_optimizer: algo };
+        for ka in KINDS {
+            for kb in KINDS {
+                let sa = Set::from_sorted(&a, ka);
+                let sb = Set::from_sorted(&b, kb);
+                let r = intersect(&sa, &sb, &cfg);
+                prop_assert_eq!(r.to_vec(), expect.clone(), "{:?}x{:?}", ka, kb);
+                prop_assert_eq!(
+                    intersect_count(&sa, &sb, &cfg),
+                    expect.len(),
+                    "count {:?}x{:?}", ka, kb
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn intersection_with_skewed_cardinalities(
+        small in arb_values(8, 100_000),
+        large in arb_values(2_000, 100_000),
+    ) {
+        // Exercises the galloping path (ratio > 32:1).
+        let ms: BTreeSet<u32> = small.iter().copied().collect();
+        let ml: BTreeSet<u32> = large.iter().copied().collect();
+        let expect: Vec<u32> = ms.intersection(&ml).copied().collect();
+        let cfg = IntersectConfig::default();
+        let sa = Set::from_sorted(&small, LayoutKind::Uint);
+        let sb = Set::from_sorted(&large, LayoutKind::Uint);
+        prop_assert_eq!(intersect(&sa, &sb, &cfg).to_vec(), expect.clone());
+        prop_assert_eq!(intersect(&sb, &sa, &cfg).to_vec(), expect);
+    }
+
+    #[test]
+    fn auto_layout_is_transparent(vals in arb_values(500, 20_000)) {
+        let auto = Set::from_sorted_auto(&vals);
+        prop_assert_eq!(auto.to_vec(), vals);
+    }
+
+    #[test]
+    fn density_bounded(vals in arb_values(200, 10_000)) {
+        let s = Set::from_sorted(&vals, LayoutKind::Uint);
+        let d = s.density();
+        prop_assert!((0.0..=1.0).contains(&d));
+    }
+}
+
+#[test]
+fn intersection_is_commutative_and_idempotent() {
+    let a: Vec<u32> = (0..500).map(|i| i * 3).collect();
+    let b: Vec<u32> = (0..500).map(|i| i * 7 + 1).collect();
+    let cfg = IntersectConfig::default();
+    for ka in KINDS {
+        for kb in KINDS {
+            let sa = Set::from_sorted(&a, ka);
+            let sb = Set::from_sorted(&b, kb);
+            let ab = intersect(&sa, &sb, &cfg).to_vec();
+            let ba = intersect(&sb, &sa, &cfg).to_vec();
+            assert_eq!(ab, ba, "{ka:?} x {kb:?}");
+            let aa = intersect(&sa, &sa, &cfg).to_vec();
+            assert_eq!(aa, a, "{ka:?} self-intersection");
+        }
+    }
+}

@@ -41,7 +41,11 @@ fn bench_fig6_composite(c: &mut Criterion) {
     for &card in &[256usize, 4096] {
         let make = |seed: u64| {
             let mut v: Vec<u32> = (0..8192).collect();
-            v.extend(random_set(1 << 22, card as f64 / (1 << 22) as f64, seed).iter().map(|x| x + 8192));
+            v.extend(
+                random_set(1 << 22, card as f64 / (1 << 22) as f64, seed)
+                    .iter()
+                    .map(|x| x + 8192),
+            );
             v
         };
         let a = make(3);

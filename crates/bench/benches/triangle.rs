@@ -10,7 +10,9 @@ fn bench_table5_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("table5_triangle");
     group.sample_size(10);
     for (idx, label) in [(0usize, "googleplus"), (4usize, "patents")] {
-        let g = paper_datasets()[idx].generate_scaled(0.05).prune_by_degree();
+        let g = paper_datasets()[idx]
+            .generate_scaled(0.05)
+            .prune_by_degree();
         let csr = g.to_csr();
         let mut eh = PreparedQuery::new(&g, Config::default(), queries::TRIANGLE);
         group.bench_function(format!("{label}/emptyheaded"), |b| b.iter(|| eh.run()));

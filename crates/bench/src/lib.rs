@@ -10,6 +10,8 @@ use eh_core::{Config, Database};
 use eh_graph::Graph;
 use std::time::{Duration, Instant};
 
+pub mod paper_tables;
+
 /// A query compiled once against a warmed database, ready for repeated
 /// timing: planning (GHD search) and index (trie) construction are paid at
 /// construction, not in [`PreparedQuery::run`].
@@ -102,10 +104,7 @@ impl Table {
     /// Start a table with the given column widths; prints the header row.
     pub fn new(headers: &[(&str, usize)]) -> Table {
         let widths: Vec<usize> = headers.iter().map(|&(_, w)| w).collect();
-        let row: Vec<String> = headers
-            .iter()
-            .map(|&(h, w)| format!("{h:>w$}"))
-            .collect();
+        let row: Vec<String> = headers.iter().map(|&(h, w)| format!("{h:>w$}")).collect();
         println!("{}", row.join(" "));
         Table { widths }
     }
@@ -124,8 +123,7 @@ impl Table {
 /// The standard benchmark queries (paper Table 1 / §5.3).
 pub mod queries {
     /// Triangle COUNT(*) (symmetric; run on the pruned graph).
-    pub const TRIANGLE: &str =
-        "TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.";
+    pub const TRIANGLE: &str = "TC(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.";
     /// 4-clique COUNT(*) (symmetric; pruned graph).
     pub const K4: &str =
         "K4(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z),Edge(x,u),Edge(y,u),Edge(z,u); w=<<COUNT(*)>>.";

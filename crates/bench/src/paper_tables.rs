@@ -2,8 +2,8 @@
 //! Appendix A/B) on the synthetic dataset analogs.
 //!
 //! ```sh
-//! cargo run --release -p eh-bench --bin paper-tables -- all
-//! cargo run --release -p eh-bench --bin paper-tables -- table5 --scale 0.1
+//! cargo run --release --bin paper_tables -- all
+//! cargo run --release --bin paper_tables -- table5 --scale 0.1
 //! ```
 //!
 //! Absolute times differ from the paper (48-core Xeon vs this machine,
@@ -11,14 +11,17 @@
 //! roughly what factor, where the crossovers fall — is the reproduction
 //! target. See EXPERIMENTS.md for the side-by-side record.
 
-use eh_bench::{measure, measure_once, queries, ratio, secs, PreparedQuery, Table};
+use crate::{measure, measure_once, queries, ratio, secs, PreparedQuery, Table};
 use eh_core::{Config, Database};
 use eh_graph::{apply_ordering, compute_ordering, gen, paper_datasets, Graph, OrderingScheme};
 use eh_semiring::{AggOp, DynValue};
 use eh_set::{IntersectConfig, LayoutKind, Set};
 use std::time::{Duration, Instant};
 
-fn main() {
+const TARGETS: &str =
+    "fig5|fig6|fig7|table3|table4|table5|table6|table7|table8|table9|table10|table11|table13|all";
+
+pub fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("all");
     let scale = args
@@ -57,10 +60,15 @@ fn main() {
             table11(scale);
             table13(scale);
         }
+        "--help" | "-h" | "help" => {
+            println!("usage: paper_tables [{TARGETS}] [--scale S]");
+            println!();
+            println!("Regenerates the paper's evaluation tables/figures on synthetic");
+            println!("dataset analogs. --scale (default 0.1) shrinks the generated");
+            println!("graphs; use 1.0 for full-size runs.");
+        }
         other => {
-            eprintln!(
-                "unknown target '{other}'; use fig5|fig6|fig7|table3|table4|table5|table6|table7|table8|table9|table10|table11|table13|all"
-            );
+            eprintln!("unknown target '{other}'; use {TARGETS} (or --help)");
             std::process::exit(2);
         }
     }
@@ -71,9 +79,7 @@ fn random_set(domain: u32, density: f64, seed: u64) -> Vec<u32> {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..domain)
-        .filter(|_| rng.gen_bool(density))
-        .collect()
+    (0..domain).filter(|_| rng.gen_bool(density)).collect()
 }
 
 // ---------------------------------------------------------------- Figure 5
@@ -81,7 +87,12 @@ fn random_set(domain: u32, density: f64, seed: u64) -> Vec<u32> {
 /// Figure 5: uint vs bitset intersection time across densities.
 fn fig5() {
     println!("\n== Figure 5: intersection time vs density (domain 2^20) ==");
-    let t = Table::new(&[("density", 10), ("uint[s]", 12), ("bitset[s]", 12), ("winner", 8)]);
+    let t = Table::new(&[
+        ("density", 10),
+        ("uint[s]", 12),
+        ("bitset[s]", 12),
+        ("winner", 8),
+    ]);
     let cfg = IntersectConfig::default();
     let domain = 1 << 20;
     for &density in &[1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1] {
@@ -270,12 +281,7 @@ fn table5(scale: f64, reps: usize) {
 /// Table 6: PageRank, 5 iterations, undirected graphs.
 fn table6(scale: f64, reps: usize) {
     println!("\n== Table 6: PageRank (5 iterations) ==");
-    let t = Table::new(&[
-        ("dataset", 12),
-        ("EH[s]", 10),
-        ("Galois", 8),
-        ("SL", 8),
-    ]);
+    let t = Table::new(&[("dataset", 12), ("EH[s]", 10), ("Galois", 8), ("SL", 8)]);
     for spec in paper_datasets() {
         let g = spec.generate_scaled(scale);
         let mut runner =
@@ -314,7 +320,9 @@ fn table7(scale: f64, reps: usize) {
             eh_core::algorithms::SsspRunner::new(&g, start, Config::default()).unwrap();
         let t_eh = measure(reps, || runner.run().unwrap());
         let t_bfs = measure(reps, || eh_baselines::lowlevel::sssp_bfs(&g, start));
-        let t_bf = measure(reps, || eh_baselines::lowlevel::sssp_bellman_ford(&g, start));
+        let t_bf = measure(reps, || {
+            eh_baselines::lowlevel::sssp_bellman_ford(&g, start)
+        });
         let t_sl = measure(reps, || {
             eh_baselines::pairwise::sssp_naive_datalog(&g.edges, g.num_nodes, start)
         });
@@ -599,13 +607,13 @@ fn coverage() -> &'static [&'static str] {
 }
 
 #[allow(unused_imports)]
-use eh_trie as _;
+use eh_exec as _;
 #[allow(unused_imports)]
 use eh_ghd as _;
 #[allow(unused_imports)]
 use eh_query as _;
 #[allow(unused_imports)]
-use eh_exec as _;
+use eh_trie as _;
 
 // Silence unused warnings for re-exported helper types used only in some
 // subcommands.

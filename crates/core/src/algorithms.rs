@@ -14,9 +14,8 @@ use eh_semiring::{AggOp, DynValue};
 pub fn triangle_count(graph: &Graph, config: Config) -> Result<u64, CoreError> {
     let mut db = Database::with_config(config);
     db.load_graph("Edge", graph);
-    let out = db.query(
-        "TriangleCount(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.",
-    )?;
+    let out =
+        db.query("TriangleCount(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z); w=<<COUNT(*)>>.")?;
     Ok(out.scalar_u64().unwrap_or(0))
 }
 
@@ -34,9 +33,8 @@ pub fn four_clique_count(graph: &Graph, config: Config) -> Result<u64, CoreError
 pub fn lollipop_count(graph: &Graph, config: Config) -> Result<u64, CoreError> {
     let mut db = Database::with_config(config);
     db.load_graph("Edge", graph);
-    let out = db.query(
-        "L31(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z),Edge(x,u); w=<<COUNT(*)>>.",
-    )?;
+    let out =
+        db.query("L31(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z),Edge(x,u); w=<<COUNT(*)>>.")?;
     Ok(out.scalar_u64().unwrap_or(0))
 }
 
@@ -55,11 +53,7 @@ pub fn barbell_count(graph: &Graph, config: Config) -> Result<u64, CoreError> {
 /// PageRank per paper Table 1: base value `1/N`, then
 /// `y = 0.15 + 0.85 * SUM(PageRank(z) · InvDeg(z))` for a fixed number of
 /// iterations over the undirected graph. Returns per-node ranks.
-pub fn pagerank(
-    graph: &Graph,
-    iterations: u32,
-    config: Config,
-) -> Result<Vec<f64>, CoreError> {
+pub fn pagerank(graph: &Graph, iterations: u32, config: Config) -> Result<Vec<f64>, CoreError> {
     PageRankRunner::new(graph, iterations, config)?.run()
 }
 
@@ -152,8 +146,7 @@ impl SsspRunner {
 
     /// Execute the SSSP program, returning per-node hop distances.
     pub fn run(&mut self) -> Result<Vec<u32>, CoreError> {
-        self.db
-            .query("SSSP(x;y:int) :- Edge('start',x); y=1.")?;
+        self.db.query("SSSP(x;y:int) :- Edge('start',x); y=1.")?;
         // Pin the start node at distance 0 (the paper's rule leaves it
         // implicit; MIN-merge keeps it at 0 thereafter).
         let base = self.db.relation("SSSP").cloned().unwrap();

@@ -177,8 +177,7 @@ impl Database {
                 "prepare() supports non-recursive rules; use query() for recursion".into(),
             ));
         }
-        let ghd_plan =
-            eh_ghd::plan_rule(&rule, &self.config.plan).map_err(CoreError::Invalid)?;
+        let ghd_plan = eh_ghd::plan_rule(&rule, &self.config.plan).map_err(CoreError::Invalid)?;
         let plan = eh_exec::PhysicalPlan::compile(&rule, &ghd_plan);
         Ok(Prepared {
             name: rule.head.relation.clone(),

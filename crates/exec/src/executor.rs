@@ -603,7 +603,7 @@ fn gj_parallel(ctx: &mut GjContext<'_>, base_product: DynValue, sink: &mut Sink,
         return;
     }
     let chunk = merged.len().div_ceil(threads);
-    let results: Vec<Sink> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Sink> = std::thread::scope(|scope| {
         let handles: Vec<_> = merged
             .chunks(chunk)
             .map(|vals| {
@@ -615,7 +615,7 @@ fn gj_parallel(ctx: &mut GjContext<'_>, base_product: DynValue, sink: &mut Sink,
                 let is_agg = ctx.is_agg;
                 let op = ctx.op;
                 let part = participating.clone();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut local = GjContext {
                         atoms,
                         attrs_len,
@@ -680,9 +680,11 @@ fn gj_parallel(ctx: &mut GjContext<'_>, base_product: DynValue, sink: &mut Sink,
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("worker thread panicked");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
     // Merge per-thread sinks.
     let op = ctx.op;
     for local in results {
@@ -963,9 +965,7 @@ fn finalize(
     };
     if plan.output_vars.is_empty() {
         // Scalar result.
-        let total = map
-            .into_values()
-            .fold(op.zero(), |acc, v| op.plus(acc, v));
+        let total = map.into_values().fold(op.zero(), |acc, v| op.plus(acc, v));
         return Ok(Relation::new_scalar(apply(total)));
     }
     let mut entries: Vec<(Vec<u32>, DynValue)> = map.into_iter().collect();
@@ -1083,11 +1083,7 @@ mod tests {
             Relation::from_annotated_rows(
                 2,
                 vec![vec![0, 1], vec![1, 2], vec![1, 3]],
-                vec![
-                    DynValue::F64(2.0),
-                    DynValue::F64(3.0),
-                    DynValue::F64(5.0),
-                ],
+                vec![DynValue::F64(2.0), DynValue::F64(3.0), DynValue::F64(5.0)],
                 AggOp::Sum,
             ),
         );
@@ -1132,16 +1128,7 @@ mod tests {
     #[test]
     fn barbell_materialization_top_down() {
         // Two triangles joined by a bridge: (0,1,2) and (3,4,5), bridge 0-3.
-        let tri = |a: u32, b: u32, c: u32| {
-            vec![
-                (a, b),
-                (b, a),
-                (b, c),
-                (c, b),
-                (a, c),
-                (c, a),
-            ]
-        };
+        let tri = |a: u32, b: u32, c: u32| vec![(a, b), (b, a), (b, c), (c, b), (a, c), (c, a)];
         let mut edges: Vec<(u32, u32)> = tri(0, 1, 2);
         edges.extend(tri(3, 4, 5));
         edges.push((0, 3));
@@ -1149,10 +1136,9 @@ mod tests {
         let rows: Vec<Vec<u32>> = edges.into_iter().map(|(a, b)| vec![a, b]).collect();
         let mut cat = MemCatalog::new();
         cat.insert("E", Relation::from_rows(2, rows));
-        let rule = parse_rule(
-            "B(x,y,z,a,b,c) :- E(x,y),E(y,z),E(x,z),E(x,a),E(a,b),E(b,c),E(a,c).",
-        )
-        .unwrap();
+        let rule =
+            parse_rule("B(x,y,z,a,b,c) :- E(x,y),E(y,z),E(x,z),E(x,a),E(a,b),E(b,c),E(a,c).")
+                .unwrap();
         let out = execute_rule(&rule, &cat, &Config::default()).unwrap();
         assert!(!out.is_empty());
         // Every emitted row must satisfy all seven body atoms.
@@ -1160,7 +1146,10 @@ mod tests {
         for row in out.rows() {
             let (x, y, z, a, b, c) = (row[0], row[1], row[2], row[3], row[4], row[5]);
             assert!(has(x, y) && has(y, z) && has(x, z), "left triangle {row:?}");
-            assert!(has(a, b) && has(b, c) && has(a, c), "right triangle {row:?}");
+            assert!(
+                has(a, b) && has(b, c) && has(a, c),
+                "right triangle {row:?}"
+            );
             assert!(has(x, a), "bridge {row:?}");
         }
         // Cross-triangle barbells over the explicit 0-3 bridge must appear.

@@ -61,20 +61,14 @@ mod tests {
         rows.sort();
         assert_eq!(
             rows,
-            vec![
-                vec![0, 1, 2],
-                vec![0, 1, 3],
-                vec![0, 2, 3],
-                vec![1, 2, 3]
-            ]
+            vec![vec![0, 1, 2], vec![0, 1, 3], vec![0, 2, 3], vec![1, 2, 3]]
         );
     }
 
     #[test]
     fn triangle_count() {
         let cat = triangle_catalog();
-        let rule =
-            parse_rule("TC(;w:long) :- E(x,y),E(y,z),E(x,z); w=<<COUNT(*)>>.").unwrap();
+        let rule = parse_rule("TC(;w:long) :- E(x,y),E(y,z),E(x,z); w=<<COUNT(*)>>.").unwrap();
         let out = execute_rule(&rule, &cat, &Config::default()).unwrap();
         assert_eq!(out.scalar().unwrap().as_u64(), 4);
     }
@@ -82,8 +76,7 @@ mod tests {
     #[test]
     fn count_matches_listing_under_all_ablations() {
         let cat = triangle_catalog();
-        let rule =
-            parse_rule("TC(;w:long) :- E(x,y),E(y,z),E(x,z); w=<<COUNT(*)>>.").unwrap();
+        let rule = parse_rule("TC(;w:long) :- E(x,y),E(y,z),E(x,z); w=<<COUNT(*)>>.").unwrap();
         for cfg in [
             Config::default(),
             Config::no_simd(),

@@ -183,8 +183,7 @@ impl PhysicalPlan {
             // Child interfaces (needed for the top-down join).
             let mut child_interfaces: Vec<String> = Vec::new();
             for &c in &f.children {
-                let child_chi: Vec<String> =
-                    flats[c].chi.iter().map(|&v| var_name(v)).collect();
+                let child_chi: Vec<String> = flats[c].chi.iter().map(|&v| var_name(v)).collect();
                 for a in &attrs {
                     if child_chi.contains(a) && !child_interfaces.contains(a) {
                         child_interfaces.push(a.clone());
@@ -299,10 +298,7 @@ impl PhysicalPlan {
                         }
                     })
                     .collect();
-                out.push_str(&format!(
-                    "{indent}for {attr} in {}:\n",
-                    members.join(" ∩ ")
-                ));
+                out.push_str(&format!("{indent}for {attr} in {}:\n", members.join(" ∩ ")));
                 indent.push_str("  ");
             }
             out.push_str(&format!("{indent}emit\n"));
@@ -385,9 +381,7 @@ mod tests {
 
     #[test]
     fn barbell_post_order_root_last() {
-        let p = compile(
-            "B(x,y,z,a,b,c) :- E(x,y),E(y,z),E(x,z),E(x,a),E(a,b),E(b,c),E(a,c).",
-        );
+        let p = compile("B(x,y,z,a,b,c) :- E(x,y),E(y,z),E(x,z),E(x,a),E(a,b),E(b,c),E(a,c).");
         assert!(p.nodes.len() >= 3);
         let root = p.root();
         assert!(root.parent.is_none());
@@ -430,9 +424,7 @@ mod tests {
 
     #[test]
     fn interface_attrs_connect_nodes() {
-        let p = compile(
-            "B(x,y,z,a,b,c) :- E(x,y),E(y,z),E(x,z),E(x,a),E(a,b),E(b,c),E(a,c).",
-        );
+        let p = compile("B(x,y,z,a,b,c) :- E(x,y),E(y,z),E(x,z),E(x,a),E(a,b),E(b,c),E(a,c).");
         for node in &p.nodes {
             if let Some(parent) = node.parent {
                 assert!(!node.interface.is_empty());

@@ -48,10 +48,7 @@ pub fn execute_recursive_rule(
     catalog: &dyn Catalog,
     cfg: &Config,
 ) -> Result<Relation, ExecError> {
-    let criterion = rule
-        .head
-        .recursion
-        .unwrap_or(Recursion::Fixpoint);
+    let criterion = rule.head.recursion.unwrap_or(Recursion::Fixpoint);
     let op = rule
         .agg
         .as_ref()
@@ -235,10 +232,8 @@ fn relations_equal(a: &Relation, b: &Relation, eps: f64) -> bool {
     if ma.len() != mb.len() {
         return false;
     }
-    ma.iter().all(|(k, va)| {
-        mb.get(k)
-            .is_some_and(|vb| va.approx_eq(*vb, eps))
-    })
+    ma.iter()
+        .all(|(k, va)| mb.get(k).is_some_and(|vb| va.approx_eq(*vb, eps)))
 }
 
 /// Largest absolute annotation change between two relation versions.
@@ -267,12 +262,7 @@ mod tests {
 
     /// Undirected path 0-1-2-3 plus shortcut 0-3.
     fn sssp_catalog() -> MemCatalog {
-        let edges = [
-            (0u32, 1u32),
-            (1, 2),
-            (2, 3),
-            (0, 3),
-        ];
+        let edges = [(0u32, 1u32), (1, 2), (2, 3), (0, 3)];
         let mut rows = Vec::new();
         for (a, b) in edges {
             rows.push(vec![a, b]);
@@ -312,10 +302,11 @@ mod tests {
         let base = parse_rule("SSSP(x;y:int) :- Edge('0',x); y=1.").unwrap();
         let initial = execute_rule(&base, &cat, &Config::default()).unwrap();
         let rec = parse_rule("SSSP(x;y:int)* :- Edge(w,x),SSSP(w); y=<<MIN(w)>>+1.").unwrap();
-        let semi =
-            execute_recursive_rule(&rec, initial.clone(), &cat, &Config::default()).unwrap();
-        let mut cfg = Config::default();
-        cfg.force_naive_recursion = true;
+        let semi = execute_recursive_rule(&rec, initial.clone(), &cat, &Config::default()).unwrap();
+        let cfg = Config {
+            force_naive_recursion: true,
+            ..Config::default()
+        };
         let naive = execute_recursive_rule(&rec, initial, &cat, &cfg).unwrap();
         for node in 1..4u32 {
             assert_eq!(dist_of(&semi, node), dist_of(&naive, node), "node {node}");
@@ -327,10 +318,7 @@ mod tests {
         // P(x;y)*[i=3] :- E(x,z),P(z); y=<<SUM(z)>> on a 2-cycle with
         // initial value 1: each iteration swaps values, sum stays 1.
         let mut cat = MemCatalog::new();
-        cat.insert(
-            "E",
-            Relation::from_rows(2, vec![vec![0, 1], vec![1, 0]]),
-        );
+        cat.insert("E", Relation::from_rows(2, vec![vec![0, 1], vec![1, 0]]));
         let initial = Relation::from_annotated_rows(
             1,
             vec![vec![0], vec![1]],
@@ -351,18 +339,14 @@ mod tests {
         // Contraction y = 0.5 * old value on a self-referential structure:
         // single node with self-loop... use 2-cycle with damping expr.
         let mut cat = MemCatalog::new();
-        cat.insert(
-            "E",
-            Relation::from_rows(2, vec![vec![0, 1], vec![1, 0]]),
-        );
+        cat.insert("E", Relation::from_rows(2, vec![vec![0, 1], vec![1, 0]]));
         let initial = Relation::from_annotated_rows(
             1,
             vec![vec![0], vec![1]],
             vec![DynValue::F64(1.0), DynValue::F64(1.0)],
             AggOp::Sum,
         );
-        let rec =
-            parse_rule("P(x;y:float)*[c=0.001] :- E(x,z),P(z); y=0.5*<<SUM(z)>>.").unwrap();
+        let rec = parse_rule("P(x;y:float)*[c=0.001] :- E(x,z),P(z); y=0.5*<<SUM(z)>>.").unwrap();
         let out = execute_recursive_rule(&rec, initial, &cat, &Config::default()).unwrap();
         let annots = out.annotations().unwrap();
         assert!(annots[0].as_f64() <= 0.002, "decayed close to zero");

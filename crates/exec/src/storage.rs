@@ -20,8 +20,11 @@ pub struct Relation {
     annots: Option<Vec<DynValue>>,
     /// ⊕ used to combine duplicate-tuple annotations.
     combine: AggOp,
-    tries: RwLock<HashMap<(Vec<usize>, LayoutPolicyKey), Arc<Trie>>>,
+    tries: RwLock<TrieCache>,
 }
+
+/// Cache of materialized tries, keyed by attribute order + layout policy.
+type TrieCache = HashMap<(Vec<usize>, LayoutPolicyKey), Arc<Trie>>;
 
 /// Hashable stand-in for [`LayoutPolicy`] (which holds no Eq-unfriendly
 /// data but lives in another crate without Hash).

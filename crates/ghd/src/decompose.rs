@@ -193,8 +193,7 @@ fn decompose(hg: &Hypergraph, edges: &[usize], interface: &[usize]) -> Vec<GhdNo
             .copied()
             .filter(|e| !lambda.contains(e))
             .collect();
-        let edge_vars: Vec<Vec<usize>> =
-            lambda.iter().map(|&e| hg.edges[e].vars.clone()).collect();
+        let edge_vars: Vec<Vec<usize>> = lambda.iter().map(|&e| hg.edges[e].vars.clone()).collect();
         let Some(width) = agm_exponent(&chi, &edge_vars) else {
             continue;
         };
@@ -358,6 +357,10 @@ mod tests {
             .iter()
             .min_by(|a, b| a.width.partial_cmp(&b.width).unwrap())
             .unwrap();
-        assert!((best.width - 2.0).abs() < 1e-6, "fhw(K4)=2, got {}", best.width);
+        assert!(
+            (best.width - 2.0).abs() < 1e-6,
+            "fhw(K4)=2, got {}",
+            best.width
+        );
     }
 }

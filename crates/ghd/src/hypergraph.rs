@@ -200,10 +200,9 @@ mod tests {
     #[test]
     fn components_split_on_separator() {
         // Barbell: two triangles joined by U(x,a).
-        let rule = parse_rule(
-            "B(x,y,z,a,b,c) :- R(x,y),S(y,z),T(x,z),U(x,a),R2(a,b),S2(b,c),T2(a,c).",
-        )
-        .unwrap();
+        let rule =
+            parse_rule("B(x,y,z,a,b,c) :- R(x,y),S(y,z),T(x,z),U(x,a),R2(a,b),S2(b,c),T2(a,c).")
+                .unwrap();
         let hg = Hypergraph::from_rule(&rule);
         let x = hg.lookup("x").unwrap();
         let a = hg.lookup("a").unwrap();

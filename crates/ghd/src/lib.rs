@@ -44,10 +44,9 @@ mod tests {
 
     #[test]
     fn barbell_decomposes_into_three_nodes() {
-        let rule = parse_rule(
-            "B(x,y,z,a,b,c) :- R(x,y),S(y,z),T(x,z),U(x,a),R2(a,b),S2(b,c),T2(a,c).",
-        )
-        .unwrap();
+        let rule =
+            parse_rule("B(x,y,z,a,b,c) :- R(x,y),S(y,z),T(x,z),U(x,a),R2(a,b),S2(b,c),T2(a,c).")
+                .unwrap();
         let plan = plan_rule(&rule, &PlanOptions::default()).unwrap();
         // fhw of the barbell is 3/2 (each triangle node), vs 3 for the
         // single-node plan (paper Example 3.1).
@@ -58,10 +57,9 @@ mod tests {
 
     #[test]
     fn single_node_option_reproduces_logicblox_plan() {
-        let rule = parse_rule(
-            "B(x,y,z,a,b,c) :- R(x,y),S(y,z),T(x,z),U(x,a),R2(a,b),S2(b,c),T2(a,c).",
-        )
-        .unwrap();
+        let rule =
+            parse_rule("B(x,y,z,a,b,c) :- R(x,y),S(y,z),T(x,z),U(x,a),R2(a,b),S2(b,c),T2(a,c).")
+                .unwrap();
         let opts = PlanOptions {
             ghd_optimizations: false,
             ..Default::default()

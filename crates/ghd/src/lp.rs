@@ -49,7 +49,11 @@ pub fn solve_cover_lp(costs: &[f64], a: &[Vec<f64>]) -> Option<(f64, Vec<f64>)> 
         for i in 0..m {
             s += t[i][j];
         }
-        t[m][j] = if (n + m..n + m + m).contains(&j) { 0.0 } else { -s };
+        t[m][j] = if (n + m..n + m + m).contains(&j) {
+            0.0
+        } else {
+            -s
+        };
     }
     // The objective value lives at t[m][cols-1] (negated sum of rhs).
     simplex(&mut t, &mut basis, cols)?;
@@ -71,9 +75,7 @@ pub fn solve_cover_lp(costs: &[f64], a: &[Vec<f64>]) -> Option<(f64, Vec<f64>)> 
     for j in 0..cols {
         t[m][j] = 0.0;
     }
-    for j in 0..n {
-        t[m][j] = costs[j];
-    }
+    t[m][..n].copy_from_slice(&costs[..n]);
     // Express objective in terms of non-basic variables.
     for i in 0..m {
         let b = basis[i];
@@ -265,7 +267,10 @@ mod tests {
     fn weighted_bound_prefers_small_relations() {
         // Two ways to cover vertex 0: edge A (size e^1) or edge B (size e^2).
         let edges = vec![vec![0], vec![0]];
-        let sizes = vec![std::f64::consts::E, std::f64::consts::E * std::f64::consts::E];
+        let sizes = vec![
+            std::f64::consts::E,
+            std::f64::consts::E * std::f64::consts::E,
+        ];
         let (log_bound, x) = agm_bound_log(&[0], &edges, &sizes).unwrap();
         assert!((log_bound - 1.0).abs() < 1e-6);
         assert!((x[0] - 1.0).abs() < 1e-6);
@@ -275,11 +280,7 @@ mod tests {
     #[test]
     fn lp_solver_direct() {
         // min x+y s.t. x ≥ 1, y ≥ 1 → 2.
-        let (v, x) = solve_cover_lp(
-            &[1.0, 1.0],
-            &[vec![1.0, 0.0], vec![0.0, 1.0]],
-        )
-        .unwrap();
+        let (v, x) = solve_cover_lp(&[1.0, 1.0], &[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
         assert!((v - 2.0).abs() < 1e-6);
         assert!((x[0] - 1.0).abs() < 1e-6 && (x[1] - 1.0).abs() < 1e-6);
     }

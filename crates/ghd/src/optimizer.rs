@@ -67,12 +67,7 @@ pub fn plan_rule(rule: &Rule, opts: &PlanOptions) -> Result<GhdPlan, String> {
     };
     // Skip the top-down pass when the root already holds every output
     // attribute (e.g. aggregate-only queries with no key vars).
-    let root_vars: Vec<&str> = ghd
-        .root
-        .chi
-        .iter()
-        .map(|&v| hg.vars[v].as_str())
-        .collect();
+    let root_vars: Vec<&str> = ghd.root.chi.iter().map(|&v| hg.vars[v].as_str()).collect();
     let skip_top_down = rule
         .head
         .key_vars
@@ -182,7 +177,11 @@ fn attribute_order(hg: &Hypergraph, ghd: &Ghd) -> Vec<String> {
                 .iter()
                 .filter(|&&e| hg.edges[e].vars.contains(&v))
                 .count();
-            (std::cmp::Reverse(is_sel as usize), std::cmp::Reverse(freq), v)
+            (
+                std::cmp::Reverse(is_sel as usize),
+                std::cmp::Reverse(freq),
+                v,
+            )
         });
         for v in local {
             if !seen[v] {
@@ -244,7 +243,12 @@ fn canonical_signature(hg: &Hypergraph, node: &GhdNode) -> String {
                     .iter()
                     .map(|(p, c)| format!("{p}={c}"))
                     .collect();
-                format!("{}({})[{}]", edge.relation, positions.join(","), sels.join(","))
+                format!(
+                    "{}({})[{}]",
+                    edge.relation,
+                    positions.join(","),
+                    sels.join(",")
+                )
             })
             .collect();
         atoms.sort();
@@ -295,10 +299,9 @@ mod tests {
 
     #[test]
     fn barbell_on_same_relation_dedups_triangle_nodes() {
-        let rule = parse_rule(
-            "B(x,y,z,a,b,c) :- E(x,y),E(y,z),E(x,z),E(x,a),E(a,b),E(b,c),E(a,c).",
-        )
-        .unwrap();
+        let rule =
+            parse_rule("B(x,y,z,a,b,c) :- E(x,y),E(y,z),E(x,z),E(x,a),E(a,b),E(b,c),E(a,c).")
+                .unwrap();
         let plan = plan_rule(&rule, &PlanOptions::default()).unwrap();
         assert!(
             plan.node_equiv.iter().any(Option::is_some),
@@ -309,28 +312,25 @@ mod tests {
 
     #[test]
     fn barbell_on_distinct_relations_does_not_dedup() {
-        let rule = parse_rule(
-            "B(x,y,z,a,b,c) :- R(x,y),S(y,z),T(x,z),U(x,a),R2(a,b),S2(b,c),T2(a,c).",
-        )
-        .unwrap();
+        let rule =
+            parse_rule("B(x,y,z,a,b,c) :- R(x,y),S(y,z),T(x,z),U(x,a),R2(a,b),S2(b,c),T2(a,c).")
+                .unwrap();
         let plan = plan_rule(&rule, &PlanOptions::default()).unwrap();
         assert!(plan.node_equiv.iter().all(Option::is_none));
     }
 
     #[test]
     fn aggregate_only_query_skips_top_down() {
-        let rule =
-            parse_rule("C(;w:long) :- E(x,y),E(y,z),E(x,z); w=<<COUNT(*)>>.").unwrap();
+        let rule = parse_rule("C(;w:long) :- E(x,y),E(y,z),E(x,z); w=<<COUNT(*)>>.").unwrap();
         let plan = plan_rule(&rule, &PlanOptions::default()).unwrap();
         assert!(plan.skip_top_down);
     }
 
     #[test]
     fn attr_order_covers_all_vars_once() {
-        let rule = parse_rule(
-            "B(x,y,z,a,b,c) :- E(x,y),E(y,z),E(x,z),E(x,a),E(a,b),E(b,c),E(a,c).",
-        )
-        .unwrap();
+        let rule =
+            parse_rule("B(x,y,z,a,b,c) :- E(x,y),E(y,z),E(x,z),E(x,a),E(a,b),E(b,c),E(a,c).")
+                .unwrap();
         let plan = plan_rule(&rule, &PlanOptions::default()).unwrap();
         let mut sorted = plan.attr_order.clone();
         sorted.sort();

@@ -159,9 +159,8 @@ mod tests {
         let ds = paper_datasets();
         let gp = ds[0].generate_scaled(0.1);
         let pat = ds[4].generate_scaled(0.1);
-        let density = |g: &crate::Graph| {
-            g.num_edges() as f64 / (g.num_nodes as f64 * g.num_nodes as f64)
-        };
+        let density =
+            |g: &crate::Graph| g.num_edges() as f64 / (g.num_nodes as f64 * g.num_nodes as f64);
         assert!(
             density(&gp) > 10.0 * density(&pat),
             "Google+ density {} vs Patents {}",

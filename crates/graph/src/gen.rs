@@ -144,7 +144,10 @@ mod tests {
     fn power_law_is_undirected() {
         let g = power_law(100, 300, 2.3, 5);
         for &(s, d) in &g.edges {
-            assert!(g.edges.binary_search(&(d, s)).is_ok(), "missing reverse of ({s},{d})");
+            assert!(
+                g.edges.binary_search(&(d, s)).is_ok(),
+                "missing reverse of ({s},{d})"
+            );
         }
     }
 

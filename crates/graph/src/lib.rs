@@ -140,12 +140,7 @@ impl Graph {
 
     /// Keep only edges with `src > dst` under the current labeling.
     pub fn prune_current_order(&self) -> Graph {
-        let edges: Vec<(u32, u32)> = self
-            .edges
-            .iter()
-            .copied()
-            .filter(|&(s, d)| s > d)
-            .collect();
+        let edges: Vec<(u32, u32)> = self.edges.iter().copied().filter(|&(s, d)| s > d).collect();
         Graph::from_dense(self.num_nodes, edges)
     }
 

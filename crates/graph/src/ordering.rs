@@ -174,9 +174,7 @@ fn strong_runs_order(g: &Graph) -> Vec<u32> {
 fn shingle_order(g: &Graph) -> Vec<u32> {
     let csr = g.symmetrize().to_csr();
     let mut ids: Vec<u32> = (0..g.num_nodes).collect();
-    let shingle = |v: u32| -> u32 {
-        csr.neighbors(v).iter().copied().min().unwrap_or(u32::MAX)
-    };
+    let shingle = |v: u32| -> u32 { csr.neighbors(v).iter().copied().min().unwrap_or(u32::MAX) };
     ids.sort_by_key(|&v| (shingle(v), v));
     ids
 }

@@ -190,11 +190,7 @@ impl<'a> Lexer<'a> {
                     if ch.is_ascii_digit() || *ch == b'.' {
                         // Don't swallow the rule-terminating dot: a dot is
                         // part of the number only if followed by a digit.
-                        if *ch == b'.'
-                            && !self
-                                .src
-                                .get(end + 1)
-                                .is_some_and(|d| d.is_ascii_digit())
+                        if *ch == b'.' && !self.src.get(end + 1).is_some_and(|d| d.is_ascii_digit())
                         {
                             break;
                         }

@@ -18,9 +18,7 @@ pub mod lexer;
 pub mod parser;
 pub mod validate;
 
-pub use ast::{
-    AggExpr, Annotation, BodyAtom, Expr, HeadAtom, Program, Recursion, Rule, Term,
-};
+pub use ast::{AggExpr, Annotation, BodyAtom, Expr, HeadAtom, Program, Recursion, Rule, Term};
 pub use lexer::{Lexer, Token};
 pub use parser::{parse_program, parse_rule, ParseError};
 pub use validate::{validate_rule, ValidationError};
@@ -59,8 +57,8 @@ mod tests {
 
     #[test]
     fn aggregation_shape() {
-        let r = parse_rule("CountTriangle(;w:long) :- R(x,y),S(y,z),T(x,z); w=<<COUNT(*)>>.")
-            .unwrap();
+        let r =
+            parse_rule("CountTriangle(;w:long) :- R(x,y),S(y,z),T(x,z); w=<<COUNT(*)>>.").unwrap();
         assert!(r.head.key_vars.is_empty());
         let ann = r.head.annotation.as_ref().unwrap();
         assert_eq!(ann.name, "w");

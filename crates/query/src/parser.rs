@@ -45,11 +45,9 @@ fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
 
 /// Parse a whole program (one or more rules).
 pub fn parse_program(src: &str) -> Result<Program, ParseError> {
-    let tokens = Lexer::new(src)
-        .tokenize()
-        .map_err(|(pos, m)| ParseError {
-            message: format!("at byte {pos}: {m}"),
-        })?;
+    let tokens = Lexer::new(src).tokenize().map_err(|(pos, m)| ParseError {
+        message: format!("at byte {pos}: {m}"),
+    })?;
     let mut p = Parser { tokens, pos: 0 };
     let mut rules = Vec::new();
     while !p.at_end() {
@@ -160,7 +158,11 @@ impl Parser {
                 self.expect(&Token::Eq)?;
                 let n = match self.bump() {
                     Some(Token::Number(n)) => n,
-                    other => return err(format!("expected number in recursion bound, found {other:?}")),
+                    other => {
+                        return err(format!(
+                            "expected number in recursion bound, found {other:?}"
+                        ))
+                    }
                 };
                 self.expect(&Token::RBracket)?;
                 match kind.as_str() {
@@ -250,10 +252,9 @@ impl Parser {
             }
             Some(Token::AggOpen) => {
                 let op_name = self.ident()?;
-                let op = AggOp::parse(&op_name)
-                    .ok_or_else(|| ParseError {
-                        message: format!("unknown aggregate '{op_name}'"),
-                    })?;
+                let op = AggOp::parse(&op_name).ok_or_else(|| ParseError {
+                    message: format!("unknown aggregate '{op_name}'"),
+                })?;
                 self.expect(&Token::LParen)?;
                 let mut vars = Vec::new();
                 if self.eat(&Token::Star) {
@@ -349,7 +350,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(p.rules.len(), 2);
-        assert_eq!(p.rules[1].agg.as_ref().unwrap().expr.scalar_refs(), vec!["N"]);
+        assert_eq!(
+            p.rules[1].agg.as_ref().unwrap().expr.scalar_refs(),
+            vec!["N"]
+        );
     }
 
     #[test]

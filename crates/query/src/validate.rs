@@ -29,7 +29,8 @@ pub enum ValidationError {
         /// Relation with the repeated variable.
         relation: String,
         /// The repeated variable.
-        var: String },
+        var: String,
+    },
 }
 
 impl fmt::Display for ValidationError {
@@ -43,7 +44,10 @@ impl fmt::Display for ValidationError {
                 "aggregation defines '{defined}' but head declares '{declared}'"
             ),
             ValidationError::MissingAggClause(v) => {
-                write!(f, "head declares annotation '{v}' but no aggregation clause given")
+                write!(
+                    f,
+                    "head declares annotation '{v}' but no aggregation clause given"
+                )
             }
             ValidationError::UnboundAggVar(v) => {
                 write!(f, "aggregated variable '{v}' does not appear in the body")
@@ -60,11 +64,7 @@ impl std::error::Error for ValidationError {}
 
 /// Check rule safety and aggregation consistency.
 pub fn validate_rule(rule: &Rule) -> Result<(), ValidationError> {
-    let body_vars: HashSet<&str> = rule
-        .body
-        .iter()
-        .flat_map(|a| a.vars())
-        .collect();
+    let body_vars: HashSet<&str> = rule.body.iter().flat_map(|a| a.vars()).collect();
 
     for atom in &rule.body {
         if atom.terms.is_empty() {

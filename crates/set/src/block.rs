@@ -71,7 +71,9 @@ impl BlockSet {
                 }
                 data.push(BlockData::Dense(b));
             } else {
-                data.push(BlockData::Sparse(run.iter().map(|&v| bit_of(v) as u8).collect()));
+                data.push(BlockData::Sparse(
+                    run.iter().map(|&v| bit_of(v) as u8).collect(),
+                ));
             }
             i = j;
         }

@@ -102,9 +102,7 @@ pub fn intersect(a: &Set, b: &Set, cfg: &IntersectConfig) -> Set {
         (Set::Bitset(x), Set::Bitset(y)) => {
             Set::Bitset(bitset::intersect_bitset_bitset(x, y, cfg.simd))
         }
-        (Set::Block(x), Set::Block(y)) => {
-            Set::Block(block::intersect_block_block(x, y, cfg.simd))
-        }
+        (Set::Block(x), Set::Block(y)) => Set::Block(block::intersect_block_block(x, y, cfg.simd)),
         (Set::Uint(x), Set::Block(y)) | (Set::Block(y), Set::Uint(x)) => {
             let mut out = Vec::new();
             intersect_uint_block(x.values(), y, &mut out);
@@ -240,7 +238,11 @@ mod tests {
                 let b = mk(&b_vals, kb);
                 let r = intersect(&a, &b, &cfg);
                 assert_eq!(r.to_vec(), expect, "{ka:?} x {kb:?}");
-                assert_eq!(intersect_count(&a, &b, &cfg), expect.len(), "{ka:?} x {kb:?}");
+                assert_eq!(
+                    intersect_count(&a, &b, &cfg),
+                    expect.len(),
+                    "{ka:?} x {kb:?}"
+                );
             }
         }
     }

@@ -38,21 +38,16 @@ pub enum LayoutLevel {
 
 /// Layout policy handed to trie construction: either a forced layout
 /// (relation level / ablations) or an automatic per-set or per-block choice.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum LayoutPolicy {
     /// Force every set to one layout (relation-level decision; `Uint` is
     /// the paper's `-R` ablation).
     Fixed(LayoutKind),
     /// Decide per set by the space rule (default).
+    #[default]
     SetLevel,
     /// Use the composite layout everywhere (block-level decisions).
     BlockLevel,
-}
-
-impl Default for LayoutPolicy {
-    fn default() -> Self {
-        LayoutPolicy::SetLevel
-    }
 }
 
 impl LayoutPolicy {

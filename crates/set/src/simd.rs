@@ -248,6 +248,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // spelled as per-word popcounts
     fn and_blocks() {
         let a: Block = [0b1010, u64::MAX, 0, 7];
         let b: Block = [0b0110, 1, u64::MAX, 5];

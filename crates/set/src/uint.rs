@@ -26,7 +26,10 @@ pub struct UintSet {
 impl UintSet {
     /// Wrap a sorted, deduplicated vector.
     pub fn new(values: Vec<u32>) -> UintSet {
-        debug_assert!(values.windows(2).all(|w| w[0] < w[1]), "must be sorted+dedup");
+        debug_assert!(
+            values.windows(2).all(|w| w[0] < w[1]),
+            "must be sorted+dedup"
+        );
         UintSet { values }
     }
 

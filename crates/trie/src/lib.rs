@@ -243,10 +243,7 @@ mod tests {
     fn scan_is_sorted_and_complete() {
         let t = Trie::from_rows(&edge_rows(), 2, LayoutPolicy::SetLevel);
         let tuples: Vec<Vec<u32>> = t.scan().into_iter().map(|(t, _)| t).collect();
-        assert_eq!(
-            tuples,
-            vec![vec![0, 3], vec![0, 4], vec![1, 0], vec![2, 1]]
-        );
+        assert_eq!(tuples, vec![vec![0, 3], vec![0, 4], vec![1, 0], vec![2, 1]]);
     }
 
     #[test]
@@ -276,12 +273,7 @@ mod tests {
 
     #[test]
     fn ternary_relation() {
-        let rows = vec![
-            vec![1, 2, 3],
-            vec![1, 2, 4],
-            vec![1, 5, 6],
-            vec![2, 0, 0],
-        ];
+        let rows = vec![vec![1, 2, 3], vec![1, 2, 4], vec![1, 5, 6], vec![2, 0, 0]];
         let t = Trie::from_rows(&rows, 3, LayoutPolicy::SetLevel);
         assert_eq!(t.tuple_count(), 4);
         assert_eq!(t.select(&[1]).unwrap().to_vec(), vec![2, 5]);

@@ -31,8 +31,7 @@ fn main() {
 
     // Peek under the hood: the GHD logical plan and the generated loop
     // nest (paper Figure 1).
-    let rule =
-        query::parse_rule("Triangle(x,y,z) :- Edge(x,y),Edge(y,z),Edge(x,z).").unwrap();
+    let rule = query::parse_rule("Triangle(x,y,z) :- Edge(x,y),Edge(y,z),Edge(x,z).").unwrap();
     let plan = ghd::plan_rule(&rule, &ghd::PlanOptions::default()).unwrap();
     println!(
         "\nGHD: {} node(s), fractional width {:.2}",

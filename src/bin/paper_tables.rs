@@ -1,0 +1,7 @@
+//! Root-level alias for the evaluation driver, so
+//! `cargo run --release --bin paper_tables -- <target>` works from the
+//! repository root without `-p eh_bench`.
+
+fn main() {
+    eh_bench::paper_tables::main();
+}

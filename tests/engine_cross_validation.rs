@@ -21,7 +21,9 @@ fn all_configs() -> Vec<(&'static str, Config)> {
 #[test]
 fn triangle_counts_match_baselines_on_er_graphs() {
     for seed in [1u64, 2, 3] {
-        let g = gen::erdos_renyi(150, 1500, seed).symmetrize().prune_by_degree();
+        let g = gen::erdos_renyi(150, 1500, seed)
+            .symmetrize()
+            .prune_by_degree();
         let expected = baselines::lowlevel::triangle_count_merge(&g.to_csr());
         for (name, cfg) in all_configs() {
             let got = algorithms::triangle_count(&g, cfg).unwrap();
@@ -70,8 +72,16 @@ fn lollipop_and_barbell_match_pairwise() {
         ("-GHD", Config::no_ghd()),
         ("-R", Config::uint_only()),
     ] {
-        assert_eq!(algorithms::lollipop_count(&g, cfg).unwrap(), lolli, "{name}");
-        assert_eq!(algorithms::barbell_count(&g, cfg).unwrap(), barbell, "{name}");
+        assert_eq!(
+            algorithms::lollipop_count(&g, cfg).unwrap(),
+            lolli,
+            "{name}"
+        );
+        assert_eq!(
+            algorithms::barbell_count(&g, cfg).unwrap(),
+            barbell,
+            "{name}"
+        );
     }
 }
 
@@ -100,8 +110,10 @@ fn sssp_naive_and_seminaive_agree() {
     let g = gen::erdos_renyi(100, 400, 23).symmetrize();
     let start = g.max_degree_node();
     let semi = algorithms::sssp(&g, start, Config::default()).unwrap();
-    let mut cfg = Config::default();
-    cfg.force_naive_recursion = true;
+    let cfg = Config {
+        force_naive_recursion: true,
+        ..Config::default()
+    };
     let naive = algorithms::sssp(&g, start, cfg).unwrap();
     assert_eq!(semi, naive);
 }
@@ -132,7 +144,10 @@ fn worst_case_input_complete_graph() {
 #[test]
 fn empty_and_degenerate_graphs() {
     let empty = Graph::default();
-    assert_eq!(algorithms::triangle_count(&empty, Config::default()).unwrap(), 0);
+    assert_eq!(
+        algorithms::triangle_count(&empty, Config::default()).unwrap(),
+        0
+    );
     let single_edge = Graph::from_dense(2, vec![(1, 0)]);
     assert_eq!(
         algorithms::triangle_count(&single_edge, Config::default()).unwrap(),

@@ -73,11 +73,7 @@ fn annotated_relations_flow_through_joins() {
         Relation::from_annotated_rows(
             2,
             vec![vec![0, 0], vec![0, 1], vec![1, 1]],
-            vec![
-                DynValue::F64(2.0),
-                DynValue::F64(3.0),
-                DynValue::F64(4.0),
-            ],
+            vec![DynValue::F64(2.0), DynValue::F64(3.0), DynValue::F64(4.0)],
             AggOp::Sum,
         ),
     );

@@ -1,15 +1,12 @@
 //! Property-based tests for the set layer: every layout and kernel
 //! combination must agree with a `BTreeSet` model.
 
-use emptyheaded::set::{
-    intersect, intersect_count, IntersectConfig, LayoutKind, Set,
-};
+use emptyheaded::set::{intersect, intersect_count, IntersectConfig, LayoutKind, Set};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
 fn arb_values(max_len: usize, max_val: u32) -> impl Strategy<Value = Vec<u32>> {
-    prop::collection::btree_set(0..max_val, 0..max_len)
-        .prop_map(|s| s.into_iter().collect())
+    prop::collection::btree_set(0..max_val, 0..max_len).prop_map(|s| s.into_iter().collect())
 }
 
 const KINDS: [LayoutKind; 3] = [LayoutKind::Uint, LayoutKind::Bitset, LayoutKind::Block];

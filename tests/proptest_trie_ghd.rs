@@ -87,10 +87,7 @@ fn enumerated_ghds_are_valid_for_benchmark_queries() {
             g.validate(&hg).unwrap_or_else(|e| panic!("{q}: {e}"));
         }
         let single = emptyheaded::ghd::decompose::single_node_ghd(&hg);
-        let best = ghds
-            .iter()
-            .map(|g| g.width)
-            .fold(f64::INFINITY, f64::min);
+        let best = ghds.iter().map(|g| g.width).fold(f64::INFINITY, f64::min);
         assert!(best <= single.width + 1e-9, "{q}");
     }
 }

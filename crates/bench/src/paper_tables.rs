@@ -21,6 +21,19 @@ use std::time::{Duration, Instant};
 const TARGETS: &str =
     "fig5|fig6|fig7|table3|table4|table5|table6|table7|table8|table9|table10|table11|table13|all";
 
+/// `--threads N` override applied to every engine config in this run
+/// (None = flag absent, keep each config's default of 1 worker).
+static THREADS: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+
+/// Apply the run-wide `--threads` pin to a config, so benchmark numbers
+/// are reproducible on shared machines regardless of core count.
+fn tuned(cfg: Config) -> Config {
+    match THREADS.get().copied().flatten() {
+        Some(n) => cfg.with_threads(n),
+        None => cfg,
+    }
+}
+
 pub fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("all");
@@ -30,6 +43,12 @@ pub fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse::<f64>().ok())
         .unwrap_or(0.1);
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok());
+    let _ = THREADS.set(threads);
     let reps = 3;
     match which {
         "fig5" => fig5(),
@@ -61,11 +80,13 @@ pub fn main() {
             table13(scale);
         }
         "--help" | "-h" | "help" => {
-            println!("usage: paper_tables [{TARGETS}] [--scale S]");
+            println!("usage: paper_tables [{TARGETS}] [--scale S] [--threads N]");
             println!();
             println!("Regenerates the paper's evaluation tables/figures on synthetic");
             println!("dataset analogs. --scale (default 0.1) shrinks the generated");
-            println!("graphs; use 1.0 for full-size runs.");
+            println!("graphs; use 1.0 for full-size runs. --threads pins the engine's");
+            println!("worker count (0 = auto-detect) so runs on shared machines are");
+            println!("reproducible; default is 1 (serial).");
         }
         other => {
             eprintln!("unknown target '{other}'; use {TARGETS} (or --help)");
@@ -254,14 +275,18 @@ fn table5(scale: f64, reps: usize) {
     for spec in paper_datasets() {
         let g = spec.generate_scaled(scale).prune_by_degree();
         let csr = g.to_csr();
-        let mut eh = PreparedQuery::new(&g, Config::default(), queries::TRIANGLE);
+        let mut eh = PreparedQuery::new(&g, tuned(Config::default()), queries::TRIANGLE);
         let count = eh.run();
         let t_eh = measure(reps, || eh.run());
         let t_merge = measure(reps, || eh_baselines::lowlevel::triangle_count_merge(&csr));
         let t_hash = measure(reps, || eh_baselines::lowlevel::triangle_count_hash(&csr));
         let t_pair = measure(reps, || eh_baselines::pairwise::triangle_count(&g.edges));
         // LogicBlox-class: WCOJ, no layout/algorithm optimization.
-        let mut lb = PreparedQuery::new(&g, Config::no_layout_no_algorithms(), queries::TRIANGLE);
+        let mut lb = PreparedQuery::new(
+            &g,
+            tuned(Config::no_layout_no_algorithms()),
+            queries::TRIANGLE,
+        );
         let t_lb = measure(reps, || lb.run());
         t.row(&[
             spec.name.into(),
@@ -285,7 +310,7 @@ fn table6(scale: f64, reps: usize) {
     for spec in paper_datasets() {
         let g = spec.generate_scaled(scale);
         let mut runner =
-            eh_core::algorithms::PageRankRunner::new(&g, 5, Config::default()).unwrap();
+            eh_core::algorithms::PageRankRunner::new(&g, 5, tuned(Config::default())).unwrap();
         let t_eh = measure(reps, || runner.run().unwrap());
         let t_ll = measure(reps, || eh_baselines::lowlevel::pagerank(&g, 5));
         let t_sl = measure(reps, || {
@@ -317,7 +342,7 @@ fn table7(scale: f64, reps: usize) {
         let g = spec.generate_scaled(scale);
         let start = g.max_degree_node();
         let mut runner =
-            eh_core::algorithms::SsspRunner::new(&g, start, Config::default()).unwrap();
+            eh_core::algorithms::SsspRunner::new(&g, start, tuned(Config::default())).unwrap();
         let t_eh = measure(reps, || runner.run().unwrap());
         let t_bfs = measure(reps, || eh_baselines::lowlevel::sssp_bfs(&g, start));
         let t_bf = measure(reps, || {
@@ -362,15 +387,15 @@ fn table8(scale: f64) {
             ("L3,1", queries::LOLLIPOP, &g, true),
             ("B3,1", queries::BARBELL, &g, false),
         ] {
-            let mut eh = PreparedQuery::new(graph, Config::default(), query);
+            let mut eh = PreparedQuery::new(graph, tuned(Config::default()), query);
             let count = eh.run();
             let t_eh = measure_once(|| eh.run());
-            let mut r = PreparedQuery::new(graph, Config::uint_only(), query);
+            let mut r = PreparedQuery::new(graph, tuned(Config::uint_only()), query);
             let t_r = measure_once(|| r.run());
-            let mut ra = PreparedQuery::new(graph, Config::no_layout_no_algorithms(), query);
+            let mut ra = PreparedQuery::new(graph, tuned(Config::no_layout_no_algorithms()), query);
             let t_ra = measure_once(|| ra.run());
             let ghd_col = if ghd_feasible {
-                let mut nghd = PreparedQuery::new(graph, Config::no_ghd(), query);
+                let mut nghd = PreparedQuery::new(graph, tuned(Config::no_ghd()), query);
                 ratio(measure_once(|| nghd.run()), t_eh)
             } else {
                 "t/o".into() // Θ(N³) single-node plan — times out, as in the paper
@@ -449,7 +474,7 @@ fn fig7() {
         ] {
             let perm = compute_ordering(&g, scheme);
             let h = apply_ordering(&g, &perm).prune_current_order();
-            let mut pq = PreparedQuery::new(&h, Config::default(), queries::TRIANGLE);
+            let mut pq = PreparedQuery::new(&h, tuned(Config::default()), queries::TRIANGLE);
             let d = measure(3, || pq.run());
             row.push(format!("{:.4}", d.as_secs_f64()));
         }
@@ -475,7 +500,7 @@ fn table10(scale: f64) {
         let g = spec.generate_scaled(scale);
         let mut cells = vec![spec.name.to_string()];
         for symmetric in [false, true] {
-            for cfg in [Config::uint_only(), Config::default()] {
+            for cfg in [tuned(Config::uint_only()), tuned(Config::default())] {
                 let time_with = |scheme: OrderingScheme| -> Duration {
                     let perm = compute_ordering(&g, scheme);
                     let h = apply_ordering(&g, &perm);
@@ -512,7 +537,7 @@ fn table11(scale: f64) {
         ("sym -SR", 8),
     ]);
     let no_simd_no_layout = || -> Config {
-        let mut c = Config::uint_only();
+        let mut c = tuned(Config::uint_only());
         c.intersect = IntersectConfig::no_simd();
         c
     };
@@ -525,9 +550,13 @@ fn table11(scale: f64) {
             } else {
                 g.clone()
             };
-            let mut base = PreparedQuery::new(&h, Config::default(), queries::TRIANGLE);
+            let mut base = PreparedQuery::new(&h, tuned(Config::default()), queries::TRIANGLE);
             let t_base = measure(3, || base.run());
-            for cfg in [Config::no_simd(), Config::uint_only(), no_simd_no_layout()] {
+            for cfg in [
+                tuned(Config::no_simd()),
+                tuned(Config::uint_only()),
+                no_simd_no_layout(),
+            ] {
                 let mut pq = PreparedQuery::new(&h, cfg, queries::TRIANGLE);
                 let d = measure(3, || pq.run());
                 cells.push(ratio(d, t_base));
@@ -569,10 +598,10 @@ fn table13(scale: f64) {
                 "SB(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z),Edge(x,'{node}'),Edge('{node}',a),Edge(a,b),Edge(b,c),Edge(a,c); w=<<COUNT(*)>>."
             );
             for (qname, q) in [("SK4", sk4.as_str()), ("SB3,1", sb.as_str())] {
-                let mut eh = PreparedQuery::new(&g, Config::default(), q);
+                let mut eh = PreparedQuery::new(&g, tuned(Config::default()), q);
                 let out_card = eh.run();
                 let t_eh = measure_once(|| eh.run());
-                let mut no_pd_cfg = Config::default();
+                let mut no_pd_cfg = tuned(Config::default());
                 no_pd_cfg.plan.push_down_selections = false;
                 let mut no_pd = PreparedQuery::new(&g, no_pd_cfg, q);
                 let t_no_pd = measure_once(|| no_pd.run());

@@ -4,7 +4,7 @@
 
 use crate::database::{CoreError, Database};
 use crate::Config;
-use eh_exec::Relation;
+use eh_exec::{Relation, TupleBuffer};
 use eh_graph::Graph;
 use eh_semiring::{AggOp, DynValue};
 
@@ -74,17 +74,16 @@ impl PageRankRunner {
     pub fn new(graph: &Graph, iterations: u32, config: Config) -> Result<Self, CoreError> {
         let mut db = Database::with_config(config);
         db.load_graph("Edge", graph);
-        // InvDeg(z) — annotated unary relation the paper keeps in the DB.
+        // InvDeg(z) — annotated unary relation the paper keeps in the DB,
+        // built as one flat column plus its annotation column.
         let deg = graph.degrees();
-        let nodes: Vec<Vec<u32>> = (0..graph.num_nodes).map(|v| vec![v]).collect();
-        let invdeg: Vec<DynValue> = deg
-            .iter()
-            .map(|&d| DynValue::F64(1.0 / d.max(1) as f64))
-            .collect();
-        db.register(
-            "InvDeg",
-            Relation::from_annotated_rows(1, nodes, invdeg, AggOp::Sum),
+        let mut nodes = TupleBuffer::from_flat(1, (0..graph.num_nodes).collect());
+        nodes.set_annotations(
+            deg.iter()
+                .map(|&d| DynValue::F64(1.0 / d.max(1) as f64))
+                .collect(),
         );
+        db.register("InvDeg", Relation::from_buffer(nodes, AggOp::Sum));
         db.register_scalar("N", DynValue::F64(graph.num_nodes.max(1) as f64));
         let program = format!(
             "PageRank(x;y:float) :- Edge(x,z); y=1/N.\n\
@@ -150,14 +149,11 @@ impl SsspRunner {
         // Pin the start node at distance 0 (the paper's rule leaves it
         // implicit; MIN-merge keeps it at 0 thereafter).
         let base = self.db.relation("SSSP").cloned().unwrap();
-        let mut rows = base.rows().to_vec();
-        let mut annots = base.annotations().unwrap_or(&[]).to_vec();
-        rows.push(vec![self.start]);
-        annots.push(DynValue::U64(0));
-        self.db.register(
-            "SSSP",
-            Relation::from_annotated_rows(1, rows, annots, AggOp::Min),
-        );
+        let mut tuples = base.rows().clone();
+        tuples.fill_annotations(DynValue::U64(1)); // base rule sets y=1
+        tuples.push_annotated(&[self.start], DynValue::U64(0));
+        self.db
+            .register("SSSP", Relation::from_buffer(tuples, AggOp::Min));
         let out = self
             .db
             .query("SSSP(x;y:int)* :- Edge(w,x),SSSP(w); y=<<MIN(w)>>+1.")?;

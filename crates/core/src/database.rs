@@ -3,10 +3,11 @@
 use crate::result::QueryResult;
 use eh_exec::{
     execute_recursive_rule, execute_rule, Catalog, Config, ExecError, MemCatalog, Relation,
+    TupleBuffer,
 };
 use eh_graph::Graph;
 use eh_query::{parse_program, Rule};
-use eh_semiring::DynValue;
+use eh_semiring::{AggOp, DynValue};
 use std::fmt;
 
 /// Top-level error type.
@@ -79,15 +80,20 @@ impl Database {
         &mut self.config
     }
 
-    /// Register a binary edge relation from (src, dst) pairs.
+    /// Register a binary edge relation from (src, dst) pairs — loaded
+    /// straight into a flat columnar buffer, no per-tuple allocation.
     pub fn load_edges(&mut self, name: &str, edges: &[(u32, u32)]) {
-        let rows: Vec<Vec<u32>> = edges.iter().map(|&(s, d)| vec![s, d]).collect();
-        self.catalog.insert(name, Relation::from_rows(2, rows));
+        let tuples = TupleBuffer::from_pairs(edges);
+        self.catalog
+            .insert(name, Relation::from_buffer(tuples, AggOp::Sum));
     }
 
     /// Register a graph's edge list as a binary relation.
     pub fn load_graph(&mut self, name: &str, graph: &Graph) {
-        self.load_edges(name, &graph.edges);
+        self.catalog.insert(
+            name,
+            Relation::from_buffer(graph.tuple_buffer(), AggOp::Sum),
+        );
     }
 
     /// Register an arbitrary relation.

@@ -21,7 +21,7 @@ pub mod database;
 pub mod result;
 
 pub use database::{CoreError, Database, Prepared};
-pub use eh_exec::{Config, Relation};
+pub use eh_exec::{Config, Relation, TupleBuffer};
 pub use eh_graph::Graph;
 pub use result::QueryResult;
 

@@ -1,6 +1,6 @@
 //! Query results.
 
-use eh_exec::Relation;
+use eh_exec::{Relation, TupleBuffer};
 use eh_semiring::DynValue;
 
 /// The result of a query: the head relation's name and contents.
@@ -35,8 +35,9 @@ impl QueryResult {
         self.relation.is_empty()
     }
 
-    /// Result rows (dictionary-encoded values).
-    pub fn rows(&self) -> &[Vec<u32>] {
+    /// Result tuples (dictionary-encoded values in a flat columnar
+    /// buffer; iterate for row slices).
+    pub fn rows(&self) -> &TupleBuffer {
         self.relation.rows()
     }
 
@@ -63,12 +64,7 @@ impl QueryResult {
             .rows()
             .iter()
             .enumerate()
-            .map(|(i, r)| {
-                (
-                    r.as_slice(),
-                    annots.map(|a| a[i]).unwrap_or(DynValue::U64(0)),
-                )
-            })
+            .map(|(i, r)| (r, annots.map(|a| a[i]).unwrap_or(DynValue::U64(0))))
             .collect()
     }
 

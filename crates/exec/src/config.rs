@@ -18,8 +18,11 @@ pub struct Config {
     pub intersect: IntersectConfig,
     /// Query-compiler options (GHD optimizations, push-down, dedup).
     pub plan: PlanOptions,
-    /// Worker threads for the outer Generic-Join loop (1 = serial).
-    pub threads: usize,
+    /// Worker threads for the outer Generic-Join loop and parallel trie
+    /// sorts: `Some(1)` (the default) is serial, `Some(n)` pins exactly
+    /// `n` workers (reproducible benchmark runs on shared machines), and
+    /// `None` auto-detects from [`std::thread::available_parallelism`].
+    pub threads: Option<usize>,
     /// Force naive recursion even for monotone aggregates (ablation; the
     /// engine normally picks seminaive for MIN/MAX, paper §3.3.2).
     pub force_naive_recursion: bool,
@@ -31,7 +34,7 @@ impl Default for Config {
             layout_policy: LayoutPolicy::SetLevel,
             intersect: IntersectConfig::full(),
             plan: PlanOptions::default(),
-            threads: 1,
+            threads: Some(1),
             force_naive_recursion: false,
         }
     }
@@ -76,10 +79,20 @@ impl Config {
         }
     }
 
-    /// Set worker thread count.
+    /// Set worker thread count (0 = auto-detect).
     pub fn with_threads(mut self, threads: usize) -> Config {
-        self.threads = threads.max(1);
+        self.threads = if threads == 0 { None } else { Some(threads) };
         self
+    }
+
+    /// Resolve the worker count the executor should fan out to.
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            Some(n) => n.max(1),
+            None => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
     }
 
     /// Relation-level layout decision (paper §4.3 "Relation Level"): one
@@ -119,8 +132,13 @@ mod tests {
     }
 
     #[test]
-    fn thread_floor_is_one() {
-        assert_eq!(Config::default().with_threads(0).threads, 1);
-        assert_eq!(Config::default().with_threads(8).threads, 8);
+    fn thread_knob_semantics() {
+        let auto = Config::default().with_threads(0);
+        assert_eq!(auto.threads, None);
+        assert!(auto.effective_threads() >= 1);
+        let pinned = Config::default().with_threads(8);
+        assert_eq!(pinned.threads, Some(8));
+        assert_eq!(pinned.effective_threads(), 8);
+        assert_eq!(Config::default().effective_threads(), 1, "serial default");
     }
 }

@@ -8,7 +8,7 @@ use eh_query::ast::Expr;
 use eh_query::Rule;
 use eh_semiring::{AggOp, DynValue};
 use eh_set::{intersect, intersect_count, Set};
-use eh_trie::{NodeId, Trie};
+use eh_trie::{NodeId, Trie, TupleBuffer};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -55,10 +55,9 @@ impl std::error::Error for ExecError {}
 pub struct NodeResult {
     /// Attribute names of the columns.
     pub attrs: Vec<String>,
-    /// Result rows.
-    pub rows: Vec<Vec<u32>>,
-    /// Early-aggregated annotation per row (aggregate queries only).
-    pub annots: Option<Vec<DynValue>>,
+    /// Result tuples, flat and columnar; the buffer's annotation column
+    /// holds the early-aggregated value per row (aggregate queries only).
+    pub tuples: TupleBuffer,
 }
 
 /// Compile and execute a single (non-recursive) rule.
@@ -91,8 +90,7 @@ pub fn execute_plan(
                 if prev.attrs.len() == node.output_attrs.len() {
                     results[node.id] = Some(Arc::new(NodeResult {
                         attrs: node.output_attrs.clone(),
-                        rows: prev.rows.clone(),
-                        annots: prev.annots.clone(),
+                        tuples: prev.tuples.clone(),
                     }));
                     continue;
                 }
@@ -126,6 +124,10 @@ struct AtomExec {
     annotated: bool,
 }
 
+/// A reusable per-level set-value scratch buffer (not a tuple table —
+/// one flat run of candidate values per Generic-Join level).
+type ValueBuf = Vec<u32>;
+
 /// Everything Generic-Join needs for one GHD node.
 struct GjContext<'a> {
     atoms: Vec<AtomExec>,
@@ -135,7 +137,7 @@ struct GjContext<'a> {
     /// Whether an attr index is retained in the output.
     is_output: Vec<bool>,
     /// Reusable per-level value buffers (no allocation in the loop nest).
-    scratch: Vec<Vec<u32>>,
+    scratch: Vec<ValueBuf>,
     cfg: &'a Config,
     is_agg: bool,
     op: AggOp,
@@ -160,6 +162,13 @@ impl std::hash::Hasher for IdentityHasher {
         // Multiplicative scramble keeps clustering harmless.
         self.0 = (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     }
+    fn write_u64(&mut self, v: u64) {
+        // Scramble packed two-column keys, then fold the high half down:
+        // the map picks buckets from the low bits, which after a bare
+        // multiply would depend only on the packed key's second column.
+        let h = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
 }
 
 /// `BuildHasher` for [`IdentityHasher`].
@@ -174,17 +183,65 @@ impl std::hash::BuildHasher for IdentityBuild {
 }
 
 /// Emission sink: scalar accumulator (no key vars), aggregate fold, or
-/// row collection.
+/// flat row collection.
 enum Sink {
     /// Scalar aggregate (COUNT(*)-style) — no hashing in the hot loop.
-    Scalar {
-        acc: DynValue,
-        any: bool,
-    },
+    Scalar { acc: DynValue, any: bool },
     /// Single-key aggregate — u32 keys, cheap hash, no per-emit allocation.
     Agg1(HashMap<u32, DynValue, IdentityBuild>),
-    Agg(HashMap<Vec<u32>, DynValue>),
-    Rows(Vec<Vec<u32>>),
+    /// Two-key aggregate — both u32 keys packed into one u64 so multi-key
+    /// group-bys stop allocating per emitted row.
+    Agg2(HashMap<u64, DynValue, IdentityBuild>),
+    /// Three-or-more-key aggregate (rare): heap-keyed fallback.
+    AggN(HashMap<Vec<u32>, DynValue>),
+    /// Row collection into a flat columnar buffer.
+    Rows(TupleBuffer),
+}
+
+impl Sink {
+    /// Sink for a node with `keys` output columns.
+    fn for_output(is_agg: bool, keys: usize, op: AggOp) -> Sink {
+        if is_agg {
+            match keys {
+                0 => Sink::Scalar {
+                    acc: op.zero(),
+                    any: false,
+                },
+                1 => Sink::Agg1(HashMap::with_hasher(IdentityBuild)),
+                2 => Sink::Agg2(HashMap::with_hasher(IdentityBuild)),
+                _ => Sink::AggN(HashMap::new()),
+            }
+        } else {
+            Sink::Rows(TupleBuffer::new(keys))
+        }
+    }
+}
+
+/// Pack two u32 key columns into one u64 preserving lexicographic order.
+#[inline]
+fn pack2(a: u32, b: u32) -> u64 {
+    ((a as u64) << 32) | b as u64
+}
+
+/// Drain a u64-packed group-by map into a sorted annotated buffer
+/// (`keys` ∈ {1, 2}), applying `value` to each folded annotation. u64
+/// order on packed keys equals lexicographic order on the columns.
+fn packed_groups_to_buffer(
+    map: HashMap<u64, DynValue, IdentityBuild>,
+    keys: usize,
+    value: impl Fn(DynValue) -> DynValue,
+) -> TupleBuffer {
+    let mut entries: Vec<(u64, DynValue)> = map.into_iter().collect();
+    entries.sort_unstable_by_key(|e| e.0);
+    let mut t = TupleBuffer::with_capacity(keys, entries.len());
+    for (k, v) in entries {
+        if keys == 1 {
+            t.push_annotated(&[k as u32], value(v));
+        } else {
+            t.push_annotated(&[(k >> 32) as u32, k as u32], value(v));
+        }
+    }
+    t
 }
 
 /// Execute Generic-Join at one GHD node.
@@ -231,7 +288,7 @@ fn run_node(
         let mut order: Vec<usize> = (0..child_plan.interface.len()).collect();
         order.sort_by_key(|&i| attr_levels[i]);
         let sorted_levels: Vec<usize> = order.iter().map(|&i| attr_levels[i]).collect();
-        let trie = rel.trie(&order, cfg.layout_policy);
+        let trie = rel.trie_threads(&order, cfg.layout_policy, cfg.effective_threads());
         atoms.push(AtomExec {
             trie,
             attr_levels: sorted_levels,
@@ -259,66 +316,46 @@ fn run_node(
         is_agg,
         op,
     };
-    let mut sink = if is_agg {
-        match node.output_attrs.len() {
-            0 => Sink::Scalar {
-                acc: op.zero(),
-                any: false,
-            },
-            1 => Sink::Agg1(HashMap::with_hasher(IdentityBuild)),
-            _ => Sink::Agg(HashMap::new()),
-        }
-    } else {
-        Sink::Rows(Vec::new())
-    };
+    let mut sink = Sink::for_output(is_agg, node.output_attrs.len(), op);
     if !empty {
-        if cfg.threads > 1 && ctx.attrs_len > 1 {
-            gj_parallel(&mut ctx, base_product, &mut sink, cfg.threads);
+        let threads = cfg.effective_threads();
+        if threads > 1 && ctx.attrs_len > 1 {
+            gj_parallel(&mut ctx, base_product, &mut sink, threads);
         } else {
             let mut bindings = vec![0u32; ctx.attrs_len];
             gj(&mut ctx, 0, base_product, &mut bindings, &mut sink);
         }
     }
-    let (rows, annots) = match sink {
+    let tuples = match sink {
         Sink::Scalar { acc, any } => {
-            if any {
-                (vec![vec![]], Some(vec![acc]))
-            } else {
-                (Vec::new(), Some(Vec::new()))
-            }
+            let mut t = TupleBuffer::nullary(if any { 1 } else { 0 });
+            t.set_annotations(if any { vec![acc] } else { Vec::new() });
+            t
         }
         Sink::Agg1(map) => {
             let mut entries: Vec<(u32, DynValue)> = map.into_iter().collect();
-            entries.sort_by_key(|e| e.0);
-            let mut rows = Vec::with_capacity(entries.len());
-            let mut annots = Vec::with_capacity(entries.len());
+            entries.sort_unstable_by_key(|e| e.0);
+            let mut t = TupleBuffer::with_capacity(1, entries.len());
             for (k, v) in entries {
-                rows.push(vec![k]);
-                annots.push(v);
+                t.push_annotated(&[k], v);
             }
-            (rows, Some(annots))
+            t
         }
-        Sink::Agg(map) => {
-            let mut rows = Vec::with_capacity(map.len());
-            let mut annots = Vec::with_capacity(map.len());
+        Sink::Agg2(map) => packed_groups_to_buffer(map, 2, |v| v),
+        Sink::AggN(map) => {
             let mut entries: Vec<(Vec<u32>, DynValue)> = map.into_iter().collect();
             entries.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut t = TupleBuffer::with_capacity(node.output_attrs.len(), entries.len());
             for (k, v) in entries {
-                rows.push(k);
-                annots.push(v);
+                t.push_annotated(&k, v);
             }
-            (rows, Some(annots))
+            t
         }
-        Sink::Rows(mut rows) => {
-            rows.sort();
-            rows.dedup();
-            (rows, None)
-        }
+        Sink::Rows(rows) => rows.sorted_dedup(op),
     };
     Ok(NodeResult {
         attrs: node.output_attrs.clone(),
-        rows,
-        annots,
+        tuples,
     })
 }
 
@@ -348,7 +385,7 @@ fn build_atom(
             actual: rel.arity(),
         });
     }
-    let trie = rel.trie(&ap.trie_order, cfg.layout_policy);
+    let trie = rel.trie_threads(&ap.trie_order, cfg.layout_policy, cfg.effective_threads());
     // Resolve and descend the constant prefix once (selection push-down
     // within the node: selections are the first trie levels).
     let mut consts = Vec::with_capacity(ap.const_prefix.len());
@@ -626,20 +663,7 @@ fn gj_parallel(ctx: &mut GjContext<'_>, base_product: DynValue, sink: &mut Sink,
                         is_agg,
                         op,
                     };
-                    let mut local_sink = if is_agg {
-                        if local.output_levels.is_empty() {
-                            Sink::Scalar {
-                                acc: op.zero(),
-                                any: false,
-                            }
-                        } else if local.output_levels.len() == 1 {
-                            Sink::Agg1(HashMap::with_hasher(IdentityBuild))
-                        } else {
-                            Sink::Agg(HashMap::new())
-                        }
-                    } else {
-                        Sink::Rows(Vec::new())
-                    };
+                    let mut local_sink = Sink::for_output(is_agg, local.output_levels.len(), op);
                     let mut bindings = vec![0u32; attrs_len];
                     for &(i, d) in &part {
                         local.atoms[i].hints[d] = 0;
@@ -702,14 +726,22 @@ fn gj_parallel(ctx: &mut GjContext<'_>, base_product: DynValue, sink: &mut Sink,
                         .or_insert(v);
                 }
             }
-            (Sink::Agg(map), Sink::Agg(m2)) => {
+            (Sink::Agg2(map), Sink::Agg2(m2)) => {
                 for (k, v) in m2 {
                     map.entry(k)
                         .and_modify(|x| *x = op.plus(*x, v))
                         .or_insert(v);
                 }
             }
-            (Sink::Rows(rows), Sink::Rows(r2)) => rows.extend(r2),
+            (Sink::AggN(map), Sink::AggN(m2)) => {
+                for (k, v) in m2 {
+                    map.entry(k)
+                        .and_modify(|x| *x = op.plus(*x, v))
+                        .or_insert(v);
+                }
+            }
+            // Per-thread row buffers merge with one flat copy each.
+            (Sink::Rows(rows), Sink::Rows(r2)) => rows.append(&r2),
             _ => unreachable!("sink kinds match across threads"),
         }
     }
@@ -729,7 +761,17 @@ fn emit(ctx: &GjContext<'_>, bindings: &[u32], product: DynValue, sink: &mut Sin
                 .and_modify(|v| *v = op.plus(*v, product))
                 .or_insert(product);
         }
-        Sink::Agg(map) => {
+        Sink::Agg2(map) => {
+            let key = pack2(
+                bindings[ctx.output_levels[0]],
+                bindings[ctx.output_levels[1]],
+            );
+            let op = ctx.op;
+            map.entry(key)
+                .and_modify(|v| *v = op.plus(*v, product))
+                .or_insert(product);
+        }
+        Sink::AggN(map) => {
             let tuple: Vec<u32> = ctx.output_levels.iter().map(|&l| bindings[l]).collect();
             let op = ctx.op;
             map.entry(tuple)
@@ -737,8 +779,7 @@ fn emit(ctx: &GjContext<'_>, bindings: &[u32], product: DynValue, sink: &mut Sin
                 .or_insert(product);
         }
         Sink::Rows(rows) => {
-            let tuple: Vec<u32> = ctx.output_levels.iter().map(|&l| bindings[l]).collect();
-            rows.push(tuple);
+            rows.extend_row(ctx.output_levels.iter().map(|&l| bindings[l]));
         }
     }
 }
@@ -790,20 +831,13 @@ fn child_as_relation(
 ) -> (Relation, bool) {
     let fully_folded = child.output_attrs == child.interface;
     if fully_folded {
-        let rel = if is_agg {
-            Relation::from_annotated_rows(
-                child.interface.len(),
-                result.rows.clone(),
-                result
-                    .annots
-                    .clone()
-                    .unwrap_or_else(|| vec![op.one(); result.rows.len()]),
-                op,
-            )
+        let mut tuples = result.tuples.clone();
+        if is_agg {
+            tuples.fill_annotations(op.one());
         } else {
-            Relation::from_rows(child.interface.len(), result.rows.clone())
-        };
-        return (rel, true);
+            tuples.drop_annotations();
+        }
+        return (Relation::from_buffer(tuples, op), true);
     }
     // Project to the interface (semijoin role only); annotations, if any,
     // are applied during the top-down pass.
@@ -812,14 +846,9 @@ fn child_as_relation(
         .iter()
         .map(|a| result.attrs.iter().position(|x| x == a).unwrap())
         .collect();
-    let mut rows: Vec<Vec<u32>> = result
-        .rows
-        .iter()
-        .map(|r| iface_idx.iter().map(|&i| r[i]).collect())
-        .collect();
-    rows.sort();
-    rows.dedup();
-    (Relation::from_rows(child.interface.len(), rows), false)
+    let mut proj = result.tuples.reorder(&iface_idx);
+    proj.drop_annotations();
+    (Relation::from_buffer(proj.sorted_dedup(op), op), false)
 }
 
 /// Yannakakis top-down pass: extend each node's rows with its children's
@@ -835,18 +864,15 @@ fn assemble(
     let node = &plan.nodes[node_id];
     let own = results[node_id].as_ref().unwrap();
     let mut attrs = own.attrs.clone();
-    let mut rows = own.rows.clone();
-    let mut annots = if is_agg {
-        own.annots
-            .clone()
-            .or_else(|| Some(vec![op.one(); rows.len()]))
-    } else {
-        None
-    };
+    let mut tuples = own.tuples.clone();
+    if is_agg {
+        tuples.fill_annotations(op.one());
+    }
     for &child_id in &node.children {
         let child = assemble(child_id, plan, results, is_agg, op);
         let child_plan = &plan.nodes[child_id];
-        // Index child rows by interface tuple.
+        // Index child extensions by interface tuple; each bucket is a
+        // flat buffer of the non-interface columns (plus annotations).
         let iface_idx: Vec<usize> = child_plan
             .interface
             .iter()
@@ -855,16 +881,19 @@ fn assemble(
         let ext_idx: Vec<usize> = (0..child.attrs.len())
             .filter(|i| !iface_idx.contains(i))
             .collect();
-        let mut index: HashMap<Vec<u32>, Vec<(Vec<u32>, DynValue)>> = HashMap::new();
-        for (ri, row) in child.rows.iter().enumerate() {
+        let mut index: HashMap<Vec<u32>, TupleBuffer> = HashMap::new();
+        for (ri, row) in child.tuples.iter().enumerate() {
             let key: Vec<u32> = iface_idx.iter().map(|&i| row[i]).collect();
-            let ext: Vec<u32> = ext_idx.iter().map(|&i| row[i]).collect();
-            let an = child
-                .annots
-                .as_ref()
-                .map(|a| a[ri])
-                .unwrap_or_else(|| op.one());
-            index.entry(key).or_default().push((ext, an));
+            let bucket = index
+                .entry(key)
+                .or_insert_with(|| TupleBuffer::new(ext_idx.len()));
+            let ext = ext_idx.iter().map(|&i| row[i]);
+            if is_agg {
+                let an = child.tuples.annot(ri).unwrap_or_else(|| op.one());
+                bucket.extend_row_annotated(ext, an);
+            } else {
+                bucket.extend_row(ext);
+            }
         }
         // Parent-side interface column positions.
         let parent_iface_idx: Vec<usize> = child_plan
@@ -872,18 +901,20 @@ fn assemble(
             .iter()
             .map(|a| attrs.iter().position(|x| x == a).unwrap())
             .collect();
-        let mut new_rows = Vec::new();
-        let mut new_annots = annots.as_ref().map(|_| Vec::new());
-        for (ri, row) in rows.iter().enumerate() {
-            let key: Vec<u32> = parent_iface_idx.iter().map(|&i| row[i]).collect();
-            if let Some(matches) = index.get(&key) {
-                for (ext, an) in matches {
-                    let mut r = row.clone();
-                    r.extend_from_slice(ext);
-                    new_rows.push(r);
-                    if let Some(na) = new_annots.as_mut() {
-                        let base = annots.as_ref().unwrap()[ri];
-                        na.push(op.times(base, *an));
+        let mut joined = TupleBuffer::new(attrs.len() + ext_idx.len());
+        let mut key: Vec<u32> = Vec::with_capacity(parent_iface_idx.len());
+        for (ri, row) in tuples.iter().enumerate() {
+            key.clear();
+            key.extend(parent_iface_idx.iter().map(|&i| row[i]));
+            if let Some(bucket) = index.get(key.as_slice()) {
+                for (mi, ext) in bucket.iter().enumerate() {
+                    let values = row.iter().chain(ext.iter()).copied();
+                    if is_agg {
+                        let base = tuples.annot(ri).unwrap_or_else(|| op.one());
+                        let an = bucket.annot(mi).unwrap_or_else(|| op.one());
+                        joined.extend_row_annotated(values, op.times(base, an));
+                    } else {
+                        joined.extend_row(values);
                     }
                 }
             }
@@ -891,14 +922,9 @@ fn assemble(
         for &i in &ext_idx {
             attrs.push(child.attrs[i].clone());
         }
-        rows = new_rows;
-        annots = new_annots;
+        tuples = joined;
     }
-    NodeResult {
-        attrs,
-        rows,
-        annots,
-    }
+    NodeResult { attrs, tuples }
 }
 
 /// Project to the head variables, fold duplicates, and apply the head
@@ -922,29 +948,11 @@ fn finalize(
         })
         .collect();
     if !is_agg {
-        let mut rows: Vec<Vec<u32>> = result
-            .rows
-            .iter()
-            .map(|r| key_idx.iter().map(|&i| r[i]).collect())
-            .collect();
-        rows.sort();
-        rows.dedup();
-        return Ok(Relation::from_rows(plan.output_vars.len(), rows));
+        let mut proj = result.tuples.reorder(&key_idx);
+        proj.drop_annotations();
+        return Ok(Relation::from_buffer(proj.sorted_dedup(op), op));
     }
     let spec = plan.agg.as_ref().unwrap();
-    // Group by key, ⊕-fold.
-    let mut map: HashMap<Vec<u32>, DynValue> = HashMap::new();
-    for (ri, row) in result.rows.iter().enumerate() {
-        let key: Vec<u32> = key_idx.iter().map(|&i| row[i]).collect();
-        let an = result
-            .annots
-            .as_ref()
-            .map(|a| a[ri])
-            .unwrap_or_else(|| op.one());
-        map.entry(key)
-            .and_modify(|v| *v = op.plus(*v, an))
-            .or_insert(an);
-    }
     let scalars = |name: &str| -> Option<f64> {
         catalog
             .relation(name)
@@ -963,25 +971,46 @@ fn finalize(
             }
         }
     };
+    let annot_of = |ri: usize| result.tuples.annot(ri).unwrap_or_else(|| op.one());
     if plan.output_vars.is_empty() {
-        // Scalar result.
-        let total = map.into_values().fold(op.zero(), |acc, v| op.plus(acc, v));
+        // Scalar result: ⊕-fold every assembled row.
+        let total = (0..result.tuples.len()).fold(op.zero(), |acc, ri| op.plus(acc, annot_of(ri)));
         return Ok(Relation::new_scalar(apply(total)));
     }
-    let mut entries: Vec<(Vec<u32>, DynValue)> = map.into_iter().collect();
-    entries.sort_by(|a, b| a.0.cmp(&b.0));
-    let mut rows = Vec::with_capacity(entries.len());
-    let mut annots = Vec::with_capacity(entries.len());
-    for (k, v) in entries {
-        rows.push(k);
-        annots.push(apply(v));
-    }
-    Ok(Relation::from_annotated_rows(
-        plan.output_vars.len(),
-        rows,
-        annots,
-        op,
-    ))
+    // Group by key, ⊕-fold; keys of arity ≤ 2 pack into a u64 with the
+    // identity hasher (no per-row key allocation).
+    let out = if key_idx.len() <= 2 {
+        let mut map: HashMap<u64, DynValue, IdentityBuild> = HashMap::with_hasher(IdentityBuild);
+        for (ri, row) in result.tuples.iter().enumerate() {
+            let key = if key_idx.len() == 1 {
+                row[key_idx[0]] as u64
+            } else {
+                pack2(row[key_idx[0]], row[key_idx[1]])
+            };
+            let an = annot_of(ri);
+            map.entry(key)
+                .and_modify(|v| *v = op.plus(*v, an))
+                .or_insert(an);
+        }
+        packed_groups_to_buffer(map, key_idx.len(), apply)
+    } else {
+        let mut map: HashMap<Vec<u32>, DynValue> = HashMap::new();
+        for (ri, row) in result.tuples.iter().enumerate() {
+            let key: Vec<u32> = key_idx.iter().map(|&i| row[i]).collect();
+            let an = annot_of(ri);
+            map.entry(key)
+                .and_modify(|v| *v = op.plus(*v, an))
+                .or_insert(an);
+        }
+        let mut entries: Vec<(Vec<u32>, DynValue)> = map.into_iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut t = TupleBuffer::with_capacity(plan.output_vars.len(), entries.len());
+        for (k, v) in entries {
+            t.push_annotated(&k, apply(v));
+        }
+        t
+    };
+    Ok(Relation::from_buffer(out, op))
 }
 
 #[cfg(test)]
@@ -1004,7 +1033,7 @@ mod tests {
         let cat = path_catalog();
         let rule = parse_rule("P(x,z) :- E(x,y),E(y,z).").unwrap();
         let out = execute_rule(&rule, &cat, &Config::default()).unwrap();
-        let mut rows = out.rows().to_vec();
+        let mut rows: Vec<Vec<u32>> = out.rows().iter().map(|r| r.to_vec()).collect();
         rows.sort();
         assert_eq!(rows, vec![vec![0, 2], vec![0, 3], vec![1, 3]]);
     }
@@ -1014,7 +1043,7 @@ mod tests {
         let cat = path_catalog();
         let rule = parse_rule("S(x) :- E(x,y).").unwrap();
         let out = execute_rule(&rule, &cat, &Config::default()).unwrap();
-        assert_eq!(out.rows(), &[vec![0], vec![1], vec![2]]);
+        assert_eq!(out.rows().flat(), &[0, 1, 2]);
     }
 
     #[test]
@@ -1030,7 +1059,7 @@ mod tests {
         let cat = path_catalog();
         let rule = parse_rule("D(x;w:long) :- E(x,y); w=<<COUNT(*)>>.").unwrap();
         let out = execute_rule(&rule, &cat, &Config::default()).unwrap();
-        assert_eq!(out.rows(), &[vec![0], vec![1], vec![2]]);
+        assert_eq!(out.rows().flat(), &[0, 1, 2]);
         let annots = out.annotations().unwrap();
         assert_eq!(annots[0].as_u64(), 1); // 0 -> {1}
         assert_eq!(annots[1].as_u64(), 2); // 1 -> {2,3}
@@ -1042,7 +1071,7 @@ mod tests {
         let cat = path_catalog();
         let rule = parse_rule("Q(y) :- E('1',y).").unwrap();
         let out = execute_rule(&rule, &cat, &Config::default()).unwrap();
-        assert_eq!(out.rows(), &[vec![2], vec![3]]);
+        assert_eq!(out.rows().flat(), &[2, 3]);
     }
 
     #[test]
@@ -1142,7 +1171,7 @@ mod tests {
         let out = execute_rule(&rule, &cat, &Config::default()).unwrap();
         assert!(!out.is_empty());
         // Every emitted row must satisfy all seven body atoms.
-        let has = |a: u32, b: u32| cat.relation("E").unwrap().rows().contains(&vec![a, b]);
+        let has = |a: u32, b: u32| cat.relation("E").unwrap().rows().contains_row(&[a, b]);
         for row in out.rows() {
             let (x, y, z, a, b, c) = (row[0], row[1], row[2], row[3], row[4], row[5]);
             assert!(has(x, y) && has(y, z) && has(x, z), "left triangle {row:?}");

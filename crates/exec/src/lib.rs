@@ -8,7 +8,7 @@
 //!
 //! * **within each GHD node** — the generic worst-case optimal join
 //!   (Algorithm 1): one loop per attribute in the global order, each loop
-//!   body an [`eh_set::intersect_all`] over the tries that contain the
+//!   body an [`eh_set::intersect()`] pass over the tries that contain the
 //!   attribute;
 //! * **across nodes** — Yannakakis: a bottom-up pass materializing each
 //!   node's result (with early aggregation of attributes nobody above
@@ -29,6 +29,10 @@ pub use executor::{execute_plan, execute_rule, ExecError};
 pub use plan::{PhysicalPlan, PlanNode};
 pub use recursion::execute_recursive_rule;
 pub use storage::{Catalog, MemCatalog, Relation};
+
+// The engine's flat columnar tuple format, re-exported for callers that
+// construct relations directly.
+pub use eh_trie::TupleBuffer;
 
 #[cfg(test)]
 mod tests {
@@ -57,7 +61,7 @@ mod tests {
         let rule = parse_rule("T(x,y,z) :- E(x,y),E(y,z),E(x,z).").unwrap();
         let out = execute_rule(&rule, &cat, &Config::default()).unwrap();
         // Ordered triangles with x<y<z as directed: (0,1,2),(0,1,3),(0,2,3),(1,2,3)
-        let mut rows = out.rows().to_vec();
+        let mut rows: Vec<Vec<u32>> = out.rows().iter().map(|r| r.to_vec()).collect();
         rows.sort();
         assert_eq!(
             rows,

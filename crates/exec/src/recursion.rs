@@ -16,6 +16,7 @@ use crate::storage::{Catalog, Relation};
 use eh_query::ast::Recursion;
 use eh_query::Rule;
 use eh_semiring::{AggOp, DynValue};
+use eh_trie::TupleBuffer;
 use std::collections::HashMap;
 
 /// A catalog overlay that substitutes one relation (the recursive one)
@@ -156,9 +157,10 @@ fn seminaive_loop(
             };
             execute_plan(plan, &overlay, cfg)?
         };
-        // Keep only strict improvements; they form the next frontier.
-        let mut improved_rows: Vec<Vec<u32>> = Vec::new();
-        let mut improved_annots: Vec<DynValue> = Vec::new();
+        // Keep only strict improvements; they form the next frontier —
+        // a flat delta buffer, no per-tuple allocation.
+        let mut improved = TupleBuffer::new(arity);
+        improved.set_annotations(Vec::new());
         let d_annots = derived.annotations();
         for (ri, row) in derived.rows().iter().enumerate() {
             let an = d_annots.map(|a| a[ri]).unwrap_or_else(|| op.one());
@@ -172,23 +174,21 @@ fn seminaive_loop(
                 None => true,
             };
             if changed {
-                best.insert(row.clone(), merged);
-                improved_rows.push(row.clone());
-                improved_annots.push(merged);
+                best.insert(row.to_vec(), merged);
+                improved.extend_row_annotated(row.iter().copied(), merged);
             }
         }
-        frontier = Relation::from_annotated_rows(arity, improved_rows, improved_annots, op);
+        frontier = Relation::from_buffer(improved, op);
     }
     // Materialize the fixpoint.
     let mut entries: Vec<(Vec<u32>, DynValue)> = best.into_iter().collect();
     entries.sort_by(|a, b| a.0.cmp(&b.0));
-    let mut rows = Vec::with_capacity(entries.len());
-    let mut annots = Vec::with_capacity(entries.len());
+    let mut out = TupleBuffer::with_capacity(arity, entries.len());
+    out.set_annotations(Vec::new());
     for (k, v) in entries {
-        rows.push(k);
-        annots.push(v);
+        out.push_annotated(&k, v);
     }
-    Ok(Relation::from_annotated_rows(arity, rows, annots, op))
+    Ok(Relation::from_buffer(out, op))
 }
 
 /// Union two relation versions, combining annotations with `⊕`.
@@ -197,19 +197,18 @@ fn merge(a: &Relation, b: &Relation, op: AggOp) -> Relation {
     let annots = b.annotations();
     for (ri, row) in b.rows().iter().enumerate() {
         let an = annots.map(|x| x[ri]).unwrap_or_else(|| op.one());
-        map.entry(row.clone())
+        map.entry(row.to_vec())
             .and_modify(|v| *v = op.plus(*v, an))
             .or_insert(an);
     }
     let mut entries: Vec<(Vec<u32>, DynValue)> = map.into_iter().collect();
     entries.sort_by(|x, y| x.0.cmp(&y.0));
-    let mut rows = Vec::with_capacity(entries.len());
-    let mut vals = Vec::with_capacity(entries.len());
+    let mut out = TupleBuffer::with_capacity(a.arity(), entries.len());
+    out.set_annotations(Vec::new());
     for (k, v) in entries {
-        rows.push(k);
-        vals.push(v);
+        out.push_annotated(&k, v);
     }
-    Relation::from_annotated_rows(a.arity(), rows, vals, op)
+    Relation::from_buffer(out, op)
 }
 
 /// Key → annotation map of a relation.
@@ -218,7 +217,7 @@ fn relation_map(rel: &Relation, op: AggOp) -> HashMap<Vec<u32>, DynValue> {
     let annots = rel.annotations();
     for (ri, row) in rel.rows().iter().enumerate() {
         let an = annots.map(|a| a[ri]).unwrap_or_else(|| op.one());
-        map.entry(row.clone())
+        map.entry(row.to_vec())
             .and_modify(|v| *v = op.plus(*v, an))
             .or_insert(an);
     }
@@ -276,7 +275,7 @@ mod tests {
     fn dist_of(rel: &Relation, node: u32) -> Option<u64> {
         rel.rows()
             .iter()
-            .position(|r| r == &vec![node])
+            .position(|r| r == [node].as_slice())
             .map(|i| rel.annotations().unwrap()[i].as_u64())
     }
 
@@ -329,7 +328,7 @@ mod tests {
         let out = execute_recursive_rule(&rec, initial, &cat, &Config::default()).unwrap();
         // After odd number of swaps: values exchanged.
         let annots = out.annotations().unwrap();
-        assert_eq!(out.rows(), &[vec![0], vec![1]]);
+        assert_eq!(out.rows().flat(), &[0, 1]);
         assert_eq!(annots[0].as_f64(), 2.0);
         assert_eq!(annots[1].as_f64(), 1.0);
     }

@@ -1,23 +1,22 @@
 //! Relations and catalogs: the executor's view of stored data.
 //!
-//! A [`Relation`] owns its rows (dictionary-encoded u32 tuples, optional
-//! annotations) and lazily materializes [`eh_trie::Trie`]s per column
-//! order — the paper stores "both orders for each edge relation" (§2.2
-//! "Column (Index) Order"); we generalize to caching any requested order.
+//! A [`Relation`] owns its tuples as one flat columnar [`TupleBuffer`]
+//! (dictionary-encoded u32 values, stride = arity, optional annotation
+//! column) and lazily materializes [`eh_trie::Trie`]s per column order —
+//! the paper stores "both orders for each edge relation" (§2.2 "Column
+//! (Index) Order"); we generalize to caching any requested order.
 
 use eh_semiring::{AggOp, DynValue};
 use eh_set::LayoutPolicy;
-use eh_trie::{Trie, TrieBuilder};
+use eh_trie::{Trie, TrieBuilder, TupleBuffer};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// A stored relation: rows + optional annotations + trie cache.
+/// A stored relation: a flat tuple buffer + trie cache.
 #[derive(Debug)]
 pub struct Relation {
-    arity: usize,
-    rows: Vec<Vec<u32>>,
-    annots: Option<Vec<DynValue>>,
+    tuples: TupleBuffer,
     /// ⊕ used to combine duplicate-tuple annotations.
     combine: AggOp,
     tries: RwLock<TrieCache>,
@@ -50,9 +49,7 @@ fn policy_key(p: LayoutPolicy) -> LayoutPolicyKey {
 impl Clone for Relation {
     fn clone(&self) -> Self {
         Relation {
-            arity: self.arity,
-            rows: self.rows.clone(),
-            annots: self.annots.clone(),
+            tuples: self.tuples.clone(),
             combine: self.combine,
             tries: RwLock::new(self.tries.read().clone()),
         }
@@ -60,79 +57,76 @@ impl Clone for Relation {
 }
 
 impl Relation {
-    /// Unannotated relation from rows.
-    pub fn from_rows(arity: usize, rows: Vec<Vec<u32>>) -> Relation {
+    /// Relation over a flat tuple buffer — the engine's primary
+    /// constructor; annotations travel inside the buffer.
+    pub fn from_buffer(tuples: TupleBuffer, combine: AggOp) -> Relation {
         Relation {
-            arity,
-            rows,
-            annots: None,
-            combine: AggOp::Sum,
-            tries: RwLock::new(HashMap::new()),
-        }
-    }
-
-    /// Annotated relation from rows and parallel values.
-    pub fn from_annotated_rows(
-        arity: usize,
-        rows: Vec<Vec<u32>>,
-        annots: Vec<DynValue>,
-        combine: AggOp,
-    ) -> Relation {
-        assert_eq!(rows.len(), annots.len());
-        Relation {
-            arity,
-            rows,
-            annots: Some(annots),
+            tuples,
             combine,
             tries: RwLock::new(HashMap::new()),
         }
     }
 
+    /// Unannotated relation from per-row tuples (convenience seam for
+    /// tests and examples).
+    pub fn from_rows<R: AsRef<[u32]>>(arity: usize, rows: Vec<R>) -> Relation {
+        Relation::from_buffer(TupleBuffer::from_rows(arity, &rows), AggOp::Sum)
+    }
+
+    /// Annotated relation from per-row tuples and parallel values.
+    pub fn from_annotated_rows<R: AsRef<[u32]>>(
+        arity: usize,
+        rows: Vec<R>,
+        annots: Vec<DynValue>,
+        combine: AggOp,
+    ) -> Relation {
+        Relation::from_buffer(
+            TupleBuffer::from_annotated_rows(arity, &rows, annots),
+            combine,
+        )
+    }
+
     /// A scalar relation (arity 0) holding one annotation value.
     pub fn new_scalar(value: DynValue) -> Relation {
-        Relation {
-            arity: 0,
-            rows: vec![vec![]],
-            annots: Some(vec![value]),
-            combine: AggOp::Sum,
-            tries: RwLock::new(HashMap::new()),
-        }
+        let mut tuples = TupleBuffer::nullary(1);
+        tuples.set_annotations(vec![value]);
+        Relation::from_buffer(tuples, AggOp::Sum)
     }
 
     /// Number of attributes.
     pub fn arity(&self) -> usize {
-        self.arity
+        self.tuples.arity()
     }
 
-    /// The stored rows.
-    pub fn rows(&self) -> &[Vec<u32>] {
-        &self.rows
+    /// The stored tuples (flat columnar buffer; iterate for row views).
+    pub fn rows(&self) -> &TupleBuffer {
+        &self.tuples
     }
 
     /// Parallel annotations, if any.
     pub fn annotations(&self) -> Option<&[DynValue]> {
-        self.annots.as_deref()
+        self.tuples.annotations()
     }
 
     /// Whether tuples carry annotation values.
     pub fn is_annotated(&self) -> bool {
-        self.annots.is_some()
+        self.tuples.is_annotated()
     }
 
     /// Number of rows (before dedup).
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.tuples.len()
     }
 
     /// True when the relation holds no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.tuples.is_empty()
     }
 
     /// For a scalar (arity-0) relation: its single value.
     pub fn scalar_value(&self) -> Option<DynValue> {
-        if self.arity == 0 {
-            self.annots.as_ref().and_then(|a| a.first().copied())
+        if self.arity() == 0 && !self.tuples.is_empty() {
+            self.tuples.annot(0)
         } else {
             None
         }
@@ -145,31 +139,33 @@ impl Relation {
 
     /// Trie of this relation with columns permuted by `order`
     /// (`order[level] = source column`), cached per `(order, policy)`.
+    /// Builds serially; the executor passes its worker count through
+    /// [`Relation::trie_threads`].
     pub fn trie(&self, order: &[usize], policy: LayoutPolicy) -> Arc<Trie> {
-        assert_eq!(order.len(), self.arity, "order must cover all columns");
+        self.trie_threads(order, policy, 1)
+    }
+
+    /// [`Relation::trie`] with the construction sort fanned out across
+    /// `threads` workers (cache misses only; the result is identical).
+    pub fn trie_threads(&self, order: &[usize], policy: LayoutPolicy, threads: usize) -> Arc<Trie> {
+        assert_eq!(order.len(), self.arity(), "order must cover all columns");
         let key = (order.to_vec(), policy_key(policy));
         if let Some(t) = self.tries.read().get(&key) {
             return Arc::clone(t);
         }
-        let reordered: Vec<Vec<u32>> = self
-            .rows
-            .iter()
-            .map(|row| order.iter().map(|&c| row[c]).collect())
-            .collect();
-        let builder = TrieBuilder::new(self.arity)
+        let reordered = self.tuples.reorder(order);
+        let builder = TrieBuilder::new(self.arity())
             .policy(policy)
-            .combine(self.combine);
-        let trie = Arc::new(match &self.annots {
-            Some(a) => builder.build_annotated(&reordered, a),
-            None => builder.build(&reordered),
-        });
+            .combine(self.combine)
+            .threads(threads);
+        let trie = Arc::new(builder.build_buffer(&reordered));
         self.tries.write().insert(key, Arc::clone(&trie));
         trie
     }
 
     /// Identity-order trie.
     pub fn trie_default(&self, policy: LayoutPolicy) -> Arc<Trie> {
-        let order: Vec<usize> = (0..self.arity).collect();
+        let order: Vec<usize> = (0..self.arity()).collect();
         self.trie(&order, policy)
     }
 }
@@ -257,6 +253,17 @@ mod tests {
         let auto = r.trie(&[0, 1], LayoutPolicy::SetLevel);
         let uint = r.trie(&[0, 1], LayoutPolicy::Fixed(eh_set::LayoutKind::Uint));
         assert_ne!(auto.layout_census(), uint.layout_census());
+    }
+
+    #[test]
+    fn buffer_relation_equals_rows_relation() {
+        let rows = vec![vec![1u32, 10], vec![2, 20], vec![1, 30]];
+        let via_rows = Relation::from_rows(2, rows.clone());
+        let via_buffer = Relation::from_buffer(TupleBuffer::from_rows(2, &rows), AggOp::Sum);
+        assert_eq!(via_rows.rows(), via_buffer.rows());
+        let a = via_rows.trie(&[0, 1], LayoutPolicy::SetLevel);
+        let b = via_buffer.trie(&[0, 1], LayoutPolicy::SetLevel);
+        assert_eq!(a.scan(), b.scan());
     }
 
     #[test]

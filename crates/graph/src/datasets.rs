@@ -1,6 +1,6 @@
 //! Scaled synthetic analogs of the paper's six datasets (paper Table 3).
 //!
-//! | Dataset     | Nodes [M] | Dir. edges [M] | Density skew | Character |
+//! | Dataset     | Nodes (M) | Dir. edges (M) | Density skew | Character |
 //! |-------------|-----------|----------------|--------------|-----------|
 //! | Google+     | 0.11      | 13.7           | 1.17         | very high skew |
 //! | Higgs       | 0.4       | 14.9           | 0.23         | moderate skew |

@@ -94,6 +94,12 @@ impl Graph {
         self.edges.len()
     }
 
+    /// The edge list as a flat columnar [`eh_trie::TupleBuffer`] — the
+    /// zero-copy-per-tuple path into the engine's relation storage.
+    pub fn tuple_buffer(&self) -> eh_trie::TupleBuffer {
+        eh_trie::TupleBuffer::from_pairs(&self.edges)
+    }
+
     /// Make the graph undirected: add the reverse of every edge.
     pub fn symmetrize(&self) -> Graph {
         let mut edges = Vec::with_capacity(self.edges.len() * 2);
@@ -289,6 +295,17 @@ mod tests {
         let deg = g.degrees();
         assert_eq!(deg, vec![2, 2, 3, 1]);
         assert_eq!(g.max_degree_node(), 2);
+    }
+
+    #[test]
+    fn tuple_buffer_matches_edge_list() {
+        let g = toy();
+        let buf = g.tuple_buffer();
+        assert_eq!(buf.arity(), 2);
+        assert_eq!(buf.len(), g.num_edges());
+        for (row, &(s, d)) in buf.iter().zip(&g.edges) {
+            assert_eq!(row, &[s, d]);
+        }
     }
 
     #[test]

@@ -147,7 +147,7 @@ pub fn count_gallop(small: &[u32], large: &[u32]) -> usize {
 }
 
 /// Public galloping probe for cursor-based rank tracking (used by
-/// `Set::rank_hinted`). Same contract as [`gallop_search`].
+/// `Set::rank_hinted`). Same contract as `gallop_search`.
 #[inline]
 pub fn gallop_from(hay: &[u32], start: usize, needle: u32) -> Result<usize, usize> {
     gallop_search(hay, start, needle)

@@ -1,10 +1,14 @@
 //! Trie construction (paper Figure 2, right-hand side).
 //!
-//! Rows are sorted lexicographically in the chosen attribute (index) order,
-//! duplicates are collapsed (annotations combined with the aggregate's `⊕`),
-//! and the sorted run is recursively grouped into nested distinct-value
-//! sets. The [`eh_set::LayoutPolicy`] decides each set's physical layout.
+//! Rows arrive in a flat columnar [`TupleBuffer`], are sorted
+//! lexicographically in the chosen attribute (index) order via the
+//! buffer's radix pass (duplicates collapsed, annotations combined with
+//! the aggregate's `⊕`), and the sorted run is recursively grouped into
+//! nested distinct-value sets — all over borrowed views into one flat
+//! allocation. The [`eh_set::LayoutPolicy`] decides each set's physical
+//! layout.
 
+use crate::tuple::TupleBuffer;
 use crate::{NodeId, Trie, TrieNode};
 use eh_semiring::{AggOp, DynValue};
 use eh_set::LayoutPolicy;
@@ -16,6 +20,8 @@ pub struct TrieBuilder {
     policy: LayoutPolicy,
     /// How to combine annotations of duplicate tuples.
     combine: AggOp,
+    /// Worker threads for the sort phase (1 = serial).
+    threads: usize,
 }
 
 impl TrieBuilder {
@@ -25,6 +31,7 @@ impl TrieBuilder {
             arity,
             policy: LayoutPolicy::SetLevel,
             combine: AggOp::Sum,
+            threads: 1,
         }
     }
 
@@ -40,42 +47,37 @@ impl TrieBuilder {
         self
     }
 
-    /// Build an unannotated trie from rows.
-    pub fn build(&self, rows: &[Vec<u32>]) -> Trie {
-        self.build_inner(rows, None)
+    /// Set the sort-phase thread count (default 1). The build chunks the
+    /// input across `std::thread::scope` workers and merges sorted runs.
+    pub fn threads(mut self, threads: usize) -> TrieBuilder {
+        self.threads = threads.max(1);
+        self
     }
 
-    /// Build an annotated trie from rows and parallel annotation values.
-    pub fn build_annotated(&self, rows: &[Vec<u32>], annots: &[DynValue]) -> Trie {
-        assert_eq!(rows.len(), annots.len(), "one annotation per row");
-        self.build_inner(rows, Some(annots))
+    /// Build an unannotated trie from per-row tuples (convenience seam
+    /// for tests/examples; hot paths use [`TrieBuilder::build_buffer`]).
+    /// Per-row arity is asserted by the buffer conversion.
+    pub fn build<R: AsRef<[u32]>>(&self, rows: &[R]) -> Trie {
+        self.build_buffer(&TupleBuffer::from_rows(self.arity, rows))
     }
 
-    fn build_inner(&self, rows: &[Vec<u32>], annots: Option<&[DynValue]>) -> Trie {
-        for r in rows {
-            assert_eq!(r.len(), self.arity, "row arity mismatch");
-        }
-        if rows.is_empty() || self.arity == 0 {
+    /// Build an annotated trie from per-row tuples and parallel values.
+    pub fn build_annotated<R: AsRef<[u32]>>(&self, rows: &[R], annots: &[DynValue]) -> Trie {
+        self.build_buffer(&TupleBuffer::from_annotated_rows(
+            self.arity,
+            rows,
+            annots.to_vec(),
+        ))
+    }
+
+    /// Build a trie from a flat columnar buffer — the engine's path. The
+    /// buffer's annotation column (if any) becomes trie annotations.
+    pub fn build_buffer(&self, tuples: &TupleBuffer) -> Trie {
+        assert_eq!(tuples.arity(), self.arity, "buffer arity mismatch");
+        if tuples.is_empty() || self.arity == 0 {
             return Trie::empty(self.arity);
         }
-        // Sort row indices lexicographically; combine duplicate rows.
-        let mut idx: Vec<usize> = (0..rows.len()).collect();
-        idx.sort_unstable_by(|&a, &b| rows[a].cmp(&rows[b]));
-        let mut sorted: Vec<&[u32]> = Vec::with_capacity(rows.len());
-        let mut sorted_annots: Vec<DynValue> = Vec::new();
-        for &i in &idx {
-            let row: &[u32] = &rows[i];
-            let a = annots.map(|an| an[i]).unwrap_or_else(|| self.combine.one());
-            if sorted.last() == Some(&row) {
-                if annots.is_some() {
-                    let last = sorted_annots.last_mut().unwrap();
-                    *last = self.combine.plus(*last, a);
-                }
-                continue;
-            }
-            sorted.push(row);
-            sorted_annots.push(a);
-        }
+        let sorted = tuples.sorted_dedup_parallel(self.combine, self.threads);
         let tuple_count = sorted.len();
         let mut nodes: Vec<TrieNode> = Vec::new();
         // Reserve the root slot.
@@ -84,43 +86,34 @@ impl TrieBuilder {
             children: Vec::new(),
             annots: Vec::new(),
         });
-        let annotated = annots.is_some();
-        self.build_level(
-            &sorted,
-            &sorted_annots,
-            0,
-            0,
-            sorted.len(),
-            0,
-            &mut nodes,
-            annotated,
-        );
-        Trie::from_arena(self.arity, nodes, tuple_count, annotated)
+        self.build_level(&sorted, 0, 0, tuple_count, 0, &mut nodes);
+        Trie::from_arena(self.arity, nodes, tuple_count, sorted.is_annotated())
     }
 
-    /// Build the node for `rows[lo..hi]` at attribute `level`, writing into
-    /// arena slot `slot`. Rows in the range share a prefix of length `level`.
-    #[allow(clippy::too_many_arguments)]
+    /// Build the node for sorted rows `lo..hi` at attribute `level`,
+    /// writing into arena slot `slot`. Rows in the range share a prefix of
+    /// length `level`.
     fn build_level(
         &self,
-        rows: &[&[u32]],
-        annots: &[DynValue],
+        sorted: &TupleBuffer,
         level: usize,
         lo: usize,
         hi: usize,
         slot: usize,
         nodes: &mut Vec<TrieNode>,
-        annotated: bool,
     ) {
         let is_leaf = level + 1 == self.arity;
-        // Gather distinct values and their sub-ranges.
+        // Gather distinct values and their sub-ranges straight off the
+        // flat buffer — no per-row indirection.
+        let flat = sorted.flat();
+        let arity = self.arity;
         let mut values: Vec<u32> = Vec::new();
         let mut ranges: Vec<(usize, usize)> = Vec::new();
         let mut i = lo;
         while i < hi {
-            let v = rows[i][level];
+            let v = flat[i * arity + level];
             let mut j = i + 1;
-            while j < hi && rows[j][level] == v {
+            while j < hi && flat[j * arity + level] == v {
                 j += 1;
             }
             values.push(v);
@@ -134,7 +127,7 @@ impl TrieBuilder {
             annots: Vec::new(),
         };
         if is_leaf {
-            if annotated {
+            if let Some(annots) = sorted.annotations() {
                 // One annotation per distinct leaf value: ⊕ over duplicates
                 // (duplicates were already collapsed, so each range is 1).
                 node.annots = ranges
@@ -163,14 +156,12 @@ impl TrieBuilder {
             nodes[slot] = node;
             for (k, &(a, b)) in ranges.iter().enumerate() {
                 self.build_level(
-                    rows,
-                    annots,
+                    sorted,
                     level + 1,
                     a,
                     b,
                     (first_child + k as u32) as usize,
                     nodes,
-                    annotated,
                 );
             }
         }
@@ -199,6 +190,25 @@ mod tests {
         assert_eq!(t.annotation(&[1, 0]), Some(DynValue::F64(3.8)));
         assert_eq!(t.annotation(&[2, 1]), Some(DynValue::F64(6.4)));
         assert_eq!(t.annotation(&[2, 9]), None);
+    }
+
+    #[test]
+    fn buffer_build_matches_row_build() {
+        let rows = vec![vec![0, 4], vec![1, 0], vec![0, 3], vec![2, 1], vec![1, 0]];
+        let via_rows = TrieBuilder::new(2).build(&rows);
+        let via_buffer = TrieBuilder::new(2).build_buffer(&TupleBuffer::from_rows(2, &rows));
+        assert_eq!(via_rows.scan(), via_buffer.scan());
+        assert_eq!(via_rows.tuple_count(), via_buffer.tuple_count());
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let rows: Vec<Vec<u32>> = (0..500u32)
+            .map(|i| vec![i.wrapping_mul(2654435761) % 40, i % 23])
+            .collect();
+        let serial = TrieBuilder::new(2).build(&rows);
+        let parallel = TrieBuilder::new(2).threads(4).build(&rows);
+        assert_eq!(serial.scan(), parallel.scan());
     }
 
     #[test]

@@ -13,9 +13,11 @@
 
 pub mod builder;
 pub mod dict;
+pub mod tuple;
 
 pub use builder::TrieBuilder;
 pub use dict::Dictionary;
+pub use tuple::TupleBuffer;
 
 use eh_semiring::DynValue;
 use eh_set::{LayoutPolicy, Set};
@@ -203,8 +205,16 @@ impl Trie {
 
     /// Build a trie of `arity` columns from rows (convenience over
     /// [`TrieBuilder`]).
-    pub fn from_rows(rows: &[Vec<u32>], arity: usize, policy: LayoutPolicy) -> Trie {
+    pub fn from_rows<R: AsRef<[u32]>>(rows: &[R], arity: usize, policy: LayoutPolicy) -> Trie {
         TrieBuilder::new(arity).policy(policy).build(rows)
+    }
+
+    /// Build a trie from a flat columnar buffer (convenience over
+    /// [`TrieBuilder::build_buffer`]).
+    pub fn from_buffer(tuples: &TupleBuffer, policy: LayoutPolicy) -> Trie {
+        TrieBuilder::new(tuples.arity())
+            .policy(policy)
+            .build_buffer(tuples)
     }
 }
 

@@ -1,0 +1,619 @@
+//! Flat columnar tuple storage: the engine's interchange format.
+//!
+//! EmptyHeaded's performance story rests on flat, cache-friendly data
+//! representations (paper §2.2, Figure 2): tuples never travel as
+//! per-row heap allocations. A [`TupleBuffer`] stores `len` rows of a
+//! fixed `arity` as one stride-`arity` `Vec<u32>` (row-major), with an
+//! optional parallel annotation column for semiring-valued relations.
+//! Every pipeline stage — loaders, trie construction, Generic-Join
+//! sinks, recursion deltas, result materialization — reads and writes
+//! this layout; row views are borrowed slices into the flat buffer.
+//!
+//! Sorted construction uses an LSD radix pass per column over the
+//! dictionary-encoded u32s (stable byte-wise counting sorts, skipping
+//! bytes the column never populates), and optionally fans out over
+//! `std::thread::scope` for chunked parallel sorting with a k-way merge.
+
+use eh_semiring::{AggOp, DynValue};
+
+/// A flat, row-major buffer of fixed-arity u32 tuples with an optional
+/// parallel annotation column.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TupleBuffer {
+    arity: usize,
+    /// Row count, tracked explicitly so arity-0 (scalar) relations can
+    /// still hold rows.
+    len: usize,
+    /// `len * arity` values, row-major.
+    data: Vec<u32>,
+    /// One annotation per row, when the relation is annotated.
+    annots: Option<Vec<DynValue>>,
+}
+
+impl Default for TupleBuffer {
+    fn default() -> Self {
+        TupleBuffer::new(0)
+    }
+}
+
+impl TupleBuffer {
+    /// Empty buffer of the given arity.
+    pub fn new(arity: usize) -> TupleBuffer {
+        TupleBuffer {
+            arity,
+            len: 0,
+            data: Vec::new(),
+            annots: None,
+        }
+    }
+
+    /// Empty buffer with room for `rows` tuples.
+    pub fn with_capacity(arity: usize, rows: usize) -> TupleBuffer {
+        TupleBuffer {
+            arity,
+            len: 0,
+            data: Vec::with_capacity(rows * arity),
+            annots: None,
+        }
+    }
+
+    /// Buffer over an already-flat `len * arity` value vector.
+    pub fn from_flat(arity: usize, data: Vec<u32>) -> TupleBuffer {
+        assert!(arity > 0, "from_flat needs arity >= 1; use nullary()");
+        assert_eq!(data.len() % arity, 0, "flat data must be whole rows");
+        TupleBuffer {
+            arity,
+            len: data.len() / arity,
+            data,
+            annots: None,
+        }
+    }
+
+    /// Arity-0 buffer holding `rows` empty tuples (scalar relations).
+    pub fn nullary(rows: usize) -> TupleBuffer {
+        TupleBuffer {
+            arity: 0,
+            len: rows,
+            data: Vec::new(),
+            annots: None,
+        }
+    }
+
+    /// Adapter from row-per-allocation form (kept as a convenience seam
+    /// for tests and examples; the engine's hot paths never use it).
+    pub fn from_rows<R: AsRef<[u32]>>(arity: usize, rows: &[R]) -> TupleBuffer {
+        let mut buf = TupleBuffer::with_capacity(arity, rows.len());
+        for r in rows {
+            let r = r.as_ref();
+            assert_eq!(r.len(), arity, "row arity mismatch");
+            buf.data.extend_from_slice(r);
+            buf.len += 1;
+        }
+        buf
+    }
+
+    /// Adapter from rows plus a parallel annotation column.
+    pub fn from_annotated_rows<R: AsRef<[u32]>>(
+        arity: usize,
+        rows: &[R],
+        annots: Vec<DynValue>,
+    ) -> TupleBuffer {
+        assert_eq!(rows.len(), annots.len(), "one annotation per row");
+        let mut buf = TupleBuffer::from_rows(arity, rows);
+        buf.annots = Some(annots);
+        buf
+    }
+
+    /// Arity-2 buffer straight from an edge list — the graph loaders'
+    /// path into the engine, no per-tuple allocation.
+    pub fn from_pairs(pairs: &[(u32, u32)]) -> TupleBuffer {
+        let mut data = Vec::with_capacity(pairs.len() * 2);
+        for &(a, b) in pairs {
+            data.push(a);
+            data.push(b);
+        }
+        TupleBuffer {
+            arity: 2,
+            len: pairs.len(),
+            data,
+            annots: None,
+        }
+    }
+
+    /// Number of attributes per tuple.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Row `i` as a borrowed slice.
+    pub fn row(&self, i: usize) -> &[u32] {
+        debug_assert!(i < self.len);
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// The raw flat values (`len * arity`, row-major).
+    pub fn flat(&self) -> &[u32] {
+        &self.data
+    }
+
+    /// Annotation of row `i`, when the buffer is annotated.
+    pub fn annot(&self, i: usize) -> Option<DynValue> {
+        self.annots.as_ref().map(|a| a[i])
+    }
+
+    /// The annotation column, if present.
+    pub fn annotations(&self) -> Option<&[DynValue]> {
+        self.annots.as_deref()
+    }
+
+    /// Whether rows carry annotations.
+    pub fn is_annotated(&self) -> bool {
+        self.annots.is_some()
+    }
+
+    /// Attach an annotation column (must cover every row).
+    pub fn set_annotations(&mut self, annots: Vec<DynValue>) {
+        assert_eq!(annots.len(), self.len, "one annotation per row");
+        self.annots = Some(annots);
+    }
+
+    /// Drop the annotation column (semijoin projections).
+    pub fn drop_annotations(&mut self) {
+        self.annots = None;
+    }
+
+    /// Ensure an annotation column exists, filling with `value` if absent.
+    pub fn fill_annotations(&mut self, value: DynValue) {
+        if self.annots.is_none() {
+            self.annots = Some(vec![value; self.len]);
+        }
+    }
+
+    /// Append one row.
+    pub fn push_row(&mut self, row: &[u32]) {
+        assert_eq!(row.len(), self.arity, "row arity mismatch");
+        assert!(
+            self.annots.is_none(),
+            "annotated buffer needs push_annotated"
+        );
+        self.data.extend_from_slice(row);
+        self.len += 1;
+    }
+
+    /// Append one row with its annotation. The buffer must be annotated
+    /// (or still empty, in which case it becomes annotated).
+    pub fn push_annotated(&mut self, row: &[u32], annot: DynValue) {
+        assert_eq!(row.len(), self.arity, "row arity mismatch");
+        if self.annots.is_none() {
+            assert_eq!(self.len, 0, "cannot annotate a non-empty plain buffer");
+            self.annots = Some(Vec::new());
+        }
+        self.data.extend_from_slice(row);
+        self.len += 1;
+        self.annots.as_mut().unwrap().push(annot);
+    }
+
+    /// Append one row from a value iterator (lets callers emit gathered
+    /// columns without a temporary row allocation).
+    pub fn extend_row(&mut self, values: impl IntoIterator<Item = u32>) {
+        assert!(
+            self.annots.is_none(),
+            "annotated buffer needs extend_row_annotated"
+        );
+        let before = self.data.len();
+        self.data.extend(values);
+        assert_eq!(self.data.len() - before, self.arity, "row arity mismatch");
+        self.len += 1;
+    }
+
+    /// Append one row from a value iterator together with its annotation.
+    pub fn extend_row_annotated(&mut self, values: impl IntoIterator<Item = u32>, annot: DynValue) {
+        if self.annots.is_none() {
+            assert_eq!(self.len, 0, "cannot annotate a non-empty plain buffer");
+            self.annots = Some(Vec::new());
+        }
+        let before = self.data.len();
+        self.data.extend(values);
+        assert_eq!(self.data.len() - before, self.arity, "row arity mismatch");
+        self.len += 1;
+        self.annots.as_mut().unwrap().push(annot);
+    }
+
+    /// Bulk append another buffer of the same shape — the per-thread sink
+    /// merge path: one `extend_from_slice`, no per-row work.
+    pub fn append(&mut self, other: &TupleBuffer) {
+        assert_eq!(self.arity, other.arity, "arity mismatch in append");
+        let was_empty = self.is_empty();
+        match (&mut self.annots, &other.annots) {
+            (Some(a), Some(b)) => a.extend_from_slice(b),
+            (None, Some(b)) => {
+                assert!(was_empty, "annotation mismatch in append");
+                self.annots = Some(b.clone());
+            }
+            (Some(_), None) => {
+                assert!(other.is_empty(), "annotation mismatch in append");
+            }
+            (None, None) => {}
+        }
+        self.data.extend_from_slice(&other.data);
+        self.len += other.len;
+    }
+
+    /// Gather columns into a new buffer: `order[k]` is the source column
+    /// of output column `k`. Accepts any subset/permutation, so this is
+    /// both the trie cache's column reorder and the executor's projection.
+    pub fn reorder(&self, order: &[usize]) -> TupleBuffer {
+        debug_assert!(order.iter().all(|&c| c < self.arity));
+        let mut data = Vec::with_capacity(self.len * order.len());
+        for i in 0..self.len {
+            let row = &self.data[i * self.arity..(i + 1) * self.arity];
+            for &c in order {
+                data.push(row[c]);
+            }
+        }
+        TupleBuffer {
+            arity: order.len(),
+            len: self.len,
+            data,
+            annots: self.annots.clone(),
+        }
+    }
+
+    /// Iterate rows as borrowed slices.
+    pub fn iter(&self) -> TupleIter<'_> {
+        TupleIter { buf: self, next: 0 }
+    }
+
+    /// Linear membership probe (test/diagnostic convenience).
+    pub fn contains_row(&self, row: &[u32]) -> bool {
+        self.iter().any(|r| r == row)
+    }
+
+    /// Stable permutation of row indices that sorts rows
+    /// lexicographically: LSD radix over (column, byte) digits, skipping
+    /// bytes the column's values never reach.
+    pub fn sort_perm(&self) -> Vec<u32> {
+        self.sort_perm_range(0, self.len)
+    }
+
+    /// [`TupleBuffer::sort_perm`] restricted to rows `lo..hi` (the
+    /// chunked parallel build sorts disjoint ranges concurrently).
+    fn sort_perm_range(&self, lo: usize, hi: usize) -> Vec<u32> {
+        debug_assert!(lo <= hi && hi <= self.len);
+        let n = hi - lo;
+        let mut perm: Vec<u32> = (lo as u32..hi as u32).collect();
+        if self.arity == 0 || n <= 1 {
+            return perm;
+        }
+        let mut scratch: Vec<u32> = vec![0; n];
+        let col_val = |i: u32, col: usize| self.data[i as usize * self.arity + col];
+        for col in (0..self.arity).rev() {
+            // The OR of the column bounds which bytes carry information.
+            let mut mask = 0u32;
+            for i in lo..hi {
+                mask |= self.data[i * self.arity + col];
+            }
+            let bytes = (32 - mask.leading_zeros() as usize).div_ceil(8);
+            for byte in 0..bytes {
+                let shift = 8 * byte;
+                let mut counts = [0usize; 256];
+                for &i in &perm {
+                    counts[((col_val(i, col) >> shift) & 0xFF) as usize] += 1;
+                }
+                if counts.contains(&n) {
+                    continue; // all rows share this digit: pass is a no-op
+                }
+                let mut sum = 0usize;
+                for c in counts.iter_mut() {
+                    let here = *c;
+                    *c = sum;
+                    sum += here;
+                }
+                for &i in &perm {
+                    let d = ((col_val(i, col) >> shift) & 0xFF) as usize;
+                    scratch[counts[d]] = i;
+                    counts[d] += 1;
+                }
+                std::mem::swap(&mut perm, &mut scratch);
+            }
+        }
+        perm
+    }
+
+    /// Sorted, duplicate-free copy. Duplicate rows collapse; annotations
+    /// of duplicates combine with `combine.plus` (⊕), matching trie
+    /// construction semantics.
+    pub fn sorted_dedup(&self, combine: AggOp) -> TupleBuffer {
+        if self.arity == 0 {
+            // All rows are the empty tuple: collapse to at most one.
+            let mut out = TupleBuffer::nullary(self.len.min(1));
+            if let (Some(annots), 1) = (&self.annots, out.len) {
+                let folded = annots[1..]
+                    .iter()
+                    .fold(annots[0], |acc, &v| combine.plus(acc, v));
+                out.annots = Some(vec![folded]);
+            }
+            return out;
+        }
+        let perm = self.sort_perm();
+        self.gather_dedup(&perm, combine)
+    }
+
+    /// Chunked parallel [`TupleBuffer::sorted_dedup`]: split rows into
+    /// `threads` ranges, sort each on its own `std::thread::scope` worker,
+    /// then k-way merge the sorted runs (combining duplicate annotations).
+    pub fn sorted_dedup_parallel(&self, combine: AggOp, threads: usize) -> TupleBuffer {
+        let threads = threads.max(1);
+        if threads == 1 || self.len < 2 * threads || self.arity == 0 {
+            return self.sorted_dedup(combine);
+        }
+        let chunk = self.len.div_ceil(threads);
+        let runs: Vec<TupleBuffer> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.len)
+                .step_by(chunk)
+                .map(|lo| {
+                    let hi = (lo + chunk).min(self.len);
+                    scope.spawn(move || {
+                        let perm = self.sort_perm_range(lo, hi);
+                        self.gather_dedup(&perm, combine)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sort worker panicked"))
+                .collect()
+        });
+        merge_sorted_runs(runs, combine)
+    }
+
+    /// Gather rows in `perm` order, collapsing adjacent duplicates.
+    fn gather_dedup(&self, perm: &[u32], combine: AggOp) -> TupleBuffer {
+        let mut out = TupleBuffer::with_capacity(self.arity, perm.len());
+        if self.is_annotated() {
+            out.annots = Some(Vec::with_capacity(perm.len()));
+        }
+        for &i in perm {
+            let row = self.row(i as usize);
+            if out.len > 0 && out.row(out.len - 1) == row {
+                if let (Some(out_a), Some(a)) = (&mut out.annots, &self.annots) {
+                    let last = out_a.last_mut().unwrap();
+                    *last = combine.plus(*last, a[i as usize]);
+                }
+                continue;
+            }
+            out.data.extend_from_slice(row);
+            out.len += 1;
+            if let (Some(out_a), Some(a)) = (&mut out.annots, &self.annots) {
+                out_a.push(a[i as usize]);
+            }
+        }
+        out
+    }
+}
+
+/// Merge sorted, deduplicated runs into one, combining duplicate-row
+/// annotations with ⊕. Linear k-way merge over row cursors.
+fn merge_sorted_runs(runs: Vec<TupleBuffer>, combine: AggOp) -> TupleBuffer {
+    let mut runs: Vec<TupleBuffer> = runs.into_iter().filter(|r| !r.is_empty()).collect();
+    match runs.len() {
+        0 => return TupleBuffer::new(0),
+        1 => return runs.pop().unwrap(),
+        _ => {}
+    }
+    let arity = runs[0].arity;
+    let total: usize = runs.iter().map(|r| r.len).sum();
+    let mut out = TupleBuffer::with_capacity(arity, total);
+    if runs[0].is_annotated() {
+        out.annots = Some(Vec::with_capacity(total));
+    }
+    let mut cursors = vec![0usize; runs.len()];
+    loop {
+        // Smallest current row across runs (k is tiny: one run per thread).
+        let mut min_k: Option<usize> = None;
+        for (k, run) in runs.iter().enumerate() {
+            if cursors[k] >= run.len {
+                continue;
+            }
+            match min_k {
+                Some(b) if runs[b].row(cursors[b]) <= run.row(cursors[k]) => {}
+                _ => min_k = Some(k),
+            }
+        }
+        let Some(k) = min_k else { break };
+        let run = &runs[k];
+        let row = run.row(cursors[k]);
+        let annot = run.annot(cursors[k]);
+        if out.len > 0 && out.row(out.len - 1) == row {
+            if let (Some(out_a), Some(a)) = (&mut out.annots, annot) {
+                let last = out_a.last_mut().unwrap();
+                *last = combine.plus(*last, a);
+            }
+        } else {
+            out.data.extend_from_slice(row);
+            out.len += 1;
+            if let (Some(out_a), Some(a)) = (&mut out.annots, annot) {
+                out_a.push(a);
+            }
+        }
+        cursors[k] += 1;
+    }
+    out
+}
+
+/// Borrowed row iterator over a [`TupleBuffer`].
+pub struct TupleIter<'a> {
+    buf: &'a TupleBuffer,
+    next: usize,
+}
+
+impl<'a> Iterator for TupleIter<'a> {
+    type Item = &'a [u32];
+
+    fn next(&mut self) -> Option<&'a [u32]> {
+        if self.next >= self.buf.len {
+            return None;
+        }
+        let i = self.next;
+        self.next += 1;
+        if self.buf.arity == 0 {
+            Some(&[])
+        } else {
+            Some(self.buf.row(i))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.buf.len - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for TupleIter<'_> {}
+
+impl<'a> IntoIterator for &'a TupleBuffer {
+    type Item = &'a [u32];
+    type IntoIter = TupleIter<'a>;
+
+    fn into_iter(self) -> TupleIter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows_of(buf: &TupleBuffer) -> Vec<Vec<u32>> {
+        buf.iter().map(|r| r.to_vec()).collect()
+    }
+
+    #[test]
+    fn push_and_view() {
+        let mut b = TupleBuffer::new(2);
+        b.push_row(&[3, 4]);
+        b.push_row(&[1, 2]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.row(0), &[3, 4]);
+        assert_eq!(b.row(1), &[1, 2]);
+        assert_eq!(b.flat(), &[3, 4, 1, 2]);
+        assert!(b.contains_row(&[1, 2]));
+        assert!(!b.contains_row(&[2, 1]));
+    }
+
+    #[test]
+    fn from_pairs_matches_rows() {
+        let b = TupleBuffer::from_pairs(&[(0, 1), (5, 2)]);
+        assert_eq!(rows_of(&b), vec![vec![0, 1], vec![5, 2]]);
+    }
+
+    #[test]
+    fn sorted_dedup_lexicographic() {
+        let b = TupleBuffer::from_rows(2, &[vec![2u32, 1], vec![0, 9], vec![2, 1], vec![0, 3]]);
+        let s = b.sorted_dedup(AggOp::Sum);
+        assert_eq!(rows_of(&s), vec![vec![0, 3], vec![0, 9], vec![2, 1]]);
+    }
+
+    #[test]
+    fn sorted_dedup_combines_annotations() {
+        let b = TupleBuffer::from_annotated_rows(
+            1,
+            &[vec![7u32], vec![7], vec![1]],
+            vec![DynValue::F64(2.0), DynValue::F64(3.0), DynValue::F64(1.0)],
+        );
+        let s = b.sorted_dedup(AggOp::Sum);
+        assert_eq!(rows_of(&s), vec![vec![1], vec![7]]);
+        assert_eq!(
+            s.annotations().unwrap(),
+            &[DynValue::F64(1.0), DynValue::F64(5.0)]
+        );
+    }
+
+    #[test]
+    fn radix_handles_large_values() {
+        // Values above 2^16 exercise the high byte passes.
+        let vals = [5u32, 1 << 30, 77, (1 << 30) + 1, 1 << 16, 0];
+        let b = TupleBuffer::from_rows(1, &vals.iter().map(|&v| vec![v]).collect::<Vec<_>>());
+        let s = b.sorted_dedup(AggOp::Sum);
+        let mut expect: Vec<u32> = vals.to_vec();
+        expect.sort_unstable();
+        assert_eq!(s.iter().map(|r| r[0]).collect::<Vec<_>>(), expect);
+    }
+
+    #[test]
+    fn parallel_sort_matches_serial() {
+        let rows: Vec<Vec<u32>> = (0..997u32)
+            .map(|i| vec![i.wrapping_mul(2654435761) % 50, i % 17])
+            .collect();
+        let b = TupleBuffer::from_rows(2, &rows);
+        let serial = b.sorted_dedup(AggOp::Sum);
+        for threads in [2, 3, 8] {
+            assert_eq!(b.sorted_dedup_parallel(AggOp::Sum, threads), serial);
+        }
+    }
+
+    #[test]
+    fn parallel_sort_combines_annotations_across_chunks() {
+        // Duplicates deliberately land in different chunks.
+        let rows: Vec<Vec<u32>> = (0..100u32).map(|i| vec![i % 5]).collect();
+        let annots: Vec<DynValue> = (0..100).map(|_| DynValue::F64(1.0)).collect();
+        let b = TupleBuffer::from_annotated_rows(1, &rows, annots);
+        let merged = b.sorted_dedup_parallel(AggOp::Sum, 4);
+        assert_eq!(merged.len(), 5);
+        for i in 0..5 {
+            assert_eq!(merged.annot(i), Some(DynValue::F64(20.0)));
+        }
+    }
+
+    #[test]
+    fn reorder_permutes_and_projects() {
+        let b = TupleBuffer::from_rows(3, &[vec![1u32, 2, 3], vec![4, 5, 6]]);
+        let swapped = b.reorder(&[2, 0, 1]);
+        assert_eq!(rows_of(&swapped), vec![vec![3, 1, 2], vec![6, 4, 5]]);
+        let proj = b.reorder(&[1]);
+        assert_eq!(rows_of(&proj), vec![vec![2], vec![5]]);
+    }
+
+    #[test]
+    fn append_is_flat_concat() {
+        let mut a = TupleBuffer::from_rows(2, &[vec![1u32, 2]]);
+        let b = TupleBuffer::from_rows(2, &[vec![3u32, 4], vec![5, 6]]);
+        a.append(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.flat(), &[1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn nullary_rows_collapse() {
+        let mut b = TupleBuffer::nullary(3);
+        b.set_annotations(vec![DynValue::U64(1), DynValue::U64(2), DynValue::U64(3)]);
+        let s = b.sorted_dedup(AggOp::Count);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.annot(0), Some(DynValue::U64(6)));
+        assert_eq!(s.iter().next(), Some(&[] as &[u32]));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut b = TupleBuffer::new(2);
+        b.push_row(&[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one annotation per row")]
+    fn annotation_length_mismatch_panics() {
+        let mut b = TupleBuffer::from_rows(1, &[vec![1u32]]);
+        b.set_annotations(vec![]);
+    }
+}

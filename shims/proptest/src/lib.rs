@@ -5,7 +5,7 @@
 //!
 //! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
 //! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
-//! * [`Strategy`] with `prop_map`, integer/float range strategies, tuple
+//! * [`strategy::Strategy`] with `prop_map`, integer/float range strategies, tuple
 //!   strategies, `any::<T>()`, and `collection::{vec, btree_set}`,
 //! * [`test_runner::Config`] (a.k.a. `ProptestConfig`) with `with_cases`.
 //!

@@ -33,7 +33,7 @@
 //! ```
 
 pub use eh_core::{algorithms, CoreError, Database, QueryResult};
-pub use eh_exec::{Config, Relation};
+pub use eh_exec::{Config, Relation, TupleBuffer};
 pub use eh_graph::Graph;
 
 /// Set layouts and SIMD intersection kernels (paper §4).

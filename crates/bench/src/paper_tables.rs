@@ -19,11 +19,62 @@ use eh_set::{IntersectConfig, LayoutKind, Set};
 use std::time::{Duration, Instant};
 
 const TARGETS: &str =
-    "fig5|fig6|fig7|table3|table4|table5|table6|table7|table8|table9|table10|table11|table13|all";
+    "fig5|fig6|fig7|table3|table4|table5|table6|table7|table8|table9|table10|table11|table13|loaded|storage-smoke|all";
 
 /// `--threads N` override applied to every engine config in this run
 /// (None = flag absent, keep each config's default of 1 worker).
 static THREADS: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+
+/// Machine-readable timing sink, enabled by `--json <path>`; human
+/// output is unchanged whether or not it is active.
+static JSON_SINK: std::sync::OnceLock<std::sync::Mutex<Vec<String>>> = std::sync::OnceLock::new();
+
+/// Record one measurement into the `--json` sink (no-op without it).
+fn record(table: &str, dataset: &str, query: &str, config: &str, time: Duration, rows: u64) {
+    let Some(sink) = JSON_SINK.get() else { return };
+    let entry = format!(
+        "{{\"table\":{},\"dataset\":{},\"query\":{},\"config\":{},\"median_us\":{},\"rows\":{}}}",
+        json_str(table),
+        json_str(dataset),
+        json_str(query),
+        json_str(config),
+        time.as_micros(),
+        rows
+    );
+    sink.lock().expect("json sink").push(entry);
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Write the accumulated `--json` entries to `path`.
+fn flush_json(path: &str, scale: f64) {
+    let Some(sink) = JSON_SINK.get() else { return };
+    let entries = sink.lock().expect("json sink");
+    let body = entries.join(",\n    ");
+    let doc = format!("{{\n  \"scale\": {scale},\n  \"entries\": [\n    {body}\n  ]\n}}\n");
+    if let Err(e) = std::fs::write(path, doc) {
+        eprintln!("failed to write --json output to {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {} timing entries to {path}", entries.len());
+}
 
 /// Apply the run-wide `--threads` pin to a config, so benchmark numbers
 /// are reproducible on shared machines regardless of core count.
@@ -36,19 +87,29 @@ fn tuned(cfg: Config) -> Config {
 
 pub fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let which = args.first().map(String::as_str).unwrap_or("all");
-    let scale = args
-        .iter()
-        .position(|a| a == "--scale")
-        .and_then(|i| args.get(i + 1))
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let scale = flag("--scale")
         .and_then(|s| s.parse::<f64>().ok())
         .unwrap_or(0.1);
-    let threads = args
-        .iter()
-        .position(|a| a == "--threads")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse::<usize>().ok());
+    let threads = flag("--threads").and_then(|s| s.parse::<usize>().ok());
     let _ = THREADS.set(threads);
+    let load = flag("--load");
+    let json = flag("--json");
+    if json.is_some() {
+        let _ = JSON_SINK.set(std::sync::Mutex::new(Vec::new()));
+    }
+    // `--load` without an explicit target runs the paper's queries over
+    // the external dataset.
+    let which = match args.first().map(String::as_str) {
+        Some(w) if !w.starts_with("--") => w,
+        _ if load.is_some() => "loaded",
+        _ => "all",
+    };
     let reps = 3;
     match which {
         "fig5" => fig5(),
@@ -64,6 +125,8 @@ pub fn main() {
         "table10" => table10(scale),
         "table11" => table11(scale),
         "table13" => table13(scale),
+        "loaded" => loaded_tables(load.as_deref(), reps),
+        "storage-smoke" => storage_smoke(load.as_deref()),
         "all" => {
             fig5();
             fig6();
@@ -80,19 +143,145 @@ pub fn main() {
             table13(scale);
         }
         "--help" | "-h" | "help" => {
-            println!("usage: paper_tables [{TARGETS}] [--scale S] [--threads N]");
+            println!(
+                "usage: paper_tables [{TARGETS}] [--scale S] [--threads N] [--load PATH] [--json PATH]"
+            );
             println!();
             println!("Regenerates the paper's evaluation tables/figures on synthetic");
             println!("dataset analogs. --scale (default 0.1) shrinks the generated");
             println!("graphs; use 1.0 for full-size runs. --threads pins the engine's");
             println!("worker count (0 = auto-detect) so runs on shared machines are");
             println!("reproducible; default is 1 (serial).");
+            println!();
+            println!("--load PATH runs the paper's pattern queries over an external");
+            println!("dataset instead: either a text edge list (whitespace/TSV, '#'");
+            println!("comments) or a saved database image ('EHDB' magic; see the");
+            println!("storage-smoke target, which also saves/reopens an image and");
+            println!("checks the reload answers queries identically).");
+            println!("--json PATH additionally writes per-table timing entries");
+            println!("(table, dataset, query, config, median_us, rows) as JSON.");
         }
         other => {
             eprintln!("unknown target '{other}'; use {TARGETS} (or --help)");
             std::process::exit(2);
         }
     }
+    if let Some(path) = json {
+        flush_json(&path, scale);
+    }
+}
+
+// ------------------------------------------------------- external datasets
+
+/// Build a database from `--load`: a saved database image (sniffed by
+/// its `EHDB` magic) or a text edge list registered as `Edge`.
+fn load_external(path: &str) -> Database {
+    use std::io::Read;
+    let mut magic = [0u8; 4];
+    let is_image = std::fs::File::open(path)
+        .map(|mut f| matches!(f.read_exact(&mut magic), Ok(())) && magic == eh_storage::IMAGE_MAGIC)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot open {path}: {e}");
+            std::process::exit(2);
+        });
+    if is_image {
+        let db = Database::open_with_config(path, tuned(Config::default())).unwrap_or_else(|e| {
+            eprintln!("cannot load image {path}: {e}");
+            std::process::exit(2);
+        });
+        if db.relation("Edge").is_none() {
+            eprintln!("image {path} has no 'Edge' relation; the paper queries need one");
+            std::process::exit(2);
+        }
+        db
+    } else {
+        let g = Graph::from_edge_list_path(path).unwrap_or_else(|e| {
+            eprintln!("cannot parse edge list {path}: {e}");
+            std::process::exit(2);
+        });
+        let mut db = Database::with_config(tuned(Config::default()));
+        db.load_graph("Edge", &g);
+        db
+    }
+}
+
+/// The paper's pattern queries over an external dataset (`--load`).
+fn loaded_tables(load: Option<&str>, reps: usize) {
+    let Some(path) = load else {
+        eprintln!("the 'loaded' target needs --load <path>");
+        std::process::exit(2);
+    };
+    let db = load_external(path);
+    let edges = db.relation("Edge").map(|r| r.len()).unwrap_or(0);
+    println!("\n== Paper queries on {path} ({edges} edges) ==");
+    let t = Table::new(&[("query", 8), ("count", 14), ("EH[s]", 10)]);
+    for (name, query) in [
+        ("triangle", queries::TRIANGLE),
+        ("K4", queries::K4),
+        ("L3,1", queries::LOLLIPOP),
+        ("B3,1", queries::BARBELL),
+    ] {
+        let stmt = db.prepare(query).expect("paper query must compile");
+        let run = || {
+            stmt.execute(&db)
+                .expect("query must run")
+                .scalar_u64()
+                .unwrap_or(0)
+        };
+        let count = run(); // warm every cached trie
+        let d = measure(reps, run);
+        t.row(&[name.into(), count.to_string(), secs(d)]);
+        record("loaded", path, name, "EH", d, count);
+    }
+}
+
+/// End-to-end storage check (also the CI smoke step): load a dataset,
+/// answer the paper's triangle/K4 queries, save a database image,
+/// reopen it, and require identical answers — plus byte-stable re-save.
+fn storage_smoke(load: Option<&str>) {
+    let Some(path) = load else {
+        eprintln!("the 'storage-smoke' target needs --load <path>");
+        std::process::exit(2);
+    };
+    let db = load_external(path);
+    let answers = |db: &Database| -> Vec<u64> {
+        [queries::TRIANGLE, queries::K4]
+            .iter()
+            .map(|q| {
+                db.prepare(q)
+                    .expect("query must compile")
+                    .execute(db)
+                    .expect("query must run")
+                    .scalar_u64()
+                    .unwrap_or(0)
+            })
+            .collect()
+    };
+    let before = answers(&db);
+    let image = std::env::temp_dir().join(format!("eh_smoke_{}.ehdb", std::process::id()));
+    db.save(&image).expect("save must succeed");
+    let reopened = Database::open(&image).expect("open must succeed");
+    let after = answers(&reopened);
+    let mut resaved = Vec::new();
+    reopened
+        .save_to(&mut resaved)
+        .expect("re-save must succeed");
+    let original = std::fs::read(&image).expect("image readable");
+    let _ = std::fs::remove_file(&image);
+    if before != after {
+        eprintln!("storage smoke FAILED: answers {before:?} != {after:?} after reload");
+        std::process::exit(1);
+    }
+    if original != resaved {
+        eprintln!("storage smoke FAILED: image not byte-stable under re-save");
+        std::process::exit(1);
+    }
+    println!(
+        "storage smoke OK: triangle={} K4={} identical across save/open; image byte-stable ({} bytes)",
+        before[0],
+        before[1],
+        original.len()
+    );
 }
 
 /// Uniform random sorted set of the given density over a domain.
@@ -288,6 +477,15 @@ fn table5(scale: f64, reps: usize) {
             queries::TRIANGLE,
         );
         let t_lb = measure(reps, || lb.run());
+        for (config, d) in [
+            ("EH", t_eh),
+            ("SnapR-merge", t_merge),
+            ("PG-hash", t_hash),
+            ("SL-pairwise", t_pair),
+            ("LB-wcoj", t_lb),
+        ] {
+            record("table5", spec.name, "triangle", config, d, count);
+        }
         t.row(&[
             spec.name.into(),
             count.to_string(),
@@ -316,6 +514,10 @@ fn table6(scale: f64, reps: usize) {
         let t_sl = measure(reps, || {
             eh_baselines::pairwise::pagerank(&g.edges, g.num_nodes, 5)
         });
+        let rows = g.num_nodes as u64;
+        for (config, d) in [("EH", t_eh), ("Galois-ll", t_ll), ("SL-pairwise", t_sl)] {
+            record("table6", spec.name, "pagerank5", config, d, rows);
+        }
         t.row(&[
             spec.name.into(),
             secs(t_eh),
@@ -351,6 +553,15 @@ fn table7(scale: f64, reps: usize) {
         let t_sl = measure(reps, || {
             eh_baselines::pairwise::sssp_naive_datalog(&g.edges, g.num_nodes, start)
         });
+        let rows = g.num_nodes as u64;
+        for (config, d) in [
+            ("EH", t_eh),
+            ("Galois-bfs", t_bfs),
+            ("PG-bellmanford", t_bf),
+            ("SL-pairwise", t_sl),
+        ] {
+            record("table7", spec.name, "sssp", config, d, rows);
+        }
         t.row(&[
             spec.name.into(),
             secs(t_eh),
@@ -414,6 +625,9 @@ fn table8(scale: f64) {
                     t_eh,
                 ),
             };
+            for (config, d) in [("EH", t_eh), ("-R", t_r), ("-RA", t_ra)] {
+                record("table8", spec.name, qname, config, d, count);
+            }
             t.row(&[
                 spec.name.into(),
                 qname.into(),

@@ -8,7 +8,13 @@ use eh_exec::{
 use eh_graph::Graph;
 use eh_query::{parse_program, Rule};
 use eh_semiring::{AggOp, DynValue};
+use eh_storage::{
+    ColumnDef, ColumnType, CsvOptions, LoadReport, RelationSchema, StorageCatalog, StorageError,
+    TypedValue,
+};
 use std::fmt;
+use std::io::{BufRead, Read, Write};
+use std::path::Path;
 
 /// Top-level error type.
 #[derive(Clone, Debug, PartialEq)]
@@ -19,6 +25,8 @@ pub enum CoreError {
     Invalid(String),
     /// Execution failed.
     Exec(String),
+    /// Storage-layer failure (ingest, image save/load).
+    Storage(String),
 }
 
 impl fmt::Display for CoreError {
@@ -27,6 +35,7 @@ impl fmt::Display for CoreError {
             CoreError::Parse(m) => write!(f, "parse error: {m}"),
             CoreError::Invalid(m) => write!(f, "invalid rule: {m}"),
             CoreError::Exec(m) => write!(f, "execution error: {m}"),
+            CoreError::Storage(m) => write!(f, "storage error: {m}"),
         }
     }
 }
@@ -39,10 +48,18 @@ impl From<ExecError> for CoreError {
     }
 }
 
-/// An in-memory EmptyHeaded database: named relations plus an engine
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e.to_string())
+    }
+}
+
+/// An in-memory EmptyHeaded database: named relations, their typed
+/// storage catalog (schemas + dictionary domains), plus an engine
 /// [`Config`] controlling layouts, kernels, and the query compiler.
 pub struct Database {
     catalog: MemCatalog,
+    types: StorageCatalog,
     config: Config,
 }
 
@@ -52,11 +69,56 @@ impl Default for Database {
     }
 }
 
+/// The executor's view of a [`Database`]: relations from the engine
+/// catalog, constants resolved through the typed catalog's dictionary
+/// domains when the column is dictionary-backed (so `Follows('alice',x)`
+/// means the *same* `alice` the loader encoded; a key absent from the
+/// dictionary makes the atom empty rather than falling back to integer
+/// parsing).
+struct TypedView<'a> {
+    mem: &'a MemCatalog,
+    types: &'a StorageCatalog,
+}
+
+impl Catalog for TypedView<'_> {
+    fn relation(&self, name: &str) -> Option<&Relation> {
+        self.mem.relation(name)
+    }
+
+    fn resolve_const(&self, text: &str) -> Option<u32> {
+        self.mem.resolve_const(text)
+    }
+
+    fn resolve_const_at(&self, relation: &str, column: usize, text: &str) -> Option<u32> {
+        if self.types.key_is_dictionary(relation, column) {
+            self.types.lookup_key_text(relation, column, text)
+        } else {
+            self.mem.resolve_const(text)
+        }
+    }
+}
+
+/// Positional u32 schema for relations registered without type
+/// information (edge lists, generated graphs, derived results with no
+/// typed provenance) — everything in the database has *a* schema, so
+/// whole-database images always round-trip.
+fn implicit_schema(name: &str, rel: &Relation) -> RelationSchema {
+    let mut schema = RelationSchema::new(name).combining(rel.combine());
+    for i in 0..rel.arity() {
+        schema = schema.column(&format!("c{i}"), ColumnType::U32);
+    }
+    if rel.is_annotated() {
+        schema = schema.column("annot", ColumnType::F64);
+    }
+    schema
+}
+
 impl Database {
     /// Empty database with the default (fully optimized) configuration.
     pub fn new() -> Database {
         Database {
             catalog: MemCatalog::new(),
+            types: StorageCatalog::new(),
             config: Config::default(),
         }
     }
@@ -66,6 +128,7 @@ impl Database {
     pub fn with_config(config: Config) -> Database {
         Database {
             catalog: MemCatalog::new(),
+            types: StorageCatalog::new(),
             config,
         }
     }
@@ -84,27 +147,185 @@ impl Database {
     /// straight into a flat columnar buffer, no per-tuple allocation.
     pub fn load_edges(&mut self, name: &str, edges: &[(u32, u32)]) {
         let tuples = TupleBuffer::from_pairs(edges);
-        self.catalog
-            .insert(name, Relation::from_buffer(tuples, AggOp::Sum));
+        self.register(name, Relation::from_buffer(tuples, AggOp::Sum));
     }
 
     /// Register a graph's edge list as a binary relation.
     pub fn load_graph(&mut self, name: &str, graph: &Graph) {
-        self.catalog.insert(
+        self.register(
             name,
             Relation::from_buffer(graph.tuple_buffer(), AggOp::Sum),
         );
     }
 
-    /// Register an arbitrary relation.
+    /// Register an arbitrary relation (typed as positional u32 columns;
+    /// use [`Database::load_typed`] / [`Database::load_csv`] for
+    /// dictionary-encoded attributes).
     pub fn register(&mut self, name: &str, relation: Relation) {
+        self.types
+            .register_schema(implicit_schema(name, &relation))
+            .expect("implicit u32 schemas are always valid");
         self.catalog.insert(name, relation);
     }
 
     /// Register a scalar (arity-0) relation usable in head expressions
     /// (e.g. the `N` of `y = 1/N`).
     pub fn register_scalar(&mut self, name: &str, value: DynValue) {
-        self.catalog.insert(name, Relation::new_scalar(value));
+        self.register(name, Relation::new_scalar(value));
+    }
+
+    /// Register a typed schema and encode `rows` through the catalog's
+    /// dictionary domains (strings/64-bit keys → dense u32 ids, `f64`
+    /// payloads → the annotation column). Returns the stored row count.
+    pub fn load_typed(
+        &mut self,
+        schema: RelationSchema,
+        rows: &[Vec<TypedValue>],
+    ) -> Result<usize, CoreError> {
+        let name = schema.name.clone();
+        let combine = schema.combine;
+        self.types.register_schema(schema)?;
+        let buf = self
+            .types
+            .encode_rows(&name, rows.iter().map(|r| r.as_slice()))?;
+        let n = buf.len();
+        self.catalog
+            .insert(&name, Relation::from_buffer(buf, combine));
+        Ok(n)
+    }
+
+    /// Load a delimited text file whose first line is a
+    /// `name:type[@domain]` header (delimiter inferred from the
+    /// extension: `.tsv`/`.txt` → tab, else comma).
+    pub fn load_csv(
+        &mut self,
+        relation: &str,
+        path: impl AsRef<Path>,
+    ) -> Result<LoadReport, CoreError> {
+        let opts = CsvOptions::for_path(path.as_ref());
+        self.load_csv_with(relation, path, &opts)
+    }
+
+    /// [`Database::load_csv`] with explicit loader options.
+    pub fn load_csv_with(
+        &mut self,
+        relation: &str,
+        path: impl AsRef<Path>,
+        opts: &CsvOptions,
+    ) -> Result<LoadReport, CoreError> {
+        let file = std::fs::File::open(path).map_err(StorageError::Io)?;
+        self.load_csv_reader(relation, std::io::BufReader::new(file), opts)
+    }
+
+    /// Header-driven CSV load from any reader.
+    pub fn load_csv_reader(
+        &mut self,
+        relation: &str,
+        reader: impl BufRead,
+        opts: &CsvOptions,
+    ) -> Result<LoadReport, CoreError> {
+        let (buf, report) = self.types.load_csv(relation, reader, opts)?;
+        let combine = self
+            .types
+            .schema(relation)
+            .map(|s| s.combine)
+            .unwrap_or(AggOp::Sum);
+        self.catalog
+            .insert(relation, Relation::from_buffer(buf, combine));
+        Ok(report)
+    }
+
+    /// Schema-driven CSV load from any reader (the explicit schema wins;
+    /// a header line, if `opts` declares one, is skipped).
+    pub fn load_csv_schema(
+        &mut self,
+        schema: RelationSchema,
+        reader: impl BufRead,
+        opts: &CsvOptions,
+    ) -> Result<LoadReport, CoreError> {
+        let name = schema.name.clone();
+        let combine = schema.combine;
+        let (buf, report) = self.types.load_csv_schema(schema, reader, opts)?;
+        self.catalog
+            .insert(&name, Relation::from_buffer(buf, combine));
+        Ok(report)
+    }
+
+    /// Write the whole database — schemas, dictionaries, encoded tuples —
+    /// as a versioned binary image (see `eh_storage::image`).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CoreError> {
+        let file = std::fs::File::create(path).map_err(StorageError::Io)?;
+        let mut w = std::io::BufWriter::new(file);
+        self.save_to(&mut w)?;
+        w.flush().map_err(StorageError::Io)?;
+        Ok(())
+    }
+
+    /// [`Database::save`] to any writer.
+    pub fn save_to<W: Write>(&self, w: &mut W) -> Result<(), CoreError> {
+        // Schemas registered without data persist as empty relations.
+        let empties: Vec<(String, TupleBuffer)> = self
+            .types
+            .schemas()
+            .filter(|s| self.catalog.relation(&s.name).is_none())
+            .map(|s| (s.name.clone(), TupleBuffer::new(s.arity())))
+            .collect();
+        let mut pairs: Vec<(&str, &TupleBuffer)> = Vec::new();
+        for schema in self.types.schemas() {
+            match self.catalog.relation(&schema.name) {
+                Some(rel) => pairs.push((schema.name.as_str(), rel.rows())),
+                None => {
+                    let (name, buf) = empties
+                        .iter()
+                        .find(|(n, _)| *n == schema.name)
+                        .expect("empty buffer prepared above");
+                    pairs.push((name.as_str(), buf));
+                }
+            }
+        }
+        eh_storage::save_image(w, &self.types, &pairs)?;
+        Ok(())
+    }
+
+    /// Open a database image saved by [`Database::save`], with the
+    /// default engine configuration.
+    pub fn open(path: impl AsRef<Path>) -> Result<Database, CoreError> {
+        Self::open_with_config(path, Config::default())
+    }
+
+    /// [`Database::open`] with a custom engine configuration.
+    pub fn open_with_config(path: impl AsRef<Path>, config: Config) -> Result<Database, CoreError> {
+        let file = std::fs::File::open(path).map_err(StorageError::Io)?;
+        Self::open_reader(std::io::BufReader::new(file), config)
+    }
+
+    /// Load a database image from any reader.
+    pub fn open_reader<R: Read>(reader: R, config: Config) -> Result<Database, CoreError> {
+        let img = eh_storage::load_image(reader)?;
+        let mut db = Database::with_config(config);
+        for (name, tuples) in img.relations {
+            let combine = img
+                .catalog
+                .schema(&name)
+                .map(|s| s.combine)
+                .unwrap_or(AggOp::Sum);
+            db.catalog
+                .insert(&name, Relation::from_buffer(tuples, combine));
+        }
+        db.types = img.catalog;
+        Ok(db)
+    }
+
+    /// The typed storage catalog (schemas + dictionary domains).
+    pub fn storage(&self) -> &StorageCatalog {
+        &self.types
+    }
+
+    /// Dictionary id of a typed value in a relation's key column
+    /// `column` (stored-tuple position), if present. Type-checked: a
+    /// `U64(5)` never resolves through a string column's `"5"`.
+    pub fn id_of(&self, relation: &str, column: usize, value: &TypedValue) -> Option<u32> {
+        self.types.lookup_key_value(relation, column, value)
     }
 
     /// Bind a query-text constant (e.g. `'start'`) to a node id.
@@ -117,8 +338,10 @@ impl Database {
         self.catalog.relation(name)
     }
 
-    /// Remove a relation (returns it if present).
+    /// Remove a relation and its schema (returns the relation if
+    /// present; shared dictionary domains are kept).
     pub fn drop_relation(&mut self, name: &str) -> Option<Relation> {
+        self.types.remove_schema(name);
         self.catalog.remove(name)
     }
 
@@ -135,14 +358,25 @@ impl Database {
             eh_query::validate_rule(rule).map_err(|e| CoreError::Invalid(e.to_string()))?;
             let name = rule.head.relation.clone();
             let result = self.execute_one(rule)?;
+            let schema = self.infer_result_schema(rule, &result);
+            if self.types.register_schema(schema).is_err() {
+                // Inference produced a conflicting schema (e.g. a domain
+                // reused at another carrier type): fall back to untyped.
+                let _ = self.types.register_schema(implicit_schema(&name, &result));
+            }
             self.catalog.insert(&name, result.clone());
             last = Some((name, result));
         }
         let (name, relation) = last.expect("parser guarantees at least one rule");
-        Ok(QueryResult::new(name, relation))
+        let schema = self.types.schema(&name).cloned();
+        Ok(QueryResult::with_schema(name, relation, schema))
     }
 
     fn execute_one(&self, rule: &Rule) -> Result<Relation, CoreError> {
+        let view = TypedView {
+            mem: &self.catalog,
+            types: &self.types,
+        };
         let recursive = rule.head.recursion.is_some() || rule.is_recursive();
         if recursive {
             let initial = self
@@ -155,15 +389,58 @@ impl Database {
                         rule.head.relation
                     ))
                 })?;
-            Ok(execute_recursive_rule(
-                rule,
-                initial,
-                &self.catalog,
-                &self.config,
-            )?)
+            Ok(execute_recursive_rule(rule, initial, &view, &self.config)?)
         } else {
-            Ok(execute_rule(rule, &self.catalog, &self.config)?)
+            Ok(execute_rule(rule, &view, &self.config)?)
         }
+    }
+
+    /// Typed schema of a rule's *key* columns: each head variable
+    /// inherits the dictionary domain of the first body-atom column that
+    /// binds it, so decoded output maps ids back to the loader's
+    /// original keys — including across chained rules (each result
+    /// registers its own schema for the next rule to inherit from).
+    fn infer_key_schema(&self, rule: &Rule) -> RelationSchema {
+        let mut schema = RelationSchema::new(&rule.head.relation);
+        for var in &rule.head.key_vars {
+            let mut def: Option<ColumnDef> = None;
+            'atoms: for atom in &rule.body {
+                for (pos, term) in atom.terms.iter().enumerate() {
+                    if term.as_var() != Some(var.as_str()) {
+                        continue;
+                    }
+                    if let Some(domain) = self.types.key_domain(&atom.relation, pos) {
+                        let carrier = self
+                            .types
+                            .domain(&domain)
+                            .map(|d| d.carrier())
+                            .unwrap_or(ColumnType::U32);
+                        def = Some(ColumnDef::with_domain(var, carrier, &domain));
+                        break 'atoms;
+                    }
+                }
+            }
+            schema
+                .columns
+                .push(def.unwrap_or_else(|| ColumnDef::new(var, ColumnType::U32)));
+        }
+        schema
+    }
+
+    /// [`Database::infer_key_schema`] completed with the executed
+    /// result's combine op and annotation column (for registration).
+    fn infer_result_schema(&self, rule: &Rule, result: &Relation) -> RelationSchema {
+        let mut schema = self.infer_key_schema(rule).combining(result.combine());
+        if result.is_annotated() {
+            let name = rule
+                .head
+                .annotation
+                .as_ref()
+                .map(|a| a.name.clone())
+                .unwrap_or_else(|| "annot".into());
+            schema.columns.push(ColumnDef::new(&name, ColumnType::F64));
+        }
+        schema
     }
 
     /// Access the underlying catalog (for advanced integrations).
@@ -185,9 +462,14 @@ impl Database {
         }
         let ghd_plan = eh_ghd::plan_rule(&rule, &self.config.plan).map_err(CoreError::Invalid)?;
         let plan = eh_exec::PhysicalPlan::compile(&rule, &ghd_plan);
+        // Key-column provenance is captured now, so prepared results
+        // decode exactly like query() results (body relations the typed
+        // catalog doesn't know yet at prepare time decode as u32).
+        let schema = self.infer_key_schema(&rule);
         Ok(Prepared {
             name: rule.head.relation.clone(),
             plan,
+            schema,
         })
     }
 }
@@ -196,13 +478,24 @@ impl Database {
 pub struct Prepared {
     name: String,
     plan: eh_exec::PhysicalPlan,
+    /// Inferred key-column schema: lets results decode typed values
+    /// without registering anything in the database.
+    schema: RelationSchema,
 }
 
 impl Prepared {
     /// Execute against the database's current relations.
     pub fn execute(&self, db: &Database) -> Result<QueryResult, CoreError> {
-        let rel = eh_exec::execute_plan(&self.plan, &db.catalog, &db.config)?;
-        Ok(QueryResult::new(self.name.clone(), rel))
+        let view = TypedView {
+            mem: &db.catalog,
+            types: &db.types,
+        };
+        let rel = eh_exec::execute_plan(&self.plan, &view, &db.config)?;
+        Ok(QueryResult::with_schema(
+            self.name.clone(),
+            rel,
+            Some(self.schema.clone()),
+        ))
     }
 
     /// The compiled physical plan (inspectable via `render()`).
@@ -267,7 +560,183 @@ mod tests {
         let mut db = Database::new();
         db.load_edges("E", &[(0, 1)]);
         assert!(db.relation("E").is_some());
+        assert!(db.storage().schema("E").is_some());
         assert!(db.drop_relation("E").is_some());
         assert!(db.relation("E").is_none());
+        assert!(db.storage().schema("E").is_none());
+    }
+
+    fn social() -> Database {
+        let mut db = Database::new();
+        // Directed triangle alice→bob→carol→alice plus a pendant.
+        let csv = "src:str@user,dst:str@user\n\
+                   alice,bob\nbob,carol\ncarol,alice\ncarol,dave\n";
+        db.load_csv_reader("Follows", std::io::Cursor::new(csv), &CsvOptions::csv())
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn string_keyed_query_decodes() {
+        let mut db = social();
+        let out = db
+            .query("T(x,y,z) :- Follows(x,y),Follows(y,z),Follows(z,x).")
+            .unwrap();
+        assert_eq!(out.num_rows(), 3, "three rotations of the triangle");
+        let typed = out.typed_rows(&db);
+        assert!(typed.contains(&vec![
+            TypedValue::Str("alice".into()),
+            TypedValue::Str("bob".into()),
+            TypedValue::Str("carol".into()),
+        ]));
+        let col = out.decode_col(&db, 0);
+        assert_eq!(col.len(), 3);
+        assert!(col.iter().all(|v| matches!(v, TypedValue::Str(_))));
+    }
+
+    #[test]
+    fn string_constants_resolve_through_dictionary() {
+        let mut db = social();
+        let out = db.query("F(y) :- Follows('alice',y).").unwrap();
+        assert_eq!(
+            out.typed_rows(&db),
+            vec![vec![TypedValue::Str("bob".into())]]
+        );
+        // A key absent from the dictionary selects nothing (and must not
+        // fall back to integer parsing).
+        let out = db.query("G(y) :- Follows('zelda',y).").unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn save_open_round_trip_is_byte_stable() {
+        let mut db = social();
+        let count = |db: &mut Database| {
+            db.query("C(;w:long) :- Follows(x,y),Follows(y,z),Follows(z,x); w=<<COUNT(*)>>.")
+                .unwrap()
+                .scalar_u64()
+        };
+        let mut bytes = Vec::new();
+        db.save_to(&mut bytes).unwrap();
+        // Re-saving a freshly opened image reproduces it byte-for-byte.
+        let db2 = Database::open_reader(std::io::Cursor::new(&bytes), Config::default()).unwrap();
+        let mut again = Vec::new();
+        db2.save_to(&mut again).unwrap();
+        assert_eq!(bytes, again);
+        // And queries over the reloaded database answer identically.
+        let mut db2 = db2;
+        assert_eq!(count(&mut db2), count(&mut db));
+        assert_eq!(
+            db2.storage().domain("user").map(|d| d.len()),
+            Some(4),
+            "dictionaries intact"
+        );
+    }
+
+    #[test]
+    fn typed_rows_and_annotations_via_load_typed() {
+        let mut db = Database::new();
+        let schema = RelationSchema::parse("Score(item:str, w:f64)").unwrap();
+        db.load_typed(
+            schema,
+            &[
+                vec![TypedValue::Str("a".into()), TypedValue::F64(1.5)],
+                vec![TypedValue::Str("b".into()), TypedValue::F64(2.0)],
+            ],
+        )
+        .unwrap();
+        let out = db.query("S(x;w:float) :- Score(x); w=<<SUM(x)>>.").unwrap();
+        assert_eq!(out.num_rows(), 2);
+        let typed = out.typed_rows(&db);
+        assert!(typed.contains(&vec![TypedValue::Str("a".into())]));
+    }
+
+    #[test]
+    fn derived_results_inherit_domains_across_rules() {
+        let mut db = social();
+        db.query("Hop2(x,z) :- Follows(x,y),Follows(y,z).").unwrap();
+        let out = db.query("Hop3(x,w) :- Hop2(x,z),Follows(z,w).").unwrap();
+        let typed = out.typed_rows(&db);
+        assert!(!typed.is_empty());
+        assert!(typed
+            .iter()
+            .all(|row| row.iter().all(|v| matches!(v, TypedValue::Str(_)))));
+    }
+
+    #[test]
+    fn save_includes_untyped_and_scalar_relations() {
+        let mut db = Database::new();
+        db.load_edges("E", &[(0, 1), (1, 2), (0, 2)]);
+        db.register_scalar("N", DynValue::F64(3.0));
+        let mut bytes = Vec::new();
+        db.save_to(&mut bytes).unwrap();
+        let mut db2 =
+            Database::open_reader(std::io::Cursor::new(&bytes), Config::default()).unwrap();
+        assert_eq!(
+            db2.relation("N").and_then(|r| r.scalar_value()),
+            Some(DynValue::F64(3.0))
+        );
+        let out = db2
+            .query("C(;w:long) :- E(x,y),E(y,z),E(x,z); w=<<COUNT(*)>>.")
+            .unwrap();
+        assert_eq!(out.scalar_u64(), Some(1));
+    }
+
+    #[test]
+    fn prepared_results_decode_like_query_results() {
+        let mut db = social();
+        let stmt = db.prepare("T(x,y) :- Follows(x,y).").unwrap();
+        let prepared = stmt.execute(&db).unwrap();
+        let queried = db.query("T(x,y) :- Follows(x,y).").unwrap();
+        assert_eq!(prepared.typed_rows(&db), queried.typed_rows(&db));
+        assert!(prepared
+            .typed_rows(&db)
+            .iter()
+            .flatten()
+            .all(|v| matches!(v, TypedValue::Str(_))));
+    }
+
+    #[test]
+    fn id_of_is_type_checked() {
+        let mut db = Database::new();
+        let schema = RelationSchema::parse("R(k:str)").unwrap();
+        db.load_typed(schema, &[vec![TypedValue::Str("5".into())]])
+            .unwrap();
+        assert_eq!(db.id_of("R", 0, &TypedValue::Str("5".into())), Some(0));
+        assert_eq!(
+            db.id_of("R", 0, &TypedValue::U64(5)),
+            None,
+            "a u64 must not resolve through a string column"
+        );
+    }
+
+    #[test]
+    fn failed_load_rolls_back_schema() {
+        let mut db = Database::new();
+        let err = db.load_csv_reader(
+            "Bad",
+            std::io::Cursor::new("k:u32\n1\nnope\n"),
+            &CsvOptions::csv(),
+        );
+        assert!(err.is_err());
+        assert!(db.storage().schema("Bad").is_none(), "schema rolled back");
+        let mut bytes = Vec::new();
+        db.save_to(&mut bytes).unwrap();
+        let db2 = Database::open_reader(std::io::Cursor::new(&bytes), Config::default()).unwrap();
+        assert!(
+            db2.relation("Bad").is_none(),
+            "aborted load must not resurface in images"
+        );
+    }
+
+    #[test]
+    fn malformed_csv_surfaces_as_storage_error() {
+        let mut db = Database::new();
+        let r = db.load_csv_reader(
+            "R",
+            std::io::Cursor::new("k:u32\nnope\n"),
+            &CsvOptions::csv(),
+        );
+        assert!(matches!(r, Err(CoreError::Storage(_))));
     }
 }

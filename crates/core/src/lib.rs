@@ -23,6 +23,9 @@ pub mod result;
 pub use database::{CoreError, Database, Prepared};
 pub use eh_exec::{Config, Relation, TupleBuffer};
 pub use eh_graph::Graph;
+pub use eh_storage::{
+    ColumnType, CsvOptions, LoadReport, RelationSchema, StorageCatalog, TypedValue,
+};
 pub use result::QueryResult;
 
 #[cfg(test)]

@@ -1,18 +1,51 @@
 //! Query results.
 
+use crate::database::Database;
 use eh_exec::{Relation, TupleBuffer};
 use eh_semiring::DynValue;
+use eh_storage::{Domain, RelationSchema, TypedValue};
 
-/// The result of a query: the head relation's name and contents.
+/// The result of a query: the head relation's name and contents, plus
+/// the inferred key-column schema used to decode ids back to typed
+/// values (carried here so prepared-statement results decode exactly
+/// like `query()` results, without touching the database).
 #[derive(Clone, Debug)]
 pub struct QueryResult {
     name: String,
     relation: Relation,
+    schema: Option<RelationSchema>,
 }
 
 impl QueryResult {
-    pub(crate) fn new(name: String, relation: Relation) -> QueryResult {
-        QueryResult { name, relation }
+    pub(crate) fn with_schema(
+        name: String,
+        relation: Relation,
+        schema: Option<RelationSchema>,
+    ) -> QueryResult {
+        QueryResult {
+            name,
+            relation,
+            schema,
+        }
+    }
+
+    /// Per-output-column dictionary domains, resolved once (the decode
+    /// loops below touch only a `Vec` index per cell). Falls back to the
+    /// database's registered schema when the result carries none.
+    fn column_domains<'a>(&'a self, db: &'a Database) -> Vec<Option<&'a Domain>> {
+        let schema = self
+            .schema
+            .as_ref()
+            .or_else(|| db.storage().schema(&self.name));
+        let mut domains: Vec<Option<&Domain>> = match schema {
+            Some(s) => s
+                .key_columns()
+                .map(|(_, col)| col.domain_key().and_then(|k| db.storage().domain(&k)))
+                .collect(),
+            None => Vec::new(),
+        };
+        domains.resize(self.relation.arity(), None);
+        domains
     }
 
     /// Head relation name.
@@ -73,6 +106,55 @@ impl QueryResult {
         let pos = self.relation.rows().iter().position(|r| r == key)?;
         self.relation.annotations().map(|a| a[pos])
     }
+
+    /// Decode one result id back through the catalog's dictionaries:
+    /// the value the loader originally ingested for that column's
+    /// domain. Columns without typed provenance (plain u32 data) decode
+    /// as [`TypedValue::U32`].
+    pub fn decode_value(&self, db: &Database, col: usize, id: u32) -> TypedValue {
+        self.column_domains(db)
+            .get(col)
+            .copied()
+            .flatten()
+            .and_then(|d| d.decode(id))
+            .unwrap_or(TypedValue::U32(id))
+    }
+
+    /// One output column, decoded to typed values.
+    pub fn decode_col(&self, db: &Database, col: usize) -> Vec<TypedValue> {
+        assert!(col < self.relation.arity(), "column out of range");
+        let domain = self.column_domains(db)[col];
+        self.relation
+            .rows()
+            .iter()
+            .map(|r| decode_id(domain, r[col]))
+            .collect()
+    }
+
+    /// All result rows decoded to typed values (dictionary ids mapped
+    /// back to the original string/u64/i64 keys; see
+    /// [`QueryResult::annotated_rows`] for the annotation column).
+    pub fn typed_rows(&self, db: &Database) -> Vec<Vec<TypedValue>> {
+        let domains = self.column_domains(db);
+        self.relation
+            .rows()
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .zip(&domains)
+                    .map(|(&id, &domain)| decode_id(domain, id))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Decode one id through an optional resolved domain (u32 pass-through
+/// when the column has none).
+fn decode_id(domain: Option<&Domain>, id: u32) -> TypedValue {
+    domain
+        .and_then(|d| d.decode(id))
+        .unwrap_or(TypedValue::U32(id))
 }
 
 #[cfg(test)]
@@ -88,7 +170,7 @@ mod tests {
             vec![DynValue::U64(10), DynValue::U64(20)],
             AggOp::Sum,
         );
-        let r = QueryResult::new("Q".into(), rel);
+        let r = QueryResult::with_schema("Q".into(), rel, None);
         assert_eq!(r.name(), "Q");
         assert_eq!(r.num_rows(), 2);
         assert!(!r.is_empty());
@@ -100,7 +182,7 @@ mod tests {
 
     #[test]
     fn scalar_result() {
-        let r = QueryResult::new("C".into(), Relation::new_scalar(DynValue::U64(42)));
+        let r = QueryResult::with_schema("C".into(), Relation::new_scalar(DynValue::U64(42)), None);
         assert_eq!(r.scalar_u64(), Some(42));
         assert_eq!(r.scalar_f64(), Some(42.0));
     }

@@ -389,8 +389,11 @@ fn build_atom(
     // Resolve and descend the constant prefix once (selection push-down
     // within the node: selections are the first trie levels).
     let mut consts = Vec::with_capacity(ap.const_prefix.len());
-    for c in &ap.const_prefix {
-        match catalog.resolve_const(c) {
+    for (i, c) in ap.const_prefix.iter().enumerate() {
+        // trie_order leads with the constant positions, so the source
+        // column of constant i is trie_order[i] — typed catalogs resolve
+        // through that column's dictionary domain.
+        match catalog.resolve_const_at(&ap.relation, ap.trie_order[i], c) {
             Some(id) => consts.push(id),
             None => return Ok(BuiltAtom::Empty),
         }

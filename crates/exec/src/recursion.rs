@@ -39,6 +39,10 @@ impl Catalog for Overlay<'_> {
     fn resolve_const(&self, text: &str) -> Option<u32> {
         self.base.resolve_const(text)
     }
+
+    fn resolve_const_at(&self, relation: &str, column: usize, text: &str) -> Option<u32> {
+        self.base.resolve_const_at(relation, column, text)
+    }
 }
 
 /// Evaluate a recursive rule to convergence, starting from `initial` (the

@@ -98,6 +98,11 @@ impl Relation {
         self.tuples.arity()
     }
 
+    /// The ⊕ used to combine duplicate-tuple annotations.
+    pub fn combine(&self) -> AggOp {
+        self.combine
+    }
+
     /// The stored tuples (flat columnar buffer; iterate for row views).
     pub fn rows(&self) -> &TupleBuffer {
         &self.tuples
@@ -180,6 +185,17 @@ pub trait Catalog: Sync {
     /// callers with string dictionaries override this.
     fn resolve_const(&self, text: &str) -> Option<u32> {
         text.parse().ok()
+    }
+
+    /// Resolve a constant appearing at a specific column of a specific
+    /// relation. Typed catalogs override this to consult the column's
+    /// dictionary domain (so `Follows('alice', x)` encodes `alice`
+    /// through the same dictionary the loader used); the default ignores
+    /// the position. `None` means the key cannot match — the executor
+    /// turns the atom into an empty result.
+    fn resolve_const_at(&self, relation: &str, column: usize, text: &str) -> Option<u32> {
+        let _ = (relation, column);
+        self.resolve_const(text)
     }
 }
 

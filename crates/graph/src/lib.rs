@@ -89,6 +89,39 @@ impl Graph {
         Ok(Graph::from_edges(edges))
     }
 
+    /// Load an edge list through the storage layer's streaming reader:
+    /// two `u64` key columns sharing one dictionary domain, so arbitrary
+    /// (even 64-bit) node ids are densely remapped in first-seen order —
+    /// the same dictionary-encoding path typed relations take. Malformed
+    /// rows follow `opts.malformed`; self-loops are dropped and
+    /// duplicate edges collapsed, as in [`Graph::from_edges`].
+    pub fn from_edge_list<R: BufRead>(
+        reader: R,
+        opts: &eh_storage::CsvOptions,
+    ) -> Result<Graph, eh_storage::StorageError> {
+        let mut catalog = eh_storage::StorageCatalog::new();
+        let schema = eh_storage::RelationSchema::new("Edge")
+            .column_in("src", eh_storage::ColumnType::U64, "node")
+            .column_in("dst", eh_storage::ColumnType::U64, "node");
+        let (buf, _) = catalog.load_csv_schema(schema, reader, opts)?;
+        let num_nodes = catalog.domain("node").map(|d| d.len()).unwrap_or(0) as u32;
+        let edges: Vec<(u32, u32)> = buf.iter().map(|r| (r[0], r[1])).collect();
+        Ok(Graph::from_dense(num_nodes, edges))
+    }
+
+    /// [`Graph::from_edge_list`] on a file path, with the SNAP
+    /// edge-list defaults (whitespace-separated, headerless, `#`
+    /// comments, malformed rows skipped — matching [`Graph::from_tsv`]).
+    pub fn from_edge_list_path(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Graph, eh_storage::StorageError> {
+        let file = std::fs::File::open(path)?;
+        Graph::from_edge_list(
+            std::io::BufReader::new(file),
+            &eh_storage::CsvOptions::edge_list().skip_malformed(),
+        )
+    }
+
     /// Number of directed edges.
     pub fn num_edges(&self) -> usize {
         self.edges.len()
@@ -335,6 +368,41 @@ mod tests {
         let g = Graph::from_tsv(std::io::Cursor::new(input)).unwrap();
         assert_eq!(g.num_nodes, 3);
         assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn edge_list_loader_matches_from_tsv() {
+        let input = "# comment\n0 1\n1 2\nbad line\n2 0\n2 2\n";
+        let via_storage = Graph::from_edge_list(
+            std::io::Cursor::new(input),
+            &eh_storage::CsvOptions::edge_list().skip_malformed(),
+        )
+        .unwrap();
+        let via_tsv = Graph::from_tsv(std::io::Cursor::new(input)).unwrap();
+        assert_eq!(via_storage.num_nodes, via_tsv.num_nodes);
+        assert_eq!(via_storage.edges, via_tsv.edges);
+    }
+
+    #[test]
+    fn edge_list_loader_remaps_64bit_ids() {
+        let input = "99999999999 7\n7 99999999999\n";
+        let g = Graph::from_edge_list(
+            std::io::Cursor::new(input),
+            &eh_storage::CsvOptions::edge_list(),
+        )
+        .unwrap();
+        assert_eq!(g.num_nodes, 2);
+        assert_eq!(g.edges, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn edge_list_loader_strict_mode_errors() {
+        let input = "0 1\nbad line\n";
+        assert!(Graph::from_edge_list(
+            std::io::Cursor::new(input),
+            &eh_storage::CsvOptions::edge_list(),
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,641 @@
+//! Versioned on-disk database images: encode once, reload in
+//! milliseconds (paper §2.4 — queries run against a loaded, already
+//! dictionary-encoded database, not raw text).
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "EHDB" | u32 version | u32 section_count
+//! section*:  u8 tag | u64 payload_len | payload | u32 fnv1a(payload)
+//! ```
+//!
+//! Section tag 1 is the single *domains* section (every dictionary, keys
+//! in id order); tag 2 is one section per relation (schema columns,
+//! combine op, flat u32 tuple data, optional annotation column). Strings
+//! are `u32 len + UTF-8 bytes`. Every section carries its own FNV-1a
+//! checksum; the loader verifies checksums before parsing, bounds-checks
+//! every read, and rejects trailing bytes — corrupt images produce
+//! [`StorageError`]s, never panics. Saving a freshly loaded image
+//! reproduces it byte-for-byte (dictionaries keep insertion order, the
+//! catalog iterates in name order).
+
+use crate::encode::{Domain, StorageCatalog};
+use crate::schema::{ColumnDef, ColumnType, RelationSchema, StorageError};
+use eh_semiring::{AggOp, DynValue};
+use eh_trie::{Dictionary, TupleBuffer};
+use std::io::{Read, Write};
+
+/// First four bytes of every database image.
+pub const IMAGE_MAGIC: [u8; 4] = *b"EHDB";
+/// Current image format version.
+pub const IMAGE_VERSION: u32 = 1;
+
+const TAG_DOMAINS: u8 = 1;
+const TAG_RELATION: u8 = 2;
+
+/// A fully decoded image: typed catalog plus each relation's encoded
+/// tuples, in catalog (name) order.
+#[derive(Clone, Debug)]
+pub struct LoadedImage {
+    /// Schemas and dictionary domains.
+    pub catalog: StorageCatalog,
+    /// `(relation name, encoded tuples)` in name order.
+    pub relations: Vec<(String, TupleBuffer)>,
+}
+
+/// Write the whole catalog as one image. `relations` supplies the
+/// encoded tuples of every registered schema (extra entries without a
+/// schema are an error — nothing is silently dropped).
+pub fn save_image<W: Write>(
+    w: &mut W,
+    catalog: &StorageCatalog,
+    relations: &[(&str, &TupleBuffer)],
+) -> Result<(), StorageError> {
+    for (name, _) in relations {
+        if catalog.schema(name).is_none() {
+            return Err(StorageError::Schema(format!(
+                "relation '{name}' has tuples but no registered schema"
+            )));
+        }
+    }
+    let schema_count = catalog.schemas().count();
+    w.write_all(&IMAGE_MAGIC)?;
+    w.write_all(&IMAGE_VERSION.to_le_bytes())?;
+    w.write_all(&(1 + schema_count as u32).to_le_bytes())?;
+
+    let mut payload = Vec::new();
+    put_u32(&mut payload, catalog.domains().count() as u32);
+    for (name, dom) in catalog.domains() {
+        put_str(&mut payload, name);
+        put_domain(&mut payload, dom);
+    }
+    put_section(w, TAG_DOMAINS, &payload)?;
+
+    for schema in catalog.schemas() {
+        let tuples = relations
+            .iter()
+            .find(|(n, _)| *n == schema.name)
+            .map(|(_, t)| *t)
+            .ok_or_else(|| {
+                StorageError::Schema(format!("no tuples supplied for relation '{}'", schema.name))
+            })?;
+        if tuples.arity() != schema.arity() {
+            return Err(StorageError::Schema(format!(
+                "relation '{}': schema arity {} != buffer arity {}",
+                schema.name,
+                schema.arity(),
+                tuples.arity()
+            )));
+        }
+        payload.clear();
+        put_str(&mut payload, &schema.name);
+        payload.push(combine_tag(schema.combine));
+        put_u32(&mut payload, schema.columns.len() as u32);
+        for col in &schema.columns {
+            put_str(&mut payload, &col.name);
+            payload.push(type_tag(col.ty));
+            match &col.domain {
+                Some(d) => {
+                    payload.push(1);
+                    put_str(&mut payload, d);
+                }
+                None => payload.push(0),
+            }
+        }
+        put_u32(&mut payload, tuples.arity() as u32);
+        payload.extend_from_slice(&(tuples.len() as u64).to_le_bytes());
+        for &v in tuples.flat() {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        match tuples.annotations() {
+            None => payload.push(0),
+            Some(annots) => {
+                payload.push(1);
+                for a in annots {
+                    match a {
+                        DynValue::U64(v) => {
+                            payload.push(0);
+                            payload.extend_from_slice(&v.to_le_bytes());
+                        }
+                        DynValue::F64(v) => {
+                            payload.push(1);
+                            payload.extend_from_slice(&v.to_bits().to_le_bytes());
+                        }
+                    }
+                }
+            }
+        }
+        put_section(w, TAG_RELATION, &payload)?;
+    }
+    Ok(())
+}
+
+/// Read an image produced by [`save_image`]. Verifies magic, version,
+/// and every section checksum; all errors are recoverable
+/// [`StorageError`]s.
+pub fn load_image<R: Read>(mut r: R) -> Result<LoadedImage, StorageError> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    let mut rd = ByteReader::new(&bytes);
+    let magic = rd.take(4, "magic")?;
+    if magic != IMAGE_MAGIC {
+        return Err(StorageError::Format(format!(
+            "bad magic {magic:02x?}; not an EmptyHeaded database image"
+        )));
+    }
+    let version = rd.u32("version")?;
+    if version != IMAGE_VERSION {
+        return Err(StorageError::Format(format!(
+            "unsupported image version {version} (this build reads {IMAGE_VERSION})"
+        )));
+    }
+    let sections = rd.u32("section count")?;
+    let mut catalog = StorageCatalog::new();
+    let mut relations: Vec<(String, TupleBuffer)> = Vec::new();
+    let mut saw_domains = false;
+    for i in 0..sections {
+        let tag = rd.u8("section tag")?;
+        let len = rd.u64("section length")? as usize;
+        let payload = rd.take(len, "section payload")?;
+        let stored = rd.u32("section checksum")?;
+        let section_name = match tag {
+            TAG_DOMAINS => "domains".to_string(),
+            TAG_RELATION => format!("relation #{i}"),
+            t => return Err(StorageError::Format(format!("unknown section tag {t}"))),
+        };
+        if fnv1a(payload) != stored {
+            return Err(StorageError::Checksum {
+                section: section_name,
+            });
+        }
+        let mut pr = ByteReader::new(payload);
+        match tag {
+            TAG_DOMAINS => {
+                if saw_domains {
+                    return Err(StorageError::Format("duplicate domains section".into()));
+                }
+                saw_domains = true;
+                read_domains(&mut pr, &mut catalog)?;
+            }
+            _ => {
+                let (schema, tuples) = read_relation(&mut pr)?;
+                let name = schema.name.clone();
+                catalog.register_schema(schema)?;
+                relations.push((name, tuples));
+            }
+        }
+        if !pr.is_empty() {
+            return Err(StorageError::Format(format!(
+                "section '{section_name}' has {} trailing bytes",
+                pr.remaining()
+            )));
+        }
+    }
+    if !rd.is_empty() {
+        return Err(StorageError::Format(format!(
+            "{} trailing bytes after final section",
+            rd.remaining()
+        )));
+    }
+    if !saw_domains {
+        return Err(StorageError::Format("image has no domains section".into()));
+    }
+    Ok(LoadedImage { catalog, relations })
+}
+
+fn read_domains(pr: &mut ByteReader<'_>, catalog: &mut StorageCatalog) -> Result<(), StorageError> {
+    let count = pr.u32("domain count")?;
+    for _ in 0..count {
+        let name = pr.str("domain name")?;
+        let carrier = pr.u8("domain carrier")?;
+        let entries = pr.u32("domain entry count")? as usize;
+        let dom = match carrier {
+            0 => {
+                let mut d = Dictionary::with_capacity(entries);
+                for _ in 0..entries {
+                    d.encode(pr.u64("u64 key")?);
+                }
+                check_dense(d.len(), entries, &name)?;
+                Domain::U64(d)
+            }
+            1 => {
+                let mut d = Dictionary::with_capacity(entries);
+                for _ in 0..entries {
+                    d.encode(pr.u64("i64 key")? as i64);
+                }
+                check_dense(d.len(), entries, &name)?;
+                Domain::I64(d)
+            }
+            2 => {
+                let mut d = Dictionary::with_capacity(entries);
+                for _ in 0..entries {
+                    d.encode(pr.str("str key")?);
+                }
+                check_dense(d.len(), entries, &name)?;
+                Domain::Str(d)
+            }
+            t => {
+                return Err(StorageError::Format(format!(
+                    "domain '{name}': unknown carrier tag {t}"
+                )))
+            }
+        };
+        catalog.insert_domain(name, dom);
+    }
+    Ok(())
+}
+
+/// A dictionary rebuilt from an image must be exactly as long as its
+/// declared entry count — duplicate keys (corruption) collapse and trip
+/// this check.
+fn check_dense(len: usize, declared: usize, name: &str) -> Result<(), StorageError> {
+    if len != declared {
+        return Err(StorageError::Format(format!(
+            "domain '{name}': {declared} entries declared, {len} distinct"
+        )));
+    }
+    Ok(())
+}
+
+fn read_relation(pr: &mut ByteReader<'_>) -> Result<(RelationSchema, TupleBuffer), StorageError> {
+    let name = pr.str("relation name")?;
+    let combine = parse_combine(pr.u8("combine tag")?)?;
+    let ncols = pr.u32("column count")? as usize;
+    // Bound: every column needs ≥ 7 payload bytes (4+0 name, 1 type,
+    // 1 domain flag) — rejects absurd counts before the loop.
+    if ncols > pr.remaining() / 6 + 1 {
+        return Err(StorageError::Format(format!(
+            "relation '{name}': column count {ncols} exceeds payload"
+        )));
+    }
+    let mut columns = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let cname = pr.str("column name")?;
+        let ty = parse_type(pr.u8("column type")?)?;
+        let domain = match pr.u8("domain flag")? {
+            0 => None,
+            1 => Some(pr.str("column domain")?),
+            f => {
+                return Err(StorageError::Format(format!(
+                    "column '{cname}': bad domain flag {f}"
+                )))
+            }
+        };
+        columns.push(ColumnDef {
+            name: cname,
+            ty,
+            domain,
+        });
+    }
+    let schema = RelationSchema {
+        name: name.clone(),
+        columns,
+        combine,
+    };
+    schema.validate()?;
+    let arity = pr.u32("arity")? as usize;
+    if arity != schema.arity() {
+        return Err(StorageError::Format(format!(
+            "relation '{name}': stored arity {arity} != schema arity {}",
+            schema.arity()
+        )));
+    }
+    let rows = pr.u64("row count")? as usize;
+    let values = rows
+        .checked_mul(arity)
+        .ok_or_else(|| StorageError::Format(format!("relation '{name}': row count overflow")))?;
+    if values
+        .checked_mul(4)
+        .map(|b| b > pr.remaining())
+        .unwrap_or(true)
+    {
+        return Err(StorageError::Format(format!(
+            "relation '{name}': {rows} rows exceed payload"
+        )));
+    }
+    let mut tuples = if arity == 0 {
+        TupleBuffer::nullary(rows)
+    } else {
+        let mut flat = Vec::with_capacity(values);
+        for _ in 0..values {
+            flat.push(pr.u32("tuple value")?);
+        }
+        TupleBuffer::from_flat(arity, flat)
+    };
+    match pr.u8("annotation flag")? {
+        0 => {}
+        1 => {
+            if rows
+                .checked_mul(9)
+                .map(|b| b > pr.remaining())
+                .unwrap_or(true)
+            {
+                return Err(StorageError::Format(format!(
+                    "relation '{name}': annotation column exceeds payload"
+                )));
+            }
+            let mut annots = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                let tag = pr.u8("annotation tag")?;
+                let raw = pr.u64("annotation value")?;
+                annots.push(match tag {
+                    0 => DynValue::U64(raw),
+                    1 => DynValue::F64(f64::from_bits(raw)),
+                    t => {
+                        return Err(StorageError::Format(format!(
+                            "relation '{name}': bad annotation tag {t}"
+                        )))
+                    }
+                });
+            }
+            tuples.set_annotations(annots);
+        }
+        f => {
+            return Err(StorageError::Format(format!(
+                "relation '{name}': bad annotation flag {f}"
+            )))
+        }
+    }
+    Ok((schema, tuples))
+}
+
+fn combine_tag(op: AggOp) -> u8 {
+    match op {
+        AggOp::Count => 0,
+        AggOp::Sum => 1,
+        AggOp::Min => 2,
+        AggOp::Max => 3,
+    }
+}
+
+fn parse_combine(tag: u8) -> Result<AggOp, StorageError> {
+    match tag {
+        0 => Ok(AggOp::Count),
+        1 => Ok(AggOp::Sum),
+        2 => Ok(AggOp::Min),
+        3 => Ok(AggOp::Max),
+        t => Err(StorageError::Format(format!("unknown combine tag {t}"))),
+    }
+}
+
+fn type_tag(ty: ColumnType) -> u8 {
+    match ty {
+        ColumnType::U32 => 0,
+        ColumnType::U64 => 1,
+        ColumnType::I64 => 2,
+        ColumnType::F64 => 3,
+        ColumnType::Str => 4,
+    }
+}
+
+fn parse_type(tag: u8) -> Result<ColumnType, StorageError> {
+    match tag {
+        0 => Ok(ColumnType::U32),
+        1 => Ok(ColumnType::U64),
+        2 => Ok(ColumnType::I64),
+        3 => Ok(ColumnType::F64),
+        4 => Ok(ColumnType::Str),
+        t => Err(StorageError::Format(format!("unknown column type tag {t}"))),
+    }
+}
+
+/// FNV-1a 32-bit (good error detection for kilobyte-scale sections, no
+/// tables, no dependencies).
+pub fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x01000193);
+    }
+    h
+}
+
+fn put_section<W: Write>(w: &mut W, tag: u8, payload: &[u8]) -> Result<(), StorageError> {
+    w.write_all(&[tag])?;
+    w.write_all(&(payload.len() as u64).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.write_all(&fnv1a(payload).to_le_bytes())?;
+    Ok(())
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Serialize one domain: carrier tag, entry count, then keys in id
+/// order, borrowed straight out of the dictionary — saving a
+/// multi-million-key domain clones nothing.
+fn put_domain(out: &mut Vec<u8>, dom: &Domain) {
+    match dom {
+        Domain::U64(d) => {
+            out.push(0);
+            put_u32(out, d.len() as u32);
+            for id in 0..d.len() as u32 {
+                out.extend_from_slice(&d.decode(id).expect("dense ids").to_le_bytes());
+            }
+        }
+        Domain::I64(d) => {
+            out.push(1);
+            put_u32(out, d.len() as u32);
+            for id in 0..d.len() as u32 {
+                out.extend_from_slice(&d.decode(id).expect("dense ids").to_le_bytes());
+            }
+        }
+        Domain::Str(d) => {
+            out.push(2);
+            put_u32(out, d.len() as u32);
+            for id in 0..d.len() as u32 {
+                put_str(out, d.decode(id).expect("dense ids"));
+            }
+        }
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked cursor over untrusted bytes: every read that would run
+/// past the end is a [`StorageError::Format`], so corrupt length fields
+/// can neither panic nor over-allocate.
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(bytes: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], StorageError> {
+        if n > self.remaining() {
+            return Err(StorageError::Format(format!(
+                "truncated image: {what} needs {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, StorageError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, StorageError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, StorageError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn str(&mut self, what: &str) -> Result<String, StorageError> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StorageError::Format(format!("{what}: invalid UTF-8")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::CsvOptions;
+    use crate::schema::TypedValue;
+    use std::io::Cursor;
+
+    fn sample() -> (StorageCatalog, Vec<(String, TupleBuffer)>) {
+        let mut cat = StorageCatalog::new();
+        let data = "src:str@user,dst:str@user\nalice,bob\nbob,carol\ncarol,alice\n";
+        let (follows, _) = cat
+            .load_csv("Follows", Cursor::new(data), &CsvOptions::csv())
+            .unwrap();
+        let (scores, _) = cat
+            .load_csv(
+                "Score",
+                Cursor::new("k:u64,w:f64\n10,0.5\n20,1.5\n"),
+                &CsvOptions::csv(),
+            )
+            .unwrap();
+        (
+            cat,
+            vec![("Follows".into(), follows), ("Score".into(), scores)],
+        )
+    }
+
+    fn to_bytes(cat: &StorageCatalog, rels: &[(String, TupleBuffer)]) -> Vec<u8> {
+        let mut out = Vec::new();
+        let refs: Vec<(&str, &TupleBuffer)> = rels.iter().map(|(n, t)| (n.as_str(), t)).collect();
+        save_image(&mut out, cat, &refs).unwrap();
+        out
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let (cat, rels) = sample();
+        let bytes = to_bytes(&cat, &rels);
+        let img = load_image(Cursor::new(&bytes)).unwrap();
+        assert_eq!(img.relations.len(), 2);
+        let (name, follows) = &img.relations[0];
+        assert_eq!(name, "Follows");
+        assert_eq!(follows, &rels[0].1);
+        assert_eq!(&img.relations[1].1, &rels[1].1);
+        assert_eq!(
+            img.catalog.decode_key("Follows", 0, 0),
+            Some(TypedValue::Str("alice".into()))
+        );
+        assert_eq!(img.catalog.schema("Score").unwrap().annot_column(), Some(1));
+    }
+
+    #[test]
+    fn reload_is_byte_stable() {
+        let (cat, rels) = sample();
+        let bytes = to_bytes(&cat, &rels);
+        let img = load_image(Cursor::new(&bytes)).unwrap();
+        assert_eq!(to_bytes(&img.catalog, &img.relations), bytes);
+    }
+
+    #[test]
+    fn bad_magic_is_error() {
+        let (cat, rels) = sample();
+        let mut bytes = to_bytes(&cat, &rels);
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            load_image(Cursor::new(&bytes)),
+            Err(StorageError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_version_is_error() {
+        let (cat, rels) = sample();
+        let mut bytes = to_bytes(&cat, &rels);
+        bytes[4] = 99;
+        assert!(load_image(Cursor::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn every_truncation_is_error() {
+        let (cat, rels) = sample();
+        let bytes = to_bytes(&cat, &rels);
+        for len in 0..bytes.len() {
+            assert!(
+                load_image(Cursor::new(&bytes[..len])).is_err(),
+                "truncation at {len} must error"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_corruption_trips_checksum() {
+        let (cat, rels) = sample();
+        let bytes = to_bytes(&cat, &rels);
+        // Flip a byte inside the domains payload (after the 12-byte file
+        // header and 9-byte section header).
+        let mut corrupt = bytes.clone();
+        corrupt[12 + 9 + 4] ^= 0x01;
+        assert!(load_image(Cursor::new(&corrupt)).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let (cat, rels) = sample();
+        let mut bytes = to_bytes(&cat, &rels);
+        bytes.push(0);
+        assert!(load_image(Cursor::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn tuples_without_schema_rejected() {
+        let (cat, _) = sample();
+        let buf = TupleBuffer::from_pairs(&[(0, 1)]);
+        let mut out = Vec::new();
+        assert!(save_image(&mut out, &cat, &[("Ghost", &buf)]).is_err());
+    }
+
+    #[test]
+    fn empty_catalog_round_trips() {
+        let cat = StorageCatalog::new();
+        let mut bytes = Vec::new();
+        save_image(&mut bytes, &cat, &[]).unwrap();
+        let img = load_image(Cursor::new(&bytes)).unwrap();
+        assert!(img.relations.is_empty());
+        assert_eq!(img.catalog.schemas().count(), 0);
+    }
+}

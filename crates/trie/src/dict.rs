@@ -7,6 +7,8 @@
 //! [`Dictionary::remap`] applies a permutation produced by the ordering
 //! schemes in `eh-graph`.
 
+use std::borrow::Borrow;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::hash::Hash;
 
@@ -26,19 +28,58 @@ impl<K: Eq + Hash + Clone> Dictionary<K> {
         }
     }
 
+    /// Empty dictionary pre-sized for `keys` distinct keys.
+    pub fn with_capacity(keys: usize) -> Dictionary<K> {
+        Dictionary {
+            to_id: HashMap::with_capacity(keys),
+            to_key: Vec::with_capacity(keys),
+        }
+    }
+
     /// Id for `key`, allocating the next dense id on first sight.
+    /// One hash lookup either way (entry API).
     pub fn encode(&mut self, key: K) -> u32 {
-        if let Some(&id) = self.to_id.get(&key) {
+        let next = self.to_key.len() as u32;
+        match self.to_id.entry(key) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                self.to_key.push(e.key().clone());
+                e.insert(next);
+                next
+            }
+        }
+    }
+
+    /// Id for a borrowed key, allocating on first sight. Hits cost one
+    /// hash lookup and no clone/allocation — the bulk `&str` ingest path,
+    /// where almost every key after the first million is a hit.
+    pub fn encode_ref<Q>(&mut self, key: &Q) -> u32
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ToOwned<Owned = K> + ?Sized,
+    {
+        if let Some(&id) = self.to_id.get(key) {
             return id;
         }
         let id = self.to_key.len() as u32;
-        self.to_id.insert(key.clone(), id);
-        self.to_key.push(key);
+        let owned = key.to_owned();
+        self.to_id.insert(owned.clone(), id);
+        self.to_key.push(owned);
         id
     }
 
     /// Id for `key` if already present.
     pub fn get(&self, key: &K) -> Option<u32> {
+        self.to_id.get(key).copied()
+    }
+
+    /// Id for a borrowed key if already present (no clone/allocation —
+    /// the read-side twin of [`Dictionary::encode_ref`]).
+    pub fn get_ref<Q>(&self, key: &Q) -> Option<u32>
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
         self.to_id.get(key).copied()
     }
 
@@ -84,9 +125,15 @@ impl<K: Eq + Hash + Clone> Dictionary<K> {
             .collect();
     }
 
-    /// Encode a whole column, in order.
+    /// Encode a whole column, in order (output pre-sized from the
+    /// iterator's length hint).
     pub fn encode_column<I: IntoIterator<Item = K>>(&mut self, col: I) -> Vec<u32> {
-        col.into_iter().map(|k| self.encode(k)).collect()
+        let it = col.into_iter();
+        let mut out = Vec::with_capacity(it.size_hint().0);
+        for k in it {
+            out.push(self.encode(k));
+        }
+        out
     }
 }
 
@@ -149,6 +196,24 @@ mod tests {
         let mut d = Dictionary::new();
         let ids = d.encode_column(vec![5u64, 7, 5, 9]);
         assert_eq!(ids, vec![0, 1, 0, 2]);
+    }
+
+    #[test]
+    fn encode_ref_matches_encode() {
+        let mut d = Dictionary::new();
+        let a = d.encode_ref("alice");
+        assert_eq!(d.encode("alice".to_string()), a);
+        assert_eq!(d.encode_ref("alice"), a);
+        let b = d.encode_ref("bob");
+        assert_ne!(a, b);
+        assert_eq!(d.decode(b), Some(&"bob".to_string()));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let d: Dictionary<String> = Dictionary::with_capacity(64);
+        assert!(d.is_empty());
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! * [`Config`] — every engine knob the paper ablates (`-R`, `-RA`, `-S`,
 //!   `-GHD`),
 //! * [`Graph`] and the generators/orderings of [`graph`],
+//! * [`storage`] — typed schemas, dictionary-encoded CSV/TSV ingest,
+//!   and on-disk database images (`Database::load_csv` / `save` /
+//!   `open`),
 //! * the lower layers for direct use: [`set`] (layouts + SIMD
 //!   intersections), [`trie`] (storage), [`query`] (language),
 //!   [`ghd`] (query compiler), [`exec`] (execution engine),
@@ -35,6 +38,7 @@
 pub use eh_core::{algorithms, CoreError, Database, QueryResult};
 pub use eh_exec::{Config, Relation, TupleBuffer};
 pub use eh_graph::Graph;
+pub use eh_storage::{ColumnType, CsvOptions, RelationSchema, TypedValue};
 
 /// Set layouts and SIMD intersection kernels (paper §4).
 pub mod set {
@@ -75,4 +79,10 @@ pub mod graph {
 /// (paper §5.1.2).
 pub mod baselines {
     pub use eh_baselines::*;
+}
+
+/// Typed catalog, dictionary-encoded ingest, and database images
+/// (paper §2.2, §2.4).
+pub mod storage {
+    pub use eh_storage::*;
 }

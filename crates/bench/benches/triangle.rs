@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use eh_bench::{queries, PreparedQuery};
-use eh_core::Config;
-use eh_graph::paper_datasets;
+use eh_core::{Config, Scheduler};
+use eh_graph::{paper_datasets, Graph};
 
 fn bench_table5_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("table5_triangle");
@@ -47,5 +47,38 @@ fn bench_table11_ablations(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_table5_engines, bench_table11_ablations);
+fn bench_skew_schedulers(c: &mut Criterion) {
+    // Static-partition vs morsel-driven level-0 scheduling on a
+    // preferential-attachment power-law graph: the hub nodes concentrate
+    // the work, which is exactly where static range splits straggle.
+    let mut group = c.benchmark_group("skew_schedulers");
+    group.sample_size(10);
+    let g = Graph::power_law(2000, 8, 42).prune_by_degree();
+    for (label, cfg) in [
+        ("serial", Config::default()),
+        (
+            "static_x4",
+            Config::default()
+                .with_threads(4)
+                .with_scheduler(Scheduler::Static),
+        ),
+        (
+            "morsel_x4",
+            Config::default()
+                .with_threads(4)
+                .with_scheduler(Scheduler::Morsel),
+        ),
+    ] {
+        let mut pq = PreparedQuery::new(&g, cfg, queries::TRIANGLE);
+        group.bench_function(label, |b| b.iter(|| pq.run()));
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table5_engines,
+    bench_table11_ablations,
+    bench_skew_schedulers
+);
 criterion_main!(benches);

@@ -12,18 +12,22 @@
 //! target. See EXPERIMENTS.md for the side-by-side record.
 
 use crate::{measure, measure_once, queries, ratio, secs, PreparedQuery, Table};
-use eh_core::{Config, Database};
+use eh_core::{Config, Database, Scheduler};
 use eh_graph::{apply_ordering, compute_ordering, gen, paper_datasets, Graph, OrderingScheme};
 use eh_semiring::{AggOp, DynValue};
 use eh_set::{IntersectConfig, LayoutKind, Set};
 use std::time::{Duration, Instant};
 
 const TARGETS: &str =
-    "fig5|fig6|fig7|table3|table4|table5|table6|table7|table8|table9|table10|table11|table13|loaded|storage-smoke|all";
+    "fig5|fig6|fig7|table3|table4|table5|table6|table7|table8|table9|table10|table11|table13|skew|loaded|storage-smoke|all";
 
 /// `--threads N` override applied to every engine config in this run
 /// (None = flag absent, keep each config's default of 1 worker).
 static THREADS: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+
+/// `--morsel N` override: pins the morsel size on every engine config
+/// (None = flag absent, auto-size).
+static MORSEL: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
 
 /// Machine-readable timing sink, enabled by `--json <path>`; human
 /// output is unchanged whether or not it is active.
@@ -79,8 +83,12 @@ fn flush_json(path: &str, scale: f64) {
 /// Apply the run-wide `--threads` pin to a config, so benchmark numbers
 /// are reproducible on shared machines regardless of core count.
 fn tuned(cfg: Config) -> Config {
-    match THREADS.get().copied().flatten() {
+    let cfg = match THREADS.get().copied().flatten() {
         Some(n) => cfg.with_threads(n),
+        None => cfg,
+    };
+    match MORSEL.get().copied().flatten() {
+        Some(m) => cfg.with_morsel(m),
         None => cfg,
     }
 }
@@ -98,6 +106,8 @@ pub fn main() {
         .unwrap_or(0.1);
     let threads = flag("--threads").and_then(|s| s.parse::<usize>().ok());
     let _ = THREADS.set(threads);
+    let morsel = flag("--morsel").and_then(|s| s.parse::<usize>().ok());
+    let _ = MORSEL.set(morsel);
     let load = flag("--load");
     let json = flag("--json");
     if json.is_some() {
@@ -106,6 +116,9 @@ pub fn main() {
     // `--load` without an explicit target runs the paper's queries over
     // the external dataset.
     let which = match args.first().map(String::as_str) {
+        // `--help` anywhere must reach the help arm, not fall through to
+        // a full `all` run.
+        _ if args.iter().any(|a| a == "--help" || a == "-h") => "--help",
         Some(w) if !w.starts_with("--") => w,
         _ if load.is_some() => "loaded",
         _ => "all",
@@ -125,6 +138,7 @@ pub fn main() {
         "table10" => table10(scale),
         "table11" => table11(scale),
         "table13" => table13(scale),
+        "skew" => skew(scale, reps),
         "loaded" => loaded_tables(load.as_deref(), reps),
         "storage-smoke" => storage_smoke(load.as_deref()),
         "all" => {
@@ -141,17 +155,24 @@ pub fn main() {
             table10(scale);
             table11(scale);
             table13(scale);
+            skew(scale, reps);
         }
         "--help" | "-h" | "help" => {
             println!(
-                "usage: paper_tables [{TARGETS}] [--scale S] [--threads N] [--load PATH] [--json PATH]"
+                "usage: paper_tables [{TARGETS}] [--scale S] [--threads N] [--morsel M] [--load PATH] [--json PATH]"
             );
             println!();
             println!("Regenerates the paper's evaluation tables/figures on synthetic");
             println!("dataset analogs. --scale (default 0.1) shrinks the generated");
             println!("graphs; use 1.0 for full-size runs. --threads pins the engine's");
             println!("worker count (0 = auto-detect) so runs on shared machines are");
-            println!("reproducible; default is 1 (serial).");
+            println!("reproducible; default is 1 (serial). --morsel pins the morsel");
+            println!("size of the parallel level-0 scheduler (0 = auto-size).");
+            println!();
+            println!("The 'skew' target generates a preferential-attachment power-law");
+            println!("graph and compares serial vs static-partition vs morsel-driven");
+            println!("triangle counting; it exits non-zero if any scheduler disagrees");
+            println!("with the serial answer (the CI skew-smoke gate).");
             println!();
             println!("--load PATH runs the paper's pattern queries over an external");
             println!("dataset instead: either a text edge list (whitespace/TSV, '#'");
@@ -282,6 +303,67 @@ fn storage_smoke(load: Option<&str>) {
         before[1],
         original.len()
     );
+}
+
+// ------------------------------------------------------------ skew bench
+
+/// Morsel-driven vs static-partition level-0 scheduling on a skewed
+/// (preferential-attachment power-law) graph — the workload where static
+/// range partitioning straggles on the hub's partition. Also the CI
+/// skew-smoke gate: exits non-zero if any scheduler's triangle count
+/// disagrees with the serial answer.
+fn skew(scale: f64, reps: usize) {
+    let nodes = ((20_000.0 * scale) as u32).max(64);
+    let g = Graph::power_law(nodes, 8, 42).prune_by_degree();
+    let par = THREADS.get().copied().flatten().unwrap_or(0);
+    let workers = Config::default().with_threads(par).effective_threads();
+    println!(
+        "\n== Skewed scheduling: power-law graph ({} nodes, {} edges, skewness {:.1}, {} workers) ==",
+        g.num_nodes,
+        g.num_edges(),
+        g.degree_skewness(),
+        workers
+    );
+    let t = Table::new(&[
+        ("config", 10),
+        ("count", 12),
+        ("time[s]", 10),
+        ("vs serial", 10),
+    ]);
+    let serial_cfg = tuned(Config::default()).with_threads(1);
+    let static_cfg = tuned(Config::default())
+        .with_threads(par)
+        .with_scheduler(Scheduler::Static);
+    let morsel_cfg = tuned(Config::default())
+        .with_threads(par)
+        .with_scheduler(Scheduler::Morsel);
+    let mut results: Vec<(&str, u64, Duration)> = Vec::new();
+    for (name, cfg) in [
+        ("serial", serial_cfg),
+        ("static", static_cfg),
+        ("morsel", morsel_cfg),
+    ] {
+        let mut pq = PreparedQuery::new(&g, cfg, queries::TRIANGLE);
+        let count = pq.run(); // warm the trie cache
+        let d = measure(reps, || pq.run());
+        record("skew", "skew", "triangle", name, d, count);
+        results.push((name, count, d));
+    }
+    let serial_time = results[0].2;
+    for (name, count, d) in &results {
+        t.row(&[
+            (*name).into(),
+            count.to_string(),
+            secs(*d),
+            ratio(*d, serial_time),
+        ]);
+    }
+    let serial_count = results[0].1;
+    if results.iter().any(|(_, c, _)| *c != serial_count) {
+        eprintln!("skew smoke FAILED: scheduler answers diverge: {results:?}");
+        std::process::exit(1);
+    }
+    println!("(morsel should match or beat static on skewed degree distributions)");
 }
 
 /// Uniform random sorted set of the given density over a domain.

@@ -21,7 +21,7 @@ pub mod database;
 pub mod result;
 
 pub use database::{CoreError, Database, Prepared};
-pub use eh_exec::{Config, Relation, TupleBuffer};
+pub use eh_exec::{Config, Relation, Scheduler, TupleBuffer};
 pub use eh_graph::Graph;
 pub use eh_storage::{
     ColumnType, CsvOptions, LoadReport, RelationSchema, StorageCatalog, TypedValue,

@@ -3,6 +3,20 @@
 use eh_ghd::PlanOptions;
 use eh_set::{IntersectConfig, LayoutKind, LayoutPolicy};
 
+/// How the parallel runtime hands level-0 work to its workers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Workers pull fixed-size *morsels* of the level-0 value range off a
+    /// shared atomic cursor, so a straggler value (a power-law hub) stalls
+    /// only its own morsel while idle workers keep draining the rest.
+    #[default]
+    Morsel,
+    /// One contiguous range per worker, fixed up front. Simple but skew-
+    /// blind: the worker that draws the hub range becomes the straggler.
+    /// Kept as the ablation baseline for the morsel scheduler.
+    Static,
+}
+
 /// Execution-engine configuration.
 ///
 /// The presets reproduce the ablation columns of paper Tables 8 and 11:
@@ -23,6 +37,12 @@ pub struct Config {
     /// `n` workers (reproducible benchmark runs on shared machines), and
     /// `None` auto-detects from [`std::thread::available_parallelism`].
     pub threads: Option<usize>,
+    /// Level-0 work distribution for multi-threaded runs (default: morsel-
+    /// driven; [`Scheduler::Static`] is the skew-blind ablation baseline).
+    pub scheduler: Scheduler,
+    /// Morsel size in level-0 values: `None` (the default) auto-sizes from
+    /// the value count and worker count, `Some(n)` pins it (benchmarks).
+    pub morsel_size: Option<usize>,
     /// Force naive recursion even for monotone aggregates (ablation; the
     /// engine normally picks seminaive for MIN/MAX, paper §3.3.2).
     pub force_naive_recursion: bool,
@@ -35,6 +55,8 @@ impl Default for Config {
             intersect: IntersectConfig::full(),
             plan: PlanOptions::default(),
             threads: Some(1),
+            scheduler: Scheduler::Morsel,
+            morsel_size: None,
             force_naive_recursion: false,
         }
     }
@@ -83,6 +105,29 @@ impl Config {
     pub fn with_threads(mut self, threads: usize) -> Config {
         self.threads = if threads == 0 { None } else { Some(threads) };
         self
+    }
+
+    /// Pin the morsel size (0 = auto-size).
+    pub fn with_morsel(mut self, morsel: usize) -> Config {
+        self.morsel_size = if morsel == 0 { None } else { Some(morsel) };
+        self
+    }
+
+    /// Select the level-0 work-distribution scheme.
+    pub fn with_scheduler(mut self, scheduler: Scheduler) -> Config {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Resolve the morsel size for a level-0 range of `len` values split
+    /// across `threads` workers. Auto-sizing targets ~8 morsels per worker
+    /// so skewed values re-balance, floored at 1 and capped so tiny inputs
+    /// don't degenerate into per-value dispatch overhead.
+    pub fn effective_morsel(&self, len: usize, threads: usize) -> usize {
+        match self.morsel_size {
+            Some(n) => n.max(1),
+            None => (len / (threads.max(1) * 8)).clamp(1, 4096),
+        }
     }
 
     /// Resolve the worker count the executor should fan out to.
@@ -140,5 +185,26 @@ mod tests {
         assert_eq!(pinned.threads, Some(8));
         assert_eq!(pinned.effective_threads(), 8);
         assert_eq!(Config::default().effective_threads(), 1, "serial default");
+    }
+
+    #[test]
+    fn morsel_knob_semantics() {
+        assert_eq!(Config::default().scheduler, Scheduler::Morsel);
+        assert_eq!(Config::default().morsel_size, None);
+        let pinned = Config::default().with_morsel(64);
+        assert_eq!(pinned.morsel_size, Some(64));
+        assert_eq!(pinned.effective_morsel(1_000_000, 4), 64);
+        let auto = Config::default().with_morsel(0);
+        assert_eq!(auto.morsel_size, None);
+        // Auto-sizing: ~8 morsels per worker, floored at 1, capped at 4096.
+        assert_eq!(auto.effective_morsel(0, 4), 1);
+        assert_eq!(auto.effective_morsel(320, 4), 10);
+        assert_eq!(auto.effective_morsel(100_000_000, 2), 4096);
+        assert_eq!(
+            Config::default()
+                .with_scheduler(Scheduler::Static)
+                .scheduler,
+            Scheduler::Static
+        );
     }
 }

@@ -1,17 +1,29 @@
-//! Plan execution: Generic-Join within GHD nodes, Yannakakis across them
-//! (paper §3.3.2, Algorithm 1, Example 3.3).
+//! Plan execution entry points: Generic-Join within GHD nodes, Yannakakis
+//! across them (paper §3.3.2, Algorithm 1, Example 3.3).
+//!
+//! This module is the thin public face of a layered runtime:
+//!
+//! * `program` — compiles each GHD node into a `JoinProgram` (per-level
+//!   participation tables, output/agg flags, leaf-annotation markers) and
+//!   owns all scratch in a `GjContext`;
+//! * `gj` — the allocation-free Generic-Join recursion;
+//! * `parallel` — the morsel-driven (default) and static-partition
+//!   level-0 schedulers;
+//! * `sink` — emission sinks, the Yannakakis top-down pass, and the final
+//!   projection/group-by.
 
 use crate::config::Config;
-use crate::plan::{AtomPlan, PhysicalPlan, PlanNode};
+use crate::plan::{PhysicalPlan, PlanNode};
+use crate::program::{GjContext, JoinProgram};
+use crate::sink::Sink;
 use crate::storage::{Catalog, Relation};
-use eh_query::ast::Expr;
 use eh_query::Rule;
-use eh_semiring::{AggOp, DynValue};
-use eh_set::{intersect, intersect_count, Set};
-use eh_trie::{NodeId, Trie, TupleBuffer};
-use std::collections::HashMap;
+use eh_semiring::AggOp;
+use eh_trie::TupleBuffer;
 use std::fmt;
 use std::sync::Arc;
+
+pub use crate::sink::{IdentityBuild, IdentityHasher};
 
 /// Execution failure.
 #[derive(Clone, Debug, PartialEq)]
@@ -104,147 +116,13 @@ pub fn execute_plan(
     let assembled = if plan.skip_top_down {
         NodeResult::clone(root)
     } else {
-        assemble(plan.root().id, plan, &results, is_agg, op)
+        crate::sink::assemble(plan.root().id, plan, &results, is_agg, op)
     };
-    finalize(plan, assembled, catalog, is_agg, op)
+    crate::sink::finalize(plan, assembled, catalog, is_agg, op)
 }
 
-/// Per-atom execution state during Generic-Join.
-#[derive(Clone)]
-struct AtomExec {
-    trie: Arc<Trie>,
-    /// Node-attr indices this atom binds, ascending.
-    attr_levels: Vec<usize>,
-    /// Trie path: `stack[k]` is consulted when binding `attr_levels[k]`.
-    stack: Vec<NodeId>,
-    /// Monotone rank cursors parallel to `stack` — values at each depth
-    /// arrive ascending, so rank probes only ever move forward.
-    hints: Vec<usize>,
-    /// Whether leaf values carry annotations to multiply in.
-    annotated: bool,
-}
-
-/// A reusable per-level set-value scratch buffer (not a tuple table —
-/// one flat run of candidate values per Generic-Join level).
-type ValueBuf = Vec<u32>;
-
-/// Everything Generic-Join needs for one GHD node.
-struct GjContext<'a> {
-    atoms: Vec<AtomExec>,
-    attrs_len: usize,
-    /// For each output column, the node-attr index it reads.
-    output_levels: Vec<usize>,
-    /// Whether an attr index is retained in the output.
-    is_output: Vec<bool>,
-    /// Reusable per-level value buffers (no allocation in the loop nest).
-    scratch: Vec<ValueBuf>,
-    cfg: &'a Config,
-    is_agg: bool,
-    op: AggOp,
-}
-
-/// A pass-through hasher for u32 keys: node ids are already uniformly
-/// distributed after dictionary encoding, so SipHash is pure overhead in
-/// the aggregation hot loop.
-#[derive(Clone, Copy, Default)]
-pub struct IdentityHasher(u64);
-
-impl std::hash::Hasher for IdentityHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = self.0.rotate_left(8) ^ b as u64;
-        }
-    }
-    fn write_u32(&mut self, v: u32) {
-        // Multiplicative scramble keeps clustering harmless.
-        self.0 = (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    }
-    fn write_u64(&mut self, v: u64) {
-        // Scramble packed two-column keys, then fold the high half down:
-        // the map picks buckets from the low bits, which after a bare
-        // multiply would depend only on the packed key's second column.
-        let h = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        self.0 = h ^ (h >> 32);
-    }
-}
-
-/// `BuildHasher` for [`IdentityHasher`].
-#[derive(Clone, Copy, Default)]
-pub struct IdentityBuild;
-
-impl std::hash::BuildHasher for IdentityBuild {
-    type Hasher = IdentityHasher;
-    fn build_hasher(&self) -> IdentityHasher {
-        IdentityHasher(0)
-    }
-}
-
-/// Emission sink: scalar accumulator (no key vars), aggregate fold, or
-/// flat row collection.
-enum Sink {
-    /// Scalar aggregate (COUNT(*)-style) — no hashing in the hot loop.
-    Scalar { acc: DynValue, any: bool },
-    /// Single-key aggregate — u32 keys, cheap hash, no per-emit allocation.
-    Agg1(HashMap<u32, DynValue, IdentityBuild>),
-    /// Two-key aggregate — both u32 keys packed into one u64 so multi-key
-    /// group-bys stop allocating per emitted row.
-    Agg2(HashMap<u64, DynValue, IdentityBuild>),
-    /// Three-or-more-key aggregate (rare): heap-keyed fallback.
-    AggN(HashMap<Vec<u32>, DynValue>),
-    /// Row collection into a flat columnar buffer.
-    Rows(TupleBuffer),
-}
-
-impl Sink {
-    /// Sink for a node with `keys` output columns.
-    fn for_output(is_agg: bool, keys: usize, op: AggOp) -> Sink {
-        if is_agg {
-            match keys {
-                0 => Sink::Scalar {
-                    acc: op.zero(),
-                    any: false,
-                },
-                1 => Sink::Agg1(HashMap::with_hasher(IdentityBuild)),
-                2 => Sink::Agg2(HashMap::with_hasher(IdentityBuild)),
-                _ => Sink::AggN(HashMap::new()),
-            }
-        } else {
-            Sink::Rows(TupleBuffer::new(keys))
-        }
-    }
-}
-
-/// Pack two u32 key columns into one u64 preserving lexicographic order.
-#[inline]
-fn pack2(a: u32, b: u32) -> u64 {
-    ((a as u64) << 32) | b as u64
-}
-
-/// Drain a u64-packed group-by map into a sorted annotated buffer
-/// (`keys` ∈ {1, 2}), applying `value` to each folded annotation. u64
-/// order on packed keys equals lexicographic order on the columns.
-fn packed_groups_to_buffer(
-    map: HashMap<u64, DynValue, IdentityBuild>,
-    keys: usize,
-    value: impl Fn(DynValue) -> DynValue,
-) -> TupleBuffer {
-    let mut entries: Vec<(u64, DynValue)> = map.into_iter().collect();
-    entries.sort_unstable_by_key(|e| e.0);
-    let mut t = TupleBuffer::with_capacity(keys, entries.len());
-    for (k, v) in entries {
-        if keys == 1 {
-            t.push_annotated(&[k as u32], value(v));
-        } else {
-            t.push_annotated(&[(k >> 32) as u32, k as u32], value(v));
-        }
-    }
-    t
-}
-
-/// Execute Generic-Join at one GHD node.
+/// Execute Generic-Join at one GHD node: compile the join program, then
+/// run the recursion serially or fan level 0 out to the scheduler.
 #[allow(clippy::too_many_arguments)]
 fn run_node(
     node: &PlanNode,
@@ -255,765 +133,41 @@ fn run_node(
     is_agg: bool,
     op: AggOp,
 ) -> Result<NodeResult, ExecError> {
-    let mut atoms: Vec<AtomExec> = Vec::new();
-    // Annotation product of fully-constant atoms and scalar factors.
-    let mut base_product = op.one();
-    let mut empty = false;
-    for ap in &node.atoms {
-        match build_atom(ap, node, catalog, cfg, is_agg, op)? {
-            BuiltAtom::Live(a) => atoms.push(a),
-            BuiltAtom::ConstOnly(annot) => {
-                base_product = op.times(base_product, annot);
-            }
-            BuiltAtom::Empty => {
-                empty = true;
-            }
-        }
-    }
-    // Children join in as atoms over their interface attributes.
-    for &child_id in &node.children {
-        let child_plan = &plan.nodes[child_id];
-        let child_result = results[child_id].as_ref().unwrap();
-        let (rel, fully_folded) =
-            child_as_relation(child_plan, child_result, is_agg, op, plan.skip_top_down);
-        if rel.is_empty() {
-            empty = true;
-        }
-        let attr_levels: Vec<usize> = child_plan
-            .interface
-            .iter()
-            .map(|a| node.attrs.iter().position(|x| x == a).unwrap())
-            .collect();
-        // Trie order: interface columns sorted by parent attr order.
-        let mut order: Vec<usize> = (0..child_plan.interface.len()).collect();
-        order.sort_by_key(|&i| attr_levels[i]);
-        let sorted_levels: Vec<usize> = order.iter().map(|&i| attr_levels[i]).collect();
-        let trie = rel.trie_threads(&order, cfg.layout_policy, cfg.effective_threads());
-        atoms.push(AtomExec {
-            trie,
-            attr_levels: sorted_levels,
-            stack: vec![0],
-            hints: vec![0],
-            annotated: fully_folded && is_agg,
-        });
-    }
+    let build = crate::program::build_node(node, plan, catalog, cfg, results, is_agg, op)?;
     let output_levels: Vec<usize> = node
         .output_attrs
         .iter()
         .map(|a| node.attrs.iter().position(|x| x == a).unwrap())
         .collect();
-    let mut is_output = vec![false; node.attrs.len()];
-    for &l in &output_levels {
-        is_output[l] = true;
-    }
-    let mut ctx = GjContext {
-        atoms,
-        attrs_len: node.attrs.len(),
-        output_levels,
-        is_output,
-        scratch: vec![Vec::new(); node.attrs.len()],
-        cfg,
-        is_agg,
-        op,
-    };
+    let program = JoinProgram::compile(node.attrs.len(), output_levels, &build.atoms, is_agg, op);
     let mut sink = Sink::for_output(is_agg, node.output_attrs.len(), op);
-    if !empty {
+    if !build.empty {
+        let mut ctx = GjContext::new(build.atoms, program.attrs_len, cfg);
         let threads = cfg.effective_threads();
-        if threads > 1 && ctx.attrs_len > 1 {
-            gj_parallel(&mut ctx, base_product, &mut sink, threads);
+        if threads > 1 && program.attrs_len > 1 && !program.levels[0].steps.is_empty() {
+            // Shared level-0 prologue: merge the outermost values once,
+            // then hand the range to the scheduler.
+            let mut merged = std::mem::take(&mut ctx.scratch[0]);
+            crate::gj::fill_level(&program, 0, &ctx.atoms, cfg, &mut ctx.mw, &mut merged);
+            if !merged.is_empty() {
+                crate::parallel::run(
+                    &program,
+                    &ctx,
+                    &merged,
+                    build.base_product,
+                    &mut sink,
+                    threads,
+                );
+            }
+            ctx.scratch[0] = merged;
         } else {
-            let mut bindings = vec![0u32; ctx.attrs_len];
-            gj(&mut ctx, 0, base_product, &mut bindings, &mut sink);
+            crate::gj::gj(&program, &mut ctx, 0, build.base_product, &mut sink);
         }
     }
-    let tuples = match sink {
-        Sink::Scalar { acc, any } => {
-            let mut t = TupleBuffer::nullary(if any { 1 } else { 0 });
-            t.set_annotations(if any { vec![acc] } else { Vec::new() });
-            t
-        }
-        Sink::Agg1(map) => {
-            let mut entries: Vec<(u32, DynValue)> = map.into_iter().collect();
-            entries.sort_unstable_by_key(|e| e.0);
-            let mut t = TupleBuffer::with_capacity(1, entries.len());
-            for (k, v) in entries {
-                t.push_annotated(&[k], v);
-            }
-            t
-        }
-        Sink::Agg2(map) => packed_groups_to_buffer(map, 2, |v| v),
-        Sink::AggN(map) => {
-            let mut entries: Vec<(Vec<u32>, DynValue)> = map.into_iter().collect();
-            entries.sort_by(|a, b| a.0.cmp(&b.0));
-            let mut t = TupleBuffer::with_capacity(node.output_attrs.len(), entries.len());
-            for (k, v) in entries {
-                t.push_annotated(&k, v);
-            }
-            t
-        }
-        Sink::Rows(rows) => rows.sorted_dedup(op),
-    };
     Ok(NodeResult {
         attrs: node.output_attrs.clone(),
-        tuples,
+        tuples: sink.into_node_tuples(node.output_attrs.len(), op),
     })
-}
-
-enum BuiltAtom {
-    Live(AtomExec),
-    /// All positions constant and present: contributes only an annotation.
-    ConstOnly(DynValue),
-    /// Constant prefix missing from the relation: node result is empty.
-    Empty,
-}
-
-fn build_atom(
-    ap: &AtomPlan,
-    node: &PlanNode,
-    catalog: &dyn Catalog,
-    cfg: &Config,
-    is_agg: bool,
-    op: AggOp,
-) -> Result<BuiltAtom, ExecError> {
-    let rel = catalog
-        .relation(&ap.relation)
-        .ok_or_else(|| ExecError::UnknownRelation(ap.relation.clone()))?;
-    if rel.arity() != ap.trie_order.len() {
-        return Err(ExecError::ArityMismatch {
-            relation: ap.relation.clone(),
-            expected: ap.trie_order.len(),
-            actual: rel.arity(),
-        });
-    }
-    let trie = rel.trie_threads(&ap.trie_order, cfg.layout_policy, cfg.effective_threads());
-    // Resolve and descend the constant prefix once (selection push-down
-    // within the node: selections are the first trie levels).
-    let mut consts = Vec::with_capacity(ap.const_prefix.len());
-    for (i, c) in ap.const_prefix.iter().enumerate() {
-        // trie_order leads with the constant positions, so the source
-        // column of constant i is trie_order[i] — typed catalogs resolve
-        // through that column's dictionary domain.
-        match catalog.resolve_const_at(&ap.relation, ap.trie_order[i], c) {
-            Some(id) => consts.push(id),
-            None => return Ok(BuiltAtom::Empty),
-        }
-    }
-    if ap.attr_levels.is_empty() {
-        // Fully-constant atom: an existence filter (+ annotation).
-        let Some((last, prefix)) = consts.split_last() else {
-            return Ok(BuiltAtom::Empty);
-        };
-        let Some(n) = trie.select_node(prefix) else {
-            return Ok(BuiltAtom::Empty);
-        };
-        let Some(rank) = n.set.rank(*last) else {
-            return Ok(BuiltAtom::Empty);
-        };
-        let annot = if is_agg && rel.is_annotated() && !ap.secondary {
-            n.annots.get(rank).copied().unwrap_or(op.one())
-        } else {
-            op.one()
-        };
-        return Ok(BuiltAtom::ConstOnly(annot));
-    }
-    // Find the trie node after the constant prefix.
-    let start = match descend(&trie, &consts) {
-        Some(id) => id,
-        None => return Ok(BuiltAtom::Empty),
-    };
-    // Map attr levels into this node's attr order (already provided).
-    let attr_levels: Vec<usize> = ap
-        .attr_levels
-        .iter()
-        .map(|&ai| {
-            debug_assert!(ai < node.attrs.len());
-            ai
-        })
-        .collect();
-    Ok(BuiltAtom::Live(AtomExec {
-        trie,
-        attr_levels,
-        stack: vec![start],
-        hints: vec![0],
-        annotated: is_agg && rel.is_annotated() && !ap.secondary,
-    }))
-}
-
-/// Walk a constant prefix from the root; returns the reached node id.
-fn descend(trie: &Trie, prefix: &[u32]) -> Option<NodeId> {
-    let mut id: NodeId = 0;
-    for &v in prefix {
-        let n = trie.node(id);
-        let rank = n.set.rank(v)?;
-        id = *n.children.get(rank)?;
-    }
-    Some(id)
-}
-
-/// The generic worst-case optimal join over one node (Algorithm 1), with
-/// early aggregation and the innermost count fast path.
-fn gj(
-    ctx: &mut GjContext<'_>,
-    level: usize,
-    product: DynValue,
-    bindings: &mut Vec<u32>,
-    sink: &mut Sink,
-) {
-    if level == ctx.attrs_len {
-        emit(ctx, bindings, product, sink);
-        return;
-    }
-    // Atoms participating at this level, with their stack depth.
-    let participating: Vec<(usize, usize)> = ctx
-        .atoms
-        .iter()
-        .enumerate()
-        .filter_map(|(i, a)| {
-            a.attr_levels
-                .iter()
-                .position(|&l| l == level)
-                .map(|d| (i, d))
-        })
-        .collect();
-    if participating.is_empty() {
-        // Attribute bound by no live atom at this node (can happen when a
-        // selection removed the only binding atom): nothing to iterate.
-        return;
-    }
-    // Innermost count fast path (paper §5.3: aggregate queries never
-    // materialize the deepest intersection): the last attribute, not in
-    // the output, no annotated atom bottoming out here.
-    let last_level = level + 1 == ctx.attrs_len;
-    let no_leaf_annots = participating.iter().all(|&(i, d)| {
-        let a = &ctx.atoms[i];
-        !(a.annotated && d + 1 == a.attr_levels.len())
-    });
-    if last_level && ctx.is_agg && !ctx.is_output[level] && no_leaf_annots {
-        let count = {
-            let sets: Vec<&Set> = participating
-                .iter()
-                .map(|&(i, d)| {
-                    let a = &ctx.atoms[i];
-                    &a.trie.node(a.stack[d]).set
-                })
-                .collect();
-            count_all(&sets, ctx.cfg)
-        };
-        if count > 0 {
-            let folded = fold_count(ctx.op, product, count);
-            emit(ctx, bindings, folded, sink);
-        }
-        return;
-    }
-    // Fill this level's value buffer without allocating: smallest set
-    // first, pairwise from there (min property at every step).
-    let mut merged = std::mem::take(&mut ctx.scratch[level]);
-    merged.clear();
-    {
-        let mut sets: Vec<&Set> = participating
-            .iter()
-            .map(|&(i, d)| {
-                let a = &ctx.atoms[i];
-                &a.trie.node(a.stack[d]).set
-            })
-            .collect();
-        sets.sort_by_key(|s| s.len());
-        match sets.len() {
-            0 => unreachable!("participating is non-empty"),
-            1 => merged.extend(sets[0].iter()),
-            2 => eh_set::intersect::intersect_values(
-                sets[0],
-                sets[1],
-                &ctx.cfg.intersect,
-                &mut merged,
-            ),
-            _ => {
-                let mut acc = intersect(sets[0], sets[1], &ctx.cfg.intersect);
-                for s in &sets[2..sets.len() - 1] {
-                    acc = intersect(&acc, s, &ctx.cfg.intersect);
-                }
-                eh_set::intersect::intersect_values(
-                    &acc,
-                    sets[sets.len() - 1],
-                    &ctx.cfg.intersect,
-                    &mut merged,
-                );
-            }
-        }
-    }
-    // Fresh ascent at this level: reset each participating atom's cursor.
-    for &(i, d) in &participating {
-        ctx.atoms[i].hints[d] = 0;
-    }
-    for idx in 0..merged.len() {
-        let v = merged[idx];
-        bindings[level] = v;
-        let mut prod = product;
-        let mut ok = true;
-        // Advance each participating atom's trie cursor.
-        for &(i, d) in &participating {
-            let a = &mut ctx.atoms[i];
-            let node_id = a.stack[d];
-            let (child, annot) = {
-                let n = a.trie.node(node_id);
-                let mut hint = a.hints[d];
-                let rank = match n.set.rank_hinted(v, &mut hint) {
-                    Some(r) => {
-                        a.hints[d] = hint;
-                        r
-                    }
-                    None => {
-                        a.hints[d] = hint;
-                        ok = false;
-                        break;
-                    }
-                };
-                let is_leaf = d + 1 == a.attr_levels.len();
-                let child = if is_leaf {
-                    None
-                } else {
-                    Some(n.children[rank])
-                };
-                let annot = if is_leaf && a.annotated {
-                    n.annots.get(rank).copied()
-                } else {
-                    None
-                };
-                (child, annot)
-            };
-            if let Some(c) = child {
-                a.stack.truncate(d + 1);
-                a.stack.push(c);
-                a.hints.truncate(d + 1);
-                a.hints.push(0);
-            }
-            if let Some(an) = annot {
-                prod = ctx.op.times(prod, an);
-            }
-        }
-        if ok {
-            gj(ctx, level + 1, prod, bindings, sink);
-        }
-    }
-    // Return the buffer for reuse by sibling invocations at this level.
-    ctx.scratch[level] = merged;
-}
-
-/// Parallel Generic-Join: partition the outermost attribute's value range
-/// across worker threads (the paper parallelizes the first loop of the
-/// generated code the same way), then merge the per-thread sinks with `⊕`.
-fn gj_parallel(ctx: &mut GjContext<'_>, base_product: DynValue, sink: &mut Sink, threads: usize) {
-    // Level-0 participants and merged values (same prologue as `gj`).
-    let participating: Vec<(usize, usize)> = ctx
-        .atoms
-        .iter()
-        .enumerate()
-        .filter_map(|(i, a)| a.attr_levels.iter().position(|&l| l == 0).map(|d| (i, d)))
-        .collect();
-    if participating.is_empty() {
-        return;
-    }
-    let mut merged: Vec<u32> = Vec::new();
-    {
-        let mut sets: Vec<&Set> = participating
-            .iter()
-            .map(|&(i, d)| {
-                let a = &ctx.atoms[i];
-                &a.trie.node(a.stack[d]).set
-            })
-            .collect();
-        sets.sort_by_key(|s| s.len());
-        match sets.len() {
-            1 => merged.extend(sets[0].iter()),
-            _ => {
-                let mut acc = sets[0].clone();
-                for s in &sets[1..sets.len() - 1] {
-                    acc = intersect(&acc, s, &ctx.cfg.intersect);
-                }
-                eh_set::intersect::intersect_values(
-                    &acc,
-                    sets[sets.len() - 1],
-                    &ctx.cfg.intersect,
-                    &mut merged,
-                );
-            }
-        }
-    }
-    if merged.is_empty() {
-        return;
-    }
-    let chunk = merged.len().div_ceil(threads);
-    let results: Vec<Sink> = std::thread::scope(|scope| {
-        let handles: Vec<_> = merged
-            .chunks(chunk)
-            .map(|vals| {
-                let atoms = ctx.atoms.clone();
-                let cfg = ctx.cfg;
-                let output_levels = ctx.output_levels.clone();
-                let is_output = ctx.is_output.clone();
-                let attrs_len = ctx.attrs_len;
-                let is_agg = ctx.is_agg;
-                let op = ctx.op;
-                let part = participating.clone();
-                scope.spawn(move || {
-                    let mut local = GjContext {
-                        atoms,
-                        attrs_len,
-                        output_levels,
-                        is_output,
-                        scratch: vec![Vec::new(); attrs_len],
-                        cfg,
-                        is_agg,
-                        op,
-                    };
-                    let mut local_sink = Sink::for_output(is_agg, local.output_levels.len(), op);
-                    let mut bindings = vec![0u32; attrs_len];
-                    for &(i, d) in &part {
-                        local.atoms[i].hints[d] = 0;
-                    }
-                    for &v in vals {
-                        bindings[0] = v;
-                        let mut prod = base_product;
-                        let mut ok = true;
-                        for &(i, d) in &part {
-                            let a = &mut local.atoms[i];
-                            let node_id = a.stack[d];
-                            let n = a.trie.node(node_id);
-                            let mut hint = a.hints[d];
-                            let Some(rank) = n.set.rank_hinted(v, &mut hint) else {
-                                a.hints[d] = hint;
-                                ok = false;
-                                break;
-                            };
-                            a.hints[d] = hint;
-                            let is_leaf = d + 1 == a.attr_levels.len();
-                            if !is_leaf {
-                                let c = n.children[rank];
-                                a.stack.truncate(d + 1);
-                                a.stack.push(c);
-                                a.hints.truncate(d + 1);
-                                a.hints.push(0);
-                            } else if a.annotated {
-                                if let Some(an) = n.annots.get(rank).copied() {
-                                    prod = op.times(prod, an);
-                                }
-                            }
-                        }
-                        if ok {
-                            gj(&mut local, 1, prod, &mut bindings, &mut local_sink);
-                        }
-                    }
-                    local_sink
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    });
-    // Merge per-thread sinks.
-    let op = ctx.op;
-    for local in results {
-        match (&mut *sink, local) {
-            (Sink::Scalar { acc, any }, Sink::Scalar { acc: a2, any: n2 }) => {
-                if n2 {
-                    *acc = op.plus(*acc, a2);
-                    *any = true;
-                }
-            }
-            (Sink::Agg1(map), Sink::Agg1(m2)) => {
-                for (k, v) in m2 {
-                    map.entry(k)
-                        .and_modify(|x| *x = op.plus(*x, v))
-                        .or_insert(v);
-                }
-            }
-            (Sink::Agg2(map), Sink::Agg2(m2)) => {
-                for (k, v) in m2 {
-                    map.entry(k)
-                        .and_modify(|x| *x = op.plus(*x, v))
-                        .or_insert(v);
-                }
-            }
-            (Sink::AggN(map), Sink::AggN(m2)) => {
-                for (k, v) in m2 {
-                    map.entry(k)
-                        .and_modify(|x| *x = op.plus(*x, v))
-                        .or_insert(v);
-                }
-            }
-            // Per-thread row buffers merge with one flat copy each.
-            (Sink::Rows(rows), Sink::Rows(r2)) => rows.append(&r2),
-            _ => unreachable!("sink kinds match across threads"),
-        }
-    }
-}
-
-/// Emit one assignment: fold into the scalar/aggregate sink or push a row.
-fn emit(ctx: &GjContext<'_>, bindings: &[u32], product: DynValue, sink: &mut Sink) {
-    match sink {
-        Sink::Scalar { acc, any } => {
-            *acc = ctx.op.plus(*acc, product);
-            *any = true;
-        }
-        Sink::Agg1(map) => {
-            let key = bindings[ctx.output_levels[0]];
-            let op = ctx.op;
-            map.entry(key)
-                .and_modify(|v| *v = op.plus(*v, product))
-                .or_insert(product);
-        }
-        Sink::Agg2(map) => {
-            let key = pack2(
-                bindings[ctx.output_levels[0]],
-                bindings[ctx.output_levels[1]],
-            );
-            let op = ctx.op;
-            map.entry(key)
-                .and_modify(|v| *v = op.plus(*v, product))
-                .or_insert(product);
-        }
-        Sink::AggN(map) => {
-            let tuple: Vec<u32> = ctx.output_levels.iter().map(|&l| bindings[l]).collect();
-            let op = ctx.op;
-            map.entry(tuple)
-                .and_modify(|v| *v = op.plus(*v, product))
-                .or_insert(product);
-        }
-        Sink::Rows(rows) => {
-            rows.extend_row(ctx.output_levels.iter().map(|&l| bindings[l]));
-        }
-    }
-}
-
-/// Count a multiway intersection without materializing the final set.
-fn count_all(sets: &[&Set], cfg: &Config) -> usize {
-    match sets.len() {
-        0 => 0,
-        1 => sets[0].len(),
-        2 => intersect_count(sets[0], sets[1], &cfg.intersect),
-        _ => {
-            // Materialize all but the last pair, ordered smallest-first.
-            let mut order: Vec<usize> = (0..sets.len()).collect();
-            order.sort_by_key(|&i| sets[i].len());
-            let mut acc = intersect(sets[order[0]], sets[order[1]], &cfg.intersect);
-            for &i in &order[2..order.len() - 1] {
-                if acc.is_empty() {
-                    return 0;
-                }
-                acc = intersect(&acc, sets[i], &cfg.intersect);
-            }
-            intersect_count(&acc, sets[*order.last().unwrap()], &cfg.intersect)
-        }
-    }
-}
-
-/// Fold `count` identical contributions of `product` into one value:
-/// `⊕`-ing `product` with itself `count` times.
-fn fold_count(op: AggOp, product: DynValue, count: usize) -> DynValue {
-    match op {
-        // x ⊕ ... ⊕ x (count times) = count·x in ℕ/ℝ semirings.
-        AggOp::Count => DynValue::U64(product.as_u64().wrapping_mul(count as u64)),
-        AggOp::Sum => DynValue::F64(product.as_f64() * count as f64),
-        // min(x, x, ...) = x.
-        AggOp::Min | AggOp::Max => product,
-    }
-}
-
-/// Present a child's bottom-up result to its parent as a relation over the
-/// interface attributes. Returns `(relation, fully_folded)`:
-/// `fully_folded` is true when the child's output is exactly its interface,
-/// so its aggregated annotation can be multiplied in directly.
-fn child_as_relation(
-    child: &PlanNode,
-    result: &NodeResult,
-    is_agg: bool,
-    op: AggOp,
-    _skip_top_down: bool,
-) -> (Relation, bool) {
-    let fully_folded = child.output_attrs == child.interface;
-    if fully_folded {
-        let mut tuples = result.tuples.clone();
-        if is_agg {
-            tuples.fill_annotations(op.one());
-        } else {
-            tuples.drop_annotations();
-        }
-        return (Relation::from_buffer(tuples, op), true);
-    }
-    // Project to the interface (semijoin role only); annotations, if any,
-    // are applied during the top-down pass.
-    let iface_idx: Vec<usize> = child
-        .interface
-        .iter()
-        .map(|a| result.attrs.iter().position(|x| x == a).unwrap())
-        .collect();
-    let mut proj = result.tuples.reorder(&iface_idx);
-    proj.drop_annotations();
-    (Relation::from_buffer(proj.sorted_dedup(op), op), false)
-}
-
-/// Yannakakis top-down pass: extend each node's rows with its children's
-/// non-interface output columns (joined on the interface), multiplying
-/// annotations for aggregate queries.
-fn assemble(
-    node_id: usize,
-    plan: &PhysicalPlan,
-    results: &[Option<Arc<NodeResult>>],
-    is_agg: bool,
-    op: AggOp,
-) -> NodeResult {
-    let node = &plan.nodes[node_id];
-    let own = results[node_id].as_ref().unwrap();
-    let mut attrs = own.attrs.clone();
-    let mut tuples = own.tuples.clone();
-    if is_agg {
-        tuples.fill_annotations(op.one());
-    }
-    for &child_id in &node.children {
-        let child = assemble(child_id, plan, results, is_agg, op);
-        let child_plan = &plan.nodes[child_id];
-        // Index child extensions by interface tuple; each bucket is a
-        // flat buffer of the non-interface columns (plus annotations).
-        let iface_idx: Vec<usize> = child_plan
-            .interface
-            .iter()
-            .map(|a| child.attrs.iter().position(|x| x == a).unwrap())
-            .collect();
-        let ext_idx: Vec<usize> = (0..child.attrs.len())
-            .filter(|i| !iface_idx.contains(i))
-            .collect();
-        let mut index: HashMap<Vec<u32>, TupleBuffer> = HashMap::new();
-        for (ri, row) in child.tuples.iter().enumerate() {
-            let key: Vec<u32> = iface_idx.iter().map(|&i| row[i]).collect();
-            let bucket = index
-                .entry(key)
-                .or_insert_with(|| TupleBuffer::new(ext_idx.len()));
-            let ext = ext_idx.iter().map(|&i| row[i]);
-            if is_agg {
-                let an = child.tuples.annot(ri).unwrap_or_else(|| op.one());
-                bucket.extend_row_annotated(ext, an);
-            } else {
-                bucket.extend_row(ext);
-            }
-        }
-        // Parent-side interface column positions.
-        let parent_iface_idx: Vec<usize> = child_plan
-            .interface
-            .iter()
-            .map(|a| attrs.iter().position(|x| x == a).unwrap())
-            .collect();
-        let mut joined = TupleBuffer::new(attrs.len() + ext_idx.len());
-        let mut key: Vec<u32> = Vec::with_capacity(parent_iface_idx.len());
-        for (ri, row) in tuples.iter().enumerate() {
-            key.clear();
-            key.extend(parent_iface_idx.iter().map(|&i| row[i]));
-            if let Some(bucket) = index.get(key.as_slice()) {
-                for (mi, ext) in bucket.iter().enumerate() {
-                    let values = row.iter().chain(ext.iter()).copied();
-                    if is_agg {
-                        let base = tuples.annot(ri).unwrap_or_else(|| op.one());
-                        let an = bucket.annot(mi).unwrap_or_else(|| op.one());
-                        joined.extend_row_annotated(values, op.times(base, an));
-                    } else {
-                        joined.extend_row(values);
-                    }
-                }
-            }
-        }
-        for &i in &ext_idx {
-            attrs.push(child.attrs[i].clone());
-        }
-        tuples = joined;
-    }
-    NodeResult { attrs, tuples }
-}
-
-/// Project to the head variables, fold duplicates, and apply the head
-/// expression.
-fn finalize(
-    plan: &PhysicalPlan,
-    result: NodeResult,
-    catalog: &dyn Catalog,
-    is_agg: bool,
-    op: AggOp,
-) -> Result<Relation, ExecError> {
-    let key_idx: Vec<usize> = plan
-        .output_vars
-        .iter()
-        .map(|a| {
-            result
-                .attrs
-                .iter()
-                .position(|x| x == a)
-                .expect("output var must be in assembled attrs")
-        })
-        .collect();
-    if !is_agg {
-        let mut proj = result.tuples.reorder(&key_idx);
-        proj.drop_annotations();
-        return Ok(Relation::from_buffer(proj.sorted_dedup(op), op));
-    }
-    let spec = plan.agg.as_ref().unwrap();
-    let scalars = |name: &str| -> Option<f64> {
-        catalog
-            .relation(name)
-            .and_then(|r| r.scalar_value())
-            .map(|v| v.as_f64())
-    };
-    let apply = |v: DynValue| -> DynValue {
-        match &spec.expr {
-            Expr::Agg(..) => v,
-            e => {
-                let out = e.eval(v.as_f64(), &scalars).unwrap_or(f64::NAN);
-                match op {
-                    AggOp::Count | AggOp::Min => DynValue::U64(out as u64),
-                    AggOp::Sum | AggOp::Max => DynValue::F64(out),
-                }
-            }
-        }
-    };
-    let annot_of = |ri: usize| result.tuples.annot(ri).unwrap_or_else(|| op.one());
-    if plan.output_vars.is_empty() {
-        // Scalar result: ⊕-fold every assembled row.
-        let total = (0..result.tuples.len()).fold(op.zero(), |acc, ri| op.plus(acc, annot_of(ri)));
-        return Ok(Relation::new_scalar(apply(total)));
-    }
-    // Group by key, ⊕-fold; keys of arity ≤ 2 pack into a u64 with the
-    // identity hasher (no per-row key allocation).
-    let out = if key_idx.len() <= 2 {
-        let mut map: HashMap<u64, DynValue, IdentityBuild> = HashMap::with_hasher(IdentityBuild);
-        for (ri, row) in result.tuples.iter().enumerate() {
-            let key = if key_idx.len() == 1 {
-                row[key_idx[0]] as u64
-            } else {
-                pack2(row[key_idx[0]], row[key_idx[1]])
-            };
-            let an = annot_of(ri);
-            map.entry(key)
-                .and_modify(|v| *v = op.plus(*v, an))
-                .or_insert(an);
-        }
-        packed_groups_to_buffer(map, key_idx.len(), apply)
-    } else {
-        let mut map: HashMap<Vec<u32>, DynValue> = HashMap::new();
-        for (ri, row) in result.tuples.iter().enumerate() {
-            let key: Vec<u32> = key_idx.iter().map(|&i| row[i]).collect();
-            let an = annot_of(ri);
-            map.entry(key)
-                .and_modify(|v| *v = op.plus(*v, an))
-                .or_insert(an);
-        }
-        let mut entries: Vec<(Vec<u32>, DynValue)> = map.into_iter().collect();
-        entries.sort_by(|a, b| a.0.cmp(&b.0));
-        let mut t = TupleBuffer::with_capacity(plan.output_vars.len(), entries.len());
-        for (k, v) in entries {
-            t.push_annotated(&k, apply(v));
-        }
-        t
-    };
-    Ok(Relation::from_buffer(out, op))
 }
 
 #[cfg(test)]
@@ -1029,60 +183,6 @@ mod tests {
             Relation::from_rows(2, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![1, 3]]),
         );
         cat
-    }
-
-    #[test]
-    fn two_hop_join() {
-        let cat = path_catalog();
-        let rule = parse_rule("P(x,z) :- E(x,y),E(y,z).").unwrap();
-        let out = execute_rule(&rule, &cat, &Config::default()).unwrap();
-        let mut rows: Vec<Vec<u32>> = out.rows().iter().map(|r| r.to_vec()).collect();
-        rows.sort();
-        assert_eq!(rows, vec![vec![0, 2], vec![0, 3], vec![1, 3]]);
-    }
-
-    #[test]
-    fn projection_dedups() {
-        let cat = path_catalog();
-        let rule = parse_rule("S(x) :- E(x,y).").unwrap();
-        let out = execute_rule(&rule, &cat, &Config::default()).unwrap();
-        assert_eq!(out.rows().flat(), &[0, 1, 2]);
-    }
-
-    #[test]
-    fn count_two_hops() {
-        let cat = path_catalog();
-        let rule = parse_rule("C(;w:long) :- E(x,y),E(y,z); w=<<COUNT(*)>>.").unwrap();
-        let out = execute_rule(&rule, &cat, &Config::default()).unwrap();
-        assert_eq!(out.scalar().unwrap().as_u64(), 3);
-    }
-
-    #[test]
-    fn count_grouped_by_key() {
-        let cat = path_catalog();
-        let rule = parse_rule("D(x;w:long) :- E(x,y); w=<<COUNT(*)>>.").unwrap();
-        let out = execute_rule(&rule, &cat, &Config::default()).unwrap();
-        assert_eq!(out.rows().flat(), &[0, 1, 2]);
-        let annots = out.annotations().unwrap();
-        assert_eq!(annots[0].as_u64(), 1); // 0 -> {1}
-        assert_eq!(annots[1].as_u64(), 2); // 1 -> {2,3}
-        assert_eq!(annots[2].as_u64(), 1); // 2 -> {3}
-    }
-
-    #[test]
-    fn selection_filters() {
-        let cat = path_catalog();
-        let rule = parse_rule("Q(y) :- E('1',y).").unwrap();
-        let out = execute_rule(&rule, &cat, &Config::default()).unwrap();
-        assert_eq!(out.rows().flat(), &[2, 3]);
-    }
-
-    #[test]
-    fn selection_missing_constant_is_empty() {
-        let cat = path_catalog();
-        let rule = parse_rule("Q(y) :- E('99',y).").unwrap();
-        let out = execute_rule(&rule, &cat, &Config::default()).unwrap();
-        assert!(out.is_empty());
     }
 
     #[test]
@@ -1103,26 +203,6 @@ mod tests {
             execute_rule(&rule, &cat, &Config::default()),
             Err(ExecError::ArityMismatch { .. })
         ));
-    }
-
-    #[test]
-    fn annotated_sum_aggregation() {
-        // Weighted edges; total weight of 2-paths = sum over (x,y,z) of
-        // w(x,y)*w(y,z).
-        let mut cat = MemCatalog::new();
-        cat.insert(
-            "W",
-            Relation::from_annotated_rows(
-                2,
-                vec![vec![0, 1], vec![1, 2], vec![1, 3]],
-                vec![DynValue::F64(2.0), DynValue::F64(3.0), DynValue::F64(5.0)],
-                AggOp::Sum,
-            ),
-        );
-        let rule = parse_rule("C(;w:float) :- W(x,y),W(y,z); w=<<SUM(z)>>.").unwrap();
-        let out = execute_rule(&rule, &cat, &Config::default()).unwrap();
-        // paths: (0,1,2): 2*3=6, (0,1,3): 2*5=10 → 16.
-        assert_eq!(out.scalar().unwrap().as_f64(), 16.0);
     }
 
     #[test]
@@ -1155,6 +235,37 @@ mod tests {
             with.scalar().unwrap().as_u64(),
             single.scalar().unwrap().as_u64()
         );
+    }
+
+    #[test]
+    fn constant_bridge_gives_child_with_empty_interface() {
+        // Both triangle groups anchor on the constant '0', so after
+        // selection resolution the GHD child shares no *variables* with
+        // its parent — a cross-product child whose folded count must
+        // multiply into the parent as a constant factor (regression:
+        // this used to be silently dropped, undercounting by the whole
+        // child's fold).
+        let mut edges = Vec::new();
+        for a in 0..6u32 {
+            for b in 0..6u32 {
+                if a != b {
+                    edges.push(vec![a, b]);
+                }
+            }
+        }
+        let mut cat = MemCatalog::new();
+        cat.insert("E", Relation::from_rows(2, edges));
+        let rule = parse_rule(
+            "S(;w:long) :- E(x,y),E(y,z),E(x,z),E(x,'0'),E('0',a),E(a,b),E(b,c),E(a,c); w=<<COUNT(*)>>.",
+        )
+        .unwrap();
+        let ghd = execute_rule(&rule, &cat, &Config::default()).unwrap();
+        let single = execute_rule(&rule, &cat, &Config::no_ghd()).unwrap();
+        assert_eq!(
+            ghd.scalar().unwrap().as_u64(),
+            single.scalar().unwrap().as_u64()
+        );
+        assert!(ghd.scalar().unwrap().as_u64() > 0);
     }
 
     #[test]

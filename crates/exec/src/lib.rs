@@ -7,9 +7,16 @@
 //! substitution table). Execution then runs:
 //!
 //! * **within each GHD node** — the generic worst-case optimal join
-//!   (Algorithm 1): one loop per attribute in the global order, each loop
-//!   body an [`eh_set::intersect()`] pass over the tries that contain the
-//!   attribute;
+//!   (Algorithm 1): each node is first compiled into a `JoinProgram`
+//!   (per-level participation tables, precomputed in `program`), then the
+//!   allocation-free recursion in `gj` runs one loop per attribute in the
+//!   global order, each loop body an [`eh_set::intersect()`] pass over
+//!   the tries that contain the attribute, with all scratch owned by a
+//!   per-node `GjContext`;
+//! * **across threads** — the morsel-driven level-0 scheduler in
+//!   `parallel` (workers pull fixed-size value chunks off an atomic
+//!   cursor; a static-partition baseline remains as the ablation),
+//!   merging per-thread sinks (`sink`) with `⊕`;
 //! * **across nodes** — Yannakakis: a bottom-up pass materializing each
 //!   node's result (with early aggregation of attributes nobody above
 //!   needs), then a top-down pass assembling output tuples, skipped when
@@ -20,11 +27,16 @@
 
 pub mod config;
 pub mod executor;
+mod gj;
 pub mod plan;
+mod program;
 pub mod recursion;
+mod sink;
 pub mod storage;
 
-pub use config::Config;
+mod parallel;
+
+pub use config::{Config, Scheduler};
 pub use executor::{execute_plan, execute_rule, ExecError};
 pub use plan::{PhysicalPlan, PlanNode};
 pub use recursion::execute_recursive_rule;

@@ -1,0 +1,513 @@
+//! The compiled join program: everything Generic-Join needs to know about
+//! one GHD node, discovered **once** before the loop nest runs.
+//!
+//! The paper's code generator emits loops whose participation structure is
+//! baked in at compile time; the interpreted engine recovers that property
+//! here. [`JoinProgram`] precomputes, per attribute level, which atoms
+//! participate (and at what trie depth), whether the level is retained in
+//! the output, where annotated atoms bottom out, and whether the innermost
+//! count fast path applies — so the recursion in [`crate::gj`] does zero
+//! per-call discovery. [`GjContext`] owns every scratch buffer the
+//! recursion touches (per-level value buffers, multiway-intersection
+//! ping-pong buffers, the binding vector, and the per-atom cursor stacks),
+//! so the loop nest allocates nothing.
+
+use crate::config::Config;
+use crate::executor::{ExecError, NodeResult};
+use crate::plan::{AtomPlan, PhysicalPlan, PlanNode};
+use crate::storage::{Catalog, Relation};
+use eh_semiring::{AggOp, DynValue};
+use eh_set::{MultiwayScratch, Set};
+use eh_trie::{NodeId, Trie};
+use std::sync::Arc;
+
+/// A reusable per-level set-value scratch buffer (not a tuple table —
+/// one flat run of candidate values per Generic-Join level).
+pub(crate) type ValueBuf = Vec<u32>;
+
+/// Per-atom execution state during Generic-Join.
+///
+/// `stack` and `hints` are fixed-length (one slot per bound level),
+/// preallocated here so descending the trie writes slots instead of
+/// pushing — the recursion never grows them.
+#[derive(Clone)]
+pub(crate) struct AtomExec {
+    pub(crate) trie: Arc<Trie>,
+    /// Node-attr indices this atom binds, ascending.
+    pub(crate) attr_levels: Vec<usize>,
+    /// Trie path: `stack[k]` is consulted when binding `attr_levels[k]`.
+    pub(crate) stack: Vec<NodeId>,
+    /// Monotone rank cursors parallel to `stack` — values at each depth
+    /// arrive ascending, so rank probes only ever move forward.
+    pub(crate) hints: Vec<usize>,
+    /// Whether leaf values carry annotations to multiply in.
+    pub(crate) annotated: bool,
+}
+
+impl AtomExec {
+    fn new(trie: Arc<Trie>, attr_levels: Vec<usize>, start: NodeId, annotated: bool) -> AtomExec {
+        // A child atom with an empty interface binds no level at all (it
+        // joins the parent as a bare cross product); keep one slot so the
+        // root cursor exists but nothing ever advances it.
+        let depth = attr_levels.len().max(1);
+        let mut stack = vec![0; depth];
+        stack[0] = start;
+        AtomExec {
+            trie,
+            attr_levels,
+            stack,
+            hints: vec![0; depth],
+            annotated,
+        }
+    }
+
+    /// The set this atom contributes at stack depth `d`.
+    #[inline]
+    pub(crate) fn set_at(&self, d: usize) -> &Set {
+        &self.trie.node(self.stack[d]).set
+    }
+}
+
+/// One participation entry: atom `atom` is consulted at trie depth `depth`
+/// when binding this level; `leaf` marks the atom's deepest level.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct LevelStep {
+    pub(crate) atom: usize,
+    pub(crate) depth: usize,
+    pub(crate) leaf: bool,
+}
+
+/// The participation table for one attribute level.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct LevelProgram {
+    /// Atoms participating at this level, with their stack depth.
+    pub(crate) steps: Vec<LevelStep>,
+    /// Whether the attribute is retained in the node's output.
+    pub(crate) is_output: bool,
+}
+
+/// The compiled program for one GHD node: per-level participation tables,
+/// output positions, and aggregate flags, precomputed once so the
+/// recursion in [`crate::gj`] does no per-call discovery or allocation.
+pub(crate) struct JoinProgram {
+    /// Number of attribute levels (`levels.len()`).
+    pub(crate) attrs_len: usize,
+    /// One participation table per level.
+    pub(crate) levels: Vec<LevelProgram>,
+    /// For each output column, the node-attr index it reads.
+    pub(crate) output_levels: Vec<usize>,
+    /// Whether the rule aggregates (early aggregation inside the node).
+    pub(crate) is_agg: bool,
+    /// The carrier semiring operator.
+    pub(crate) op: AggOp,
+    /// The innermost count fast path applies (paper §5.3: aggregate
+    /// queries never materialize the deepest intersection): the last
+    /// level is not output and no annotated atom bottoms out there.
+    pub(crate) count_fast: bool,
+}
+
+impl JoinProgram {
+    /// Compile the participation tables from the built atoms.
+    pub(crate) fn compile(
+        attrs_len: usize,
+        output_levels: Vec<usize>,
+        atoms: &[AtomExec],
+        is_agg: bool,
+        op: AggOp,
+    ) -> JoinProgram {
+        let mut levels: Vec<LevelProgram> = Vec::with_capacity(attrs_len);
+        for level in 0..attrs_len {
+            let steps: Vec<LevelStep> = atoms
+                .iter()
+                .enumerate()
+                .filter_map(|(i, a)| {
+                    a.attr_levels
+                        .iter()
+                        .position(|&l| l == level)
+                        .map(|d| LevelStep {
+                            atom: i,
+                            depth: d,
+                            leaf: d + 1 == a.attr_levels.len(),
+                        })
+                })
+                .collect();
+            levels.push(LevelProgram {
+                steps,
+                is_output: output_levels.contains(&level),
+            });
+        }
+        let count_fast = match levels.last() {
+            Some(last) => {
+                let no_leaf_annots = last
+                    .steps
+                    .iter()
+                    .all(|st| !(atoms[st.atom].annotated && st.leaf));
+                is_agg && !last.is_output && no_leaf_annots
+            }
+            None => false,
+        };
+        JoinProgram {
+            attrs_len,
+            levels,
+            output_levels,
+            is_agg,
+            op,
+            count_fast,
+        }
+    }
+}
+
+/// Everything mutable Generic-Join touches for one GHD node: the per-atom
+/// trie cursors plus every scratch buffer the recursion reuses. The
+/// recursion itself (see [`crate::gj`]) allocates nothing — all storage
+/// comes from here.
+pub(crate) struct GjContext<'a> {
+    /// Per-atom cursor state (stacks and rank hints).
+    pub(crate) atoms: Vec<AtomExec>,
+    /// The current partial assignment, one slot per level.
+    pub(crate) bindings: ValueBuf,
+    /// Reusable per-level value buffers.
+    pub(crate) scratch: Vec<ValueBuf>,
+    /// Reusable multiway-intersection intermediates (shared across levels:
+    /// only live while one level's merge or count is being computed).
+    pub(crate) mw: MultiwayScratch,
+    /// Engine configuration (intersection kernels, scheduler knobs).
+    pub(crate) cfg: &'a Config,
+}
+
+impl<'a> GjContext<'a> {
+    /// Fresh context over the built atoms.
+    pub(crate) fn new(atoms: Vec<AtomExec>, attrs_len: usize, cfg: &'a Config) -> GjContext<'a> {
+        GjContext {
+            atoms,
+            bindings: vec![0; attrs_len],
+            scratch: vec![ValueBuf::new(); attrs_len],
+            mw: MultiwayScratch::new(),
+            cfg,
+        }
+    }
+
+    /// Clone for a worker thread: same atom cursors (cheap — tries are
+    /// behind `Arc`), fresh scratch.
+    pub(crate) fn fork(&self) -> GjContext<'a> {
+        GjContext {
+            atoms: self.atoms.clone(),
+            bindings: vec![0; self.bindings.len()],
+            scratch: vec![ValueBuf::new(); self.scratch.len()],
+            mw: MultiwayScratch::new(),
+            cfg: self.cfg,
+        }
+    }
+}
+
+/// The atoms of one node, built and positioned past their constant
+/// prefixes, plus the constant-only annotation product.
+pub(crate) struct NodeBuild {
+    /// Live atoms (query atoms and child-interface atoms).
+    pub(crate) atoms: Vec<AtomExec>,
+    /// Annotation product of fully-constant atoms and scalar factors.
+    pub(crate) base_product: DynValue,
+    /// A constant prefix missed or a child was empty: the node is empty.
+    pub(crate) empty: bool,
+}
+
+/// Build every atom of a node: the plan's own atoms plus one trie per
+/// child result joined in over its interface attributes.
+pub(crate) fn build_node(
+    node: &PlanNode,
+    plan: &PhysicalPlan,
+    catalog: &dyn Catalog,
+    cfg: &Config,
+    results: &[Option<Arc<NodeResult>>],
+    is_agg: bool,
+    op: AggOp,
+) -> Result<NodeBuild, ExecError> {
+    let mut atoms: Vec<AtomExec> = Vec::new();
+    let mut base_product = op.one();
+    let mut empty = false;
+    for ap in &node.atoms {
+        match build_atom(ap, node, catalog, cfg, is_agg, op)? {
+            BuiltAtom::Live(a) => atoms.push(a),
+            BuiltAtom::ConstOnly(annot) => {
+                base_product = op.times(base_product, annot);
+            }
+            BuiltAtom::Empty => {
+                empty = true;
+            }
+        }
+    }
+    // Children join in as atoms over their interface attributes.
+    for &child_id in &node.children {
+        let child_plan = &plan.nodes[child_id];
+        let child_result = results[child_id].as_ref().unwrap();
+        let (rel, fully_folded) =
+            child_as_relation(child_plan, child_result, is_agg, op, plan.skip_top_down);
+        if rel.is_empty() {
+            empty = true;
+        }
+        if child_plan.interface.is_empty() {
+            // Cross-product child (no shared attributes — e.g. two
+            // subpatterns bridged only through a selection constant): a
+            // non-empty child is a pure existence filter, and a fully
+            // folded aggregate child contributes its scalar `⊕`-fold as a
+            // constant factor of every parent row. There is no trie to
+            // join, so it must not become a live atom.
+            if is_agg && fully_folded {
+                if let Some(v) = rel.scalar_value() {
+                    base_product = op.times(base_product, v);
+                }
+            }
+            continue;
+        }
+        let attr_levels: Vec<usize> = child_plan
+            .interface
+            .iter()
+            .map(|a| node.attrs.iter().position(|x| x == a).unwrap())
+            .collect();
+        // Trie order: interface columns sorted by parent attr order.
+        let mut order: Vec<usize> = (0..child_plan.interface.len()).collect();
+        order.sort_by_key(|&i| attr_levels[i]);
+        let sorted_levels: Vec<usize> = order.iter().map(|&i| attr_levels[i]).collect();
+        let trie = rel.trie_threads(&order, cfg.layout_policy, cfg.effective_threads());
+        atoms.push(AtomExec::new(
+            trie,
+            sorted_levels,
+            0,
+            fully_folded && is_agg,
+        ));
+    }
+    Ok(NodeBuild {
+        atoms,
+        base_product,
+        empty,
+    })
+}
+
+enum BuiltAtom {
+    Live(AtomExec),
+    /// All positions constant and present: contributes only an annotation.
+    ConstOnly(DynValue),
+    /// Constant prefix missing from the relation: node result is empty.
+    Empty,
+}
+
+fn build_atom(
+    ap: &AtomPlan,
+    node: &PlanNode,
+    catalog: &dyn Catalog,
+    cfg: &Config,
+    is_agg: bool,
+    op: AggOp,
+) -> Result<BuiltAtom, ExecError> {
+    let rel = catalog
+        .relation(&ap.relation)
+        .ok_or_else(|| ExecError::UnknownRelation(ap.relation.clone()))?;
+    if rel.arity() != ap.trie_order.len() {
+        return Err(ExecError::ArityMismatch {
+            relation: ap.relation.clone(),
+            expected: ap.trie_order.len(),
+            actual: rel.arity(),
+        });
+    }
+    let trie = rel.trie_threads(&ap.trie_order, cfg.layout_policy, cfg.effective_threads());
+    // Resolve and descend the constant prefix once (selection push-down
+    // within the node: selections are the first trie levels).
+    let mut consts = Vec::with_capacity(ap.const_prefix.len());
+    for (i, c) in ap.const_prefix.iter().enumerate() {
+        // trie_order leads with the constant positions, so the source
+        // column of constant i is trie_order[i] — typed catalogs resolve
+        // through that column's dictionary domain.
+        match catalog.resolve_const_at(&ap.relation, ap.trie_order[i], c) {
+            Some(id) => consts.push(id),
+            None => return Ok(BuiltAtom::Empty),
+        }
+    }
+    if ap.attr_levels.is_empty() {
+        // Fully-constant atom: an existence filter (+ annotation).
+        let Some((last, prefix)) = consts.split_last() else {
+            return Ok(BuiltAtom::Empty);
+        };
+        let Some(n) = trie.select_node(prefix) else {
+            return Ok(BuiltAtom::Empty);
+        };
+        let Some(rank) = n.set.rank(*last) else {
+            return Ok(BuiltAtom::Empty);
+        };
+        let annot = if is_agg && rel.is_annotated() && !ap.secondary {
+            n.annots.get(rank).copied().unwrap_or(op.one())
+        } else {
+            op.one()
+        };
+        return Ok(BuiltAtom::ConstOnly(annot));
+    }
+    // Find the trie node after the constant prefix.
+    let start = match descend(&trie, &consts) {
+        Some(id) => id,
+        None => return Ok(BuiltAtom::Empty),
+    };
+    // Map attr levels into this node's attr order (already provided).
+    let attr_levels: Vec<usize> = ap
+        .attr_levels
+        .iter()
+        .map(|&ai| {
+            debug_assert!(ai < node.attrs.len());
+            ai
+        })
+        .collect();
+    let annotated = is_agg && rel.is_annotated() && !ap.secondary;
+    Ok(BuiltAtom::Live(AtomExec::new(
+        trie,
+        attr_levels,
+        start,
+        annotated,
+    )))
+}
+
+/// Walk a constant prefix from the root; returns the reached node id.
+fn descend(trie: &Trie, prefix: &[u32]) -> Option<NodeId> {
+    let mut id: NodeId = 0;
+    for &v in prefix {
+        let n = trie.node(id);
+        let rank = n.set.rank(v)?;
+        id = *n.children.get(rank)?;
+    }
+    Some(id)
+}
+
+/// Present a child's bottom-up result to its parent as a relation over the
+/// interface attributes. Returns `(relation, fully_folded)`:
+/// `fully_folded` is true when the child's output is exactly its interface,
+/// so its aggregated annotation can be multiplied in directly.
+fn child_as_relation(
+    child: &PlanNode,
+    result: &NodeResult,
+    is_agg: bool,
+    op: AggOp,
+    _skip_top_down: bool,
+) -> (Relation, bool) {
+    let fully_folded = child.output_attrs == child.interface;
+    if fully_folded {
+        let mut tuples = result.tuples.clone();
+        if is_agg {
+            tuples.fill_annotations(op.one());
+        } else {
+            tuples.drop_annotations();
+        }
+        return (Relation::from_buffer(tuples, op), true);
+    }
+    // Project to the interface (semijoin role only); annotations, if any,
+    // are applied during the top-down pass.
+    let iface_idx: Vec<usize> = child
+        .interface
+        .iter()
+        .map(|a| result.attrs.iter().position(|x| x == a).unwrap())
+        .collect();
+    let mut proj = result.tuples.reorder(&iface_idx);
+    proj.drop_annotations();
+    (Relation::from_buffer(proj.sorted_dedup(op), op), false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemCatalog;
+    use eh_ghd::plan_rule;
+    use eh_query::parse_rule;
+
+    fn triangle_program() -> (JoinProgram, NodeBuild) {
+        let mut cat = MemCatalog::new();
+        cat.insert(
+            "E",
+            Relation::from_rows(2, vec![vec![0, 1], vec![1, 2], vec![0, 2]]),
+        );
+        let rule = parse_rule("T(x,y,z) :- E(x,y),E(y,z),E(x,z).").unwrap();
+        let cfg = Config::default();
+        let gp = plan_rule(&rule, &cfg.plan).unwrap();
+        let plan = PhysicalPlan::compile(&rule, &gp);
+        let node = plan.root();
+        let build = build_node(node, &plan, &cat, &cfg, &[], false, AggOp::Count).unwrap();
+        let output_levels: Vec<usize> = node
+            .output_attrs
+            .iter()
+            .map(|a| node.attrs.iter().position(|x| x == a).unwrap())
+            .collect();
+        let program = JoinProgram::compile(
+            node.attrs.len(),
+            output_levels,
+            &build.atoms,
+            false,
+            AggOp::Count,
+        );
+        (program, build)
+    }
+
+    #[test]
+    fn triangle_participation_tables() {
+        let (program, build) = triangle_program();
+        assert_eq!(program.attrs_len, 3);
+        assert_eq!(build.atoms.len(), 3);
+        // Each of the three levels has exactly two participating atoms
+        // (each edge atom binds two of x, y, z).
+        for (level, lp) in program.levels.iter().enumerate() {
+            assert_eq!(lp.steps.len(), 2, "level {level}");
+            assert!(lp.is_output);
+        }
+        // Depths ascend with levels, and leaves appear exactly where an
+        // atom's second attribute binds.
+        let leaves: usize = program
+            .levels
+            .iter()
+            .flat_map(|l| &l.steps)
+            .filter(|st| st.leaf)
+            .count();
+        assert_eq!(leaves, 3, "each binary atom bottoms out once");
+        // A listing query has no count fast path.
+        assert!(!program.count_fast);
+    }
+
+    #[test]
+    fn count_fast_path_detected() {
+        let mut cat = MemCatalog::new();
+        cat.insert(
+            "E",
+            Relation::from_rows(2, vec![vec![0, 1], vec![1, 2], vec![0, 2]]),
+        );
+        let rule = parse_rule("C(;w:long) :- E(x,y),E(y,z),E(x,z); w=<<COUNT(*)>>.").unwrap();
+        let cfg = Config::default();
+        let gp = plan_rule(&rule, &cfg.plan).unwrap();
+        let plan = PhysicalPlan::compile(&rule, &gp);
+        let node = plan.root();
+        let build = build_node(node, &plan, &cat, &cfg, &[], true, AggOp::Count).unwrap();
+        let program = JoinProgram::compile(
+            node.attrs.len(),
+            Vec::new(),
+            &build.atoms,
+            true,
+            AggOp::Count,
+        );
+        assert!(program.count_fast, "innermost count never materializes");
+    }
+
+    #[test]
+    fn atom_cursors_are_fixed_size() {
+        let (_, build) = triangle_program();
+        for a in &build.atoms {
+            assert_eq!(a.stack.len(), a.attr_levels.len());
+            assert_eq!(a.hints.len(), a.attr_levels.len());
+        }
+    }
+
+    #[test]
+    fn fork_shares_tries_but_not_scratch() {
+        let (program, build) = triangle_program();
+        let cfg = Config::default();
+        let mut ctx = GjContext::new(build.atoms, program.attrs_len, &cfg);
+        ctx.scratch[0].push(7);
+        ctx.bindings[0] = 9;
+        let fork = ctx.fork();
+        assert!(fork.scratch[0].is_empty(), "fresh scratch per worker");
+        assert_eq!(fork.bindings[0], 0);
+        assert_eq!(fork.atoms.len(), ctx.atoms.len());
+        assert!(Arc::ptr_eq(&fork.atoms[0].trie, &ctx.atoms[0].trie));
+    }
+}

@@ -1,0 +1,459 @@
+//! Emission sinks and result assembly: where Generic-Join bindings land.
+//!
+//! A [`Sink`] absorbs one binding at a time — scalar `⊕`-accumulator,
+//! packed-key aggregate maps, or a flat row buffer — with no per-emit
+//! allocation for the common key arities. Per-thread sinks from the
+//! parallel runtime merge with [`Sink::merge`] (`⊕` on aggregates, flat
+//! append on rows). The Yannakakis top-down pass ([`assemble`]) and the
+//! final projection/group-by ([`finalize`]) also live here.
+
+use crate::executor::NodeResult;
+use crate::plan::{PhysicalPlan, PlanNode};
+use crate::program::JoinProgram;
+use crate::storage::{Catalog, Relation};
+use eh_query::ast::Expr;
+use eh_semiring::{AggOp, DynValue};
+use eh_trie::TupleBuffer;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A pass-through hasher for u32 keys: node ids are already uniformly
+/// distributed after dictionary encoding, so SipHash is pure overhead in
+/// the aggregation hot loop.
+#[derive(Clone, Copy, Default)]
+pub struct IdentityHasher(u64);
+
+impl std::hash::Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ b as u64;
+        }
+    }
+    fn write_u32(&mut self, v: u32) {
+        // Multiplicative scramble keeps clustering harmless.
+        self.0 = (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+    fn write_u64(&mut self, v: u64) {
+        // Scramble packed two-column keys, then fold the high half down:
+        // the map picks buckets from the low bits, which after a bare
+        // multiply would depend only on the packed key's second column.
+        let h = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+/// `BuildHasher` for [`IdentityHasher`].
+#[derive(Clone, Copy, Default)]
+pub struct IdentityBuild;
+
+impl std::hash::BuildHasher for IdentityBuild {
+    type Hasher = IdentityHasher;
+    fn build_hasher(&self) -> IdentityHasher {
+        IdentityHasher(0)
+    }
+}
+
+/// Emission sink: scalar accumulator (no key vars), aggregate fold, or
+/// flat row collection.
+pub(crate) enum Sink {
+    /// Scalar aggregate (COUNT(*)-style) — no hashing in the hot loop.
+    Scalar { acc: DynValue, any: bool },
+    /// Single-key aggregate — u32 keys, cheap hash, no per-emit allocation.
+    Agg1(HashMap<u32, DynValue, IdentityBuild>),
+    /// Two-key aggregate — both u32 keys packed into one u64 so multi-key
+    /// group-bys stop allocating per emitted row.
+    Agg2(HashMap<u64, DynValue, IdentityBuild>),
+    /// Three-or-more-key aggregate (rare): heap-keyed fallback.
+    AggN(HashMap<Vec<u32>, DynValue>),
+    /// Row collection into a flat columnar buffer.
+    Rows(TupleBuffer),
+}
+
+impl Sink {
+    /// Sink for a node with `keys` output columns.
+    pub(crate) fn for_output(is_agg: bool, keys: usize, op: AggOp) -> Sink {
+        if is_agg {
+            match keys {
+                0 => Sink::Scalar {
+                    acc: op.zero(),
+                    any: false,
+                },
+                1 => Sink::Agg1(HashMap::with_hasher(IdentityBuild)),
+                2 => Sink::Agg2(HashMap::with_hasher(IdentityBuild)),
+                _ => Sink::AggN(HashMap::new()),
+            }
+        } else {
+            Sink::Rows(TupleBuffer::new(keys))
+        }
+    }
+
+    /// Merge a worker's sink into this one: `⊕` on aggregates, one flat
+    /// append on rows. Both sinks must come from the same
+    /// [`Sink::for_output`] shape.
+    pub(crate) fn merge(&mut self, other: Sink, op: AggOp) {
+        match (self, other) {
+            (Sink::Scalar { acc, any }, Sink::Scalar { acc: a2, any: n2 }) => {
+                if n2 {
+                    *acc = op.plus(*acc, a2);
+                    *any = true;
+                }
+            }
+            (Sink::Agg1(map), Sink::Agg1(m2)) => {
+                for (k, v) in m2 {
+                    map.entry(k)
+                        .and_modify(|x| *x = op.plus(*x, v))
+                        .or_insert(v);
+                }
+            }
+            (Sink::Agg2(map), Sink::Agg2(m2)) => {
+                for (k, v) in m2 {
+                    map.entry(k)
+                        .and_modify(|x| *x = op.plus(*x, v))
+                        .or_insert(v);
+                }
+            }
+            (Sink::AggN(map), Sink::AggN(m2)) => {
+                for (k, v) in m2 {
+                    map.entry(k)
+                        .and_modify(|x| *x = op.plus(*x, v))
+                        .or_insert(v);
+                }
+            }
+            // Per-thread row buffers merge with one flat copy each.
+            (Sink::Rows(rows), Sink::Rows(r2)) => rows.append(&r2),
+            _ => unreachable!("sink kinds match across threads"),
+        }
+    }
+
+    /// Drain the sink into a node's canonical tuple buffer: aggregates
+    /// sort by key, rows sort-and-dedup, scalars become a nullary row.
+    pub(crate) fn into_node_tuples(self, keys: usize, op: AggOp) -> TupleBuffer {
+        match self {
+            Sink::Scalar { acc, any } => {
+                let mut t = TupleBuffer::nullary(if any { 1 } else { 0 });
+                t.set_annotations(if any { vec![acc] } else { Vec::new() });
+                t
+            }
+            Sink::Agg1(map) => {
+                let mut entries: Vec<(u32, DynValue)> = map.into_iter().collect();
+                entries.sort_unstable_by_key(|e| e.0);
+                let mut t = TupleBuffer::with_capacity(1, entries.len());
+                for (k, v) in entries {
+                    t.push_annotated(&[k], v);
+                }
+                t
+            }
+            Sink::Agg2(map) => packed_groups_to_buffer(map, 2, |v| v),
+            Sink::AggN(map) => {
+                let mut entries: Vec<(Vec<u32>, DynValue)> = map.into_iter().collect();
+                entries.sort_by(|a, b| a.0.cmp(&b.0));
+                let mut t = TupleBuffer::with_capacity(keys, entries.len());
+                for (k, v) in entries {
+                    t.push_annotated(&k, v);
+                }
+                t
+            }
+            Sink::Rows(rows) => rows.sorted_dedup(op),
+        }
+    }
+}
+
+/// Emit one assignment: fold into the scalar/aggregate sink or push a row.
+#[inline]
+pub(crate) fn emit(program: &JoinProgram, bindings: &[u32], product: DynValue, sink: &mut Sink) {
+    match sink {
+        Sink::Scalar { acc, any } => {
+            *acc = program.op.plus(*acc, product);
+            *any = true;
+        }
+        Sink::Agg1(map) => {
+            let key = bindings[program.output_levels[0]];
+            let op = program.op;
+            map.entry(key)
+                .and_modify(|v| *v = op.plus(*v, product))
+                .or_insert(product);
+        }
+        Sink::Agg2(map) => {
+            let key = pack2(
+                bindings[program.output_levels[0]],
+                bindings[program.output_levels[1]],
+            );
+            let op = program.op;
+            map.entry(key)
+                .and_modify(|v| *v = op.plus(*v, product))
+                .or_insert(product);
+        }
+        Sink::AggN(map) => {
+            let tuple: Vec<u32> = program.output_levels.iter().map(|&l| bindings[l]).collect();
+            let op = program.op;
+            map.entry(tuple)
+                .and_modify(|v| *v = op.plus(*v, product))
+                .or_insert(product);
+        }
+        Sink::Rows(rows) => {
+            rows.extend_row(program.output_levels.iter().map(|&l| bindings[l]));
+        }
+    }
+}
+
+/// Pack two u32 key columns into one u64 preserving lexicographic order.
+#[inline]
+pub(crate) fn pack2(a: u32, b: u32) -> u64 {
+    ((a as u64) << 32) | b as u64
+}
+
+/// Drain a u64-packed group-by map into a sorted annotated buffer
+/// (`keys` ∈ {1, 2}), applying `value` to each folded annotation. u64
+/// order on packed keys equals lexicographic order on the columns.
+fn packed_groups_to_buffer(
+    map: HashMap<u64, DynValue, IdentityBuild>,
+    keys: usize,
+    value: impl Fn(DynValue) -> DynValue,
+) -> TupleBuffer {
+    let mut entries: Vec<(u64, DynValue)> = map.into_iter().collect();
+    entries.sort_unstable_by_key(|e| e.0);
+    let mut t = TupleBuffer::with_capacity(keys, entries.len());
+    for (k, v) in entries {
+        if keys == 1 {
+            t.push_annotated(&[k as u32], value(v));
+        } else {
+            t.push_annotated(&[(k >> 32) as u32, k as u32], value(v));
+        }
+    }
+    t
+}
+
+/// Yannakakis top-down pass: extend each node's rows with its children's
+/// non-interface output columns (joined on the interface), multiplying
+/// annotations for aggregate queries.
+pub(crate) fn assemble(
+    node_id: usize,
+    plan: &PhysicalPlan,
+    results: &[Option<Arc<NodeResult>>],
+    is_agg: bool,
+    op: AggOp,
+) -> NodeResult {
+    let node = &plan.nodes[node_id];
+    let own = results[node_id].as_ref().unwrap();
+    let mut attrs = own.attrs.clone();
+    let mut tuples = own.tuples.clone();
+    if is_agg {
+        tuples.fill_annotations(op.one());
+    }
+    for &child_id in &node.children {
+        let child = assemble(child_id, plan, results, is_agg, op);
+        let child_plan: &PlanNode = &plan.nodes[child_id];
+        // Index child extensions by interface tuple; each bucket is a
+        // flat buffer of the non-interface columns (plus annotations).
+        let iface_idx: Vec<usize> = child_plan
+            .interface
+            .iter()
+            .map(|a| child.attrs.iter().position(|x| x == a).unwrap())
+            .collect();
+        let ext_idx: Vec<usize> = (0..child.attrs.len())
+            .filter(|i| !iface_idx.contains(i))
+            .collect();
+        let mut index: HashMap<Vec<u32>, TupleBuffer> = HashMap::new();
+        for (ri, row) in child.tuples.iter().enumerate() {
+            let key: Vec<u32> = iface_idx.iter().map(|&i| row[i]).collect();
+            let bucket = index
+                .entry(key)
+                .or_insert_with(|| TupleBuffer::new(ext_idx.len()));
+            let ext = ext_idx.iter().map(|&i| row[i]);
+            if is_agg {
+                let an = child.tuples.annot(ri).unwrap_or_else(|| op.one());
+                bucket.extend_row_annotated(ext, an);
+            } else {
+                bucket.extend_row(ext);
+            }
+        }
+        // Parent-side interface column positions.
+        let parent_iface_idx: Vec<usize> = child_plan
+            .interface
+            .iter()
+            .map(|a| attrs.iter().position(|x| x == a).unwrap())
+            .collect();
+        let mut joined = TupleBuffer::new(attrs.len() + ext_idx.len());
+        let mut key: Vec<u32> = Vec::with_capacity(parent_iface_idx.len());
+        for (ri, row) in tuples.iter().enumerate() {
+            key.clear();
+            key.extend(parent_iface_idx.iter().map(|&i| row[i]));
+            if let Some(bucket) = index.get(key.as_slice()) {
+                for (mi, ext) in bucket.iter().enumerate() {
+                    let values = row.iter().chain(ext.iter()).copied();
+                    if is_agg {
+                        let base = tuples.annot(ri).unwrap_or_else(|| op.one());
+                        let an = bucket.annot(mi).unwrap_or_else(|| op.one());
+                        joined.extend_row_annotated(values, op.times(base, an));
+                    } else {
+                        joined.extend_row(values);
+                    }
+                }
+            }
+        }
+        for &i in &ext_idx {
+            attrs.push(child.attrs[i].clone());
+        }
+        tuples = joined;
+    }
+    NodeResult { attrs, tuples }
+}
+
+/// Project to the head variables, fold duplicates, and apply the head
+/// expression.
+pub(crate) fn finalize(
+    plan: &PhysicalPlan,
+    result: NodeResult,
+    catalog: &dyn Catalog,
+    is_agg: bool,
+    op: AggOp,
+) -> Result<Relation, crate::executor::ExecError> {
+    let key_idx: Vec<usize> = plan
+        .output_vars
+        .iter()
+        .map(|a| {
+            result
+                .attrs
+                .iter()
+                .position(|x| x == a)
+                .expect("output var must be in assembled attrs")
+        })
+        .collect();
+    if !is_agg {
+        let mut proj = result.tuples.reorder(&key_idx);
+        proj.drop_annotations();
+        return Ok(Relation::from_buffer(proj.sorted_dedup(op), op));
+    }
+    let spec = plan.agg.as_ref().unwrap();
+    let scalars = |name: &str| -> Option<f64> {
+        catalog
+            .relation(name)
+            .and_then(|r| r.scalar_value())
+            .map(|v| v.as_f64())
+    };
+    let apply = |v: DynValue| -> DynValue {
+        match &spec.expr {
+            Expr::Agg(..) => v,
+            e => {
+                let out = e.eval(v.as_f64(), &scalars).unwrap_or(f64::NAN);
+                match op {
+                    AggOp::Count | AggOp::Min => DynValue::U64(out as u64),
+                    AggOp::Sum | AggOp::Max => DynValue::F64(out),
+                }
+            }
+        }
+    };
+    let annot_of = |ri: usize| result.tuples.annot(ri).unwrap_or_else(|| op.one());
+    if plan.output_vars.is_empty() {
+        // Scalar result: ⊕-fold every assembled row.
+        let total = (0..result.tuples.len()).fold(op.zero(), |acc, ri| op.plus(acc, annot_of(ri)));
+        return Ok(Relation::new_scalar(apply(total)));
+    }
+    // Group by key, ⊕-fold; keys of arity ≤ 2 pack into a u64 with the
+    // identity hasher (no per-row key allocation).
+    let out = if key_idx.len() <= 2 {
+        let mut map: HashMap<u64, DynValue, IdentityBuild> = HashMap::with_hasher(IdentityBuild);
+        for (ri, row) in result.tuples.iter().enumerate() {
+            let key = if key_idx.len() == 1 {
+                row[key_idx[0]] as u64
+            } else {
+                pack2(row[key_idx[0]], row[key_idx[1]])
+            };
+            let an = annot_of(ri);
+            map.entry(key)
+                .and_modify(|v| *v = op.plus(*v, an))
+                .or_insert(an);
+        }
+        packed_groups_to_buffer(map, key_idx.len(), apply)
+    } else {
+        let mut map: HashMap<Vec<u32>, DynValue> = HashMap::new();
+        for (ri, row) in result.tuples.iter().enumerate() {
+            let key: Vec<u32> = key_idx.iter().map(|&i| row[i]).collect();
+            let an = annot_of(ri);
+            map.entry(key)
+                .and_modify(|v| *v = op.plus(*v, an))
+                .or_insert(an);
+        }
+        let mut entries: Vec<(Vec<u32>, DynValue)> = map.into_iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut t = TupleBuffer::with_capacity(plan.output_vars.len(), entries.len());
+        for (k, v) in entries {
+            t.push_annotated(&k, apply(v));
+        }
+        t
+    };
+    Ok(Relation::from_buffer(out, op))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack2_preserves_lexicographic_order() {
+        assert!(pack2(0, 5) < pack2(1, 0));
+        assert!(pack2(3, 1) < pack2(3, 2));
+        assert_eq!(pack2(7, 9) >> 32, 7);
+        assert_eq!(pack2(7, 9) as u32, 9);
+    }
+
+    #[test]
+    fn sink_merge_folds_aggregates() {
+        let op = AggOp::Count;
+        let mut a = Sink::for_output(true, 1, op);
+        let mut b = Sink::for_output(true, 1, op);
+        if let Sink::Agg1(m) = &mut a {
+            m.insert(1, DynValue::U64(2));
+            m.insert(2, DynValue::U64(5));
+        }
+        if let Sink::Agg1(m) = &mut b {
+            m.insert(1, DynValue::U64(3));
+            m.insert(9, DynValue::U64(1));
+        }
+        a.merge(b, op);
+        let t = a.into_node_tuples(1, op);
+        assert_eq!(t.flat(), &[1, 2, 9]);
+        let annots = t.annotations().unwrap();
+        assert_eq!(annots[0].as_u64(), 5, "1 folds 2⊕3");
+        assert_eq!(annots[1].as_u64(), 5);
+        assert_eq!(annots[2].as_u64(), 1);
+    }
+
+    #[test]
+    fn sink_merge_appends_rows_then_dedups() {
+        let op = AggOp::Count;
+        let mut a = Sink::for_output(false, 2, op);
+        let mut b = Sink::for_output(false, 2, op);
+        if let Sink::Rows(r) = &mut a {
+            r.push_row(&[4, 5]);
+            r.push_row(&[1, 2]);
+        }
+        if let Sink::Rows(r) = &mut b {
+            r.push_row(&[1, 2]);
+            r.push_row(&[0, 9]);
+        }
+        a.merge(b, op);
+        let t = a.into_node_tuples(2, op);
+        assert_eq!(t.flat(), &[0, 9, 1, 2, 4, 5], "sorted, duplicate folded");
+    }
+
+    #[test]
+    fn scalar_sink_roundtrip() {
+        let op = AggOp::Count;
+        let mut a = Sink::for_output(true, 0, op);
+        let b = Sink::Scalar {
+            acc: DynValue::U64(4),
+            any: true,
+        };
+        a.merge(b, op);
+        let t = a.into_node_tuples(0, op);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.annot(0).unwrap().as_u64(), 4);
+        // An untouched scalar sink drains to zero rows.
+        let empty = Sink::for_output(true, 0, op).into_node_tuples(0, op);
+        assert_eq!(empty.len(), 0);
+    }
+}

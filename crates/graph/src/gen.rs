@@ -72,6 +72,66 @@ pub fn power_law(n: u32, m: usize, exponent: f64, seed: u64) -> Graph {
     Graph::from_dense(n, dir)
 }
 
+impl Graph {
+    /// Preferential-attachment (Barabási–Albert) power-law graph: nodes
+    /// arrive one at a time and attach `edges_per_node` undirected edges
+    /// to existing nodes sampled proportionally to their current degree,
+    /// so early nodes become hubs. This is the heavy-tailed degree
+    /// distribution that makes static level-0 range partitioning straggle
+    /// — the workload the morsel scheduler exists for. Both edge
+    /// directions are emitted (undirected), and the result is
+    /// deterministic in `seed`.
+    pub fn power_law(nodes: u32, edges_per_node: usize, seed: u64) -> Graph {
+        assert!(nodes >= 2);
+        assert!(edges_per_node >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = edges_per_node;
+        // `endpoints` lists every edge endpoint seen so far; sampling an
+        // index uniformly is sampling a node ∝ its degree.
+        let mut endpoints: Vec<u32> = Vec::with_capacity(2 * m * nodes as usize);
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m * nodes as usize * 2);
+        // Seed clique over the first min(m+1, nodes) nodes so the
+        // attachment pool starts non-degenerate.
+        let seed_n = (m as u32 + 1).min(nodes);
+        for a in 0..seed_n {
+            for b in (a + 1)..seed_n {
+                edges.push((a, b));
+                edges.push((b, a));
+                endpoints.push(a);
+                endpoints.push(b);
+            }
+        }
+        for v in seed_n..nodes {
+            let mut added = 0usize;
+            let mut attempts = 0usize;
+            // Sample m distinct targets by degree; a bounded retry loop
+            // handles collisions on tiny graphs.
+            let base = edges.len();
+            while added < m && attempts < m * 20 + 16 {
+                attempts += 1;
+                let t = endpoints[rng.gen_range(0..endpoints.len())];
+                if t == v || edges[base..].iter().any(|&(_, d)| d == t) {
+                    continue;
+                }
+                edges.push((v, t));
+                added += 1;
+            }
+            // Register endpoints only after sampling so this node's own
+            // edges don't skew its remaining draws.
+            for i in 0..added {
+                let (s, d) = edges[base + i];
+                endpoints.push(s);
+                endpoints.push(d);
+            }
+            for i in 0..added {
+                let (s, d) = edges[base + i];
+                edges.push((d, s));
+            }
+        }
+        Graph::from_dense(nodes, edges)
+    }
+}
+
 /// The complete graph `K_n` (both edge directions): the worst-case input
 /// for the triangle query — AGM's `N^{3/2}` bound is tight on it
 /// (paper Example 2.1).
@@ -149,6 +209,51 @@ mod tests {
                 "missing reverse of ({s},{d})"
             );
         }
+    }
+
+    #[test]
+    fn preferential_attachment_is_deterministic_and_undirected() {
+        let a = Graph::power_law(500, 4, 11);
+        let b = Graph::power_law(500, 4, 11);
+        assert_eq!(a.edges, b.edges);
+        let c = Graph::power_law(500, 4, 12);
+        assert_ne!(a.edges, c.edges);
+        assert_eq!(a.num_nodes, 500);
+        for &(s, d) in &a.edges {
+            assert_ne!(s, d);
+            assert!(
+                a.edges.binary_search(&(d, s)).is_ok(),
+                "missing reverse of ({s},{d})"
+            );
+        }
+    }
+
+    #[test]
+    fn preferential_attachment_is_heavy_tailed() {
+        // Degree-proportional attachment must be visibly more skewed than
+        // a uniform graph of the same size, and hubs must dominate.
+        let pa = Graph::power_law(2000, 4, 7);
+        let uniform = erdos_renyi(2000, pa.num_edges(), 7);
+        assert!(
+            pa.degree_skewness() > uniform.degree_skewness() + 1.0,
+            "PA skewness {} must clearly exceed uniform {}",
+            pa.degree_skewness(),
+            uniform.degree_skewness()
+        );
+        let deg = pa.total_degrees();
+        let max = *deg.iter().max().unwrap() as f64;
+        let mean = deg.iter().map(|&d| d as f64).sum::<f64>() / deg.len() as f64;
+        assert!(max > mean * 8.0, "hub degree {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn preferential_attachment_small_graphs() {
+        // nodes <= edges_per_node collapses to (near-)complete seeds.
+        let g = Graph::power_law(2, 3, 1);
+        assert_eq!(g.num_edges(), 2);
+        let g = Graph::power_law(5, 8, 1);
+        assert!(g.num_edges() <= 20);
+        assert!(g.total_degrees().iter().all(|&d| d > 0));
     }
 
     #[test]

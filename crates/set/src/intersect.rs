@@ -178,6 +178,171 @@ pub fn intersect_all(sets: &[&Set], cfg: &IntersectConfig) -> Set {
     acc
 }
 
+/// Intersect a sorted value slice (a materialized intermediate) with a set,
+/// appending the surviving values to `out`. The slice side is always the
+/// accumulator of a multiway chain, so this is the uint×layout dispatch
+/// without constructing a [`Set`].
+pub fn intersect_values_slice(a: &[u32], b: &Set, cfg: &IntersectConfig, out: &mut Vec<u32>) {
+    match b {
+        Set::Uint(y) => cfg.uint_uint(a, y.values(), out),
+        Set::Bitset(y) => bitset::intersect_uint_bitset(a, y, out),
+        Set::Block(y) => intersect_uint_block(a, y, out),
+    }
+}
+
+/// Count the intersection of a sorted value slice with a set without
+/// materializing it.
+pub fn count_values_slice(a: &[u32], b: &Set, cfg: &IntersectConfig) -> usize {
+    match b {
+        Set::Uint(y) => cfg.uint_uint_count(a, y.values()),
+        Set::Bitset(y) => bitset::count_uint_bitset(a, y),
+        Set::Block(y) => a.iter().filter(|&&v| y.contains(v)).count(),
+    }
+}
+
+/// Reusable buffers for multiway intersections: an index ordering plus two
+/// ping-pong value buffers for intermediate results. Owning one of these
+/// (e.g. in an executor's per-node scratch) makes [`intersect_all_into`]
+/// and [`count_all_into`] allocation-free across calls.
+#[derive(Clone, Debug, Default)]
+pub struct MultiwayScratch {
+    /// `(len, index)` pairs, sorted so the chain runs smallest-first.
+    order: Vec<(usize, usize)>,
+    /// Intermediate accumulator (ping).
+    ping: Vec<u32>,
+    /// Intermediate accumulator (pong).
+    pong: Vec<u32>,
+}
+
+impl MultiwayScratch {
+    /// A fresh scratch; buffers grow on first use and are then reused.
+    pub fn new() -> MultiwayScratch {
+        MultiwayScratch::default()
+    }
+}
+
+/// [`intersect_all_into`] over an accessor instead of a slice: `set_at(i)`
+/// yields the `i`-th of `n` sets. This is the form Generic-Join uses — the
+/// participating sets live behind per-atom trie cursors, so collecting
+/// `&Set` references into a slice would itself allocate per call.
+pub fn intersect_all_with<'s, F>(
+    n: usize,
+    set_at: F,
+    cfg: &IntersectConfig,
+    scratch: &mut MultiwayScratch,
+    out: &mut Vec<u32>,
+) where
+    F: Fn(usize) -> &'s Set,
+{
+    match n {
+        0 => {}
+        1 => out.extend(set_at(0).iter()),
+        2 => {
+            let (a, b) = (set_at(0), set_at(1));
+            if a.len() <= b.len() {
+                intersect_values(a, b, cfg, out);
+            } else {
+                intersect_values(b, a, cfg, out);
+            }
+        }
+        _ => {
+            if let Some(last) = chain_all_but_largest(n, &set_at, cfg, scratch) {
+                intersect_values_slice(&scratch.ping, set_at(last), cfg, out);
+            }
+        }
+    }
+}
+
+/// The shared 3+-way chain: sort the `n` sets smallest-first into
+/// `scratch.order`, fold all but the largest into `scratch.ping` via the
+/// ping-pong buffers, and return the largest set's index for the caller's
+/// terminal step (materialize or count). `None` means the accumulator
+/// emptied early — the overall result is empty/zero.
+fn chain_all_but_largest<'s, F>(
+    n: usize,
+    set_at: &F,
+    cfg: &IntersectConfig,
+    scratch: &mut MultiwayScratch,
+) -> Option<usize>
+where
+    F: Fn(usize) -> &'s Set,
+{
+    debug_assert!(n >= 3);
+    scratch.order.clear();
+    for i in 0..n {
+        scratch.order.push((set_at(i).len(), i));
+    }
+    scratch.order.sort_unstable();
+    scratch.ping.clear();
+    intersect_values(
+        set_at(scratch.order[0].1),
+        set_at(scratch.order[1].1),
+        cfg,
+        &mut scratch.ping,
+    );
+    for k in 2..n - 1 {
+        if scratch.ping.is_empty() {
+            return None;
+        }
+        scratch.pong.clear();
+        intersect_values_slice(
+            &scratch.ping,
+            set_at(scratch.order[k].1),
+            cfg,
+            &mut scratch.pong,
+        );
+        std::mem::swap(&mut scratch.ping, &mut scratch.pong);
+    }
+    if scratch.ping.is_empty() {
+        return None;
+    }
+    Some(scratch.order[n - 1].1)
+}
+
+/// Intersect many sets smallest-first, writing the result *values* into a
+/// caller-provided buffer and reusing `scratch` for intermediates — the
+/// allocation-free counterpart of [`intersect_all`]. `out` is appended to,
+/// not cleared.
+pub fn intersect_all_into(
+    sets: &[&Set],
+    cfg: &IntersectConfig,
+    scratch: &mut MultiwayScratch,
+    out: &mut Vec<u32>,
+) {
+    intersect_all_with(sets.len(), |i| sets[i], cfg, scratch, out);
+}
+
+/// [`count_all_into`] over an accessor — see [`intersect_all_with`].
+pub fn count_all_with<'s, F>(
+    n: usize,
+    set_at: F,
+    cfg: &IntersectConfig,
+    scratch: &mut MultiwayScratch,
+) -> usize
+where
+    F: Fn(usize) -> &'s Set,
+{
+    match n {
+        0 => 0,
+        1 => set_at(0).len(),
+        2 => intersect_count(set_at(0), set_at(1), cfg),
+        _ => match chain_all_but_largest(n, &set_at, cfg, scratch) {
+            Some(last) => count_values_slice(&scratch.ping, set_at(last), cfg),
+            None => 0,
+        },
+    }
+}
+
+/// Count a multiway intersection without materializing the final set,
+/// reusing `scratch` for intermediates.
+pub fn count_all_into(
+    sets: &[&Set],
+    cfg: &IntersectConfig,
+    scratch: &mut MultiwayScratch,
+) -> usize {
+    count_all_with(sets.len(), |i| sets[i], cfg, scratch)
+}
+
 fn intersect_uint_block(a: &[u32], b: &BlockSet, out: &mut Vec<u32>) {
     for &v in a {
         if b.contains(v) {
@@ -289,6 +454,92 @@ mod tests {
         let a = mk(&[], Uint);
         let b = mk(&[1, 2], Uint);
         assert!(intersect_all(&[&a, &b], &cfg).is_empty());
+    }
+
+    #[test]
+    fn intersect_all_into_matches_intersect_all_every_pairing() {
+        // Every LayoutKind pairing (and triple), full/scalar/merge-only
+        // configs: the buffered multiway path must agree with the
+        // materializing one.
+        let a_vals: Vec<u32> = (0..500).map(|i| i * 2).collect();
+        let b_vals: Vec<u32> = (0..500).map(|i| i * 3).collect();
+        let c_vals: Vec<u32> = (0..800).collect();
+        let mut scratch = MultiwayScratch::new();
+        for cfg in [
+            IntersectConfig::full(),
+            IntersectConfig::no_simd(),
+            IntersectConfig::no_algorithms(),
+        ] {
+            for ka in KINDS {
+                for kb in KINDS {
+                    let a = mk(&a_vals, ka);
+                    let b = mk(&b_vals, kb);
+                    let expect = intersect_all(&[&a, &b], &cfg).to_vec();
+                    let mut got = Vec::new();
+                    intersect_all_into(&[&a, &b], &cfg, &mut scratch, &mut got);
+                    assert_eq!(got, expect, "{ka:?} x {kb:?} under {cfg:?}");
+                    assert_eq!(
+                        count_all_into(&[&a, &b], &cfg, &mut scratch),
+                        expect.len(),
+                        "{ka:?} x {kb:?} count under {cfg:?}"
+                    );
+                    for kc in KINDS {
+                        let c = mk(&c_vals, kc);
+                        let expect3 = intersect_all(&[&a, &b, &c], &cfg).to_vec();
+                        let mut got3 = Vec::new();
+                        intersect_all_into(&[&a, &b, &c], &cfg, &mut scratch, &mut got3);
+                        assert_eq!(got3, expect3, "{ka:?} x {kb:?} x {kc:?} under {cfg:?}");
+                        assert_eq!(
+                            count_all_into(&[&a, &b, &c], &cfg, &mut scratch),
+                            expect3.len(),
+                            "{ka:?} x {kb:?} x {kc:?} count under {cfg:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intersect_all_into_edge_cases() {
+        let cfg = IntersectConfig::default();
+        let mut scratch = MultiwayScratch::new();
+        let mut out = Vec::new();
+        intersect_all_into(&[], &cfg, &mut scratch, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(count_all_into(&[], &cfg, &mut scratch), 0);
+        // Single set: values pass through.
+        let a = mk(&[3, 9, 12], Uint);
+        intersect_all_into(&[&a], &cfg, &mut scratch, &mut out);
+        assert_eq!(out, vec![3, 9, 12]);
+        assert_eq!(count_all_into(&[&a], &cfg, &mut scratch), 3);
+        // Empty intermediate short-circuits the 3+-way chain.
+        let e = mk(&[], Uint);
+        let b = mk(&[1, 2, 3], Bitset);
+        let c = mk(&[2, 3, 4], Block);
+        out.clear();
+        intersect_all_into(&[&b, &e, &c], &cfg, &mut scratch, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(count_all_into(&[&b, &e, &c], &cfg, &mut scratch), 0);
+        // Scratch is reusable across calls (no stale state).
+        out.clear();
+        intersect_all_into(&[&b, &c], &cfg, &mut scratch, &mut out);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn values_slice_kernels_match_naive() {
+        let cfg = IntersectConfig::default();
+        let a: Vec<u32> = (0..300).map(|i| i * 2).collect();
+        let b_vals: Vec<u32> = (0..300).map(|i| i * 3).collect();
+        let expect = naive(&a, &b_vals);
+        for kb in KINDS {
+            let b = mk(&b_vals, kb);
+            let mut out = Vec::new();
+            intersect_values_slice(&a, &b, &cfg, &mut out);
+            assert_eq!(out, expect, "slice x {kb:?}");
+            assert_eq!(count_values_slice(&a, &b, &cfg), expect.len());
+        }
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub mod uint;
 
 pub use bitset::BitsetSet;
 pub use block::BlockSet;
-pub use intersect::{intersect, intersect_count, IntersectAlgo, IntersectConfig};
+pub use intersect::{
+    count_all_into, intersect, intersect_all, intersect_all_into, intersect_count, IntersectAlgo,
+    IntersectConfig, MultiwayScratch,
+};
 pub use layout::{choose_layout, LayoutKind, LayoutLevel, LayoutPolicy};
 pub use uint::UintSet;
 

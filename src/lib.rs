@@ -36,7 +36,7 @@
 //! ```
 
 pub use eh_core::{algorithms, CoreError, Database, QueryResult};
-pub use eh_exec::{Config, Relation, TupleBuffer};
+pub use eh_exec::{Config, Relation, Scheduler, TupleBuffer};
 pub use eh_graph::Graph;
 pub use eh_storage::{ColumnType, CsvOptions, RelationSchema, TypedValue};
 

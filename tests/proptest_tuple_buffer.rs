@@ -4,10 +4,10 @@
 //! executor output — rows, aggregates, and annotations — under every
 //! ablation config the paper studies.
 
-use emptyheaded::exec::{execute_rule, Config, MemCatalog, Relation};
+use emptyheaded::exec::{execute_rule, Config, MemCatalog, Relation, Scheduler};
 use emptyheaded::query::parse_rule;
 use emptyheaded::semiring::{AggOp, DynValue};
-use emptyheaded::TupleBuffer;
+use emptyheaded::{Graph, TupleBuffer};
 use proptest::prelude::*;
 
 /// The six ablation configurations (paper Tables 8/11 columns).
@@ -44,6 +44,39 @@ fn catalog_with(rel: Relation) -> MemCatalog {
     let mut cat = MemCatalog::new();
     cat.insert("E", rel);
     cat
+}
+
+/// Assert serial == static fan-out == morsel for every ablation config
+/// over the paper's pattern-query shapes. Exact-count queries only: u64
+/// `⊕` is order-independent, so every scheduler must reproduce the serial
+/// result bit-for-bit.
+fn scheduler_differential(cat: &MemCatalog) {
+    for q in [
+        "T(x,y,z) :- E(x,y),E(y,z),E(x,z).",
+        "C(;w:long) :- E(x,y),E(y,z),E(x,z); w=<<COUNT(*)>>.",
+        "P(x,z;w:long) :- E(x,y),E(y,z); w=<<COUNT(*)>>.",
+    ] {
+        let rule = parse_rule(q).unwrap();
+        for base in all_configs() {
+            let serial = execute_rule(&rule, cat, &base).unwrap();
+            for (scheduler, morsel) in [
+                (Scheduler::Static, 0usize),
+                (Scheduler::Morsel, 0),
+                (Scheduler::Morsel, 1),
+                (Scheduler::Morsel, 5),
+            ] {
+                let cfg = base
+                    .with_threads(3)
+                    .with_scheduler(scheduler)
+                    .with_morsel(morsel);
+                let par = execute_rule(&rule, cat, &cfg).unwrap();
+                let label = format!("{q} {scheduler:?} morsel={morsel} base={base:?}");
+                assert_eq!(serial.rows(), par.rows(), "{label}");
+                assert_eq!(serial.annotations(), par.annotations(), "{label}");
+                assert_eq!(serial.scalar(), par.scalar(), "{label}");
+            }
+        }
+    }
 }
 
 proptest! {
@@ -119,6 +152,30 @@ proptest! {
                 prop_assert_eq!(serial.annotations(), par.annotations(), "{} x{}", q, threads);
             }
         }
+    }
+
+    #[test]
+    fn serial_static_morsel_execute_identically_uniform(edges in arb_edges(16, 80)) {
+        // Differential equality: serial == static fan-out == morsel, on
+        // every ablation config, over uniform random edge sets. Exact
+        // (integer) aggregates only, so ⊕-merge order cannot matter.
+        let (_, columnar) = legacy_and_columnar(&edges);
+        scheduler_differential(&catalog_with(columnar.clone()));
+    }
+
+    #[test]
+    fn serial_static_morsel_execute_identically_power_law(
+        nodes in 24u32..64, seed in 0u64..4_294_967_296u64)
+    {
+        // The same differential on preferential-attachment graphs — the
+        // skewed degree distributions the morsel scheduler exists for.
+        let g = Graph::power_law(nodes, 3, seed).prune_by_degree();
+        let mut buf = TupleBuffer::new(2);
+        for &(a, b) in &g.edges {
+            buf.push_row(&[a, b]);
+        }
+        let rel = Relation::from_buffer(buf, AggOp::Sum);
+        scheduler_differential(&catalog_with(rel));
     }
 
     #[test]

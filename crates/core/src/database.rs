@@ -12,6 +12,7 @@ use eh_storage::{
     ColumnDef, ColumnType, CsvOptions, LoadReport, RelationSchema, StorageCatalog, StorageError,
     TypedValue,
 };
+use std::collections::HashMap;
 use std::fmt;
 use std::io::{BufRead, Read, Write};
 use std::path::Path;
@@ -61,6 +62,12 @@ pub struct Database {
     catalog: MemCatalog,
     types: StorageCatalog,
     config: Config,
+    /// Catalog epoch: bumped by every mutation that could invalidate a
+    /// compiled plan (register/drop/load/define_const and the relation
+    /// a [`Database::query`] stores under its head name). Plan caches
+    /// key their entries by this value so no stale plan ever runs
+    /// against a changed schema.
+    epoch: u64,
 }
 
 impl Default for Database {
@@ -98,6 +105,48 @@ impl Catalog for TypedView<'_> {
     }
 }
 
+/// [`TypedView`] extended with an overlay of rule results produced
+/// earlier in the same read-only program ([`Database::query_ref`]):
+/// relation lookups hit the overlay first, so later rules see earlier
+/// heads without anything being registered in the database.
+struct OverlayView<'a> {
+    mem: &'a MemCatalog,
+    types: &'a StorageCatalog,
+    local: &'a HashMap<String, Relation>,
+    local_schemas: &'a HashMap<String, RelationSchema>,
+}
+
+impl Catalog for OverlayView<'_> {
+    fn relation(&self, name: &str) -> Option<&Relation> {
+        self.local.get(name).or_else(|| self.mem.relation(name))
+    }
+
+    fn resolve_const(&self, text: &str) -> Option<u32> {
+        self.mem.resolve_const(text)
+    }
+
+    fn resolve_const_at(&self, relation: &str, column: usize, text: &str) -> Option<u32> {
+        // Overlay results inherit domains from the rules that produced
+        // them; resolve constants through those dictionaries first.
+        if let Some(schema) = self.local_schemas.get(relation) {
+            if let Some((_, col)) = schema.key_columns().nth(column) {
+                if col.ty.is_dictionary() {
+                    return col
+                        .domain_key()
+                        .and_then(|k| self.types.domain(&k))
+                        .and_then(|d| d.lookup_text(text));
+                }
+            }
+            return self.mem.resolve_const(text);
+        }
+        if self.types.key_is_dictionary(relation, column) {
+            self.types.lookup_key_text(relation, column, text)
+        } else {
+            self.mem.resolve_const(text)
+        }
+    }
+}
+
 /// Positional u32 schema for relations registered without type
 /// information (edge lists, generated graphs, derived results with no
 /// typed provenance) — everything in the database has *a* schema, so
@@ -120,6 +169,7 @@ impl Database {
             catalog: MemCatalog::new(),
             types: StorageCatalog::new(),
             config: Config::default(),
+            epoch: 0,
         }
     }
 
@@ -130,6 +180,7 @@ impl Database {
             catalog: MemCatalog::new(),
             types: StorageCatalog::new(),
             config,
+            epoch: 0,
         }
     }
 
@@ -141,6 +192,19 @@ impl Database {
     /// Mutable engine configuration (applies to subsequent queries).
     pub fn config_mut(&mut self) -> &mut Config {
         &mut self.config
+    }
+
+    /// Current catalog epoch. Any mutation that could invalidate a
+    /// compiled plan — `register`, `drop_relation`, the `load_*` family,
+    /// `define_const`, and the head relation a [`Database::query`]
+    /// stores — bumps it; plan caches compare epochs to discard stale
+    /// entries instead of running them against a changed schema.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn bump_epoch(&mut self) {
+        self.epoch += 1;
     }
 
     /// Register a binary edge relation from (src, dst) pairs — loaded
@@ -166,6 +230,7 @@ impl Database {
             .register_schema(implicit_schema(name, &relation))
             .expect("implicit u32 schemas are always valid");
         self.catalog.insert(name, relation);
+        self.bump_epoch();
     }
 
     /// Register a scalar (arity-0) relation usable in head expressions
@@ -191,6 +256,7 @@ impl Database {
         let n = buf.len();
         self.catalog
             .insert(&name, Relation::from_buffer(buf, combine));
+        self.bump_epoch();
         Ok(n)
     }
 
@@ -232,6 +298,7 @@ impl Database {
             .unwrap_or(AggOp::Sum);
         self.catalog
             .insert(relation, Relation::from_buffer(buf, combine));
+        self.bump_epoch();
         Ok(report)
     }
 
@@ -248,6 +315,7 @@ impl Database {
         let (buf, report) = self.types.load_csv_schema(schema, reader, opts)?;
         self.catalog
             .insert(&name, Relation::from_buffer(buf, combine));
+        self.bump_epoch();
         Ok(report)
     }
 
@@ -331,6 +399,7 @@ impl Database {
     /// Bind a query-text constant (e.g. `'start'`) to a node id.
     pub fn define_const(&mut self, text: &str, id: u32) {
         self.catalog.define_const(text, id);
+        self.bump_epoch();
     }
 
     /// Look up a stored relation.
@@ -342,6 +411,7 @@ impl Database {
     /// present; shared dictionary domains are kept).
     pub fn drop_relation(&mut self, name: &str) -> Option<Relation> {
         self.types.remove_schema(name);
+        self.bump_epoch();
         self.catalog.remove(name)
     }
 
@@ -365,10 +435,76 @@ impl Database {
                 let _ = self.types.register_schema(implicit_schema(&name, &result));
             }
             self.catalog.insert(&name, result.clone());
+            // Bump per registered rule (not once at the end): a later
+            // rule failing must not leave the catalog changed with the
+            // epoch — and therefore every plan cache — stale.
+            self.bump_epoch();
             last = Some((name, result));
         }
         let (name, relation) = last.expect("parser guarantees at least one rule");
         let schema = self.types.schema(&name).cloned();
+        Ok(QueryResult::with_schema(name, relation, schema))
+    }
+
+    /// Execute a program read-only: like [`Database::query`], but takes
+    /// `&self` and stores nothing — each rule's result lives in a
+    /// per-call overlay visible to later rules in the same program, and
+    /// the catalog epoch is untouched. This is the read path of a
+    /// concurrent query service: many sessions execute in parallel under
+    /// a read lock while loads take the write lock.
+    pub fn query_ref(&self, text: &str) -> Result<QueryResult, CoreError> {
+        self.query_ref_with(text, &self.config)
+    }
+
+    /// [`Database::query_ref`] under an explicit engine configuration
+    /// (per-session thread-count / scheduler overrides).
+    pub fn query_ref_with(&self, text: &str, config: &Config) -> Result<QueryResult, CoreError> {
+        let program = parse_program(text).map_err(|e| CoreError::Parse(e.to_string()))?;
+        let mut local: HashMap<String, Relation> = HashMap::new();
+        let mut local_schemas: HashMap<String, RelationSchema> = HashMap::new();
+        let mut last: Option<String> = None;
+        for rule in &program.rules {
+            eh_query::validate_rule(rule).map_err(|e| CoreError::Invalid(e.to_string()))?;
+            let name = rule.head.relation.clone();
+            let recursive = rule.head.recursion.is_some() || rule.is_recursive();
+            let result = {
+                let view = OverlayView {
+                    mem: &self.catalog,
+                    types: &self.types,
+                    local: &local,
+                    local_schemas: &local_schemas,
+                };
+                if recursive {
+                    let initial = local
+                        .get(&name)
+                        .cloned()
+                        .or_else(|| self.catalog.relation(&name).cloned())
+                        .ok_or_else(|| {
+                            CoreError::Invalid(format!(
+                                "recursive rule '{name}' has no base case relation"
+                            ))
+                        })?;
+                    execute_recursive_rule(rule, initial, &view, config)?
+                } else {
+                    execute_rule(rule, &view, config)?
+                }
+            };
+            let mut schema = self.infer_result_schema_overlay(rule, &result, &local_schemas);
+            if schema.validate().is_err() {
+                // Inference can produce an invalid schema (e.g. a head
+                // like T(x,x) repeats a column name): fall back to the
+                // positional form, exactly like query() does when
+                // register_schema rejects — the result must stay
+                // encodable as a wire batch.
+                schema = implicit_schema(&name, &result);
+            }
+            local_schemas.insert(name.clone(), schema);
+            local.insert(name.clone(), result);
+            last = Some(name);
+        }
+        let name = last.expect("parser guarantees at least one rule");
+        let relation = local.remove(&name).expect("stored above");
+        let schema = local_schemas.remove(&name);
         Ok(QueryResult::with_schema(name, relation, schema))
     }
 
@@ -401,6 +537,23 @@ impl Database {
     /// original keys — including across chained rules (each result
     /// registers its own schema for the next rule to inherit from).
     fn infer_key_schema(&self, rule: &Rule) -> RelationSchema {
+        self.infer_key_schema_overlay(rule, &HashMap::new())
+    }
+
+    /// [`Database::infer_key_schema`] with an overlay of schemas from
+    /// earlier rules in the same read-only program, consulted before the
+    /// registered catalog (so `query_ref` chains decode like `query`).
+    fn infer_key_schema_overlay(
+        &self,
+        rule: &Rule,
+        overlay: &HashMap<String, RelationSchema>,
+    ) -> RelationSchema {
+        let key_domain = |relation: &str, pos: usize| -> Option<String> {
+            match overlay.get(relation) {
+                Some(s) => s.key_columns().nth(pos).and_then(|(_, c)| c.domain_key()),
+                None => self.types.key_domain(relation, pos),
+            }
+        };
         let mut schema = RelationSchema::new(&rule.head.relation);
         for var in &rule.head.key_vars {
             let mut def: Option<ColumnDef> = None;
@@ -409,7 +562,7 @@ impl Database {
                     if term.as_var() != Some(var.as_str()) {
                         continue;
                     }
-                    if let Some(domain) = self.types.key_domain(&atom.relation, pos) {
+                    if let Some(domain) = key_domain(&atom.relation, pos) {
                         let carrier = self
                             .types
                             .domain(&domain)
@@ -430,7 +583,18 @@ impl Database {
     /// [`Database::infer_key_schema`] completed with the executed
     /// result's combine op and annotation column (for registration).
     fn infer_result_schema(&self, rule: &Rule, result: &Relation) -> RelationSchema {
-        let mut schema = self.infer_key_schema(rule).combining(result.combine());
+        self.infer_result_schema_overlay(rule, result, &HashMap::new())
+    }
+
+    fn infer_result_schema_overlay(
+        &self,
+        rule: &Rule,
+        result: &Relation,
+        overlay: &HashMap<String, RelationSchema>,
+    ) -> RelationSchema {
+        let mut schema = self
+            .infer_key_schema_overlay(rule, overlay)
+            .combining(result.combine());
         if result.is_annotated() {
             let name = rule
                 .head
@@ -464,8 +628,27 @@ impl Database {
         let plan = eh_exec::PhysicalPlan::compile(&rule, &ghd_plan);
         // Key-column provenance is captured now, so prepared results
         // decode exactly like query() results (body relations the typed
-        // catalog doesn't know yet at prepare time decode as u32).
-        let schema = self.infer_key_schema(&rule);
+        // catalog doesn't know yet at prepare time decode as u32), and
+        // the head annotation appears in the schema just as it does for
+        // query() results.
+        let mut schema = self.infer_key_schema(&rule);
+        if let Some(annot) = &rule.head.annotation {
+            schema
+                .columns
+                .push(ColumnDef::new(&annot.name, ColumnType::F64));
+        }
+        if schema.validate().is_err() {
+            // Repeated head variables etc.: positional fallback, same
+            // shape query() registers in that case.
+            let mut s = RelationSchema::new(&rule.head.relation);
+            for i in 0..rule.head.key_vars.len() {
+                s = s.column(&format!("c{i}"), ColumnType::U32);
+            }
+            if rule.head.annotation.is_some() {
+                s = s.column("annot", ColumnType::F64);
+            }
+            schema = s;
+        }
         Ok(Prepared {
             name: rule.head.relation.clone(),
             plan,
@@ -486,16 +669,28 @@ pub struct Prepared {
 impl Prepared {
     /// Execute against the database's current relations.
     pub fn execute(&self, db: &Database) -> Result<QueryResult, CoreError> {
+        self.execute_with(db, &db.config)
+    }
+
+    /// [`Prepared::execute`] under an explicit engine configuration —
+    /// server sessions execute one shared compiled plan under their own
+    /// thread-count/scheduler overrides.
+    pub fn execute_with(&self, db: &Database, config: &Config) -> Result<QueryResult, CoreError> {
         let view = TypedView {
             mem: &db.catalog,
             types: &db.types,
         };
-        let rel = eh_exec::execute_plan(&self.plan, &view, &db.config)?;
+        let rel = eh_exec::execute_plan(&self.plan, &view, config)?;
         Ok(QueryResult::with_schema(
             self.name.clone(),
             rel,
             Some(self.schema.clone()),
         ))
+    }
+
+    /// Head relation name of the compiled rule.
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// The compiled physical plan (inspectable via `render()`).
@@ -727,6 +922,117 @@ mod tests {
             db2.relation("Bad").is_none(),
             "aborted load must not resurface in images"
         );
+    }
+
+    #[test]
+    fn epoch_bumps_on_catalog_mutations() {
+        let mut db = Database::new();
+        let e0 = db.epoch();
+        db.load_edges("E", &[(0, 1), (1, 2), (0, 2)]);
+        let e1 = db.epoch();
+        assert!(e1 > e0, "register bumps the epoch");
+        db.query("T(x,y) :- E(x,y).").unwrap();
+        let e2 = db.epoch();
+        assert!(e2 > e1, "query() stores its head relation");
+        db.drop_relation("T");
+        let e3 = db.epoch();
+        assert!(e3 > e2, "drop bumps the epoch");
+        // Read-only paths leave the epoch alone.
+        db.query_ref("U(x,y) :- E(x,y).").unwrap();
+        let _ = db.prepare("U(x,y) :- E(x,y).").unwrap();
+        assert_eq!(db.epoch(), e3);
+    }
+
+    #[test]
+    fn partially_failed_programs_still_bump_the_epoch() {
+        let mut db = Database::new();
+        db.load_edges("E", &[(0, 1), (1, 2)]);
+        let before = db.epoch();
+        // Rule 1 registers D; rule 2 fails — the catalog changed, so
+        // the epoch must have moved (plan caches must invalidate).
+        let r = db.query("D(x,y) :- E(y,x).\nBad(q) :- Nope(q,r).");
+        assert!(r.is_err());
+        assert!(db.relation("D").is_some(), "first rule registered");
+        assert!(db.epoch() > before, "partial failure must bump the epoch");
+    }
+
+    #[test]
+    fn query_ref_duplicate_head_vars_get_a_valid_schema() {
+        let db = social();
+        let out = db.query_ref("D(x,x) :- Follows(x,y).").unwrap();
+        let schema = out.schema().expect("schema carried");
+        assert!(schema.validate().is_ok(), "fallback schema must encode");
+        let stmt = db.prepare("D(x,x) :- Follows(x,y).").unwrap();
+        let prepared = stmt.execute(&db).unwrap();
+        assert!(prepared.schema().unwrap().validate().is_ok());
+        assert_eq!(prepared.rows(), out.rows());
+    }
+
+    #[test]
+    fn query_ref_matches_query() {
+        let mut db = social();
+        let q = "T(x,y,z) :- Follows(x,y),Follows(y,z),Follows(z,x).";
+        let by_ref = db.query_ref(q).unwrap();
+        let by_query = db.query(q).unwrap();
+        assert_eq!(by_ref.rows(), by_query.rows());
+        assert_eq!(by_ref.typed_rows(&db), by_query.typed_rows(&db));
+        assert!(db.relation("T").is_some(), "query() registered its head");
+        db.drop_relation("T");
+        db.query_ref(q).unwrap();
+        assert!(db.relation("T").is_none(), "query_ref stores nothing");
+    }
+
+    #[test]
+    fn query_ref_chains_rules_through_the_overlay() {
+        let db = social();
+        // Rule 2 consumes rule 1's overlay result — including its
+        // inherited dictionary domains and an anchored constant.
+        let out = db
+            .query_ref(
+                "Hop2(x,z) :- Follows(x,y),Follows(y,z).\n\
+                 From(z) :- Hop2('alice',z).",
+            )
+            .unwrap();
+        assert_eq!(
+            out.typed_rows(&db),
+            vec![vec![TypedValue::Str("carol".into())]]
+        );
+        assert!(db.relation("Hop2").is_none(), "overlay never registered");
+    }
+
+    #[test]
+    fn query_ref_supports_recursion_from_stored_base() {
+        let mut db = Database::new();
+        db.load_edges("Edge", &[(0, 1), (1, 2), (2, 3)]);
+        db.query("SSSP(x;y:int) :- Edge('0',x); y=1.").unwrap();
+        let mutated = db
+            .query("SSSP(x;y:int)* :- Edge(w,x),SSSP(w); y=<<MIN(w)>>+1.")
+            .unwrap();
+        // Reset the base case and run the same fixpoint read-only.
+        db.query("SSSP(x;y:int) :- Edge('0',x); y=1.").unwrap();
+        let by_ref = db
+            .query_ref("SSSP(x;y:int)* :- Edge(w,x),SSSP(w); y=<<MIN(w)>>+1.")
+            .unwrap();
+        assert_eq!(by_ref.rows(), mutated.rows());
+        assert_eq!(
+            by_ref.annotated_rows().len(),
+            mutated.annotated_rows().len()
+        );
+    }
+
+    #[test]
+    fn prepared_execute_with_overrides_config() {
+        let db = social();
+        let stmt = db
+            .prepare("C(;w:long) :- Follows(x,y),Follows(y,z),Follows(z,x); w=<<COUNT(*)>>.")
+            .unwrap();
+        let serial = stmt.execute(&db).unwrap().scalar_u64();
+        let threaded = stmt
+            .execute_with(&db, &Config::default().with_threads(2))
+            .unwrap()
+            .scalar_u64();
+        assert_eq!(serial, threaded);
+        assert_eq!(stmt.name(), "C");
     }
 
     #[test]

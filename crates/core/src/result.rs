@@ -53,6 +53,13 @@ impl QueryResult {
         &self.name
     }
 
+    /// The inferred key-column schema carried by this result (used to
+    /// decode ids to typed values; `None` for results constructed
+    /// without typed provenance).
+    pub fn schema(&self) -> Option<&RelationSchema> {
+        self.schema.as_ref()
+    }
+
     /// The underlying relation.
     pub fn relation(&self) -> &Relation {
         &self.relation

@@ -1,0 +1,334 @@
+//! The shared prepared-plan cache.
+//!
+//! EmptyHeaded's whole design bet (paper §3) is that a query is
+//! compiled once — parse → GHD decomposition → attribute-ordered
+//! physical plan — and the compiled artifact is cheap to run. A
+//! multi-session server should therefore pay compilation once *per
+//! distinct query text*, not once per request: [`PlanCache`] is an LRU
+//! map from normalized query text to the shared [`Prepared`] plan
+//! (`Arc`, so concurrent readers execute one compiled artifact in
+//! parallel).
+//!
+//! Correctness is epoch-based: every catalog mutation
+//! (`register` / `drop_relation` / `load_*`) bumps
+//! [`Database::epoch`], and every cache operation carries the epoch of
+//! the database it is about to run against. An epoch mismatch discards
+//! the whole cache — a plan compiled against a dropped or re-registered
+//! schema is never returned, so no stale plan ever runs against a
+//! changed catalog (see `stale_plans_never_survive_a_schema_change`
+//! below for the drop/re-register-with-different-arity regression).
+
+use eh_core::{CoreError, Database, Prepared};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Whether a query text is the shape the plan cache can hold: exactly
+/// one non-recursive rule. Checked before compiling so multi-rule
+/// programs and fixpoints neither double-parse through a doomed
+/// `prepare` nor count as cache misses.
+pub fn is_preparable(text: &str) -> bool {
+    match eh_query::parse_program(text) {
+        Ok(p) => {
+            p.rules.len() == 1 && {
+                let r = &p.rules[0];
+                r.head.recursion.is_none() && !r.is_recursive()
+            }
+        }
+        Err(_) => false,
+    }
+}
+
+/// An LRU cache of compiled plans, keyed by normalized query text and
+/// guarded by the catalog epoch of the database they were compiled
+/// against.
+pub struct PlanCache {
+    capacity: usize,
+    /// Epoch the cached plans were compiled against.
+    epoch: u64,
+    /// Monotonic use counter backing the LRU order.
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+    entries: HashMap<String, Entry>,
+}
+
+struct Entry {
+    plan: Arc<Prepared>,
+    last_used: u64,
+}
+
+impl PlanCache {
+    /// Cache holding at most `capacity` plans (floored at 1).
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            capacity: capacity.max(1),
+            epoch: 0,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Canonical cache key: surrounding whitespace trimmed, internal
+    /// runs collapsed to one space — `T(x,y) :- E(x,y).` and its
+    /// reformatted variants share one compiled plan.
+    pub fn normalize(text: &str) -> String {
+        let mut out = String::with_capacity(text.len());
+        let mut in_ws = false;
+        for ch in text.trim().chars() {
+            if ch.is_whitespace() {
+                in_ws = true;
+            } else {
+                if in_ws && !out.is_empty() {
+                    out.push(' ');
+                }
+                in_ws = false;
+                out.push(ch);
+            }
+        }
+        out
+    }
+
+    /// Discard everything if `epoch` differs from the epoch the cached
+    /// plans were compiled against.
+    fn sync_epoch(&mut self, epoch: u64) {
+        if epoch != self.epoch {
+            self.invalidations += self.entries.len() as u64;
+            self.entries.clear();
+            self.epoch = epoch;
+        }
+    }
+
+    /// Reconcile the cache with the catalog epoch it is about to serve
+    /// (discarding stale plans) without a lookup — used by the `Stats`
+    /// frame so reported entry/invalidation counts reflect the epoch
+    /// the caller observes.
+    pub fn sync(&mut self, epoch: u64) {
+        self.sync_epoch(epoch);
+    }
+
+    /// Look up a plan for `text` valid at `epoch`; counts a hit when
+    /// found. Absence counts nothing — the miss counter tracks actual
+    /// compilations (it bumps in [`PlanCache::insert`]), so uncacheable
+    /// traffic (multi-rule programs, recursion) never inflates it.
+    pub fn lookup(&mut self, epoch: u64, text: &str) -> Option<Arc<Prepared>> {
+        self.sync_epoch(epoch);
+        let key = Self::normalize(text);
+        self.tick += 1;
+        match self.entries.get_mut(&key) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(&e.plan))
+            }
+            None => None,
+        }
+    }
+
+    /// Insert a plan compiled at `epoch` (counted as one miss — a paid
+    /// compilation), evicting the least-recently used entry if the
+    /// cache is full.
+    pub fn insert(&mut self, epoch: u64, text: &str, plan: Arc<Prepared>) {
+        self.sync_epoch(epoch);
+        self.misses += 1;
+        let key = Self::normalize(text);
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&lru);
+            }
+        }
+        self.tick += 1;
+        self.entries.insert(
+            key,
+            Entry {
+                plan,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// The ad-hoc query path: cached plan if present (no parsing at
+    /// all), compile-and-cache if the text is a single non-recursive
+    /// rule, `None` if it is a program/fixpoint the caller should run
+    /// through the uncached read-only path.
+    pub fn get_preparable(
+        &mut self,
+        db: &Database,
+        text: &str,
+    ) -> Result<Option<Arc<Prepared>>, CoreError> {
+        if let Some(plan) = self.lookup(db.epoch(), text) {
+            return Ok(Some(plan));
+        }
+        if !is_preparable(text) {
+            return Ok(None);
+        }
+        let plan = Arc::new(db.prepare(text)?);
+        self.insert(db.epoch(), text, Arc::clone(&plan));
+        Ok(Some(plan))
+    }
+
+    /// One-stop lookup-or-compile against `db` (callers holding other
+    /// locks should prefer `lookup` + `insert` around an uncontended
+    /// `db.prepare`). Returns the plan and whether it was a cache hit.
+    pub fn get_or_prepare(
+        &mut self,
+        db: &Database,
+        text: &str,
+    ) -> Result<(Arc<Prepared>, bool), CoreError> {
+        if let Some(plan) = self.lookup(db.epoch(), text) {
+            return Ok((plan, true));
+        }
+        let plan = Arc::new(db.prepare(text)?);
+        self.insert(db.epoch(), text, Arc::clone(&plan));
+        Ok((plan, false))
+    }
+
+    /// Plans currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no plan is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of cached plans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Cache hits served.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses — each one paid a compilation and inserted a plan.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Plans discarded by catalog-epoch changes.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eh_core::Relation;
+
+    fn edges_db() -> Database {
+        let mut db = Database::new();
+        db.load_edges("E", &[(0, 1), (1, 2), (0, 2)]);
+        db
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit_with_the_same_plan() {
+        let db = edges_db();
+        let mut cache = PlanCache::new(8);
+        let q = "T(x,y) :- E(x,y).";
+        let (p1, hit1) = cache.get_or_prepare(&db, q).unwrap();
+        let (p2, hit2) = cache.get_or_prepare(&db, q).unwrap();
+        assert!(!hit1);
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&p1, &p2), "one shared compiled artifact");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn normalization_shares_plans_across_whitespace() {
+        let db = edges_db();
+        let mut cache = PlanCache::new(8);
+        let (p1, _) = cache.get_or_prepare(&db, "T(x,y) :- E(x,y).").unwrap();
+        let (p2, hit) = cache
+            .get_or_prepare(&db, "  T(x,y)   :-\n\tE(x,y).  ")
+            .unwrap();
+        assert!(hit);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(
+            PlanCache::normalize("  a\t\tb \n c "),
+            "a b c",
+            "runs collapse"
+        );
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_plan() {
+        let db = edges_db();
+        let mut cache = PlanCache::new(2);
+        cache.get_or_prepare(&db, "A(x,y) :- E(x,y).").unwrap();
+        cache.get_or_prepare(&db, "B(y,x) :- E(x,y).").unwrap();
+        // Touch A so B is the LRU entry, then overflow.
+        cache.get_or_prepare(&db, "A(x,y) :- E(x,y).").unwrap();
+        cache.get_or_prepare(&db, "C(x) :- E(x,y).").unwrap();
+        assert_eq!(cache.len(), 2);
+        let (_, hit_a) = cache.get_or_prepare(&db, "A(x,y) :- E(x,y).").unwrap();
+        assert!(hit_a, "hot entry survived");
+        let (_, hit_b) = cache.get_or_prepare(&db, "B(y,x) :- E(x,y).").unwrap();
+        assert!(!hit_b, "cold entry was evicted");
+    }
+
+    /// The satellite regression: dropping a relation and re-registering
+    /// it with a *different arity* must never reuse the old plan — no
+    /// panic, no wrong answer.
+    #[test]
+    fn stale_plans_never_survive_a_schema_change() {
+        let mut db = edges_db();
+        let mut cache = PlanCache::new(8);
+        let q = "T(x,y) :- E(x,y).";
+        let (old_plan, _) = cache.get_or_prepare(&db, q).unwrap();
+        assert_eq!(old_plan.execute(&db).unwrap().num_rows(), 3);
+
+        // Same name, arity 3 now.
+        db.drop_relation("E");
+        db.register(
+            "E",
+            Relation::from_rows(3, vec![vec![0u32, 1, 2], vec![3, 4, 5]]),
+        );
+
+        let (new_plan, hit) = cache.get_or_prepare(&db, q).unwrap();
+        assert!(!hit, "epoch change must invalidate the cached plan");
+        assert!(
+            !Arc::ptr_eq(&old_plan, &new_plan),
+            "a fresh plan was compiled"
+        );
+        assert!(cache.invalidations() >= 1);
+        // Under the new ternary schema the old binary rule is an arity
+        // mismatch: a recoverable error, never a panic or a wrong answer.
+        assert!(new_plan.execute(&db).is_err());
+        // And a rule matching the new schema compiles fresh and answers
+        // correctly.
+        let (tern, hit) = cache.get_or_prepare(&db, "U(x,y,z) :- E(x,y,z).").unwrap();
+        assert!(!hit);
+        let out = tern.execute(&db).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.relation().arity(), 3);
+    }
+
+    #[test]
+    fn epoch_reuse_within_one_epoch_is_stable() {
+        let mut db = edges_db();
+        let mut cache = PlanCache::new(8);
+        let q = "T(x,y) :- E(x,y).";
+        cache.get_or_prepare(&db, q).unwrap();
+        // A mutation that does NOT touch E still invalidates (coarse,
+        // but never wrong).
+        db.load_edges("F", &[(7, 8)]);
+        let (_, hit) = cache.get_or_prepare(&db, q).unwrap();
+        assert!(!hit);
+        // No mutation since: now it hits.
+        let (_, hit) = cache.get_or_prepare(&db, q).unwrap();
+        assert!(hit);
+    }
+}

@@ -1,0 +1,328 @@
+//! A blocking client for the query server.
+//!
+//! [`EhClient`] speaks the frame protocol over TCP or a Unix socket and
+//! hands results back as [`ResultSet`]s — decoded
+//! [`eh_storage::ResultBatch`]es whose dictionary domains travelled
+//! with the result, so `typed_rows()` yields the loader's original
+//! strings/u64s with no server round-trips.
+
+use crate::protocol::{
+    read_response, write_request, ProtoError, RelationInfo, Request, Response, ServerStats,
+    WireDelimiter, PROTOCOL_VERSION,
+};
+use crate::server::Addr;
+use eh_semiring::DynValue;
+use eh_storage::wire::ResultBatch;
+use eh_storage::TypedValue;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write).
+    Io(io::Error),
+    /// The peer broke the frame protocol.
+    Protocol(String),
+    /// The server answered with an error frame (session stays usable).
+    Server(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        match e {
+            ProtoError::Io(e) => ClientError::Io(e),
+            ProtoError::Malformed(m) => ClientError::Protocol(m),
+        }
+    }
+}
+
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A decoded query result, typed-value iteration included. The raw
+/// batch bytes are kept as received, so differential tests can compare
+/// server answers byte-for-byte against in-process execution.
+#[derive(Clone, Debug)]
+pub struct ResultSet {
+    bytes: Vec<u8>,
+    batch: ResultBatch,
+}
+
+impl ResultSet {
+    fn from_bytes(bytes: Vec<u8>) -> Result<ResultSet, ClientError> {
+        let batch =
+            ResultBatch::decode(&bytes).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        Ok(ResultSet { bytes, batch })
+    }
+
+    /// Result relation name.
+    pub fn name(&self) -> &str {
+        self.batch.name()
+    }
+
+    /// Number of result rows.
+    pub fn num_rows(&self) -> usize {
+        self.batch.num_rows()
+    }
+
+    /// True when the result holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.batch.is_empty()
+    }
+
+    /// The decoded batch (schema + tuples + shipped domains).
+    pub fn batch(&self) -> &ResultBatch {
+        &self.batch
+    }
+
+    /// The result exactly as it crossed the wire.
+    pub fn raw_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// All rows decoded to typed values (dictionary ids mapped back to
+    /// the loader's original keys, client-side).
+    pub fn typed_rows(&self) -> Vec<Vec<TypedValue>> {
+        self.batch.typed_rows()
+    }
+
+    /// Parallel annotation column, if present.
+    pub fn annotations(&self) -> Option<&[DynValue]> {
+        self.batch.annotations()
+    }
+
+    /// Scalar (aggregate-only) results as u64.
+    pub fn scalar_u64(&self) -> Option<u64> {
+        self.batch.scalar_u64()
+    }
+
+    /// Scalar (aggregate-only) results as f64.
+    pub fn scalar_f64(&self) -> Option<f64> {
+        self.batch.scalar_f64()
+    }
+}
+
+/// A prepared-statement handle returned by [`EhClient::prepare`].
+#[derive(Clone, Copy, Debug)]
+pub struct StatementHandle {
+    /// Session-scoped statement id.
+    pub id: u64,
+    /// Whether the server found the plan in its shared cache.
+    pub cache_hit: bool,
+}
+
+/// A blocking connection to a running `eh_server`.
+pub struct EhClient {
+    stream: Stream,
+    server_banner: String,
+}
+
+impl EhClient {
+    /// Connect and handshake. `addr` accepts `unix:/path`, `tcp:host:port`,
+    /// a bare socket path, or a bare `host:port`.
+    pub fn connect(addr: &str) -> Result<EhClient, ClientError> {
+        let stream = match Addr::parse(addr) {
+            Addr::Tcp(hp) => Stream::Tcp(TcpStream::connect(hp)?),
+            #[cfg(unix)]
+            Addr::Unix(path) => Stream::Unix(UnixStream::connect(path)?),
+            #[cfg(not(unix))]
+            Addr::Unix(path) => {
+                return Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    format!("unix sockets unavailable: {}", path.display()),
+                )))
+            }
+        };
+        let mut client = EhClient {
+            stream,
+            server_banner: String::new(),
+        };
+        let resp = client.round_trip(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        })?;
+        match resp {
+            Response::Hello { server, .. } => {
+                client.server_banner = server;
+                Ok(client)
+            }
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected Hello, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The server's banner string from the handshake.
+    pub fn server_banner(&self) -> &str {
+        &self.server_banner
+    }
+
+    fn round_trip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_request(&mut self.stream, req)?;
+        Ok(read_response(&mut self.stream)?)
+    }
+
+    /// Dispatch a request whose answer should be a result batch.
+    fn batch_request(&mut self, req: &Request) -> Result<ResultSet, ClientError> {
+        match self.round_trip(req)? {
+            Response::Batch { bytes } => ResultSet::from_bytes(bytes),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected Batch, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Dispatch a request whose answer should be a bare Ok.
+    fn ok_request(&mut self, req: &Request) -> Result<String, ClientError> {
+        match self.round_trip(req)? {
+            Response::Ok { message } => Ok(message),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!("expected Ok, got {other:?}"))),
+        }
+    }
+
+    /// Execute a program read-only and fetch the last rule's result.
+    pub fn query(&mut self, text: &str) -> Result<ResultSet, ClientError> {
+        self.batch_request(&Request::Query { text: text.into() })
+    }
+
+    /// Compile a single rule through the server's shared plan cache.
+    pub fn prepare(&mut self, text: &str) -> Result<StatementHandle, ClientError> {
+        match self.round_trip(&Request::Prepare { text: text.into() })? {
+            Response::Prepared { id, cache_hit } => Ok(StatementHandle { id, cache_hit }),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected Prepared, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Execute a statement previously prepared on this connection.
+    pub fn exec(&mut self, stmt: StatementHandle) -> Result<ResultSet, ClientError> {
+        self.batch_request(&Request::ExecPrepared { id: stmt.id })
+    }
+
+    /// Bulk-load delimited bytes (first line a `name:type[@domain]`
+    /// header) into `relation`. Takes the server's write lock.
+    pub fn load_csv(
+        &mut self,
+        relation: &str,
+        delimiter: WireDelimiter,
+        data: Vec<u8>,
+    ) -> Result<String, ClientError> {
+        self.ok_request(&Request::LoadCsv {
+            relation: relation.into(),
+            delimiter,
+            data,
+        })
+    }
+
+    /// [`EhClient::load_csv`] from a client-side file (delimiter from
+    /// the extension: `.tsv`/`.txt` → tab, else comma).
+    pub fn load_csv_path(
+        &mut self,
+        relation: &str,
+        path: impl AsRef<Path>,
+    ) -> Result<String, ClientError> {
+        let path = path.as_ref();
+        let data = std::fs::read(path)?;
+        self.load_csv(relation, WireDelimiter::for_path(path), data)
+    }
+
+    /// Ask the server to persist its database at a server-side path.
+    pub fn save_image(&mut self, path: &str) -> Result<String, ClientError> {
+        self.ok_request(&Request::SaveImage { path: path.into() })
+    }
+
+    /// Stored relations, in name order.
+    pub fn list_relations(&mut self) -> Result<Vec<RelationInfo>, ClientError> {
+        match self.round_trip(&Request::ListRelations)? {
+            Response::Relations { entries } => Ok(entries),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected Relations, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Server + plan-cache statistics.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected Stats, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Set a session-scoped engine option (`threads`, `scheduler`,
+    /// `morsel`).
+    pub fn set_option(&mut self, key: &str, value: &str) -> Result<String, ClientError> {
+        self.ok_request(&Request::SetOption {
+            key: key.into(),
+            value: value.into(),
+        })
+    }
+
+    /// Close the session gracefully.
+    pub fn quit(mut self) -> Result<(), ClientError> {
+        self.ok_request(&Request::Quit)?;
+        Ok(())
+    }
+}

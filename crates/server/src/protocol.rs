@@ -1,0 +1,708 @@
+//! The wire protocol: versioned, length-prefixed binary frames.
+//!
+//! Every frame is `u8 tag | u32 payload_len (LE) | payload`. A
+//! connection opens with a [`Request::Hello`] carrying the protocol
+//! magic and version; the server answers [`Response::Hello`] or an
+//! error and closes. Payloads use the same little-endian, length-
+//! prefixed-string vocabulary as the storage layer
+//! ([`eh_storage::wire`]), and query results travel as
+//! [`eh_storage::ResultBatch`] payloads — schema + flat columnar
+//! tuples + the dictionary domains the schema references — so string
+//! columns decode client-side with no shared state.
+//!
+//! | tag | frame | payload |
+//! |-----|-------|---------|
+//! | 0x01 | `Hello` | magic `EHSP`, u32 version |
+//! | 0x02 | `Query` | query text (one or more rules) |
+//! | 0x03 | `Prepare` | single-rule query text |
+//! | 0x04 | `ExecPrepared` | u64 statement id |
+//! | 0x05 | `LoadCsv` | relation, delimiter tag, CSV/TSV bytes |
+//! | 0x06 | `SaveImage` | server-side path |
+//! | 0x07 | `ListRelations` | — |
+//! | 0x08 | `Stats` | — |
+//! | 0x09 | `SetOption` | key, value (session-scoped) |
+//! | 0x0A | `Quit` | — |
+//! | 0x81 | `Hello` | u32 version, server banner |
+//! | 0x82 | `Ok` | message |
+//! | 0x83 | `Error` | message |
+//! | 0x84 | `Batch` | encoded [`eh_storage::ResultBatch`] |
+//! | 0x85 | `Prepared` | u64 id, u8 plan-cache hit |
+//! | 0x86 | `Relations` | count, then name/arity/rows/schema each |
+//! | 0x87 | `Stats` | see [`ServerStats`] |
+
+use eh_storage::wire::{put_str, put_u32, put_u64, ByteReader};
+use eh_storage::StorageError;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// First bytes of every connection's `Hello` payload.
+pub const PROTOCOL_MAGIC: [u8; 4] = *b"EHSP";
+/// Current protocol version.
+pub const PROTOCOL_VERSION: u32 = 1;
+/// Upper bound on a single frame's payload (256 MiB) — a corrupt or
+/// hostile length field must not cause an absurd allocation.
+pub const MAX_FRAME_LEN: usize = 256 << 20;
+
+/// Protocol-level failure: a frame that could not be parsed.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Transport failure.
+    Io(io::Error),
+    /// Structurally invalid frame (bad tag, truncated payload, ...).
+    Malformed(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "io error: {e}"),
+            ProtoError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+impl From<StorageError> for ProtoError {
+    fn from(e: StorageError) -> Self {
+        ProtoError::Malformed(e.to_string())
+    }
+}
+
+/// CSV delimiter selector carried by `LoadCsv` (mirrors
+/// [`eh_storage::Delimiter`] without exposing raw bytes on the wire).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireDelimiter {
+    /// Comma-separated (`.csv`).
+    Comma,
+    /// Tab-separated (`.tsv` / `.txt`).
+    Tab,
+    /// Any run of ASCII whitespace (edge lists).
+    Whitespace,
+}
+
+impl WireDelimiter {
+    fn tag(self) -> u8 {
+        match self {
+            WireDelimiter::Comma => 0,
+            WireDelimiter::Tab => 1,
+            WireDelimiter::Whitespace => 2,
+        }
+    }
+
+    fn parse(tag: u8) -> Result<WireDelimiter, ProtoError> {
+        match tag {
+            0 => Ok(WireDelimiter::Comma),
+            1 => Ok(WireDelimiter::Tab),
+            2 => Ok(WireDelimiter::Whitespace),
+            t => Err(ProtoError::Malformed(format!("unknown delimiter tag {t}"))),
+        }
+    }
+
+    /// Pick the conventional delimiter for a file extension
+    /// (`.tsv`/`.txt` → tab, else comma).
+    pub fn for_path(path: &std::path::Path) -> WireDelimiter {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("tsv") | Some("txt") => WireDelimiter::Tab,
+            _ => WireDelimiter::Comma,
+        }
+    }
+}
+
+/// A client-to-server frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Handshake: must be the first frame on a connection.
+    Hello {
+        /// Client protocol version (must equal [`PROTOCOL_VERSION`]).
+        version: u32,
+    },
+    /// Parse, plan, and execute a program read-only; results are not
+    /// registered server-side (rules within one `Query` see each other
+    /// through the executor's overlay).
+    Query {
+        /// One or more rules, `.`-terminated.
+        text: String,
+    },
+    /// Compile a single rule through the shared plan cache and pin it
+    /// to this session; answers [`Response::Prepared`].
+    Prepare {
+        /// The rule text.
+        text: String,
+    },
+    /// Execute a statement previously returned by `Prepare`.
+    ExecPrepared {
+        /// Statement id from [`Response::Prepared`].
+        id: u64,
+    },
+    /// Bulk-load delimited text (shipped inline — the file lives
+    /// client-side) into a relation; takes the server's write lock.
+    LoadCsv {
+        /// Target relation name.
+        relation: String,
+        /// Field delimiter.
+        delimiter: WireDelimiter,
+        /// Raw file bytes, first line a `name:type[@domain]` header.
+        data: Vec<u8>,
+    },
+    /// Persist the whole database as an image at a server-side path.
+    SaveImage {
+        /// Server-side filesystem path.
+        path: String,
+    },
+    /// List stored relations (name order).
+    ListRelations,
+    /// Server + plan-cache statistics.
+    Stats,
+    /// Set a session-scoped engine option (`threads`, `scheduler`,
+    /// `morsel`); affects only this connection's executions.
+    SetOption {
+        /// Option name.
+        key: String,
+        /// Option value.
+        value: String,
+    },
+    /// Close the session gracefully.
+    Quit,
+}
+
+const REQ_HELLO: u8 = 0x01;
+const REQ_QUERY: u8 = 0x02;
+const REQ_PREPARE: u8 = 0x03;
+const REQ_EXEC: u8 = 0x04;
+const REQ_LOAD_CSV: u8 = 0x05;
+const REQ_SAVE_IMAGE: u8 = 0x06;
+const REQ_LIST: u8 = 0x07;
+const REQ_STATS: u8 = 0x08;
+const REQ_SET: u8 = 0x09;
+const REQ_QUIT: u8 = 0x0A;
+
+impl Request {
+    /// Serialize to `(tag, payload)`.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut p = Vec::new();
+        match self {
+            Request::Hello { version } => {
+                p.extend_from_slice(&PROTOCOL_MAGIC);
+                put_u32(&mut p, *version);
+                (REQ_HELLO, p)
+            }
+            Request::Query { text } => {
+                put_str(&mut p, text);
+                (REQ_QUERY, p)
+            }
+            Request::Prepare { text } => {
+                put_str(&mut p, text);
+                (REQ_PREPARE, p)
+            }
+            Request::ExecPrepared { id } => {
+                put_u64(&mut p, *id);
+                (REQ_EXEC, p)
+            }
+            Request::LoadCsv {
+                relation,
+                delimiter,
+                data,
+            } => {
+                put_str(&mut p, relation);
+                p.push(delimiter.tag());
+                put_u32(&mut p, data.len() as u32);
+                p.extend_from_slice(data);
+                (REQ_LOAD_CSV, p)
+            }
+            Request::SaveImage { path } => {
+                put_str(&mut p, path);
+                (REQ_SAVE_IMAGE, p)
+            }
+            Request::ListRelations => (REQ_LIST, p),
+            Request::Stats => (REQ_STATS, p),
+            Request::SetOption { key, value } => {
+                put_str(&mut p, key);
+                put_str(&mut p, value);
+                (REQ_SET, p)
+            }
+            Request::Quit => (REQ_QUIT, p),
+        }
+    }
+
+    /// Parse a `(tag, payload)` frame read off the wire.
+    pub fn decode(tag: u8, payload: &[u8]) -> Result<Request, ProtoError> {
+        let mut r = ByteReader::new(payload);
+        let req = match tag {
+            REQ_HELLO => {
+                let magic = r.take(4, "hello magic")?;
+                if magic != PROTOCOL_MAGIC {
+                    return Err(ProtoError::Malformed(format!(
+                        "bad handshake magic {magic:02x?}; not an EmptyHeaded client"
+                    )));
+                }
+                Request::Hello {
+                    version: r.u32("hello version")?,
+                }
+            }
+            REQ_QUERY => Request::Query {
+                text: r.str("query text")?,
+            },
+            REQ_PREPARE => Request::Prepare {
+                text: r.str("prepare text")?,
+            },
+            REQ_EXEC => Request::ExecPrepared {
+                id: r.u64("statement id")?,
+            },
+            REQ_LOAD_CSV => {
+                let relation = r.str("relation name")?;
+                let delimiter = WireDelimiter::parse(r.u8("delimiter tag")?)?;
+                let len = r.u32("data length")? as usize;
+                let data = r.take(len, "csv data")?.to_vec();
+                Request::LoadCsv {
+                    relation,
+                    delimiter,
+                    data,
+                }
+            }
+            REQ_SAVE_IMAGE => Request::SaveImage {
+                path: r.str("image path")?,
+            },
+            REQ_LIST => Request::ListRelations,
+            REQ_STATS => Request::Stats,
+            REQ_SET => Request::SetOption {
+                key: r.str("option key")?,
+                value: r.str("option value")?,
+            },
+            REQ_QUIT => Request::Quit,
+            t => return Err(ProtoError::Malformed(format!("unknown request tag {t}"))),
+        };
+        if !r.is_empty() {
+            return Err(ProtoError::Malformed(format!(
+                "request frame has {} trailing bytes",
+                r.remaining()
+            )));
+        }
+        Ok(req)
+    }
+}
+
+/// One stored relation, as reported by `ListRelations`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelationInfo {
+    /// Relation name.
+    pub name: String,
+    /// Number of key attributes.
+    pub arity: u32,
+    /// Stored row count.
+    pub rows: u64,
+    /// Schema in `Name(col:type@domain, ...)` display form.
+    pub schema: String,
+}
+
+/// Server + shared-plan-cache statistics, as reported by `Stats`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Current catalog epoch (bumps on every load/register/drop).
+    pub epoch: u64,
+    /// Stored relation count.
+    pub relations: u64,
+    /// Sessions accepted since startup.
+    pub sessions_total: u64,
+    /// Sessions currently connected.
+    pub sessions_active: u64,
+    /// Ad-hoc `Query` frames served.
+    pub queries: u64,
+    /// `ExecPrepared` frames served.
+    pub exec_prepared: u64,
+    /// Plan-cache hits.
+    pub cache_hits: u64,
+    /// Plan-cache misses (compilations).
+    pub cache_misses: u64,
+    /// Plans discarded by catalog-epoch invalidation.
+    pub cache_invalidations: u64,
+    /// Plans currently cached.
+    pub cache_entries: u64,
+    /// Plan-cache capacity.
+    pub cache_capacity: u64,
+}
+
+/// A server-to-client frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Handshake accepted.
+    Hello {
+        /// Server protocol version.
+        version: u32,
+        /// Human-readable server banner.
+        server: String,
+    },
+    /// Command succeeded with no result rows.
+    Ok {
+        /// Human-readable detail (e.g. `loaded 6 rows`).
+        message: String,
+    },
+    /// Command failed; the session stays usable.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+    /// A query result: an encoded [`eh_storage::ResultBatch`]. Kept as
+    /// raw bytes here so the transport layer never re-encodes it.
+    Batch {
+        /// `ResultBatch::encode()` output.
+        bytes: Vec<u8>,
+    },
+    /// A statement was compiled (or fetched from the shared cache).
+    Prepared {
+        /// Session-scoped statement id for `ExecPrepared`.
+        id: u64,
+        /// True when the plan came from the shared cache.
+        cache_hit: bool,
+    },
+    /// Stored relations, in name order.
+    Relations {
+        /// One entry per relation.
+        entries: Vec<RelationInfo>,
+    },
+    /// Server statistics.
+    Stats(ServerStats),
+}
+
+const RESP_HELLO: u8 = 0x81;
+const RESP_OK: u8 = 0x82;
+const RESP_ERROR: u8 = 0x83;
+const RESP_BATCH: u8 = 0x84;
+const RESP_PREPARED: u8 = 0x85;
+const RESP_RELATIONS: u8 = 0x86;
+const RESP_STATS: u8 = 0x87;
+
+impl Response {
+    /// Serialize to `(tag, payload)`.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        let mut p = Vec::new();
+        match self {
+            Response::Hello { version, server } => {
+                put_u32(&mut p, *version);
+                put_str(&mut p, server);
+                (RESP_HELLO, p)
+            }
+            Response::Ok { message } => {
+                put_str(&mut p, message);
+                (RESP_OK, p)
+            }
+            Response::Error { message } => {
+                put_str(&mut p, message);
+                (RESP_ERROR, p)
+            }
+            Response::Batch { bytes } => (RESP_BATCH, bytes.clone()),
+            Response::Prepared { id, cache_hit } => {
+                put_u64(&mut p, *id);
+                p.push(*cache_hit as u8);
+                (RESP_PREPARED, p)
+            }
+            Response::Relations { entries } => {
+                put_u32(&mut p, entries.len() as u32);
+                for e in entries {
+                    put_str(&mut p, &e.name);
+                    put_u32(&mut p, e.arity);
+                    put_u64(&mut p, e.rows);
+                    put_str(&mut p, &e.schema);
+                }
+                (RESP_RELATIONS, p)
+            }
+            Response::Stats(s) => {
+                for v in [
+                    s.epoch,
+                    s.relations,
+                    s.sessions_total,
+                    s.sessions_active,
+                    s.queries,
+                    s.exec_prepared,
+                    s.cache_hits,
+                    s.cache_misses,
+                    s.cache_invalidations,
+                    s.cache_entries,
+                    s.cache_capacity,
+                ] {
+                    put_u64(&mut p, v);
+                }
+                (RESP_STATS, p)
+            }
+        }
+    }
+
+    /// Parse a `(tag, payload)` frame read off the wire.
+    pub fn decode(tag: u8, payload: &[u8]) -> Result<Response, ProtoError> {
+        let mut r = ByteReader::new(payload);
+        let resp = match tag {
+            RESP_HELLO => Response::Hello {
+                version: r.u32("hello version")?,
+                server: r.str("server banner")?,
+            },
+            RESP_OK => Response::Ok {
+                message: r.str("ok message")?,
+            },
+            RESP_ERROR => Response::Error {
+                message: r.str("error message")?,
+            },
+            RESP_BATCH => {
+                return Ok(Response::Batch {
+                    bytes: payload.to_vec(),
+                })
+            }
+            RESP_PREPARED => Response::Prepared {
+                id: r.u64("statement id")?,
+                cache_hit: r.u8("cache hit flag")? != 0,
+            },
+            RESP_RELATIONS => {
+                let n = r.u32("relation count")? as usize;
+                let mut entries = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    entries.push(RelationInfo {
+                        name: r.str("relation name")?,
+                        arity: r.u32("arity")?,
+                        rows: r.u64("row count")?,
+                        schema: r.str("schema")?,
+                    });
+                }
+                Response::Relations { entries }
+            }
+            RESP_STATS => {
+                let mut take = || r.u64("stats field");
+                Response::Stats(ServerStats {
+                    epoch: take()?,
+                    relations: take()?,
+                    sessions_total: take()?,
+                    sessions_active: take()?,
+                    queries: take()?,
+                    exec_prepared: take()?,
+                    cache_hits: take()?,
+                    cache_misses: take()?,
+                    cache_invalidations: take()?,
+                    cache_entries: take()?,
+                    cache_capacity: take()?,
+                })
+            }
+            t => return Err(ProtoError::Malformed(format!("unknown response tag {t}"))),
+        };
+        if !r.is_empty() {
+            return Err(ProtoError::Malformed(format!(
+                "response frame has {} trailing bytes",
+                r.remaining()
+            )));
+        }
+        Ok(resp)
+    }
+}
+
+/// Write one frame: tag, length, payload — a single `write_all` so a
+/// frame is never interleaved mid-write by buffering layers.
+pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        // Refusing here (not just on the receive side) keeps the u32
+        // length field exact and the stream framed: a silently wrapped
+        // length would desynchronize the peer with no error anywhere.
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "frame payload of {} bytes exceeds the {MAX_FRAME_LEN}-byte limit",
+                payload.len()
+            ),
+        ));
+    }
+    let mut frame = Vec::with_capacity(5 + payload.len());
+    frame.push(tag);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Read one frame. An EOF before the first header byte surfaces as
+/// [`io::ErrorKind::UnexpectedEof`] — the session layer treats that as
+/// a clean disconnect.
+pub fn read_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>)> {
+    let mut header = [0u8; 5];
+    r.read_exact(&mut header)?;
+    let tag = header[0];
+    let len = u32::from_le_bytes([header[1], header[2], header[3], header[4]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok((tag, payload))
+}
+
+/// Write a request frame.
+pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
+    let (tag, payload) = req.encode();
+    write_frame(w, tag, &payload)
+}
+
+/// Write a response frame. Batch payloads — the large ones — are
+/// written by reference, skipping the `Response::encode` clone.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+    if let Response::Batch { bytes } = resp {
+        return write_frame(w, RESP_BATCH, bytes);
+    }
+    let (tag, payload) = resp.encode();
+    write_frame(w, tag, &payload)
+}
+
+/// Read and parse a request frame.
+pub fn read_request(r: &mut impl Read) -> Result<Request, ProtoError> {
+    let (tag, payload) = read_frame(r)?;
+    Request::decode(tag, &payload)
+}
+
+/// Read and parse a response frame.
+pub fn read_response(r: &mut impl Read) -> Result<Response, ProtoError> {
+    let (tag, payload) = read_frame(r)?;
+    Response::decode(tag, &payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        let back = read_request(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        let back = read_response(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        round_trip_request(Request::Hello {
+            version: PROTOCOL_VERSION,
+        });
+        round_trip_request(Request::Query {
+            text: "T(x,y) :- E(x,y).".into(),
+        });
+        round_trip_request(Request::Prepare {
+            text: "C(;w:long) :- E(x,y); w=<<COUNT(*)>>.".into(),
+        });
+        round_trip_request(Request::ExecPrepared { id: 7 });
+        round_trip_request(Request::LoadCsv {
+            relation: "E".into(),
+            delimiter: WireDelimiter::Tab,
+            data: b"src:u32\tdst:u32\n0\t1\n".to_vec(),
+        });
+        round_trip_request(Request::SaveImage {
+            path: "/tmp/x.ehdb".into(),
+        });
+        round_trip_request(Request::ListRelations);
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::SetOption {
+            key: "threads".into(),
+            value: "4".into(),
+        });
+        round_trip_request(Request::Quit);
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        round_trip_response(Response::Hello {
+            version: PROTOCOL_VERSION,
+            server: "eh_server 0.1".into(),
+        });
+        round_trip_response(Response::Ok {
+            message: "loaded 6 rows".into(),
+        });
+        round_trip_response(Response::Error {
+            message: "parse error".into(),
+        });
+        round_trip_response(Response::Batch {
+            bytes: vec![1, 2, 3],
+        });
+        round_trip_response(Response::Prepared {
+            id: 3,
+            cache_hit: true,
+        });
+        round_trip_response(Response::Relations {
+            entries: vec![RelationInfo {
+                name: "E".into(),
+                arity: 2,
+                rows: 6,
+                schema: "E(src:u32, dst:u32)".into(),
+            }],
+        });
+        round_trip_response(Response::Stats(ServerStats {
+            epoch: 1,
+            relations: 2,
+            sessions_total: 3,
+            sessions_active: 1,
+            queries: 9,
+            exec_prepared: 4,
+            cache_hits: 5,
+            cache_misses: 2,
+            cache_invalidations: 1,
+            cache_entries: 2,
+            cache_capacity: 64,
+        }));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 0x01, b"XXXX\x01\x00\x00\x00").unwrap();
+        assert!(matches!(
+            read_request(&mut buf.as_slice()),
+            Err(ProtoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        assert!(Request::decode(0x7F, &[]).is_err());
+        assert!(Response::decode(0x10, &[]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let (tag, mut payload) = Request::ExecPrepared { id: 1 }.encode();
+        payload.push(0);
+        assert!(Request::decode(tag, &payload).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.push(0x02);
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn eof_is_unexpected_eof() {
+        let err = read_frame(&mut (&[] as &[u8])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn delimiter_for_path() {
+        use std::path::Path;
+        assert_eq!(
+            WireDelimiter::for_path(Path::new("a.tsv")),
+            WireDelimiter::Tab
+        );
+        assert_eq!(
+            WireDelimiter::for_path(Path::new("a.csv")),
+            WireDelimiter::Comma
+        );
+    }
+}

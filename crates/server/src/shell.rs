@@ -1,0 +1,789 @@
+//! `eh_shell` — the interactive front door.
+//!
+//! One binary, three modes:
+//!
+//! * **embedded** (default): an in-process [`Database`] with its own
+//!   [`PlanCache`] — the full query surface with no server.
+//! * **remote** (`--connect ADDR`): every statement goes over the wire
+//!   to a running `eh_server`.
+//! * **server** (`--serve ADDR`): binds the listener(s) and serves
+//!   until killed.
+//!
+//! Statements are `.`-terminated queries or backslash commands
+//! (`\l file [name]`, `\d`, `\timing`, `\prepare name query`,
+//! `\exec name`, `\set key value`, `\stats`, `\save path`, `\q`),
+//! separated by `;` or newlines; a query's own `;`/`(;w:long)`
+//! punctuation is kept intact because a query statement only ends at
+//! its final `.`. A multi-rule program is one statement as long as it
+//! stays on one line (rules separated by spaces after the `.`); a
+//! newline after a `.` ends the statement. Non-interactive driving (`-c 'stmts'` or piped
+//! stdin) prints exactly what the interactive loop prints, so CI can
+//! diff embedded output against remote output — both render results
+//! through the same [`ResultBatch`] path.
+
+use crate::cache::PlanCache;
+use crate::client::{ClientError, EhClient, StatementHandle};
+use crate::server::{Server, ServerOptions};
+use crate::session::{apply_option, batch_from_result};
+use eh_core::{Database, Prepared};
+use eh_semiring::DynValue;
+use eh_storage::wire::ResultBatch;
+use std::collections::HashMap;
+use std::io::{BufRead, IsTerminal, Write};
+use std::sync::Arc;
+use std::time::Instant;
+
+const HELP: &str = "\
+eh_shell — EmptyHeaded interactive shell
+
+USAGE:
+  eh_shell [OPTIONS]                 embedded REPL (in-process database)
+  eh_shell --connect ADDR [OPTIONS]  drive a running eh_server
+  eh_shell --serve ADDR [--serve ADDR2 ...]  run the server
+
+OPTIONS:
+  --connect ADDR   connect to a server (unix:/path | tcp:host:port | host:port)
+  --serve ADDR     bind and serve (repeatable; unix:/path and/or host:port)
+  --db PATH        open this database image on startup (embedded/serve)
+  -c 'STMTS'       run statements non-interactively, then exit
+  --threads N      engine worker threads (0 = auto)
+  --help           this text
+
+STATEMENTS (separated by ';' or newline):
+  Rule(x,y) :- Edge(x,y).        run a query (read-only)
+  A(x) :- E(x,y). B(y) :- A(y).  multi-rule program: keep it on ONE line
+                                 (later rules see earlier heads)
+  \\l FILE [NAME]                 load a CSV/TSV (header line drives types)
+  \\d                             list relations
+  \\prepare NAME QUERY            compile once through the plan cache
+  \\exec NAME                     run a prepared statement
+  \\set KEY VALUE                 threads | scheduler | morsel
+  \\timing                        toggle per-statement timing
+  \\stats                         server / plan-cache statistics
+  \\save PATH                     save a database image
+  \\q                             quit
+";
+
+/// Parsed command line.
+struct Opts {
+    connect: Option<String>,
+    serve: Vec<String>,
+    db_image: Option<String>,
+    commands: Option<String>,
+    threads: Option<usize>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Option<Opts>, String> {
+    let mut opts = Opts {
+        connect: None,
+        serve: Vec::new(),
+        db_image: None,
+        commands: None,
+        threads: None,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--connect" => opts.connect = Some(value(&mut i, "--connect")?),
+            "--serve" => opts.serve.push(value(&mut i, "--serve")?),
+            "--db" => opts.db_image = Some(value(&mut i, "--db")?),
+            "-c" => opts.commands = Some(value(&mut i, "-c")?),
+            "--threads" => {
+                let v = value(&mut i, "--threads")?;
+                opts.threads = Some(v.parse().map_err(|_| format!("bad thread count '{v}'"))?);
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+        i += 1;
+    }
+    if opts.connect.is_some() && !opts.serve.is_empty() {
+        return Err("--connect and --serve are mutually exclusive".into());
+    }
+    Ok(Some(opts))
+}
+
+/// Split input into statements. A statement is complete at a `;` or
+/// newline boundary once it either is a backslash command (except
+/// `\prepare`, which carries a query) or ends with `.` — so the `;`
+/// inside `C(;w:long) :- ...; w=<<COUNT(*)>>.` never splits a query.
+/// Returns complete statements plus the unfinished remainder.
+fn split_partial(input: &str) -> (Vec<String>, String) {
+    let mut out = Vec::new();
+    let mut acc = String::new();
+    for ch in input.chars() {
+        if ch == ';' || ch == '\n' {
+            let t = acc.trim();
+            let is_meta = t.starts_with('\\');
+            let wants_query = t.starts_with("\\prepare");
+            let complete = if wants_query || !is_meta {
+                t.ends_with('.')
+            } else {
+                !t.is_empty()
+            };
+            if complete {
+                out.push(t.to_string());
+                acc.clear();
+            } else if ch == ';' {
+                acc.push(';');
+            } else {
+                acc.push(' ');
+            }
+        } else {
+            acc.push(ch);
+        }
+    }
+    (out, acc)
+}
+
+/// [`split_partial`] with the trailing remainder flushed as a final
+/// statement (end of input ends the last statement).
+fn split_statements(input: &str) -> Vec<String> {
+    let (mut stmts, rest) = split_partial(input);
+    let rest = rest.trim();
+    if !rest.is_empty() {
+        stmts.push(rest.to_string());
+    }
+    stmts
+}
+
+/// Render a remote failure the way the embedded backend would: the
+/// server already sends the engine's own message, so strip the client
+/// wrapper's "server error: " prefix — embedded and remote runs of the
+/// same failing statement must print identical lines (the CI smoke
+/// diffs them).
+fn remote_err(e: ClientError) -> String {
+    match e {
+        ClientError::Server(m) => m,
+        other => other.to_string(),
+    }
+}
+
+fn fmt_dyn(v: &DynValue) -> String {
+    match v {
+        DynValue::U64(x) => x.to_string(),
+        DynValue::F64(x) => x.to_string(),
+    }
+}
+
+/// Render a result batch the same way for embedded and remote results
+/// (so the two modes diff clean in CI).
+fn render_batch(batch: &ResultBatch) -> String {
+    let mut out = String::new();
+    out.push_str(&batch.schema.to_string());
+    out.push('\n');
+    if batch.tuples.arity() == 0 {
+        if let Some(v) = batch.scalar() {
+            out.push_str(&format!("{}\n(scalar)\n", fmt_dyn(&v)));
+            return out;
+        }
+        out.push_str("(empty)\n");
+        return out;
+    }
+    let rows = batch.typed_rows();
+    let annots = batch.annotations();
+    for (i, row) in rows.iter().enumerate() {
+        let mut line = row
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\t");
+        if let Some(a) = annots {
+            line.push('\t');
+            line.push_str(&fmt_dyn(&a[i]));
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out.push_str(&format!("({} rows)\n", rows.len()));
+    out
+}
+
+/// An embedded prepared statement: plan + the epoch/text needed to
+/// re-prepare transparently if the catalog moves (same contract as a
+/// server session).
+struct EmbeddedStmt {
+    epoch: u64,
+    text: String,
+    plan: Arc<Prepared>,
+}
+
+enum Backend {
+    Embedded {
+        db: Box<Database>,
+        cache: PlanCache,
+        statements: HashMap<String, EmbeddedStmt>,
+    },
+    Remote {
+        client: EhClient,
+        statements: HashMap<String, StatementHandle>,
+    },
+}
+
+impl Backend {
+    fn query(&mut self, text: &str) -> Result<String, String> {
+        match self {
+            Backend::Embedded { db, cache, .. } => {
+                // Mirror the server: preparable single rules go through
+                // the plan cache (cached texts skip parsing entirely);
+                // programs/recursion take the read-only path.
+                let result = match cache.get_preparable(db, text).map_err(|e| e.to_string())? {
+                    Some(plan) => plan.execute(db).map_err(|e| e.to_string())?,
+                    None => db.query_ref(text).map_err(|e| e.to_string())?,
+                };
+                let batch = batch_from_result(db, &result);
+                Ok(render_batch(&batch))
+            }
+            Backend::Remote { client, .. } => {
+                let rs = client.query(text).map_err(remote_err)?;
+                Ok(render_batch(rs.batch()))
+            }
+        }
+    }
+
+    fn prepare(&mut self, name: &str, text: &str) -> Result<String, String> {
+        match self {
+            Backend::Embedded {
+                db,
+                cache,
+                statements,
+            } => {
+                let (plan, hit) = cache.get_or_prepare(db, text).map_err(|e| e.to_string())?;
+                statements.insert(
+                    name.to_string(),
+                    EmbeddedStmt {
+                        epoch: db.epoch(),
+                        text: text.to_string(),
+                        plan,
+                    },
+                );
+                Ok(format!(
+                    "prepared {name} ({})\n",
+                    if hit { "plan cache hit" } else { "compiled" }
+                ))
+            }
+            Backend::Remote { client, statements } => {
+                let handle = client.prepare(text).map_err(remote_err)?;
+                statements.insert(name.to_string(), handle);
+                Ok(format!(
+                    "prepared {name} ({})\n",
+                    if handle.cache_hit {
+                        "plan cache hit"
+                    } else {
+                        "compiled"
+                    }
+                ))
+            }
+        }
+    }
+
+    fn exec(&mut self, name: &str) -> Result<String, String> {
+        match self {
+            Backend::Embedded {
+                db,
+                cache,
+                statements,
+            } => {
+                let stmt = statements
+                    .get_mut(name)
+                    .ok_or_else(|| format!("no prepared statement '{name}'"))?;
+                if stmt.epoch != db.epoch() {
+                    let (plan, _) = cache
+                        .get_or_prepare(db, &stmt.text)
+                        .map_err(|e| e.to_string())?;
+                    stmt.plan = plan;
+                    stmt.epoch = db.epoch();
+                }
+                let result = stmt.plan.execute(db).map_err(|e| e.to_string())?;
+                let batch = batch_from_result(db, &result);
+                Ok(render_batch(&batch))
+            }
+            Backend::Remote { client, statements } => {
+                let handle = *statements
+                    .get(name)
+                    .ok_or_else(|| format!("no prepared statement '{name}'"))?;
+                let rs = client.exec(handle).map_err(remote_err)?;
+                Ok(render_batch(rs.batch()))
+            }
+        }
+    }
+
+    fn load(&mut self, path: &str, relation: &str) -> Result<String, String> {
+        match self {
+            Backend::Embedded { db, .. } => {
+                let report = db.load_csv(relation, path).map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "loaded {} rows into {relation}{}\n",
+                    report.rows,
+                    if report.skipped > 0 {
+                        format!(" ({} skipped)", report.skipped)
+                    } else {
+                        String::new()
+                    }
+                ))
+            }
+            Backend::Remote { client, .. } => {
+                let msg = client.load_csv_path(relation, path).map_err(remote_err)?;
+                Ok(format!("{msg}\n"))
+            }
+        }
+    }
+
+    fn list(&mut self) -> Result<String, String> {
+        let mut out = String::new();
+        match self {
+            Backend::Embedded { db, .. } => {
+                let mut names: Vec<String> = db.catalog().names().map(str::to_string).collect();
+                names.sort();
+                for name in names {
+                    if let Some(rel) = db.relation(&name) {
+                        let schema = db
+                            .storage()
+                            .schema(&name)
+                            .map(|s| s.to_string())
+                            .unwrap_or_else(|| name.clone());
+                        out.push_str(&format!("{name}\trows={}\t{schema}\n", rel.len()));
+                    }
+                }
+            }
+            Backend::Remote { client, .. } => {
+                for e in client.list_relations().map_err(remote_err)? {
+                    out.push_str(&format!("{}\trows={}\t{}\n", e.name, e.rows, e.schema));
+                }
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no relations)\n");
+        }
+        Ok(out)
+    }
+
+    fn stats(&mut self) -> Result<String, String> {
+        match self {
+            Backend::Embedded { db, cache, .. } => Ok(format!(
+                "embedded epoch={} relations={} plan_cache hits={} misses={} \
+                 invalidations={} entries={}/{}\n",
+                db.epoch(),
+                db.catalog().names().count(),
+                cache.hits(),
+                cache.misses(),
+                cache.invalidations(),
+                cache.len(),
+                cache.capacity(),
+            )),
+            Backend::Remote { client, .. } => {
+                let s = client.stats().map_err(remote_err)?;
+                Ok(format!(
+                    "server epoch={} relations={} sessions={}/{} queries={} exec_prepared={} \
+                     plan_cache hits={} misses={} invalidations={} entries={}/{}\n",
+                    s.epoch,
+                    s.relations,
+                    s.sessions_active,
+                    s.sessions_total,
+                    s.queries,
+                    s.exec_prepared,
+                    s.cache_hits,
+                    s.cache_misses,
+                    s.cache_invalidations,
+                    s.cache_entries,
+                    s.cache_capacity,
+                ))
+            }
+        }
+    }
+
+    fn set_option(&mut self, key: &str, val: &str) -> Result<String, String> {
+        match self {
+            // Same parser the server sessions use, so both modes accept
+            // and confirm options with identical text.
+            Backend::Embedded { db, .. } => {
+                let msg = apply_option(db.config_mut(), key, val)?;
+                Ok(format!("{msg}\n"))
+            }
+            Backend::Remote { client, .. } => {
+                let msg = client.set_option(key, val).map_err(remote_err)?;
+                Ok(format!("{msg}\n"))
+            }
+        }
+    }
+
+    fn save(&mut self, path: &str) -> Result<String, String> {
+        match self {
+            Backend::Embedded { db, .. } => {
+                db.save(path).map_err(|e| e.to_string())?;
+                Ok(format!("saved image to {path}\n"))
+            }
+            Backend::Remote { client, .. } => {
+                let msg = client.save_image(path).map_err(remote_err)?;
+                Ok(format!("{msg}\n"))
+            }
+        }
+    }
+}
+
+/// Default relation name for `\l file`: the file stem with
+/// non-identifier characters replaced.
+fn relation_name_for(path: &str) -> String {
+    let stem = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("R");
+    let mut name: String = stem
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect();
+    if name.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        name.insert(0, 'R');
+    }
+    name
+}
+
+/// Outcome of one statement.
+enum StmtOutcome {
+    Output(String),
+    Error(String),
+    Quit,
+}
+
+fn run_statement(backend: &mut Backend, stmt: &str) -> StmtOutcome {
+    let result = if let Some(rest) = stmt.strip_prefix('\\') {
+        let mut parts = rest.splitn(2, char::is_whitespace);
+        let cmd = parts.next().unwrap_or("");
+        let arg = parts.next().unwrap_or("").trim().to_string();
+        match cmd {
+            "q" | "quit" => return StmtOutcome::Quit,
+            "help" | "?" => Ok(HELP.to_string()),
+            "d" => backend.list(),
+            "timing" => Err("\\timing takes no arguments".into()),
+            "stats" => backend.stats(),
+            "l" | "load" => {
+                let mut words = arg.split_whitespace();
+                match words.next() {
+                    None => Err("\\l needs a file path".into()),
+                    Some(path) => {
+                        let name = words
+                            .next()
+                            .map(str::to_string)
+                            .unwrap_or_else(|| relation_name_for(path));
+                        backend.load(path, &name)
+                    }
+                }
+            }
+            "prepare" => {
+                let mut words = arg.splitn(2, char::is_whitespace);
+                match (words.next(), words.next()) {
+                    (Some(name), Some(query)) if !query.trim().is_empty() => {
+                        backend.prepare(name, query.trim())
+                    }
+                    _ => Err("\\prepare needs NAME QUERY".into()),
+                }
+            }
+            "exec" => {
+                if arg.is_empty() {
+                    Err("\\exec needs a statement name".into())
+                } else {
+                    backend.exec(&arg)
+                }
+            }
+            "set" => {
+                let mut words = arg.split_whitespace();
+                match (words.next(), words.next()) {
+                    (Some(k), Some(v)) => backend.set_option(k, v),
+                    _ => Err("\\set needs KEY VALUE".into()),
+                }
+            }
+            "save" => {
+                if arg.is_empty() {
+                    Err("\\save needs a path".into())
+                } else {
+                    backend.save(&arg)
+                }
+            }
+            other => Err(format!("unknown command \\{other} (try \\help)")),
+        }
+    } else {
+        backend.query(stmt)
+    };
+    match result {
+        Ok(out) => StmtOutcome::Output(out),
+        Err(e) => StmtOutcome::Error(e),
+    }
+}
+
+/// Entry point shared by the `eh_shell` binary.
+pub fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("eh_shell: {e}");
+            2
+        }
+    });
+}
+
+fn open_database(opts: &Opts) -> Result<Database, String> {
+    let mut db = match &opts.db_image {
+        Some(path) => Database::open(path).map_err(|e| e.to_string())?,
+        None => Database::new(),
+    };
+    if let Some(n) = opts.threads {
+        let cfg = db.config().with_threads(n);
+        *db.config_mut() = cfg;
+    }
+    Ok(db)
+}
+
+fn run(args: &[String]) -> Result<i32, String> {
+    let Some(opts) = parse_opts(args)? else {
+        print!("{HELP}");
+        return Ok(0);
+    };
+
+    // Server mode: bind, announce, serve until killed.
+    if !opts.serve.is_empty() {
+        let db = open_database(&opts)?;
+        let addrs: Vec<&str> = opts.serve.iter().map(String::as_str).collect();
+        let server =
+            Server::bind(db, &addrs, ServerOptions::default()).map_err(|e| e.to_string())?;
+        for a in server.bound_addrs() {
+            println!("eh_server listening on {a}");
+        }
+        std::io::stdout().flush().ok();
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+
+    let mut backend = match &opts.connect {
+        Some(addr) => Backend::Remote {
+            client: EhClient::connect(addr).map_err(|e| e.to_string())?,
+            statements: HashMap::new(),
+        },
+        None => Backend::Embedded {
+            db: Box::new(open_database(&opts)?),
+            cache: PlanCache::new(64),
+            statements: HashMap::new(),
+        },
+    };
+
+    let mut timing = false;
+    let mut had_error = false;
+    let stdout = std::io::stdout();
+    let emit = |outcome: StmtOutcome, timing: bool, elapsed_ms: f64| -> bool {
+        let mut out = stdout.lock();
+        match outcome {
+            StmtOutcome::Output(s) => {
+                let _ = out.write_all(s.as_bytes());
+                if timing {
+                    let _ = writeln!(out, "Time: {elapsed_ms:.3} ms");
+                }
+                let _ = out.flush();
+                false
+            }
+            StmtOutcome::Error(e) => {
+                let _ = writeln!(out, "error: {e}");
+                let _ = out.flush();
+                true
+            }
+            StmtOutcome::Quit => false,
+        }
+    };
+
+    let process =
+        |backend: &mut Backend, stmt: &str, timing: &mut bool, had_error: &mut bool| -> bool {
+            if stmt == "\\timing" {
+                *timing = !*timing;
+                println!("Timing {}", if *timing { "on" } else { "off" });
+                return true;
+            }
+            let t0 = Instant::now();
+            let outcome = run_statement(backend, stmt);
+            let quit = matches!(outcome, StmtOutcome::Quit);
+            if emit(outcome, *timing, t0.elapsed().as_secs_f64() * 1e3) {
+                *had_error = true;
+            }
+            !quit
+        };
+
+    if let Some(commands) = &opts.commands {
+        for stmt in split_statements(commands) {
+            if !process(&mut backend, &stmt, &mut timing, &mut had_error) {
+                break;
+            }
+        }
+        return Ok(if had_error { 1 } else { 0 });
+    }
+
+    // Interactive / piped REPL.
+    let stdin = std::io::stdin();
+    let interactive = stdin.is_terminal();
+    if interactive {
+        match &backend {
+            Backend::Embedded { .. } => println!("eh_shell (embedded) — \\help for help"),
+            Backend::Remote { client, .. } => {
+                println!("eh_shell — connected to {}", client.server_banner())
+            }
+        }
+    }
+    let mut pending = String::new();
+    'outer: loop {
+        if interactive {
+            print!(
+                "{}",
+                if pending.trim().is_empty() {
+                    "eh> "
+                } else {
+                    "...> "
+                }
+            );
+            std::io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => return Err(e.to_string()),
+        }
+        pending.push_str(&line);
+        let (stmts, rest) = split_partial(&pending);
+        pending = rest;
+        for stmt in stmts {
+            if !process(&mut backend, &stmt, &mut timing, &mut had_error) {
+                break 'outer;
+            }
+        }
+    }
+    // EOF with an unfinished statement: run what's there.
+    let tail = pending.trim().to_string();
+    if !tail.is_empty() {
+        process(&mut backend, &tail, &mut timing, &mut had_error);
+    }
+    Ok(if had_error && !interactive { 1 } else { 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statement_splitting_keeps_query_semicolons() {
+        let stmts = split_statements(
+            "\\l /tmp/e.tsv E; C(;w:long) :- E(x,y),E(y,z),E(x,z); w=<<COUNT(*)>>.; \\d",
+        );
+        assert_eq!(
+            stmts,
+            vec![
+                "\\l /tmp/e.tsv E",
+                "C(;w:long) :- E(x,y),E(y,z),E(x,z); w=<<COUNT(*)>>.",
+                "\\d",
+            ]
+        );
+    }
+
+    #[test]
+    fn prepare_carries_its_query_across_semicolons() {
+        let stmts = split_statements(
+            "\\prepare t C(;w:long) :- E(x,y); w=<<COUNT(*)>>.; \\exec t; \\exec t",
+        );
+        assert_eq!(
+            stmts,
+            vec![
+                "\\prepare t C(;w:long) :- E(x,y); w=<<COUNT(*)>>.",
+                "\\exec t",
+                "\\exec t",
+            ]
+        );
+    }
+
+    #[test]
+    fn newlines_continue_unfinished_queries() {
+        let (done, rest) = split_partial("T(x,y) :-\n  E(x,y)");
+        assert!(done.is_empty());
+        assert_eq!(rest, "T(x,y) :-   E(x,y)");
+        let (done, rest) = split_partial("T(x,y) :-\n  E(x,y).\n");
+        assert_eq!(done, vec!["T(x,y) :-   E(x,y)."]);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn one_line_programs_stay_whole() {
+        let stmts = split_statements("A(x,z) :- E(x,y),E(y,z). B(z) :- A('0',z).; \\d");
+        assert_eq!(
+            stmts,
+            vec!["A(x,z) :- E(x,y),E(y,z). B(z) :- A('0',z).", "\\d"]
+        );
+    }
+
+    #[test]
+    fn relation_names_from_paths() {
+        assert_eq!(relation_name_for("/tmp/edges.tsv"), "edges");
+        assert_eq!(relation_name_for("/tmp/1-bad name.csv"), "R1_bad_name");
+        assert_eq!(relation_name_for(""), "R");
+    }
+
+    #[test]
+    fn embedded_shell_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("eh_shell_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let tsv = dir.join("e.tsv");
+        std::fs::write(&tsv, "src:u32\tdst:u32\n0\t1\n1\t2\n0\t2\n").unwrap();
+        let mut backend = Backend::Embedded {
+            db: Box::new(Database::new()),
+            cache: PlanCache::new(8),
+            statements: HashMap::new(),
+        };
+        let load = format!("\\l {} E", tsv.display());
+        let out = match run_statement(&mut backend, &load) {
+            StmtOutcome::Output(s) => s,
+            other => panic!("load failed: {other:?}"),
+        };
+        assert!(out.contains("loaded 3 rows into E"), "{out}");
+        let q = "C(;w:long) :- E(x,y),E(y,z),E(x,z); w=<<COUNT(*)>>.";
+        let out = match run_statement(&mut backend, q) {
+            StmtOutcome::Output(s) => s,
+            other => panic!("query failed: {other:?}"),
+        };
+        assert!(out.contains("1\n(scalar)"), "{out}");
+        let out = match run_statement(&mut backend, "\\prepare t T(x,y) :- E(x,y).") {
+            StmtOutcome::Output(s) => s,
+            other => panic!("prepare failed: {other:?}"),
+        };
+        assert!(out.contains("prepared t (compiled)"), "{out}");
+        let out = match run_statement(&mut backend, "\\exec t") {
+            StmtOutcome::Output(s) => s,
+            other => panic!("exec failed: {other:?}"),
+        };
+        assert!(out.contains("(3 rows)"), "{out}");
+        let out = match run_statement(&mut backend, "\\d") {
+            StmtOutcome::Output(s) => s,
+            other => panic!("list failed: {other:?}"),
+        };
+        assert!(out.contains("E\trows=3"), "{out}");
+        // A one-line multi-rule program runs as one read-only overlay
+        // program: rule 2 sees rule 1's head.
+        let program = "Hop2(x,z) :- E(x,y),E(y,z). From(z) :- Hop2('0',z).";
+        let out = match run_statement(&mut backend, program) {
+            StmtOutcome::Output(s) => s,
+            other => panic!("program failed: {other:?}"),
+        };
+        assert!(out.contains("(1 rows)"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    impl std::fmt::Debug for StmtOutcome {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                StmtOutcome::Output(s) => write!(f, "Output({s})"),
+                StmtOutcome::Error(e) => write!(f, "Error({e})"),
+                StmtOutcome::Quit => write!(f, "Quit"),
+            }
+        }
+    }
+}

@@ -19,10 +19,12 @@
 //! reproduces it byte-for-byte (dictionaries keep insertion order, the
 //! catalog iterates in name order).
 
-use crate::encode::{Domain, StorageCatalog};
-use crate::schema::{ColumnDef, ColumnType, RelationSchema, StorageError};
-use eh_semiring::{AggOp, DynValue};
-use eh_trie::{Dictionary, TupleBuffer};
+use crate::encode::StorageCatalog;
+use crate::schema::StorageError;
+use crate::wire::{
+    put_domain, put_relation, put_str, put_u32, read_domain, read_relation, ByteReader,
+};
+use eh_trie::TupleBuffer;
 use std::io::{Read, Write};
 
 /// First four bytes of every database image.
@@ -88,43 +90,7 @@ pub fn save_image<W: Write>(
             )));
         }
         payload.clear();
-        put_str(&mut payload, &schema.name);
-        payload.push(combine_tag(schema.combine));
-        put_u32(&mut payload, schema.columns.len() as u32);
-        for col in &schema.columns {
-            put_str(&mut payload, &col.name);
-            payload.push(type_tag(col.ty));
-            match &col.domain {
-                Some(d) => {
-                    payload.push(1);
-                    put_str(&mut payload, d);
-                }
-                None => payload.push(0),
-            }
-        }
-        put_u32(&mut payload, tuples.arity() as u32);
-        payload.extend_from_slice(&(tuples.len() as u64).to_le_bytes());
-        for &v in tuples.flat() {
-            payload.extend_from_slice(&v.to_le_bytes());
-        }
-        match tuples.annotations() {
-            None => payload.push(0),
-            Some(annots) => {
-                payload.push(1);
-                for a in annots {
-                    match a {
-                        DynValue::U64(v) => {
-                            payload.push(0);
-                            payload.extend_from_slice(&v.to_le_bytes());
-                        }
-                        DynValue::F64(v) => {
-                            payload.push(1);
-                            payload.extend_from_slice(&v.to_bits().to_le_bytes());
-                        }
-                    }
-                }
-            }
-        }
+        put_relation(&mut payload, schema, tuples)?;
         put_section(w, TAG_RELATION, &payload)?;
     }
     Ok(())
@@ -207,196 +173,10 @@ fn read_domains(pr: &mut ByteReader<'_>, catalog: &mut StorageCatalog) -> Result
     let count = pr.u32("domain count")?;
     for _ in 0..count {
         let name = pr.str("domain name")?;
-        let carrier = pr.u8("domain carrier")?;
-        let entries = pr.u32("domain entry count")? as usize;
-        let dom = match carrier {
-            0 => {
-                let mut d = Dictionary::with_capacity(entries);
-                for _ in 0..entries {
-                    d.encode(pr.u64("u64 key")?);
-                }
-                check_dense(d.len(), entries, &name)?;
-                Domain::U64(d)
-            }
-            1 => {
-                let mut d = Dictionary::with_capacity(entries);
-                for _ in 0..entries {
-                    d.encode(pr.u64("i64 key")? as i64);
-                }
-                check_dense(d.len(), entries, &name)?;
-                Domain::I64(d)
-            }
-            2 => {
-                let mut d = Dictionary::with_capacity(entries);
-                for _ in 0..entries {
-                    d.encode(pr.str("str key")?);
-                }
-                check_dense(d.len(), entries, &name)?;
-                Domain::Str(d)
-            }
-            t => {
-                return Err(StorageError::Format(format!(
-                    "domain '{name}': unknown carrier tag {t}"
-                )))
-            }
-        };
+        let dom = read_domain(pr, &name)?;
         catalog.insert_domain(name, dom);
     }
     Ok(())
-}
-
-/// A dictionary rebuilt from an image must be exactly as long as its
-/// declared entry count — duplicate keys (corruption) collapse and trip
-/// this check.
-fn check_dense(len: usize, declared: usize, name: &str) -> Result<(), StorageError> {
-    if len != declared {
-        return Err(StorageError::Format(format!(
-            "domain '{name}': {declared} entries declared, {len} distinct"
-        )));
-    }
-    Ok(())
-}
-
-fn read_relation(pr: &mut ByteReader<'_>) -> Result<(RelationSchema, TupleBuffer), StorageError> {
-    let name = pr.str("relation name")?;
-    let combine = parse_combine(pr.u8("combine tag")?)?;
-    let ncols = pr.u32("column count")? as usize;
-    // Bound: every column needs ≥ 7 payload bytes (4+0 name, 1 type,
-    // 1 domain flag) — rejects absurd counts before the loop.
-    if ncols > pr.remaining() / 6 + 1 {
-        return Err(StorageError::Format(format!(
-            "relation '{name}': column count {ncols} exceeds payload"
-        )));
-    }
-    let mut columns = Vec::with_capacity(ncols);
-    for _ in 0..ncols {
-        let cname = pr.str("column name")?;
-        let ty = parse_type(pr.u8("column type")?)?;
-        let domain = match pr.u8("domain flag")? {
-            0 => None,
-            1 => Some(pr.str("column domain")?),
-            f => {
-                return Err(StorageError::Format(format!(
-                    "column '{cname}': bad domain flag {f}"
-                )))
-            }
-        };
-        columns.push(ColumnDef {
-            name: cname,
-            ty,
-            domain,
-        });
-    }
-    let schema = RelationSchema {
-        name: name.clone(),
-        columns,
-        combine,
-    };
-    schema.validate()?;
-    let arity = pr.u32("arity")? as usize;
-    if arity != schema.arity() {
-        return Err(StorageError::Format(format!(
-            "relation '{name}': stored arity {arity} != schema arity {}",
-            schema.arity()
-        )));
-    }
-    let rows = pr.u64("row count")? as usize;
-    let values = rows
-        .checked_mul(arity)
-        .ok_or_else(|| StorageError::Format(format!("relation '{name}': row count overflow")))?;
-    if values
-        .checked_mul(4)
-        .map(|b| b > pr.remaining())
-        .unwrap_or(true)
-    {
-        return Err(StorageError::Format(format!(
-            "relation '{name}': {rows} rows exceed payload"
-        )));
-    }
-    let mut tuples = if arity == 0 {
-        TupleBuffer::nullary(rows)
-    } else {
-        let mut flat = Vec::with_capacity(values);
-        for _ in 0..values {
-            flat.push(pr.u32("tuple value")?);
-        }
-        TupleBuffer::from_flat(arity, flat)
-    };
-    match pr.u8("annotation flag")? {
-        0 => {}
-        1 => {
-            if rows
-                .checked_mul(9)
-                .map(|b| b > pr.remaining())
-                .unwrap_or(true)
-            {
-                return Err(StorageError::Format(format!(
-                    "relation '{name}': annotation column exceeds payload"
-                )));
-            }
-            let mut annots = Vec::with_capacity(rows);
-            for _ in 0..rows {
-                let tag = pr.u8("annotation tag")?;
-                let raw = pr.u64("annotation value")?;
-                annots.push(match tag {
-                    0 => DynValue::U64(raw),
-                    1 => DynValue::F64(f64::from_bits(raw)),
-                    t => {
-                        return Err(StorageError::Format(format!(
-                            "relation '{name}': bad annotation tag {t}"
-                        )))
-                    }
-                });
-            }
-            tuples.set_annotations(annots);
-        }
-        f => {
-            return Err(StorageError::Format(format!(
-                "relation '{name}': bad annotation flag {f}"
-            )))
-        }
-    }
-    Ok((schema, tuples))
-}
-
-fn combine_tag(op: AggOp) -> u8 {
-    match op {
-        AggOp::Count => 0,
-        AggOp::Sum => 1,
-        AggOp::Min => 2,
-        AggOp::Max => 3,
-    }
-}
-
-fn parse_combine(tag: u8) -> Result<AggOp, StorageError> {
-    match tag {
-        0 => Ok(AggOp::Count),
-        1 => Ok(AggOp::Sum),
-        2 => Ok(AggOp::Min),
-        3 => Ok(AggOp::Max),
-        t => Err(StorageError::Format(format!("unknown combine tag {t}"))),
-    }
-}
-
-fn type_tag(ty: ColumnType) -> u8 {
-    match ty {
-        ColumnType::U32 => 0,
-        ColumnType::U64 => 1,
-        ColumnType::I64 => 2,
-        ColumnType::F64 => 3,
-        ColumnType::Str => 4,
-    }
-}
-
-fn parse_type(tag: u8) -> Result<ColumnType, StorageError> {
-    match tag {
-        0 => Ok(ColumnType::U32),
-        1 => Ok(ColumnType::U64),
-        2 => Ok(ColumnType::I64),
-        3 => Ok(ColumnType::F64),
-        4 => Ok(ColumnType::Str),
-        t => Err(StorageError::Format(format!("unknown column type tag {t}"))),
-    }
 }
 
 /// FNV-1a 32-bit (good error detection for kilobyte-scale sections, no
@@ -416,101 +196,6 @@ fn put_section<W: Write>(w: &mut W, tag: u8, payload: &[u8]) -> Result<(), Stora
     w.write_all(payload)?;
     w.write_all(&fnv1a(payload).to_le_bytes())?;
     Ok(())
-}
-
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-/// Serialize one domain: carrier tag, entry count, then keys in id
-/// order, borrowed straight out of the dictionary — saving a
-/// multi-million-key domain clones nothing.
-fn put_domain(out: &mut Vec<u8>, dom: &Domain) {
-    match dom {
-        Domain::U64(d) => {
-            out.push(0);
-            put_u32(out, d.len() as u32);
-            for id in 0..d.len() as u32 {
-                out.extend_from_slice(&d.decode(id).expect("dense ids").to_le_bytes());
-            }
-        }
-        Domain::I64(d) => {
-            out.push(1);
-            put_u32(out, d.len() as u32);
-            for id in 0..d.len() as u32 {
-                out.extend_from_slice(&d.decode(id).expect("dense ids").to_le_bytes());
-            }
-        }
-        Domain::Str(d) => {
-            out.push(2);
-            put_u32(out, d.len() as u32);
-            for id in 0..d.len() as u32 {
-                put_str(out, d.decode(id).expect("dense ids"));
-            }
-        }
-    }
-}
-
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
-    out.extend_from_slice(s.as_bytes());
-}
-
-/// Bounds-checked cursor over untrusted bytes: every read that would run
-/// past the end is a [`StorageError::Format`], so corrupt length fields
-/// can neither panic nor over-allocate.
-struct ByteReader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> ByteReader<'a> {
-    fn new(bytes: &'a [u8]) -> ByteReader<'a> {
-        ByteReader { bytes, pos: 0 }
-    }
-
-    fn remaining(&self) -> usize {
-        self.bytes.len() - self.pos
-    }
-
-    fn is_empty(&self) -> bool {
-        self.remaining() == 0
-    }
-
-    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], StorageError> {
-        if n > self.remaining() {
-            return Err(StorageError::Format(format!(
-                "truncated image: {what} needs {n} bytes, {} left",
-                self.remaining()
-            )));
-        }
-        let s = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
-    }
-
-    fn u8(&mut self, what: &str) -> Result<u8, StorageError> {
-        Ok(self.take(1, what)?[0])
-    }
-
-    fn u32(&mut self, what: &str) -> Result<u32, StorageError> {
-        let b = self.take(4, what)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-    }
-
-    fn u64(&mut self, what: &str) -> Result<u64, StorageError> {
-        let b = self.take(8, what)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
-    }
-
-    fn str(&mut self, what: &str) -> Result<String, StorageError> {
-        let len = self.u32(what)? as usize;
-        let bytes = self.take(len, what)?;
-        String::from_utf8(bytes.to_vec())
-            .map_err(|_| StorageError::Format(format!("{what}: invalid UTF-8")))
-    }
 }
 
 #[cfg(test)]

@@ -25,6 +25,11 @@
 //!   (magic + schemas + dictionaries + flat column data, per-section
 //!   FNV-1a checksums) behind [`save_image`] / [`load_image`]; corrupt
 //!   inputs error, loads are byte-stable under re-save.
+//! * [`wire`] — the byte-level vocabulary shared by the image format
+//!   and the query server ([`ByteReader`], length-prefixed strings),
+//!   plus [`ResultBatch`]: a self-describing typed result (schema +
+//!   tuples + referenced dictionary domains) that decodes client-side
+//!   without any shared state with the server.
 //!
 //! `eh_core::Database` wires this into the query stack: `load_csv`
 //! ingests files, `save`/`open` persist whole databases, and query
@@ -35,11 +40,13 @@ pub mod csv;
 pub mod encode;
 pub mod image;
 pub mod schema;
+pub mod wire;
 
 pub use csv::{CsvOptions, Delimiter, LoadReport, MalformedPolicy};
 pub use encode::{Domain, StorageCatalog};
 pub use image::{load_image, save_image, LoadedImage, IMAGE_MAGIC, IMAGE_VERSION};
 pub use schema::{ColumnDef, ColumnType, RelationSchema, StorageError, TypedValue};
+pub use wire::{ByteReader, ResultBatch};
 
 #[cfg(test)]
 mod tests {

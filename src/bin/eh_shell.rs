@@ -1,0 +1,6 @@
+//! Root-level alias for the interactive shell / server binary, so
+//! `cargo run --release --bin eh_shell` works from the repository root.
+
+fn main() {
+    eh_server::shell::main();
+}

@@ -86,3 +86,9 @@ pub mod baselines {
 pub mod storage {
     pub use eh_storage::*;
 }
+
+/// The concurrent query service: wire protocol, sessions, shared plan
+/// cache, client, and the `eh_shell` REPL.
+pub mod server {
+    pub use eh_server::*;
+}

@@ -74,19 +74,56 @@ impl PlanCache {
 
     /// Canonical cache key: surrounding whitespace trimmed, internal
     /// runs collapsed to one space — `T(x,y) :- E(x,y).` and its
-    /// reformatted variants share one compiled plan.
+    /// reformatted variants share one compiled plan. Two asymmetries
+    /// mirror the lexer exactly, because a key collision between
+    /// semantically different texts serves the wrong plan: quoted
+    /// string constants are copied verbatim (the lexer accepts any
+    /// bytes between `'` or `"` pairs, no escapes), so `R(x,'a b')`
+    /// and `R(x,'a  b')` never share a key; and `#`/`//` comments are
+    /// dropped to end-of-line (the lexer never sees them), so texts
+    /// differing only in comments *do* share one, and a newline that
+    /// ends a comment can never be collapsed into joining the comment
+    /// with the rule that follows it.
     pub fn normalize(text: &str) -> String {
         let mut out = String::with_capacity(text.len());
         let mut in_ws = false;
-        for ch in text.trim().chars() {
-            if ch.is_whitespace() {
-                in_ws = true;
-            } else {
-                if in_ws && !out.is_empty() {
-                    out.push(' ');
+        let mut chars = text.chars().peekable();
+        while let Some(ch) = chars.next() {
+            if ch == '#' || (ch == '/' && chars.peek() == Some(&'/')) {
+                // Comment: skip to end-of-line; the terminating newline
+                // still separates tokens (a lone `/` stays literal —
+                // it's the lexer's Slash token).
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        break;
+                    }
                 }
-                in_ws = false;
-                out.push(ch);
+                in_ws = true;
+                continue;
+            }
+            // The lexer's whitespace set is ASCII-only: a Unicode space
+            // (U+00A0, U+2028, ...) is a parse error there, so it must
+            // stay a distinct key byte here — collapsing it would let
+            // an unparseable text hit a valid query's cached plan.
+            if ch.is_ascii_whitespace() {
+                in_ws = true;
+                continue;
+            }
+            if in_ws && !out.is_empty() {
+                out.push(' ');
+            }
+            in_ws = false;
+            out.push(ch);
+            if ch == '\'' || ch == '"' {
+                // Inside a string constant: verbatim until the matching
+                // quote (an unterminated string copies to the end —
+                // such a text fails to parse, but its key stays exact).
+                for c in chars.by_ref() {
+                    out.push(c);
+                    if c == ch {
+                        break;
+                    }
+                }
             }
         }
         out
@@ -261,6 +298,90 @@ mod tests {
             "a b c",
             "runs collapse"
         );
+    }
+
+    #[test]
+    fn normalization_preserves_whitespace_inside_string_constants() {
+        // Different queries — whitespace inside quotes is data.
+        assert_ne!(
+            PlanCache::normalize("R(x,'a b')."),
+            PlanCache::normalize("R(x,'a  b').")
+        );
+        assert_eq!(PlanCache::normalize("R(x, 'a\t b')."), "R(x, 'a\t b').");
+        // Outside the quotes, runs still collapse.
+        assert_eq!(
+            PlanCache::normalize("R( x ,  'a  b' ,\n y )."),
+            "R( x , 'a  b' , y )."
+        );
+        // Double quotes too, and the other quote char is plain data
+        // inside a string (mirrors the lexer: no escapes, any bytes).
+        assert_eq!(
+            PlanCache::normalize("R(\"a ' b\",   x)."),
+            "R(\"a ' b\", x)."
+        );
+        assert_eq!(PlanCache::normalize("R('a \" b',   x)."), "R('a \" b', x).");
+        // Unterminated string: the tail is kept verbatim.
+        assert_eq!(PlanCache::normalize("R('a  b"), "R('a  b");
+    }
+
+    #[test]
+    fn normalization_mirrors_the_lexers_comment_handling() {
+        // A one-rule text whose comment swallows a second rule vs a
+        // two-rule text where a newline ends the comment: different
+        // programs, so they must never share a key (collapsing the
+        // newline used to merge them — and serve the one-rule plan for
+        // the two-rule program).
+        let one_rule = "T(x) :- E(x,y). # note U(x) :- E(y,x).";
+        let two_rules = "T(x) :- E(x,y). # note\nU(x) :- E(y,x).";
+        assert_eq!(PlanCache::normalize(one_rule), "T(x) :- E(x,y).");
+        assert_eq!(
+            PlanCache::normalize(two_rules),
+            "T(x) :- E(x,y). U(x) :- E(y,x)."
+        );
+        // `//` comments too, and texts differing only in comments share
+        // a key (the lexer never sees comments).
+        assert_eq!(
+            PlanCache::normalize("T(x,y) :- E(x,y). // cached\n"),
+            PlanCache::normalize("T(x,y) :- E(x,y).")
+        );
+        // A quote inside a comment is part of the comment, not the
+        // start of a string constant.
+        assert_eq!(
+            PlanCache::normalize("T(x,y) :- # don't\n E(x,y)."),
+            "T(x,y) :- E(x,y)."
+        );
+        // A lone `/` is the division token, not a comment.
+        assert_eq!(PlanCache::normalize("a /  b"), "a / b");
+        // `#` inside a string constant is data, not a comment.
+        assert_eq!(PlanCache::normalize("R('a # b',  x)."), "R('a # b', x).");
+    }
+
+    #[test]
+    fn non_ascii_whitespace_is_not_collapsed() {
+        // U+00A0 is a parse error to the (ASCII-only) lexer, so a text
+        // containing it must never share a key with the valid query.
+        assert_ne!(
+            PlanCache::normalize("T(x,y)\u{00A0}:- E(x,y)."),
+            PlanCache::normalize("T(x,y) :- E(x,y).")
+        );
+        assert_ne!(
+            PlanCache::normalize("T(x,y)\u{2028}:- E(x,y)."),
+            PlanCache::normalize("T(x,y) :- E(x,y).")
+        );
+    }
+
+    #[test]
+    fn string_constants_differing_in_whitespace_are_distinct_entries() {
+        let db = edges_db();
+        let mut cache = PlanCache::new(8);
+        let (plan, _) = cache.get_or_prepare(&db, "T(x,y) :- E(x,y).").unwrap();
+        // Same shape, different string constants: must occupy separate
+        // slots so neither ever serves the other's plan.
+        cache.insert(db.epoch(), "R(x) :- S(x,'a b').", Arc::clone(&plan));
+        cache.insert(db.epoch(), "R(x) :- S(x,'a  b').", Arc::clone(&plan));
+        assert_eq!(cache.len(), 3);
+        assert!(cache.lookup(db.epoch(), "R(x) :- S(x,'a  b').").is_some());
+        assert!(cache.lookup(db.epoch(), "R(x) :-  S(x,'a b').").is_some());
     }
 
     #[test]

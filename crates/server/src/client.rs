@@ -284,7 +284,9 @@ impl EhClient {
         self.load_csv(relation, WireDelimiter::for_path(path), data)
     }
 
-    /// Ask the server to persist its database at a server-side path.
+    /// Ask the server to persist its database as an image at `path`,
+    /// resolved (relative, no `..`) under the server's configured image
+    /// directory; servers without one reject the request.
     pub fn save_image(&mut self, path: &str) -> Result<String, ClientError> {
         self.ok_request(&Request::SaveImage { path: path.into() })
     }

@@ -17,7 +17,7 @@
 //! | 0x03 | `Prepare` | single-rule query text |
 //! | 0x04 | `ExecPrepared` | u64 statement id |
 //! | 0x05 | `LoadCsv` | relation, delimiter tag, CSV/TSV bytes |
-//! | 0x06 | `SaveImage` | server-side path |
+//! | 0x06 | `SaveImage` | relative path under the server's image dir |
 //! | 0x07 | `ListRelations` | — |
 //! | 0x08 | `Stats` | — |
 //! | 0x09 | `SetOption` | key, value (session-scoped) |
@@ -151,9 +151,12 @@ pub enum Request {
         /// Raw file bytes, first line a `name:type[@domain]` header.
         data: Vec<u8>,
     },
-    /// Persist the whole database as an image at a server-side path.
+    /// Persist the whole database as an image. The server resolves the
+    /// path under its configured image directory
+    /// ([`crate::ServerOptions::image_dir`]) and rejects the frame when
+    /// no directory is configured or the path is not purely relative.
     SaveImage {
-        /// Server-side filesystem path.
+        /// Relative image path (no `..`/absolute components).
         path: String,
     },
     /// List stored relations (name order).

@@ -77,17 +77,28 @@ pub struct Shared {
     pub db: RwLock<Database>,
     /// Shared prepared-plan cache (epoch-invalidated).
     pub cache: Mutex<PlanCache>,
+    /// Directory `SaveImage` may write into; `None` disables the frame.
+    pub image_dir: Option<PathBuf>,
     pub(crate) stats: Counters,
 }
 
 impl Shared {
-    /// Fresh shared state around `db` with a plan cache of `capacity`.
+    /// Fresh shared state around `db` with a plan cache of `capacity`
+    /// and `SaveImage` disabled (see [`Shared::with_image_dir`]).
     pub fn new(db: Database, capacity: usize) -> Shared {
         Shared {
             db: RwLock::new(db),
             cache: Mutex::new(PlanCache::new(capacity)),
+            image_dir: None,
             stats: Counters::default(),
         }
+    }
+
+    /// Allow `SaveImage` frames to write (relative paths only) under
+    /// `dir`.
+    pub fn with_image_dir(mut self, dir: Option<PathBuf>) -> Shared {
+        self.image_dir = dir;
+        self
     }
 
     /// Fetch-or-compile a plan for `text` against `db` (the caller
@@ -158,11 +169,20 @@ impl Shared {
 pub struct ServerOptions {
     /// Shared plan-cache capacity (plans, not bytes). Default 64.
     pub cache_capacity: usize,
+    /// Directory `SaveImage` frames may write into. `None` (the
+    /// default) rejects `SaveImage` entirely — any client that can
+    /// connect could otherwise overwrite whatever the server process
+    /// can write. When set, clients name images by *relative* path
+    /// (no `..`, no absolute paths) resolved under this directory.
+    pub image_dir: Option<PathBuf>,
 }
 
 impl Default for ServerOptions {
     fn default() -> Self {
-        ServerOptions { cache_capacity: 64 }
+        ServerOptions {
+            cache_capacity: 64,
+            image_dir: None,
+        }
     }
 }
 
@@ -221,7 +241,12 @@ impl Server {
                 "server needs at least one listen address",
             ));
         }
-        let shared = Arc::new(Shared::new(db, options.cache_capacity));
+        if let Some(dir) = &options.image_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let shared = Arc::new(
+            Shared::new(db, options.cache_capacity).with_image_dir(options.image_dir.clone()),
+        );
         let stop = Arc::new(AtomicBool::new(false));
         let session_threads = Arc::new(Mutex::new(Vec::new()));
         let conns: ConnRegistry = Arc::new(Mutex::new(Vec::new()));
@@ -310,7 +335,23 @@ impl Server {
         for addr in &self.bound {
             match addr {
                 Addr::Tcp(hp) => {
-                    let _ = TcpStream::connect(hp);
+                    // A wildcard bind (0.0.0.0 / [::]) is not reliably
+                    // connectable as a destination; wake it through the
+                    // matching loopback address instead.
+                    match hp.parse::<SocketAddr>() {
+                        Ok(mut sa) => {
+                            if sa.ip().is_unspecified() {
+                                sa.set_ip(match sa.ip() {
+                                    std::net::IpAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                                    std::net::IpAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+                                });
+                            }
+                            let _ = TcpStream::connect(sa);
+                        }
+                        Err(_) => {
+                            let _ = TcpStream::connect(hp.as_str());
+                        }
+                    }
                 }
                 #[cfg(unix)]
                 Addr::Unix(path) => {
@@ -358,9 +399,13 @@ fn accept_loop<S, I>(
         // finished handle just releases it).
         sessions.lock().retain(|h| !h.is_finished());
         let conn_id = NEXT_CONN.fetch_add(1, Ordering::Relaxed);
-        if let Ok(clone) = stream.try_clone_conn() {
-            conns.lock().push((conn_id, clone));
-        }
+        // No shutdown handle means Server::shutdown could never unblock
+        // this session's reads; dropping the connection (client sees
+        // EOF, can retry) beats serving one shutdown can't reach.
+        let Ok(clone) = stream.try_clone_conn() else {
+            continue;
+        };
+        conns.lock().push((conn_id, clone));
         let shared = Arc::clone(shared);
         let conns = Arc::clone(conns);
         shared.stats.sessions_total.fetch_add(1, Ordering::Relaxed);
@@ -424,5 +469,16 @@ mod tests {
     #[test]
     fn empty_addrs_rejected() {
         assert!(Server::bind(Database::new(), &[], ServerOptions::default()).is_err());
+    }
+
+    /// Shutdown must not hang on a wildcard bind: the accept-loop
+    /// wake-up connects via loopback, not the (possibly unconnectable)
+    /// 0.0.0.0 destination.
+    #[test]
+    fn wildcard_bind_shutdown_completes() {
+        let server =
+            Server::bind(Database::new(), &["0.0.0.0:0"], ServerOptions::default()).unwrap();
+        assert!(server.tcp_addr().unwrap().ip().is_unspecified());
+        server.shutdown();
     }
 }

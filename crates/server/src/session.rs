@@ -16,7 +16,8 @@
 //! shared cache, so a stale plan is never run.
 
 use crate::protocol::{
-    read_request, write_response, ProtoError, Request, Response, WireDelimiter, PROTOCOL_VERSION,
+    read_request, write_response, ProtoError, Request, Response, WireDelimiter, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
 };
 use crate::server::Shared;
 use eh_core::{Config, Database, Prepared, QueryResult, Scheduler};
@@ -24,6 +25,7 @@ use eh_storage::wire::ResultBatch;
 use eh_storage::{CsvOptions, Delimiter, RelationSchema, StorageError};
 use std::collections::HashMap;
 use std::io::{Read, Write};
+use std::path::{Component, Path, PathBuf};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -68,6 +70,17 @@ pub fn batch_from_result(db: &Database, result: &QueryResult) -> ResultBatch {
 
 fn batch_response(db: &Database, result: &QueryResult) -> Response {
     match batch_from_result(db, result).encode() {
+        // A batch the framing layer would refuse must become an Error
+        // frame here: letting write_frame fail looks like a dead stream
+        // to run_session, and the client would see an unexplained
+        // disconnect instead of a diagnosis.
+        Ok(bytes) if bytes.len() > MAX_FRAME_LEN => Response::Error {
+            message: format!(
+                "result too large for one frame ({} bytes, limit {MAX_FRAME_LEN}); \
+                 narrow the query or aggregate server-side",
+                bytes.len()
+            ),
+        },
         Ok(bytes) => Response::Batch { bytes },
         Err(e) => Response::Error {
             message: format!("result encoding failed: {e}"),
@@ -132,6 +145,30 @@ pub(crate) fn apply_option(config: &mut Config, key: &str, value: &str) -> Resul
             "unknown option '{other}' (threads|scheduler|morsel)"
         )),
     }
+}
+
+/// Resolve a client-supplied `SaveImage` path against the server's
+/// configured image directory. With no directory configured the frame
+/// is rejected outright; otherwise the client path must be purely
+/// relative (`Component::Normal` only — no absolute paths, no `..`, no
+/// `.`), so a connected client can never write outside `image_dir`.
+pub(crate) fn resolve_image_path(image_dir: Option<&Path>, path: &str) -> Result<PathBuf, String> {
+    let Some(dir) = image_dir else {
+        return Err(
+            "image saves are disabled on this server (start it with an image directory, \
+             e.g. eh_shell --serve ADDR --image-dir DIR)"
+                .into(),
+        );
+    };
+    let rel = Path::new(path);
+    let plain = !path.is_empty() && rel.components().all(|c| matches!(c, Component::Normal(_)));
+    if !plain {
+        return Err(format!(
+            "image path must be relative with no '..' or '.' components \
+             (resolved under the server's image directory), got '{path}'"
+        ));
+    }
+    Ok(dir.join(rel))
 }
 
 fn csv_options(delimiter: WireDelimiter) -> CsvOptions {
@@ -297,10 +334,19 @@ fn dispatch(shared: &Shared, session: &mut Session, request: Request) -> Respons
             }
         }
         Request::SaveImage { path } => {
+            let resolved = match resolve_image_path(shared.image_dir.as_deref(), &path) {
+                Ok(p) => p,
+                Err(msg) => return Response::Error { message: msg },
+            };
+            if let Some(parent) = resolved.parent() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    return error(e);
+                }
+            }
             let db = shared.db.read();
-            match db.save(&path) {
+            match db.save(&resolved) {
                 Ok(()) => Response::Ok {
-                    message: format!("saved image to {path}"),
+                    message: format!("saved image to {}", resolved.display()),
                 },
                 Err(e) => error(e),
             }
@@ -350,4 +396,35 @@ fn _assert_send_sync() {
     // Shared plans cross session threads; the compiler proves it here.
     check::<Arc<Prepared>>();
     check::<StorageError>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::resolve_image_path;
+    use std::path::{Path, PathBuf};
+
+    #[test]
+    fn save_image_is_disabled_without_an_image_dir() {
+        let err = resolve_image_path(None, "x.ehdb").unwrap_err();
+        assert!(err.contains("disabled"), "{err}");
+    }
+
+    #[test]
+    fn save_image_paths_stay_inside_the_image_dir() {
+        let dir = Path::new("/srv/images");
+        assert_eq!(
+            resolve_image_path(Some(dir), "x.ehdb").unwrap(),
+            PathBuf::from("/srv/images/x.ehdb")
+        );
+        assert_eq!(
+            resolve_image_path(Some(dir), "nightly/x.ehdb").unwrap(),
+            PathBuf::from("/srv/images/nightly/x.ehdb")
+        );
+        for bad in ["/etc/passwd", "../x.ehdb", "a/../../x", "./x.ehdb", ""] {
+            assert!(
+                resolve_image_path(Some(dir), bad).is_err(),
+                "'{bad}' must be rejected"
+            );
+        }
+    }
 }

@@ -45,6 +45,8 @@ OPTIONS:
   --connect ADDR   connect to a server (unix:/path | tcp:host:port | host:port)
   --serve ADDR     bind and serve (repeatable; unix:/path and/or host:port)
   --db PATH        open this database image on startup (embedded/serve)
+  --image-dir DIR  let clients \\save images (relative paths) under DIR
+                   (server mode; without it remote \\save is rejected)
   -c 'STMTS'       run statements non-interactively, then exit
   --threads N      engine worker threads (0 = auto)
   --help           this text
@@ -69,6 +71,7 @@ struct Opts {
     connect: Option<String>,
     serve: Vec<String>,
     db_image: Option<String>,
+    image_dir: Option<String>,
     commands: Option<String>,
     threads: Option<usize>,
 }
@@ -78,6 +81,7 @@ fn parse_opts(args: &[String]) -> Result<Option<Opts>, String> {
         connect: None,
         serve: Vec::new(),
         db_image: None,
+        image_dir: None,
         commands: None,
         threads: None,
     };
@@ -94,6 +98,7 @@ fn parse_opts(args: &[String]) -> Result<Option<Opts>, String> {
             "--connect" => opts.connect = Some(value(&mut i, "--connect")?),
             "--serve" => opts.serve.push(value(&mut i, "--serve")?),
             "--db" => opts.db_image = Some(value(&mut i, "--db")?),
+            "--image-dir" => opts.image_dir = Some(value(&mut i, "--image-dir")?),
             "-c" => opts.commands = Some(value(&mut i, "-c")?),
             "--threads" => {
                 let v = value(&mut i, "--threads")?;
@@ -105,6 +110,9 @@ fn parse_opts(args: &[String]) -> Result<Option<Opts>, String> {
     }
     if opts.connect.is_some() && !opts.serve.is_empty() {
         return Err("--connect and --serve are mutually exclusive".into());
+    }
+    if opts.image_dir.is_some() && opts.serve.is_empty() {
+        return Err("--image-dir only applies to server mode (--serve)".into());
     }
     Ok(Some(opts))
 }
@@ -550,8 +558,11 @@ fn run(args: &[String]) -> Result<i32, String> {
     if !opts.serve.is_empty() {
         let db = open_database(&opts)?;
         let addrs: Vec<&str> = opts.serve.iter().map(String::as_str).collect();
-        let server =
-            Server::bind(db, &addrs, ServerOptions::default()).map_err(|e| e.to_string())?;
+        let options = ServerOptions {
+            image_dir: opts.image_dir.as_ref().map(Into::into),
+            ..ServerOptions::default()
+        };
+        let server = Server::bind(db, &addrs, options).map_err(|e| e.to_string())?;
         for a in server.bound_addrs() {
             println!("eh_server listening on {a}");
         }

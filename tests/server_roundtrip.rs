@@ -11,7 +11,9 @@
 //! re-preparation of pinned statements after the catalog moves, and
 //! client-side typed decoding of string keys.
 
-use emptyheaded::server::{batch_from_result, EhClient, Server, ServerOptions, WireDelimiter};
+use emptyheaded::server::{
+    batch_from_result, ClientError, EhClient, Server, ServerOptions, WireDelimiter,
+};
 use emptyheaded::{Config, CsvOptions, Database};
 use std::sync::{Arc, Barrier};
 
@@ -287,6 +289,85 @@ fn concurrent_writers_never_corrupt_readers() {
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
     writer.join().expect("writer");
     server.shutdown();
+}
+
+/// Regression for the plan-cache key: whitespace inside a quoted
+/// string constant is data, so two anchored queries differing only
+/// there are *different* queries and must never share a cached plan
+/// (the old normalize collapsed the quotes' interior and served the
+/// first query's plan — wrong answers — for the second).
+#[test]
+fn string_constants_differing_only_in_quoted_whitespace_stay_distinct() {
+    let (server, addr) = spawn_loaded_server();
+    let mut client = EhClient::connect(&addr).expect("connect");
+    client
+        .load_csv(
+            "Pairs",
+            WireDelimiter::Comma,
+            "src:str@pair,dst:str@pair\na b,x\na  b,y\na  b,z\n".into(),
+        )
+        .expect("load Pairs");
+    for _ in 0..2 {
+        let one = client.query("A(y) :- Pairs('a b',y).").expect("query");
+        let two = client.query("A(y) :- Pairs('a  b',y).").expect("query");
+        assert_eq!(one.num_rows(), 1, "'a b' anchors exactly one pair");
+        assert_eq!(two.num_rows(), 2, "'a  b' anchors two pairs");
+    }
+    // Both texts are cacheable; the second pass must have hit for each.
+    let stats = client.stats().expect("stats");
+    assert!(stats.cache_hits >= 2, "second pass should hit: {stats:?}");
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
+/// `SaveImage` is rejected without a configured image directory, and
+/// with one it only ever writes relative paths resolved inside it.
+#[test]
+fn save_image_is_gated_by_the_server_image_dir() {
+    let (server, addr) = spawn_loaded_server();
+    let mut client = EhClient::connect(&addr).expect("connect");
+    match client.save_image("anywhere.ehdb") {
+        Err(ClientError::Server(m)) => assert!(m.contains("disabled"), "{m}"),
+        other => panic!("default server must refuse SaveImage, got {other:?}"),
+    }
+    client.quit().expect("quit");
+    server.shutdown();
+
+    let dir = std::env::temp_dir().join(format!("eh_images_{}", std::process::id()));
+    let sock = std::env::temp_dir().join(format!("eh_imgsrv_{}.sock", std::process::id()));
+    let addr = format!("unix:{}", sock.display());
+    let server = Server::bind(
+        reference_db(),
+        &[&addr],
+        ServerOptions {
+            image_dir: Some(dir.clone()),
+            ..ServerOptions::default()
+        },
+    )
+    .expect("bind");
+    let mut client = EhClient::connect(&addr).expect("connect");
+    for escaping in ["/tmp/evil.ehdb", "../evil.ehdb", "a/../../evil", "."] {
+        assert!(
+            matches!(client.save_image(escaping), Err(ClientError::Server(_))),
+            "'{escaping}' must not escape the image directory"
+        );
+    }
+    client.save_image("nightly/social.ehdb").expect("save");
+    client.quit().expect("quit");
+    server.shutdown();
+    // The image landed inside the directory and reopens to the same
+    // answers as the reference database.
+    let saved = dir.join("nightly/social.ehdb");
+    let mut reopened = Database::open(&saved).expect("reopen image");
+    let mut reference = reference_db();
+    let q = "C(;w:long) :- Follows(x,y),Follows(y,z),Follows(z,x); w=<<COUNT(*)>>.";
+    let a = reopened.query(q).unwrap();
+    let b = reference.query(q).unwrap();
+    assert_eq!(
+        batch_from_result(&reopened, &a).encode().unwrap(),
+        batch_from_result(&reference, &b).encode().unwrap()
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

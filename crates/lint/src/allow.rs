@@ -1,0 +1,150 @@
+//! The escape hatch: `// lint:allow(rule): <justification>`.
+//!
+//! An own-line allow comment suppresses findings of `rule` on the next
+//! code line (stacking: several allows above one line all apply); a
+//! trailing allow suppresses findings on its own line. The
+//! justification is mandatory — an allow without one, or naming an
+//! unknown rule, is itself reported, so the hatch documents *why* an
+//! invariant is locally safe to bend instead of silently bending it.
+
+use crate::lexer::Lexed;
+use crate::report::Finding;
+use std::collections::{HashMap, HashSet};
+
+/// Parsed allows: rule name → set of suppressed lines.
+#[derive(Debug, Default)]
+pub struct Allows {
+    by_rule: HashMap<String, HashSet<u32>>,
+}
+
+impl Allows {
+    /// True if `rule` findings on `line` are suppressed.
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        self.by_rule
+            .get(rule)
+            .is_some_and(|lines| lines.contains(&line))
+    }
+}
+
+/// Scan comments for allow directives. `known_rules` validates the rule
+/// name; malformed directives are returned as findings against the
+/// pseudo-rule `allow-syntax`.
+pub fn parse_allows(path: &str, lexed: &Lexed<'_>, known_rules: &[&str]) -> (Allows, Vec<Finding>) {
+    let mut allows = Allows::default();
+    let mut findings = Vec::new();
+    // Line of the next code token after a given line, for own-line
+    // comment targeting (allows stack across intervening comments).
+    let token_lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    let next_code_line =
+        |after: u32| -> Option<u32> { token_lines.iter().copied().find(|&l| l > after) };
+    for c in &lexed.comments {
+        // Start-anchored: prose mentioning `lint:allow(...)` mid-comment
+        // is not a directive.
+        let Some(rest) = c.payload().strip_prefix("lint:allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            findings.push(bad_allow(path, c.start_line, "missing ')'"));
+            continue;
+        };
+        let rule = rest[..close].trim();
+        if !known_rules.contains(&rule) {
+            findings.push(bad_allow(
+                path,
+                c.start_line,
+                &format!("unknown rule '{rule}'"),
+            ));
+            continue;
+        }
+        let after = &rest[close + 1..];
+        let justification = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        if justification.is_empty() {
+            findings.push(bad_allow(
+                path,
+                c.start_line,
+                &format!("lint:allow({rule}) needs a ': <justification>'"),
+            ));
+            continue;
+        }
+        let target = if c.own_line {
+            next_code_line(c.end_line)
+        } else {
+            Some(c.start_line)
+        };
+        if let Some(line) = target {
+            allows
+                .by_rule
+                .entry(rule.to_string())
+                .or_default()
+                .insert(line);
+        }
+    }
+    (allows, findings)
+}
+
+fn bad_allow(path: &str, line: u32, why: &str) -> Finding {
+    Finding {
+        rule: "allow-syntax",
+        file: path.to_string(),
+        line,
+        message: format!("malformed lint:allow directive: {why}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const RULES: &[&str] = &["alloc-free", "decode-panic-free"];
+
+    #[test]
+    fn own_line_allow_targets_next_code_line() {
+        let src = "// lint:allow(alloc-free): scratch warm-up, runs once\nlet v = Vec::new();\n";
+        let (a, f) = parse_allows("f.rs", &lex(src), RULES);
+        assert!(f.is_empty());
+        assert!(a.covers("alloc-free", 2));
+        assert!(!a.covers("alloc-free", 1));
+        assert!(!a.covers("decode-panic-free", 2));
+    }
+
+    #[test]
+    fn trailing_allow_targets_its_own_line() {
+        let src = "let v = x.unwrap(); // lint:allow(decode-panic-free): guarded above\n";
+        let (a, f) = parse_allows("f.rs", &lex(src), RULES);
+        assert!(f.is_empty());
+        assert!(a.covers("decode-panic-free", 1));
+    }
+
+    #[test]
+    fn stacked_allows_all_apply() {
+        let src = "// lint:allow(alloc-free): one-time\n// lint:allow(decode-panic-free): checked\nlet v = f();\n";
+        let (a, _) = parse_allows("f.rs", &lex(src), RULES);
+        assert!(a.covers("alloc-free", 3));
+        assert!(a.covers("decode-panic-free", 3));
+    }
+
+    #[test]
+    fn empty_justification_is_reported() {
+        let src = "// lint:allow(alloc-free):\nlet v = Vec::new();\n";
+        let (a, f) = parse_allows("f.rs", &lex(src), RULES);
+        assert!(!a.covers("alloc-free", 2));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "allow-syntax");
+    }
+
+    #[test]
+    fn missing_justification_colon_is_reported() {
+        let src = "// lint:allow(alloc-free) because reasons\nlet v = 1;\n";
+        let (_, f) = parse_allows("f.rs", &lex(src), RULES);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn unknown_rule_is_reported() {
+        let src = "// lint:allow(no-such-rule): hm\nlet v = 1;\n";
+        let (_, f) = parse_allows("f.rs", &lex(src), RULES);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("no-such-rule"));
+    }
+}

@@ -1,0 +1,483 @@
+//! A small hand-written Rust lexer: just enough token structure for
+//! invariant checking, with exact comment/string awareness.
+//!
+//! The point of lexing (rather than grepping) is that a rule matching
+//! `Vec::new` must fire on `Vec :: new` and `Vec/*…*/::new()` but never
+//! on `// the old Vec::new() path` or `"Vec::new"` — the two CI grep
+//! gates this crate supersedes could be fooled by exactly those.
+//! Comments are kept out of the token stream but collected with line
+//! spans, because the rule engine reads them back for `// SAFETY:`
+//! audits and `// lint:allow(...)` escape hatches.
+//!
+//! Handled: line and (nested) block comments, string literals with
+//! escapes, raw strings (`r"…"`, `r#"…"#`, any `#` depth), byte and C
+//! string prefixes (`b`, `br`, `c`, `cr`), raw identifiers (`r#type`),
+//! char literals vs. lifetimes, and multi-line literals (line numbers
+//! stay exact across them).
+
+/// What a token is, as far as the rules care.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`Vec`, `unsafe`, `let`, `r#type`).
+    Ident,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Numeric literal (`0`, `0xFF`, `1.5`, `3usize`).
+    Number,
+    /// Any string literal form (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct(char),
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token<'a> {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Source text (for `Ident`; punctuation carries its char in the
+    /// kind, literals carry their raw text).
+    pub text: &'a str,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token<'_> {
+    /// True if this is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// One comment (line or block), with its line span and placement.
+#[derive(Clone, Debug)]
+pub struct Comment<'a> {
+    /// Raw comment text including the `//`/`/*` markers.
+    pub text: &'a str,
+    /// 1-based line the comment starts on.
+    pub start_line: u32,
+    /// 1-based line the comment ends on (block comments span lines).
+    pub end_line: u32,
+    /// True when nothing but whitespace precedes it on its start line —
+    /// an own-line comment annotates the code *below* it; a trailing
+    /// comment annotates its own line.
+    pub own_line: bool,
+}
+
+impl<'a> Comment<'a> {
+    /// The comment text with the leading `//`/`/*`/doc markers and
+    /// whitespace stripped. Lint directives (`lint:allow`,
+    /// `lint:region-start`, …) must START the payload — prose that
+    /// merely mentions a directive mid-sentence is not one.
+    pub fn payload(&self) -> &'a str {
+        self.text.trim_start_matches(['/', '*', '!']).trim_start()
+    }
+}
+
+/// Lexer output: code tokens plus the comment side-channel.
+#[derive(Debug, Default)]
+pub struct Lexed<'a> {
+    /// Code tokens in source order (comments excluded).
+    pub tokens: Vec<Token<'a>>,
+    /// Comments in source order.
+    pub comments: Vec<Comment<'a>>,
+}
+
+/// Lex `src`. Never fails: unterminated literals/comments consume to
+/// end of input (the rules run on whatever real tokens precede the
+/// damage, and rustc itself will reject the file anyway).
+pub fn lex(src: &str) -> Lexed<'_> {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut line_has_code = false;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                line_has_code = false;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: &src[start..i],
+                    start_line: line,
+                    end_line: line,
+                    own_line: !line_has_code,
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let own_line = !line_has_code;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: &src[start..i],
+                    start_line,
+                    end_line: line,
+                    own_line,
+                });
+            }
+            b'"' => {
+                let tok_line = line;
+                let start = i;
+                i = scan_string(bytes, i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: &src[start..i],
+                    line: tok_line,
+                });
+                line_has_code = true;
+            }
+            b'\'' => {
+                let tok_line = line;
+                let start = i;
+                let (end, kind) = scan_quote(bytes, i);
+                i = end;
+                out.tokens.push(Token {
+                    kind,
+                    text: &src[start..i],
+                    line: tok_line,
+                });
+                line_has_code = true;
+            }
+            b'0'..=b'9' => {
+                let tok_line = line;
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    let b = bytes[i];
+                    if b.is_ascii_alphanumeric() || b == b'_' {
+                        i += 1;
+                    } else if b == b'.'
+                        && bytes.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                        && !src[start..i].contains('.')
+                    {
+                        // `1.5` continues the number; `0..n` does not.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Number,
+                    text: &src[start..i],
+                    line: tok_line,
+                });
+                line_has_code = true;
+            }
+            _ if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => {
+                let tok_line = line;
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric() || bytes[i] >= 0x80)
+                {
+                    i += 1;
+                }
+                let ident = &src[start..i];
+                // String-literal prefixes: r"…", r#"…"#, b"…", br#"…"#,
+                // c"…", cr#"…"# — and the raw-identifier form r#ident.
+                if matches!(ident, "r" | "b" | "br" | "c" | "cr" | "rb" | "rc") {
+                    if bytes.get(i) == Some(&b'"') {
+                        i = scan_string(bytes, i, &mut line);
+                        out.tokens.push(Token {
+                            kind: TokKind::Str,
+                            text: &src[start..i],
+                            line: tok_line,
+                        });
+                        line_has_code = true;
+                        continue;
+                    }
+                    if bytes.get(i) == Some(&b'#') {
+                        let mut j = i;
+                        while bytes.get(j) == Some(&b'#') {
+                            j += 1;
+                        }
+                        if bytes.get(j) == Some(&b'"') {
+                            let hashes = j - i;
+                            i = scan_raw_string(bytes, j, hashes, &mut line);
+                            out.tokens.push(Token {
+                                kind: TokKind::Str,
+                                text: &src[start..i],
+                                line: tok_line,
+                            });
+                            line_has_code = true;
+                            continue;
+                        }
+                        if ident == "r" && j == i + 1 {
+                            // Raw identifier r#type: consume as Ident.
+                            i = j;
+                            while i < bytes.len()
+                                && (bytes[i] == b'_'
+                                    || bytes[i].is_ascii_alphanumeric()
+                                    || bytes[i] >= 0x80)
+                            {
+                                i += 1;
+                            }
+                            out.tokens.push(Token {
+                                kind: TokKind::Ident,
+                                text: &src[start..i],
+                                line: tok_line,
+                            });
+                            line_has_code = true;
+                            continue;
+                        }
+                    }
+                    if (ident == "b" || ident == "br") && bytes.get(i) == Some(&b'\'') {
+                        let (end, _) = scan_quote(bytes, i);
+                        i = end;
+                        out.tokens.push(Token {
+                            kind: TokKind::Char,
+                            text: &src[start..i],
+                            line: tok_line,
+                        });
+                        line_has_code = true;
+                        continue;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: ident,
+                    line: tok_line,
+                });
+                line_has_code = true;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct(c as char),
+                    text: &src[i..i + 1],
+                    line,
+                });
+                line_has_code = true;
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Consume a `"…"` string starting at the opening quote; returns the
+/// index just past the closing quote. Tracks newlines.
+fn scan_string(bytes: &[u8], start: usize, line: &mut u32) -> usize {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Consume a raw string whose opening quote is at `quote` with `hashes`
+/// leading `#`s; returns the index just past the closing delimiter.
+fn scan_raw_string(bytes: &[u8], quote: usize, hashes: usize, line: &mut u32) -> usize {
+    let mut i = quote + 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && bytes.get(j) == Some(&b'#') {
+                j += 1;
+                seen += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Disambiguate `'` at `start`: char literal (`'x'`, `'\n'`) vs.
+/// lifetime (`'a`, `'static`). Returns (end index, kind).
+fn scan_quote(bytes: &[u8], start: usize) -> (usize, TokKind) {
+    let next = bytes.get(start + 1).copied();
+    match next {
+        Some(b'\\') => {
+            // Escaped char literal: consume to the closing quote.
+            let mut i = start + 2;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' => i += 2,
+                    b'\'' => return (i + 1, TokKind::Char),
+                    _ => i += 1,
+                }
+            }
+            (i, TokKind::Char)
+        }
+        Some(c) if c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80 => {
+            // Identifier-ish run: `'a'` is a char, `'a` / `'static` a
+            // lifetime (decided by whether a quote closes the run).
+            let mut i = start + 2;
+            while i < bytes.len()
+                && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric() || bytes[i] >= 0x80)
+            {
+                i += 1;
+            }
+            if bytes.get(i) == Some(&b'\'') {
+                (i + 1, TokKind::Char)
+            } else {
+                (i, TokKind::Lifetime)
+            }
+        }
+        Some(_) => {
+            // `'('` and friends: a one-char literal.
+            let mut i = start + 2;
+            if bytes.get(i) == Some(&b'\'') {
+                i += 1;
+            }
+            (i, TokKind::Char)
+        }
+        None => (start + 1, TokKind::Char),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<&str> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_leave_no_tokens() {
+        let l = lex("// Vec::new()\n/* vec![] */ let x = 1;");
+        assert!(!l.tokens.iter().any(|t| t.is_ident("Vec")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("vec")));
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].own_line);
+        assert!(l.comments[1].own_line);
+        assert_eq!(l.tokens[0].line, 2);
+    }
+
+    #[test]
+    fn trailing_comment_is_not_own_line() {
+        let l = lex("let x = 1; // trailing\n");
+        assert!(!l.comments[0].own_line);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* a /* b */ still comment */ fn f() {}");
+        assert_eq!(
+            idents("/* a /* b */ still comment */ fn f() {}"),
+            ["fn", "f"]
+        );
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r#"let s = "Vec::new() unsafe"; let t = 'x';"#;
+        assert_eq!(idents(src), ["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let src = r###"let s = r#"unwrap() " quote"#; f();"###;
+        assert_eq!(idents(src), ["let", "s", "f"]);
+        let src2 = "let s = r\"panic!\"; g();";
+        assert_eq!(idents(src2), ["let", "s", "g"]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        assert_eq!(
+            idents("let m = *b\"EHDB\"; let c = b'\\n';"),
+            ["let", "m", "let", "c"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> &'static str { 'q' }");
+        let lifetimes: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'static"]);
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "'q'"));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "r#type"]);
+    }
+
+    #[test]
+    fn multiline_string_keeps_line_numbers() {
+        let l = lex("let s = \"a\nb\nc\";\nlet t = 1;");
+        let t = l.tokens.iter().find(|t| t.is_ident("t")).unwrap();
+        assert_eq!(t.line, 4);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let l = lex("for i in 0..4 { a[i + 1.5 as usize]; }");
+        let nums: Vec<&str> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Number)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(nums, ["0", "4", "1.5"]);
+    }
+
+    #[test]
+    fn escaped_quote_in_char() {
+        assert_eq!(idents(r"let c = '\''; f();"), ["let", "c", "f"]);
+    }
+}

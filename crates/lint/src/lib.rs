@@ -1,0 +1,127 @@
+//! `eh_lint`: a zero-dependency, token-level invariant checker for the
+//! EmptyHeaded workspace.
+//!
+//! The repo's performance story rests on invariants no type system
+//! enforces — allocation-free join recursion, flat columnar layouts,
+//! panic-free wire decoding, audited `unsafe`, a declared lock order.
+//! This crate checks them at the token level: a small hand-written
+//! lexer strips comments and strings (so prose can never trip a rule,
+//! unlike the shell `grep` gates it replaces), region analysis exempts
+//! `#[cfg(test)]`/`#[test]` code and scopes marker-bounded rules, and a
+//! `// lint:allow(rule): <justification>` escape hatch suppresses a
+//! single line with a recorded reason.
+//!
+//! See [`rules`] for the rule registry and `README.md` ("Static
+//! analysis & enforced invariants") for the rule table.
+
+pub mod allow;
+pub mod lexer;
+pub mod regions;
+pub mod report;
+pub mod rules;
+
+use report::{sort_findings, Finding};
+use rules::{FileCtx, Scope};
+use std::path::{Path, PathBuf};
+
+/// Lint one file's source. `path` is the workspace-relative path rules
+/// match against (forward slashes). `rule_filter`, when non-empty,
+/// restricts checking to the named rules.
+pub fn lint_source(path: &str, src: &str, rule_filter: &[String]) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    let tests = regions::test_regions(&lexed);
+    let markers = regions::marker_regions(&lexed);
+    let names = rules::rule_names();
+    let (allows, allow_findings) = allow::parse_allows(path, &lexed, &names);
+
+    let mut findings: Vec<Finding> = Vec::new();
+    // Malformed allow directives are always reported (they indicate a
+    // suppression that silently isn't working), except in test code.
+    if rule_filter.is_empty() {
+        findings.extend(
+            allow_findings
+                .into_iter()
+                .filter(|f| !tests.contains(f.line)),
+        );
+    }
+
+    for rule in rules::all_rules() {
+        if !rule_filter.is_empty() && !rule_filter.iter().any(|n| n == rule.name()) {
+            continue;
+        }
+        let Some(scope) = rule.applies(path) else {
+            continue;
+        };
+        let empty = regions::LineRanges::default();
+        let marker = match scope {
+            Scope::WholeFile => None,
+            Scope::Marked => Some(markers.get(rule.name()).unwrap_or(&empty)),
+        };
+        let ctx = FileCtx::new(path, &lexed, &tests, marker);
+        let mut raw = Vec::new();
+        rule.check(&ctx, &mut raw);
+        findings.extend(raw.into_iter().filter(|f| !allows.covers(f.rule, f.line)));
+    }
+    sort_findings(&mut findings);
+    findings
+}
+
+/// Lint every covered source file under `root` (the workspace root):
+/// `crates/*/src/**/*.rs`, `shims/*/src/**/*.rs`, and the umbrella
+/// `src/**/*.rs`. Returns findings plus the number of files scanned.
+pub fn lint_workspace(
+    root: &Path,
+    rule_filter: &[String],
+) -> std::io::Result<(Vec<Finding>, usize)> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for group in ["crates", "shims"] {
+        let dir = root.join(group);
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for m in members {
+            collect_rs(&m.join("src"), &mut files)?;
+        }
+    }
+    collect_rs(&root.join("src"), &mut files)?;
+    files.sort();
+
+    let mut findings = Vec::new();
+    for f in &files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = std::fs::read_to_string(f)?;
+        findings.extend(lint_source(&rel, &src, rule_filter));
+    }
+    sort_findings(&mut findings);
+    Ok((findings, files.len()))
+}
+
+/// Recursively collect `.rs` files under `dir` (no-op if absent).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! `eh_lint` CLI: check the workspace's enforced invariants.
+//!
+//! ```text
+//! eh_lint [--root DIR] [--rule NAME]... [--json PATH] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_path: Option<PathBuf> = None;
+    let mut rule_filter: Vec<String> = Vec::new();
+    let mut list_rules = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json_path = Some(PathBuf::from(v)),
+                None => return usage("--json needs a file path"),
+            },
+            "--rule" => match args.next() {
+                Some(v) => rule_filter.push(v),
+                None => return usage("--rule needs a rule name"),
+            },
+            "--list-rules" => list_rules = true,
+            "-h" | "--help" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let known = eh_lint::rules::rule_names();
+    if list_rules {
+        for r in eh_lint::rules::all_rules() {
+            println!("{:<18} {}", r.name(), r.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+    for r in &rule_filter {
+        if !known.contains(&r.as_str()) {
+            return usage(&format!(
+                "unknown rule '{r}' (try --list-rules; known: {})",
+                known.join(", ")
+            ));
+        }
+    }
+
+    let (findings, scanned) = match eh_lint::lint_workspace(&root, &rule_filter) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("eh_lint: error reading {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(p) = &json_path {
+        let json = eh_lint::report::to_json(&findings);
+        if let Err(e) = std::fs::write(p, json) {
+            eprintln!("eh_lint: cannot write {}: {e}", p.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    for f in &findings {
+        println!("{}", f.human());
+    }
+    if findings.is_empty() {
+        println!("eh_lint: clean ({scanned} files scanned)");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "eh_lint: {} violation(s) in {scanned} files scanned",
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("eh_lint: {msg}");
+    print_help();
+    ExitCode::from(2)
+}
+
+fn print_help() {
+    eprintln!(
+        "usage: eh_lint [--root DIR] [--rule NAME]... [--json PATH] [--list-rules]\n\
+         \n\
+         Token-level invariant checker for the EmptyHeaded workspace.\n\
+         --root DIR     workspace root to scan (default: .)\n\
+         --rule NAME    check only the named rule (repeatable)\n\
+         --json PATH    also write the report as JSON to PATH\n\
+         --list-rules   print the rule registry and exit"
+    );
+}

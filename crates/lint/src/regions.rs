@@ -1,0 +1,224 @@
+//! Source regions: test code and explicit `lint:region` markers.
+//!
+//! Rules never fire inside test code. A test region is the full brace
+//! extent of any item annotated `#[cfg(test)]` or `#[test]` — found by
+//! token pattern, so a `#[cfg(test)]` in the middle of a file exempts
+//! exactly its own item and nothing below it (the old CI grep gates
+//! could only cut at the *last* trailing `mod tests`).
+//!
+//! Marker regions scope a rule to part of a file. In a file a rule
+//! applies to with [`crate::rules::Scope::Marked`], only code between
+//!
+//! ```text
+//! // lint:region-start(rule-name): why this region holds the invariant
+//! ...
+//! // lint:region-end(rule-name)
+//! ```
+//!
+//! is checked — e.g. the allocation-free multiway kernels inside
+//! `eh_set`'s intersect module, whose materializing entry points above
+//! them allocate by design.
+
+use crate::lexer::{Comment, Lexed, TokKind, Token};
+use std::collections::HashMap;
+
+/// Inclusive 1-based line ranges.
+#[derive(Clone, Debug, Default)]
+pub struct LineRanges {
+    ranges: Vec<(u32, u32)>,
+}
+
+impl LineRanges {
+    /// Add `[start, end]`.
+    pub fn push(&mut self, start: u32, end: u32) {
+        self.ranges.push((start, end));
+    }
+
+    /// True if `line` falls in any range.
+    pub fn contains(&self, line: u32) -> bool {
+        self.ranges.iter().any(|&(s, e)| s <= line && line <= e)
+    }
+
+    /// True if no ranges were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+}
+
+/// All test-code line ranges in a lexed file.
+pub fn test_regions(lexed: &Lexed<'_>) -> LineRanges {
+    let toks = &lexed.tokens;
+    let mut out = LineRanges::default();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if let Some(after_attr) = match_test_attr(toks, i) {
+            let start_line = toks[i].line;
+            let end = item_extent(toks, after_attr);
+            out.push(start_line, end);
+        }
+        i += 1;
+    }
+    out
+}
+
+/// If `toks[i..]` opens `#[cfg(test)]` or `#[test]`, return the index
+/// just past the closing `]`.
+fn match_test_attr(toks: &[Token<'_>], i: usize) -> Option<usize> {
+    if !toks[i].is_punct('#') || !toks.get(i + 1)?.is_punct('[') {
+        return None;
+    }
+    let a = toks.get(i + 2)?;
+    if a.is_ident("test") && toks.get(i + 3)?.is_punct(']') {
+        return Some(i + 4);
+    }
+    if a.is_ident("cfg")
+        && toks.get(i + 3)?.is_punct('(')
+        && toks.get(i + 4)?.is_ident("test")
+        && toks.get(i + 5)?.is_punct(')')
+        && toks.get(i + 6)?.is_punct(']')
+    {
+        return Some(i + 7);
+    }
+    None
+}
+
+/// End line of the item starting at `toks[from]` (skipping further
+/// attributes): the matching `}` of its first brace, or the terminating
+/// `;` for brace-less items (`#[cfg(test)] mod tests;`).
+fn item_extent(toks: &[Token<'_>], mut from: usize) -> u32 {
+    // Skip stacked attributes between the test attr and the item.
+    while from + 1 < toks.len() && toks[from].is_punct('#') && toks[from + 1].is_punct('[') {
+        let mut depth = 0usize;
+        let mut j = from + 1;
+        while j < toks.len() {
+            if toks[j].is_punct('[') {
+                depth += 1;
+            } else if toks[j].is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        from = j + 1;
+    }
+    let mut j = from;
+    while j < toks.len() {
+        if toks[j].is_punct(';') {
+            return toks[j].line;
+        }
+        if toks[j].is_punct('{') {
+            let mut depth = 0usize;
+            while j < toks.len() {
+                match toks[j].kind {
+                    TokKind::Punct('{') => depth += 1,
+                    TokKind::Punct('}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return toks[j].line;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            break;
+        }
+        j += 1;
+    }
+    toks.last().map(|t| t.line).unwrap_or(0)
+}
+
+/// Per-rule marker regions, parsed from `lint:region-start(rule)` /
+/// `lint:region-end(rule)` comments. An unclosed region runs to the
+/// end of the file (`u32::MAX`).
+pub fn marker_regions(lexed: &Lexed<'_>) -> HashMap<String, LineRanges> {
+    let mut open: HashMap<String, u32> = HashMap::new();
+    let mut out: HashMap<String, LineRanges> = HashMap::new();
+    for c in &lexed.comments {
+        if let Some(rule) = marker_arg(c, "lint:region-start(") {
+            open.entry(rule).or_insert(c.end_line);
+        } else if let Some(rule) = marker_arg(c, "lint:region-end(") {
+            if let Some(start) = open.remove(&rule) {
+                out.entry(rule).or_default().push(start, c.start_line);
+            }
+        }
+    }
+    for (rule, start) in open {
+        out.entry(rule).or_default().push(start, u32::MAX);
+    }
+    out
+}
+
+/// Extract `rule` from a start-anchored `marker(rule)` comment (prose
+/// mentioning a marker mid-sentence is not one).
+fn marker_arg(c: &Comment<'_>, marker: &str) -> Option<String> {
+    let rest = c.payload().strip_prefix(marker)?;
+    let close = rest.find(')')?;
+    Some(rest[..close].trim().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_test_module_detected() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n  fn t() {}\n}\n";
+        let l = lex(src);
+        let r = test_regions(&l);
+        assert!(!r.contains(1));
+        assert!(r.contains(2));
+        assert!(r.contains(4));
+        assert!(r.contains(5));
+    }
+
+    #[test]
+    fn mid_file_test_item_exempts_only_itself() {
+        let src = "#[test]\nfn t() { bad(); }\nfn prod() { fine(); }\n";
+        let r = test_regions(&lex(src));
+        assert!(r.contains(2));
+        assert!(!r.contains(3));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn prod() {}\n";
+        assert!(test_regions(&lex(src)).is_empty());
+    }
+
+    #[test]
+    fn braceless_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nmod tests;\nfn prod() {}\n";
+        let r = test_regions(&lex(src));
+        assert!(r.contains(2));
+        assert!(!r.contains(3));
+    }
+
+    #[test]
+    fn stacked_attributes_are_skipped() {
+        let src = "#[test]\n#[ignore]\nfn t() {\n  x();\n}\nfn p() {}\n";
+        let r = test_regions(&lex(src));
+        assert!(r.contains(4));
+        assert!(!r.contains(6));
+    }
+
+    #[test]
+    fn markers_scope_a_rule() {
+        let src = "fn a() {}\n// lint:region-start(alloc-free): kernels\nfn k() {}\n// lint:region-end(alloc-free)\nfn b() {}\n";
+        let m = marker_regions(&lex(src));
+        let r = &m["alloc-free"];
+        assert!(r.contains(3));
+        assert!(!r.contains(1));
+        assert!(!r.contains(5));
+    }
+
+    #[test]
+    fn unclosed_marker_runs_to_eof() {
+        let src = "// lint:region-start(alloc-free): tail\nfn k() {}\n";
+        let m = marker_regions(&lex(src));
+        assert!(m["alloc-free"].contains(9999));
+    }
+}

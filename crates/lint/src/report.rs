@@ -1,0 +1,135 @@
+//! Findings and rendering: human one-per-line output and a hand-rolled
+//! JSON serializer (the crate is zero-dep, so no serde).
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name (static registry string, or `allow-syntax`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What went wrong and, where useful, how to fix or allow it.
+    pub message: String,
+}
+
+impl Finding {
+    /// `file:line: [rule] message` — clickable in most terminals.
+    pub fn human(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Sort findings for stable output: by file, then line, then rule.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+}
+
+/// Render the full report as a JSON document:
+/// `{"violations": N, "findings": [{rule, file, line, message}, ...]}`.
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"violations\": ");
+    out.push_str(&findings.len().to_string());
+    out.push_str(",\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"rule\": ");
+        json_string(&mut out, f.rule);
+        out.push_str(", \"file\": ");
+        json_string(&mut out, &f.file);
+        out.push_str(", \"line\": ");
+        out.push_str(&f.line.to_string());
+        out.push_str(", \"message\": ");
+        json_string(&mut out, &f.message);
+        out.push('}');
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Append `s` as a JSON string literal, escaping per RFC 8259.
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &'static str, file: &str, line: u32, msg: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            message: msg.to_string(),
+        }
+    }
+
+    #[test]
+    fn human_format_is_clickable() {
+        let x = f(
+            "alloc-free",
+            "crates/exec/src/gj.rs",
+            42,
+            "Vec::new() in hot path",
+        );
+        assert_eq!(
+            x.human(),
+            "crates/exec/src/gj.rs:42: [alloc-free] Vec::new() in hot path"
+        );
+    }
+
+    #[test]
+    fn sort_is_by_file_then_line() {
+        let mut v = vec![
+            f("b", "z.rs", 1, ""),
+            f("a", "a.rs", 9, ""),
+            f("a", "a.rs", 2, ""),
+        ];
+        sort_findings(&mut v);
+        assert_eq!(v[0].file, "a.rs");
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[1].line, 9);
+        assert_eq!(v[2].file, "z.rs");
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        let j = to_json(&[f("r", "a\"b.rs", 1, "tab\there\nnewline")]);
+        assert!(j.contains("\"violations\": 1"));
+        assert!(j.contains("a\\\"b.rs"));
+        assert!(j.contains("tab\\there\\nnewline"));
+    }
+
+    #[test]
+    fn json_empty_report() {
+        let j = to_json(&[]);
+        assert!(j.contains("\"violations\": 0"));
+        assert!(j.contains("\"findings\": []"));
+    }
+}

@@ -1,0 +1,68 @@
+//! **alloc-free**: no heap allocation in hot-path regions.
+//!
+//! The generic-join recursion (`crates/exec/src/gj.rs`) and the `eh_set`
+//! intersection kernels get their speed from reusing caller-provided
+//! buffers; a stray `Vec::new()` or `collect()` inside them turns an
+//! O(1)-allocation join into one allocation per recursion level. The
+//! whole of `gj.rs` is covered; in the `eh_set` modules only the marked
+//! kernel regions are (the materializing entry points above them
+//! allocate by design).
+
+use super::{match_seq, FileCtx, Rule, Scope};
+use crate::report::Finding;
+
+pub struct AllocFree;
+
+/// Token patterns that mean "this line allocates".
+const PATTERNS: &[(&[&str], &str)] = &[
+    (&["Vec", ":", ":", "new"], "Vec::new()"),
+    (&["Vec", ":", ":", "with_capacity"], "Vec::with_capacity()"),
+    (&["vec", "!"], "vec![]"),
+    (&["Box", ":", ":", "new"], "Box::new()"),
+    (&["format", "!"], "format!()"),
+    (&["String", ":", ":", "new"], "String::new()"),
+    (&[".", "collect"], ".collect()"),
+    (&[".", "to_vec"], ".to_vec()"),
+    (&[".", "to_owned"], ".to_owned()"),
+    (&[".", "to_string"], ".to_string()"),
+];
+
+impl Rule for AllocFree {
+    fn name(&self) -> &'static str {
+        "alloc-free"
+    }
+
+    fn description(&self) -> &'static str {
+        "no Vec::new/vec!/collect/Box::new/format!/to_vec in hot-path regions \
+         (gj.rs whole-file; eh_set kernels via lint:region markers)"
+    }
+
+    fn applies(&self, path: &str) -> Option<Scope> {
+        if path == "crates/exec/src/gj.rs" {
+            Some(Scope::WholeFile)
+        } else if path == "crates/set/src/intersect.rs" || path == "crates/set/src/uint.rs" {
+            Some(Scope::Marked)
+        } else {
+            None
+        }
+    }
+
+    fn check(&self, ctx: &FileCtx<'_, '_>, out: &mut Vec<Finding>) {
+        let toks = &ctx.lexed.tokens;
+        for i in 0..toks.len() {
+            for (pat, what) in PATTERNS {
+                if match_seq(toks, i, pat) {
+                    let line = toks[i].line;
+                    if ctx.active(line) {
+                        out.push(ctx.finding(
+                            self.name(),
+                            line,
+                            format!("{what} allocates in a hot-path region; reuse a caller-provided buffer"),
+                        ));
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! **columnar**: no `Vec<Vec<u32>>` row-major layouts in engine crates.
+//!
+//! The paper's storage story is flat columnar buffers — a nested
+//! `Vec<Vec<u32>>` reintroduces per-row indirection and per-row
+//! allocation, which is exactly the layout EmptyHeaded exists to avoid.
+//! Test code may build nested vectors freely (handy for fixtures); the
+//! engine crates may not. The old CI grep for this fired on comments
+//! and doc examples; this rule sees only real tokens.
+
+use super::{match_seq, FileCtx, Rule, Scope};
+use crate::report::Finding;
+
+pub struct Columnar;
+
+/// Crates whose non-test code must stay columnar.
+const COVERED: &[&str] = &[
+    "crates/exec/",
+    "crates/trie/",
+    "crates/core/",
+    "crates/storage/",
+    "crates/server/",
+];
+
+impl Rule for Columnar {
+    fn name(&self) -> &'static str {
+        "columnar"
+    }
+
+    fn description(&self) -> &'static str {
+        "no Vec<Vec<u32>> in non-test code of exec/trie/core/storage/server"
+    }
+
+    fn applies(&self, path: &str) -> Option<Scope> {
+        COVERED
+            .iter()
+            .any(|p| path.starts_with(p))
+            .then_some(Scope::WholeFile)
+    }
+
+    fn check(&self, ctx: &FileCtx<'_, '_>, out: &mut Vec<Finding>) {
+        let toks = &ctx.lexed.tokens;
+        for i in 0..toks.len() {
+            if match_seq(toks, i, &["Vec", "<", "Vec", "<", "u32"]) {
+                let line = toks[i].line;
+                if ctx.active(line) {
+                    out.push(ctx.finding(
+                        self.name(),
+                        line,
+                        "Vec<Vec<u32>> is row-major; use a flat buffer + offsets (columnar layout)"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+    }
+}

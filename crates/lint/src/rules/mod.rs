@@ -1,0 +1,170 @@
+//! The rule registry and the context rules check against.
+//!
+//! A rule declares *where* it applies ([`Rule::applies`] maps a
+//! workspace-relative path to a [`Scope`]) and *what* it checks
+//! ([`Rule::check`] walks the token stream and emits findings). The
+//! engine in `lib.rs` handles everything position-independent: test
+//! regions, marker regions, and `lint:allow` suppression.
+
+pub mod alloc_free;
+pub mod columnar;
+pub mod decode;
+pub mod locks;
+pub mod unsafe_audit;
+
+use crate::lexer::{Lexed, TokKind, Token};
+use crate::regions::LineRanges;
+use crate::report::Finding;
+
+/// How much of an applicable file a rule covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scope {
+    /// All non-test code in the file.
+    WholeFile,
+    /// Only code between `lint:region-start(rule)` / `lint:region-end(rule)`
+    /// markers (and still excluding test code).
+    Marked,
+}
+
+/// Per-file context handed to [`Rule::check`].
+pub struct FileCtx<'s, 'a> {
+    /// Workspace-relative path with forward slashes.
+    pub path: &'s str,
+    /// Lexed token stream and comment side-channel.
+    pub lexed: &'s Lexed<'a>,
+    /// Test-code line ranges (rules never fire here).
+    tests: &'s LineRanges,
+    /// For [`Scope::Marked`] rules, the rule's marker ranges.
+    markers: Option<&'s LineRanges>,
+}
+
+impl<'s, 'a> FileCtx<'s, 'a> {
+    /// Build a context. `markers` is `Some` only for marked-scope rules.
+    pub fn new(
+        path: &'s str,
+        lexed: &'s Lexed<'a>,
+        tests: &'s LineRanges,
+        markers: Option<&'s LineRanges>,
+    ) -> Self {
+        FileCtx {
+            path,
+            lexed,
+            tests,
+            markers,
+        }
+    }
+
+    /// True if findings on `line` should be reported (non-test, and in
+    /// a marker region when the rule is marker-scoped).
+    pub fn active(&self, line: u32) -> bool {
+        if self.tests.contains(line) {
+            return false;
+        }
+        match self.markers {
+            Some(m) => m.contains(line),
+            None => true,
+        }
+    }
+
+    /// Convenience finding constructor at `line`.
+    pub fn finding(&self, rule: &'static str, line: u32, message: String) -> Finding {
+        Finding {
+            rule,
+            file: self.path.to_string(),
+            line,
+            message,
+        }
+    }
+}
+
+/// A single invariant checker.
+pub trait Rule {
+    /// Stable kebab-case name (used by `--rule`, `lint:allow`, markers).
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list-rules`.
+    fn description(&self) -> &'static str;
+    /// Whether (and how) the rule covers `path`.
+    fn applies(&self, path: &str) -> Option<Scope>;
+    /// Emit findings for active lines of the file.
+    fn check(&self, ctx: &FileCtx<'_, '_>, out: &mut Vec<Finding>);
+}
+
+/// Every shipped rule, in documentation order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(alloc_free::AllocFree),
+        Box::new(columnar::Columnar),
+        Box::new(decode::DecodePanicFree),
+        Box::new(unsafe_audit::UnsafeAudit),
+        Box::new(locks::LockDiscipline),
+    ]
+}
+
+/// Names of every shipped rule (for allow validation and `--list-rules`).
+pub fn rule_names() -> Vec<&'static str> {
+    all_rules().iter().map(|r| r.name()).collect()
+}
+
+// ---- shared token-pattern helpers -----------------------------------------
+
+/// True if `toks[i..]` matches the given sequence of expectations, where
+/// each expectation is either an identifier text or a single punct char
+/// (one-char strings that aren't identifiers are treated as puncts).
+pub(crate) fn match_seq(toks: &[Token<'_>], i: usize, pat: &[&str]) -> bool {
+    for (k, want) in pat.iter().enumerate() {
+        let Some(t) = toks.get(i + k) else {
+            return false;
+        };
+        let ok = match want.chars().next() {
+            Some(c) if want.len() == 1 && !c.is_alphabetic() && c != '_' => {
+                matches!(t.kind, TokKind::Punct(p) if p == c)
+            }
+            _ => matches!(t.kind, TokKind::Ident) && t.text == *want,
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Rust keywords that may legitimately precede `[` without it being an
+/// index expression (array literals, slice patterns, etc.).
+pub(crate) fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "as" | "box"
+            | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "extern"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "static"
+            | "struct"
+            | "super"
+            | "trait"
+            | "type"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+            | "yield"
+    )
+}

@@ -1,0 +1,105 @@
+//! **unsafe-audit**: every `unsafe` site carries a `// SAFETY:` comment.
+//!
+//! The workspace keeps `unsafe` rare (SIMD intrinsics in `eh_set`) and
+//! each site must state the invariant that makes it sound. The comment
+//! must be adjacent: on the `unsafe` line itself, or directly above it —
+//! other comment lines and `#[...]` attribute lines (e.g.
+//! `#[target_feature]`) may sit in between, but a blank or code line
+//! breaks adjacency. Because this is token-level, the word "unsafe"
+//! inside a comment or string never trips it.
+
+use super::{FileCtx, Rule, Scope};
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use std::collections::{HashMap, HashSet};
+
+pub struct UnsafeAudit;
+
+impl Rule for UnsafeAudit {
+    fn name(&self) -> &'static str {
+        "unsafe-audit"
+    }
+
+    fn description(&self) -> &'static str {
+        "every unsafe block/fn/impl needs a // SAFETY: comment directly above it"
+    }
+
+    fn applies(&self, path: &str) -> Option<Scope> {
+        path.ends_with(".rs").then_some(Scope::WholeFile)
+    }
+
+    fn check(&self, ctx: &FileCtx<'_, '_>, out: &mut Vec<Finding>) {
+        // line -> does a comment cover it, and does any covering
+        // comment contain "SAFETY:".
+        let mut comment_on: HashMap<u32, bool> = HashMap::new();
+        for c in &ctx.lexed.comments {
+            let has_safety = c.text.contains("SAFETY:");
+            for l in c.start_line..=c.end_line {
+                let e = comment_on.entry(l).or_insert(false);
+                *e = *e || has_safety;
+            }
+        }
+        // line -> first code token is `#` (attribute line).
+        let mut first_tok: HashMap<u32, bool> = HashMap::new();
+        for t in &ctx.lexed.tokens {
+            first_tok
+                .entry(t.line)
+                .or_insert(matches!(t.kind, TokKind::Punct('#')));
+        }
+
+        let mut seen = HashSet::new();
+        for t in &ctx.lexed.tokens {
+            if !(matches!(t.kind, TokKind::Ident) && t.text == "unsafe") {
+                continue;
+            }
+            if !ctx.active(t.line) || !seen.insert(t.line) {
+                continue;
+            }
+            if !has_adjacent_safety(t.line, &comment_on, &first_tok) {
+                out.push(
+                    ctx.finding(
+                        self.name(),
+                        t.line,
+                        "unsafe without an adjacent // SAFETY: comment stating why this is sound"
+                            .to_string(),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Walk up from the `unsafe` line looking for a SAFETY comment, with
+/// attribute lines and other comments transparent.
+fn has_adjacent_safety(
+    line: u32,
+    comment_on: &HashMap<u32, bool>,
+    first_tok: &HashMap<u32, bool>,
+) -> bool {
+    // Same-line comment (leading block or trailing line comment).
+    if comment_on.get(&line).copied() == Some(true) {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        if comment_on.get(&l).copied() == Some(true) {
+            return true;
+        }
+        match first_tok.get(&l) {
+            // Attribute line, e.g. #[target_feature]: transparent.
+            Some(true) => continue,
+            // Code on the line (even with a trailing non-SAFETY
+            // comment) breaks adjacency.
+            Some(false) => return false,
+            // No code: transparent if a comment covers it, else blank.
+            None => {
+                if comment_on.contains_key(&l) {
+                    continue;
+                }
+                return false;
+            }
+        }
+    }
+    false
+}

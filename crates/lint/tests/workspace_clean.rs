@@ -1,0 +1,31 @@
+//! The workspace itself must lint clean: every invariant `eh_lint`
+//! enforces holds on the real tree, so CI's `eh_lint` step (and the
+//! fail-fast copy in the clippy job) passes from a green checkout.
+
+use std::path::Path;
+
+#[test]
+fn real_workspace_has_zero_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate lives at <root>/crates/lint")
+        .to_path_buf();
+    let (findings, scanned) =
+        eh_lint::lint_workspace(&root, &[]).expect("workspace sources readable");
+    assert!(
+        findings.is_empty(),
+        "eh_lint found violations in the workspace:\n{}",
+        findings
+            .iter()
+            .map(|f| f.human())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the walker actually visited the tree (12 crates + shims +
+    // umbrella src — well over 40 files), not an empty directory.
+    assert!(
+        scanned > 40,
+        "only {scanned} files scanned — walker broken?"
+    );
+}

@@ -29,6 +29,10 @@
 //! | 0x85 | `Prepared` | u64 id, u8 plan-cache hit |
 //! | 0x86 | `Relations` | count, then name/arity/rows/schema each |
 //! | 0x87 | `Stats` | see [`ServerStats`] |
+//!
+//! Frames come off the network, so every decode path returns errors
+//! instead of panicking on malformed bytes — enforced file-wide by the
+//! `decode-panic-free` rule of `eh_lint`.
 
 use eh_storage::wire::{put_str, put_u32, put_u64, ByteReader};
 use eh_storage::StorageError;

@@ -139,6 +139,7 @@ pub fn intersect_count(a: &Set, b: &Set, cfg: &IntersectConfig) -> usize {
     }
 }
 
+// lint:region-start(alloc-free): Generic-Join calls these once per loop level; they must only append to caller buffers
 /// Intersect two sets writing the result *values* into a caller-provided
 /// buffer — the allocation-free fast path for Generic-Join's loop levels,
 /// where only the ascending value stream is needed, not a layout.
@@ -159,6 +160,8 @@ pub fn intersect_values(a: &Set, b: &Set, cfg: &IntersectConfig, out: &mut Vec<u
     }
 }
 
+// lint:region-end(alloc-free)
+
 /// Intersect many sets left-to-right, smallest-first (the standard
 /// Generic-Join ordering: start from the smallest set so every step is
 /// bounded by the smallest input).
@@ -178,6 +181,7 @@ pub fn intersect_all(sets: &[&Set], cfg: &IntersectConfig) -> Set {
     acc
 }
 
+// lint:region-start(alloc-free): multiway chain + scratch reuse — the whole point of MultiwayScratch is zero per-call allocation
 /// Intersect a sorted value slice (a materialized intermediate) with a set,
 /// appending the surviving values to `out`. The slice side is always the
 /// accumulator of a multiway chain, so this is the uint×layout dispatch
@@ -350,6 +354,8 @@ fn intersect_uint_block(a: &[u32], b: &BlockSet, out: &mut Vec<u32>) {
         }
     }
 }
+
+// lint:region-end(alloc-free)
 
 fn intersect_bitset_block(a: &BitsetSet, b: &BlockSet, out: &mut Vec<u32>) {
     // Walk the bitset's values and probe the composite set; the bitset is

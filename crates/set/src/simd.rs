@@ -61,6 +61,9 @@ pub fn count_u32_simd(a: &[u32], b: &[u32]) -> usize {
     crate::uint::count_merge_scalar(a, b)
 }
 
+// SAFETY: callers must ensure sse4.1 is available (checked via
+// `has_sse()` at every call site); unaligned loads stay in bounds
+// because `i < a4 <= a.len() - 3` and likewise for `j`/`b`.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "sse4.1")]
 unsafe fn intersect_u32_sse(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
@@ -113,6 +116,9 @@ unsafe fn intersect_u32_sse(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
     }
 }
 
+// SAFETY: callers must ensure sse4.1 is available (checked via
+// `has_sse()` at every call site); loads at `i`/`j` stay in bounds
+// because the loop caps them at the 4-aligned prefixes `a4`/`b4`.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "sse4.1")]
 unsafe fn count_u32_sse(a: &[u32], b: &[u32]) -> usize {
@@ -181,6 +187,9 @@ pub fn and_block_scalar(a: &Block, b: &Block) -> Block {
     out
 }
 
+// SAFETY: callers must ensure avx2 is available (checked via
+// `has_avx2()` at the single call site); a `Block` is exactly 32 bytes,
+// matching the unaligned 256-bit load/store width.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn and_block_avx2(a: &Block, b: &Block) -> Block {

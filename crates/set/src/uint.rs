@@ -71,6 +71,7 @@ impl UintSet {
     }
 }
 
+// lint:region-start(alloc-free): scalar/gallop/SIMD intersection kernels — append-only into caller buffers
 /// Scalar two-pointer merge intersection. Cost `O(|a| + |b|)`.
 pub fn intersect_merge_scalar(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
     let (mut i, mut j) = (0, 0);
@@ -223,6 +224,7 @@ pub fn count_hybrid(a: &[u32], b: &[u32], simd_on: bool) -> usize {
         count_merge_scalar(a, b)
     }
 }
+// lint:region-end(alloc-free)
 
 #[cfg(test)]
 mod tests {

@@ -15,9 +15,11 @@
 //! are `u32 len + UTF-8 bytes`. Every section carries its own FNV-1a
 //! checksum; the loader verifies checksums before parsing, bounds-checks
 //! every read, and rejects trailing bytes — corrupt images produce
-//! [`StorageError`]s, never panics. Saving a freshly loaded image
-//! reproduces it byte-for-byte (dictionaries keep insertion order, the
-//! catalog iterates in name order).
+//! [`StorageError`]s, never panics (the `decode-panic-free` rule of
+//! `eh_lint` enforces this file-wide: no `unwrap`/`expect`/panicking
+//! macros/unguarded indexing outside tests). Saving a freshly loaded
+//! image reproduces it byte-for-byte (dictionaries keep insertion order,
+//! the catalog iterates in name order).
 
 use crate::encode::StorageCatalog;
 use crate::schema::StorageError;

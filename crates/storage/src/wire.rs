@@ -52,6 +52,7 @@ impl<'a> ByteReader<'a> {
                 self.remaining()
             )));
         }
+        // lint:allow(decode-panic-free): range is bounds-checked by the truncation guard above (n <= remaining)
         let s = &self.bytes[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
@@ -109,22 +110,22 @@ pub(crate) fn put_domain(out: &mut Vec<u8>, dom: &Domain) {
         Domain::U64(d) => {
             out.push(0);
             put_u32(out, d.len() as u32);
-            for id in 0..d.len() as u32 {
-                out.extend_from_slice(&d.decode(id).expect("dense ids").to_le_bytes());
+            for key in d.keys() {
+                out.extend_from_slice(&key.to_le_bytes());
             }
         }
         Domain::I64(d) => {
             out.push(1);
             put_u32(out, d.len() as u32);
-            for id in 0..d.len() as u32 {
-                out.extend_from_slice(&d.decode(id).expect("dense ids").to_le_bytes());
+            for key in d.keys() {
+                out.extend_from_slice(&key.to_le_bytes());
             }
         }
         Domain::Str(d) => {
             out.push(2);
             put_u32(out, d.len() as u32);
-            for id in 0..d.len() as u32 {
-                put_str(out, d.decode(id).expect("dense ids"));
+            for key in d.keys() {
+                put_str(out, key);
             }
         }
     }

@@ -88,6 +88,13 @@ impl<K: Eq + Hash + Clone> Dictionary<K> {
         self.to_key.get(id as usize)
     }
 
+    /// All keys in id order: `keys()[id]` is the key for `id`. Lets
+    /// serializers iterate the whole dictionary without a fallible
+    /// per-id `decode` (ids are dense by construction).
+    pub fn keys(&self) -> &[K] {
+        &self.to_key
+    }
+
     /// Number of distinct keys.
     pub fn len(&self) -> usize {
         self.to_key.len()

@@ -4,7 +4,10 @@
 //! representations (paper §2.2, Figure 2): tuples never travel as
 //! per-row heap allocations. A [`TupleBuffer`] stores `len` rows of a
 //! fixed `arity` as one stride-`arity` `Vec<u32>` (row-major), with an
-//! optional parallel annotation column for semiring-valued relations.
+//! optional parallel annotation column for semiring-valued relations —
+//! never as a nested `Vec<Vec<u32>>` (the `columnar` rule of `eh_lint`
+//! enforces that token-wise across the engine crates; mentioning the
+//! banned type in prose here is fine, which the old grep gate got wrong).
 //! Every pipeline stage — loaders, trie construction, Generic-Join
 //! sinks, recursion deltas, result materialization — reads and writes
 //! this layout; row views are borrowed slices into the flat buffer.

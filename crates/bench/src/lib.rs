@@ -10,6 +10,7 @@ use eh_core::{Config, Database};
 use eh_graph::Graph;
 use std::time::{Duration, Instant};
 
+pub mod compare;
 pub mod paper_tables;
 
 /// A query compiled once against a warmed database, ready for repeated
@@ -72,6 +73,21 @@ pub fn measure<T>(reps: usize, mut f: impl FnMut() -> T) -> Duration {
     times.sort();
     let kept = &times[1..times.len() - 1];
     kept.iter().sum::<Duration>() / kept.len() as u32
+}
+
+/// Time `f` with `reps` repetitions and report the **median** run — the
+/// statistic the performance-trajectory records (`BENCH_*.json`) store,
+/// because it is robust to one-off scheduler hiccups in CI.
+pub fn measure_median<T>(reps: usize, mut f: impl FnMut() -> T) -> Duration {
+    assert!(reps >= 1);
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        times.push(t0.elapsed());
+    }
+    times.sort();
+    times[times.len() / 2]
 }
 
 /// One timed run (for long-running configurations where repetition is
@@ -152,6 +168,18 @@ mod tests {
     fn measure_drops_extremes() {
         let d = measure(5, || std::thread::sleep(Duration::from_micros(50)));
         assert!(d >= Duration::from_micros(40));
+    }
+
+    #[test]
+    fn measure_median_picks_middle_run() {
+        let mut i = 0u64;
+        let d = measure_median(5, || {
+            i += 1;
+            std::thread::sleep(Duration::from_micros(20 * i));
+        });
+        // Median of sleeps {20,40,60,80,100}µs is the 60µs run; allow
+        // generous scheduling slack but reject min/max.
+        assert!(d >= Duration::from_micros(60), "{d:?}");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! roughly what factor, where the crossovers fall — is the reproduction
 //! target. See EXPERIMENTS.md for the side-by-side record.
 
-use crate::{measure, measure_once, queries, ratio, secs, PreparedQuery, Table};
+use crate::{measure, measure_median, measure_once, queries, ratio, secs, PreparedQuery, Table};
 use eh_core::{Config, Database, Scheduler};
 use eh_graph::{apply_ordering, compute_ordering, gen, paper_datasets, Graph, OrderingScheme};
 use eh_semiring::{AggOp, DynValue};
@@ -19,7 +19,7 @@ use eh_set::{IntersectConfig, LayoutKind, Set};
 use std::time::{Duration, Instant};
 
 const TARGETS: &str =
-    "fig5|fig6|fig7|table3|table4|table5|table6|table7|table8|table9|table10|table11|table13|skew|loaded|storage-smoke|all";
+    "fig5|fig6|fig7|table3|table4|table5|table6|table7|table8|table9|table10|table11|table13|skew|loaded|storage-smoke|bench-trajectory|all";
 
 /// `--threads N` override applied to every engine config in this run
 /// (None = flag absent, keep each config's default of 1 worker).
@@ -139,6 +139,7 @@ pub fn main() {
         "table11" => table11(scale),
         "table13" => table13(scale),
         "skew" => skew(scale, reps),
+        "bench-trajectory" => bench_trajectory(scale),
         "loaded" => loaded_tables(load.as_deref(), reps),
         "storage-smoke" => storage_smoke(load.as_deref()),
         "all" => {
@@ -181,6 +182,11 @@ pub fn main() {
             println!("checks the reload answers queries identically).");
             println!("--json PATH additionally writes per-table timing entries");
             println!("(table, dataset, query, config, median_us, rows) as JSON.");
+            println!();
+            println!("The 'bench-trajectory' target runs the fixed query suite behind");
+            println!("the committed BENCH_*.json performance baselines (medians, adaptive");
+            println!("vs static layouts); gate regressions with");
+            println!("  eh_bench --compare BENCH_OLD.json new.json");
         }
         other => {
             eprintln!("unknown target '{other}'; use {TARGETS} (or --help)");
@@ -364,6 +370,66 @@ fn skew(scale: f64, reps: usize) {
         std::process::exit(1);
     }
     println!("(morsel should match or beat static on skewed degree distributions)");
+}
+
+// ----------------------------------------------------- trajectory bench
+
+/// The fixed query suite behind the committed `BENCH_*.json` performance
+/// trajectory: medians (via [`measure_median`]) for triangle count/list,
+/// 2-hop, a power-law skew triangle, and an anchored selection, each under
+/// the adaptive engine and the static-layout ablation. Run with
+/// `--threads 1 --json BENCH_N.json` to (re)generate a baseline;
+/// `eh_bench --compare OLD.json NEW.json` gates regressions in CI.
+fn bench_trajectory(scale: f64) {
+    let reps = 7;
+    println!("\n== Performance trajectory suite (scale {scale}, median of {reps}) ==");
+    let t = Table::new(&[
+        ("dataset", 10),
+        ("query", 14),
+        ("config", 10),
+        ("median[s]", 12),
+        ("rows", 12),
+    ]);
+    let nodes = ((20_000.0 * scale) as u32).max(64);
+    let uniform = gen::erdos_renyi(nodes, 8 * nodes as usize, 7).prune_by_degree();
+    let skewed = Graph::power_law(nodes, 8, 42).prune_by_degree();
+    let hub = skewed.max_degree_node();
+    let two_hop = "H2(;w:long) :- Edge(x,y),Edge(y,z); w=<<COUNT(*)>>.";
+    let triangle_list = "T(x,y,z) :- Edge(x,y),Edge(y,z),Edge(x,z).";
+    let anchored =
+        format!("SA(;w:long) :- Edge(x,y),Edge(y,z),Edge(x,z),Edge(x,'{hub}'); w=<<COUNT(*)>>.");
+    let suite: [(&str, &Graph, &str, &str); 5] = [
+        ("uniform", &uniform, "triangle", queries::TRIANGLE),
+        ("uniform", &uniform, "triangle-list", triangle_list),
+        ("uniform", &uniform, "2hop", two_hop),
+        ("skew", &skewed, "triangle", queries::TRIANGLE),
+        ("skew", &skewed, "anchored-sel", anchored.as_str()),
+    ];
+    for (dataset, graph, qname, query) in suite {
+        for (config, cfg) in [
+            ("adaptive", tuned(Config::default())),
+            ("static", tuned(Config::static_layout())),
+        ] {
+            let mut db = Database::with_config(cfg);
+            db.load_graph("Edge", graph);
+            let stmt = db.prepare(query).expect("trajectory query must compile");
+            let run = || stmt.execute(&db).expect("trajectory query must run");
+            let rows = {
+                let out = run(); // warm every cached trie
+                out.scalar_u64().unwrap_or(out.num_rows() as u64)
+            };
+            let d = measure_median(reps, run);
+            record("bench-trajectory", dataset, qname, config, d, rows);
+            t.row(&[
+                dataset.into(),
+                qname.into(),
+                config.into(),
+                secs(d),
+                rows.to_string(),
+            ]);
+        }
+    }
+    println!("(adaptive and static must agree on rows; medians feed BENCH_*.json)");
 }
 
 /// Uniform random sorted set of the given density over a domain.

@@ -407,6 +407,44 @@ impl Database {
         self.catalog.relation(name)
     }
 
+    /// Planner statistics for a stored relation: cardinality plus exact
+    /// per-column distinct counts. O(1) when the counts were already
+    /// seeded (at trie build or by a previous call) — the per-relation
+    /// cache never goes stale because catalog mutations replace whole
+    /// [`Relation`] values (and bump the epoch).
+    pub fn relation_stats(&self, name: &str) -> Option<eh_ghd::RelationStats> {
+        self.catalog.relation_stats(name)
+    }
+
+    /// Distinct count of one column of a stored relation (cached; see
+    /// [`Database::relation_stats`]). `None` for unknown relations or
+    /// out-of-range columns.
+    pub fn column_distinct(&self, name: &str, column: usize) -> Option<u64> {
+        self.catalog
+            .relation(name)
+            .and_then(|r| r.column_distinct(column))
+    }
+
+    /// Number of stored tuples in a relation (`None` if absent).
+    pub fn cardinality(&self, name: &str) -> Option<u64> {
+        self.catalog.relation(name).map(|r| r.rows().len() as u64)
+    }
+
+    /// Size of a dictionary domain (distinct encoded values), by domain
+    /// key — the cost model's proxy for attribute active-domain size.
+    pub fn dictionary_size(&self, domain: &str) -> Option<usize> {
+        self.types.domain(domain).map(|d| d.len())
+    }
+
+    /// Compile a rule without executing it and render the physical plan —
+    /// the chosen attribute order (cost-based when catalog statistics
+    /// exist, structural otherwise), its estimated cost, and the loop
+    /// nest per GHD node.
+    pub fn explain(&self, text: &str) -> Result<String, CoreError> {
+        let prepared = self.prepare(text)?;
+        Ok(prepared.plan().render())
+    }
+
     /// Remove a relation and its schema (returns the relation if
     /// present; shared dictionary domains are kept).
     pub fn drop_relation(&mut self, name: &str) -> Option<Relation> {
@@ -624,7 +662,13 @@ impl Database {
                 "prepare() supports non-recursive rules; use query() for recursion".into(),
             ));
         }
-        let ghd_plan = eh_ghd::plan_rule(&rule, &self.config.plan).map_err(CoreError::Invalid)?;
+        let view = TypedView {
+            mem: &self.catalog,
+            types: &self.types,
+        };
+        let stats = eh_exec::CatalogStats(&view);
+        let ghd_plan = eh_ghd::plan_rule_with_stats(&rule, &self.config.plan, &stats)
+            .map_err(CoreError::Invalid)?;
         let plan = eh_exec::PhysicalPlan::compile(&rule, &ghd_plan);
         // Key-column provenance is captured now, so prepared results
         // decode exactly like query() results (body relations the typed
@@ -922,6 +966,33 @@ mod tests {
             db2.relation("Bad").is_none(),
             "aborted load must not resurface in images"
         );
+    }
+
+    #[test]
+    fn stats_accessors_and_explain() {
+        let mut db = Database::new();
+        db.load_edges("E", &[(0, 1), (0, 2), (1, 2), (2, 0)]);
+        let stats = db.relation_stats("E").unwrap();
+        assert_eq!(stats.cardinality, 4);
+        assert_eq!(stats.distinct, vec![3, 3]);
+        assert_eq!(db.column_distinct("E", 0), Some(3));
+        assert_eq!(db.cardinality("E"), Some(4));
+        assert_eq!(db.relation_stats("missing"), None);
+        // Replacing the relation replaces the cached stats wholesale.
+        let before = db.epoch();
+        db.load_edges("E", &[(7, 8)]);
+        assert!(db.epoch() > before);
+        assert_eq!(db.relation_stats("E").unwrap().cardinality, 1);
+        // explain renders the chosen order; with stats present the order
+        // is cost-based and carries an estimate.
+        let plan = db.explain("T(x,y,z) :- E(x,y),E(y,z),E(x,z).").unwrap();
+        assert!(plan.starts_with("order: "), "{plan}");
+        assert!(plan.contains("cost-based"), "{plan}");
+        assert!(plan.contains("for"));
+        // An unknown relation has no stats: the order falls back to
+        // structural and says so.
+        let fallback = db.explain("Q(x,z) :- A(x,y),A(y,z).").unwrap();
+        assert!(fallback.contains("(structural)"), "{fallback}");
     }
 
     #[test]

@@ -46,6 +46,13 @@ pub struct Config {
     /// Force naive recursion even for monotone aggregates (ablation; the
     /// engine normally picks seminaive for MIN/MAX, paper §3.3.2).
     pub force_naive_recursion: bool,
+    /// Runtime-adaptive set layout: observe the sets each join actually
+    /// touches (size and span, per atom and trie depth) and re-layout
+    /// cached tries whose observed density contradicts the build-time
+    /// fig. 5 choice. `false` freezes layouts at build time — the static-
+    /// policy ablation baseline. Results are identical either way; only
+    /// the physical layout of cached tries differs.
+    pub adaptive: bool,
 }
 
 impl Default for Config {
@@ -58,6 +65,7 @@ impl Default for Config {
             scheduler: Scheduler::Morsel,
             morsel_size: None,
             force_naive_recursion: false,
+            adaptive: true,
         }
     }
 }
@@ -119,6 +127,21 @@ impl Config {
         self
     }
 
+    /// Static build-time layouts only (adaptive re-layout ablation
+    /// baseline; every preset keeps `adaptive: true` otherwise).
+    pub fn static_layout() -> Config {
+        Config {
+            adaptive: false,
+            ..Default::default()
+        }
+    }
+
+    /// Toggle runtime-adaptive layout selection.
+    pub fn with_adaptive(mut self, adaptive: bool) -> Config {
+        self.adaptive = adaptive;
+        self
+    }
+
     /// Resolve the morsel size for a level-0 range of `len` values split
     /// across `threads` workers. Auto-sizing targets ~8 morsels per worker
     /// so skewed values re-balance, floored at 1 and capped so tiny inputs
@@ -174,6 +197,9 @@ mod tests {
         assert!(!ra.intersect.algorithm_optimizer);
         assert!(!Config::no_ghd().plan.ghd_optimizations);
         assert!(Config::default().plan.ghd_optimizations);
+        assert!(Config::default().adaptive);
+        assert!(!Config::static_layout().adaptive);
+        assert!(!Config::default().with_adaptive(false).adaptive);
     }
 
     #[test]

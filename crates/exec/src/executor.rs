@@ -72,13 +72,17 @@ pub struct NodeResult {
     pub tuples: TupleBuffer,
 }
 
-/// Compile and execute a single (non-recursive) rule.
+/// Compile and execute a single (non-recursive) rule. Planning reads the
+/// catalog's statistics (cardinalities, per-column distinct counts) so the
+/// attribute-order search is cost-based whenever stats are available.
 pub fn execute_rule(
     rule: &Rule,
     catalog: &dyn Catalog,
     cfg: &Config,
 ) -> Result<Relation, ExecError> {
-    let ghd_plan = eh_ghd::plan_rule(rule, &cfg.plan).map_err(ExecError::Plan)?;
+    let stats = crate::storage::CatalogStats(catalog);
+    let ghd_plan =
+        eh_ghd::plan_rule_with_stats(rule, &cfg.plan, &stats).map_err(ExecError::Plan)?;
     let plan = PhysicalPlan::compile(rule, &ghd_plan);
     execute_plan(&plan, catalog, cfg)
 }
@@ -148,11 +152,19 @@ fn run_node(
             // Shared level-0 prologue: merge the outermost values once,
             // then hand the range to the scheduler.
             let mut merged = std::mem::take(&mut ctx.scratch[0]);
-            crate::gj::fill_level(&program, 0, &ctx.atoms, cfg, &mut ctx.mw, &mut merged);
+            crate::gj::fill_level(
+                &program,
+                0,
+                &ctx.atoms,
+                cfg,
+                &mut ctx.mw,
+                &mut ctx.obs,
+                &mut merged,
+            );
             if !merged.is_empty() {
                 crate::parallel::run(
                     &program,
-                    &ctx,
+                    &mut ctx,
                     &merged,
                     build.base_product,
                     &mut sink,
@@ -163,11 +175,99 @@ fn run_node(
         } else {
             crate::gj::gj(&program, &mut ctx, 0, build.base_product, &mut sink);
         }
+        adapt_layouts(&build.sources, &ctx, catalog, cfg);
     }
     Ok(NodeResult {
         attrs: node.output_attrs.clone(),
         tuples: sink.into_node_tuples(node.output_attrs.len(), op),
     })
+}
+
+/// Post-join adaptive-layout feedback (the [`Config::adaptive`] knob):
+/// fold the run's observation cells back onto the cached tries they read.
+/// Observations at stack depth `d` of a catalog-backed atom describe trie
+/// level `level_offset + d`; when the fig. 5 crossover over the *observed*
+/// sets contradicts the layouts the build-time policy chose for that
+/// level, the cached trie is rebuilt with the level pinned to the observed
+/// choice (contents unchanged — only the physical layout moves). The
+/// feedback is idempotent: after the rebuild the level's census matches
+/// the observed choice, so re-running the same workload rebuilds nothing.
+/// Only the per-set optimizer participates; fixed layout policies are
+/// ablation baselines and stay fixed.
+fn adapt_layouts(
+    sources: &[Option<(String, Vec<usize>)>],
+    ctx: &GjContext<'_>,
+    catalog: &dyn Catalog,
+    cfg: &Config,
+) {
+    use eh_set::{LayoutKind, LayoutPolicy};
+    if !cfg.adaptive || cfg.layout_policy != LayoutPolicy::SetLevel {
+        return;
+    }
+    // Pool observation cells per (relation, trie order, trie level):
+    // several atoms can read the same cached trie at different depths
+    // (a triangle reads Edge three times), and one rebuild should see
+    // their combined evidence.
+    let mut groups: Vec<(&str, &[usize], Vec<crate::program::ObsCell>)> = Vec::new();
+    for (i, src) in sources.iter().enumerate() {
+        let Some((name, order)) = src else { continue };
+        let atom = &ctx.atoms[i];
+        let arity = atom.trie.arity();
+        let slot = match groups
+            .iter()
+            .position(|(n, o, _)| *n == name.as_str() && *o == order.as_slice())
+        {
+            Some(p) => p,
+            None => {
+                groups.push((
+                    name.as_str(),
+                    order.as_slice(),
+                    vec![crate::program::ObsCell::default(); arity],
+                ));
+                groups.len() - 1
+            }
+        };
+        for (d, cell) in ctx.obs[i].iter().enumerate() {
+            let level = atom.level_offset + d;
+            if level < groups[slot].2.len() {
+                groups[slot].2[level].merge(cell);
+            }
+        }
+    }
+    for (name, order, cells) in groups {
+        let Some(rel) = catalog.relation(name) else {
+            continue;
+        };
+        let trie = rel.trie_threads(order, cfg.layout_policy, cfg.effective_threads());
+        let mut overrides: Vec<Option<LayoutKind>> = vec![None; cells.len()];
+        let mut changed = false;
+        for (level, cell) in cells.iter().enumerate() {
+            let Some(desired) = cell.desired() else {
+                continue;
+            };
+            let (uint, bitset, block) = trie.level_census(level);
+            if block > 0 {
+                continue; // never produced by SetLevel; leave foreign layouts alone
+            }
+            let current = if bitset > uint {
+                LayoutKind::Bitset
+            } else {
+                LayoutKind::Uint
+            };
+            if desired != current {
+                overrides[level] = Some(desired);
+                changed = true;
+            }
+        }
+        if changed {
+            rel.relayout_trie(
+                order,
+                cfg.layout_policy,
+                cfg.effective_threads(),
+                &overrides,
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -203,6 +303,71 @@ mod tests {
             execute_rule(&rule, &cat, &Config::default()),
             Err(ExecError::ArityMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn adaptive_feedback_relayouts_hot_levels() {
+        use eh_set::LayoutPolicy;
+        // E: 20 hub sources with dense (consecutive) neighbour sets, plus
+        // 500 tail sources with singleton neighbours. Build-time census at
+        // level 1 is uint-majority (500 singletons vs 20 bitsets). F only
+        // shares the hub sources, so a join reads *only* the dense sets —
+        // the observed aggregate wants bitset, contradicting the census.
+        let mut e_rows: Vec<Vec<u32>> = Vec::new();
+        for x in 0..20u32 {
+            for y in 0..100u32 {
+                e_rows.push(vec![x, 1000 + y]);
+            }
+        }
+        for t in 0..500u32 {
+            e_rows.push(vec![100 + t, 5000 + t]);
+        }
+        let f_rows: Vec<Vec<u32>> = (0..20u32)
+            .flat_map(|x| (0..100u32).map(move |y| vec![x, 1000 + y]))
+            .collect();
+        let mut cat = MemCatalog::new();
+        cat.insert("E", Relation::from_rows(2, e_rows));
+        cat.insert("F", Relation::from_rows(2, f_rows));
+        let rule = parse_rule("C(;w:long) :- E(x,y),F(x,y); w=<<COUNT(*)>>.").unwrap();
+
+        // Static baseline: census unchanged by running the query.
+        let cfg_static = Config::static_layout();
+        let before = cat
+            .relation("E")
+            .unwrap()
+            .trie(&[0, 1], LayoutPolicy::SetLevel)
+            .level_census(1);
+        assert!(before.0 > before.1, "uint majority at build time");
+        let static_out = execute_rule(&rule, &cat, &cfg_static).unwrap();
+        let after_static = cat
+            .relation("E")
+            .unwrap()
+            .trie(&[0, 1], LayoutPolicy::SetLevel)
+            .level_census(1);
+        assert_eq!(before, after_static, "static config must not re-layout");
+
+        // Adaptive: the hot level flips to bitset, results are identical,
+        // and the feedback is idempotent (no further changes on re-run).
+        let cfg = Config::default();
+        let adaptive_out = execute_rule(&rule, &cat, &cfg).unwrap();
+        assert_eq!(static_out.scalar(), adaptive_out.scalar());
+        let after = cat
+            .relation("E")
+            .unwrap()
+            .trie(&[0, 1], LayoutPolicy::SetLevel)
+            .level_census(1);
+        assert!(
+            after.1 > before.1,
+            "observed-dense level re-laid to bitset: {before:?} -> {after:?}"
+        );
+        let rerun = execute_rule(&rule, &cat, &cfg).unwrap();
+        assert_eq!(static_out.scalar(), rerun.scalar());
+        let after2 = cat
+            .relation("E")
+            .unwrap()
+            .trie(&[0, 1], LayoutPolicy::SetLevel)
+            .level_census(1);
+        assert_eq!(after, after2, "feedback is idempotent");
     }
 
     #[test]

@@ -16,11 +16,27 @@
 //! between the serial driver ([`gj`]) and the parallel schedulers in
 //! [`crate::parallel`], so the two can no longer drift.
 
-use crate::program::{AtomExec, GjContext, JoinProgram, ValueBuf};
+use crate::program::{AtomExec, GjContext, JoinProgram, ObsCell, ValueBuf};
 use crate::sink::{emit, Sink};
 use eh_semiring::{AggOp, DynValue};
 use eh_set::intersect::{count_all_with, intersect_all_with};
 use eh_set::MultiwayScratch;
+
+/// Record one intersection's participating sets into the adaptive-layout
+/// observation cells (`obs[atom][depth]`): counter increments only, no
+/// allocation. Shared by the merge prologue and the count fast path.
+#[inline]
+fn observe_level(
+    program: &JoinProgram,
+    level: usize,
+    atoms: &[AtomExec],
+    obs: &mut [Vec<ObsCell>],
+) {
+    for st in &program.levels[level].steps {
+        let set = atoms[st.atom].set_at(st.depth);
+        obs[st.atom][st.depth].record(set.len(), set.span());
+    }
+}
 
 /// Merge the candidate values for `level` into `out` (cleared first):
 /// the multiway intersection of every participating atom's current set,
@@ -33,9 +49,13 @@ pub(crate) fn fill_level(
     atoms: &[AtomExec],
     cfg: &crate::config::Config,
     mw: &mut MultiwayScratch,
+    obs: &mut [Vec<ObsCell>],
     out: &mut ValueBuf,
 ) {
     out.clear();
+    if cfg.adaptive {
+        observe_level(program, level, atoms, obs);
+    }
     let steps = &program.levels[level].steps;
     intersect_all_with(
         steps.len(),
@@ -112,6 +132,9 @@ pub(crate) fn gj(
     if level + 1 == program.attrs_len && program.count_fast {
         let count = {
             let atoms = &ctx.atoms;
+            if ctx.cfg.adaptive {
+                observe_level(program, level, atoms, &mut ctx.obs);
+            }
             count_all_with(
                 steps.len(),
                 |k| {
@@ -136,6 +159,7 @@ pub(crate) fn gj(
         &ctx.atoms,
         ctx.cfg,
         &mut ctx.mw,
+        &mut ctx.obs,
         &mut merged,
     );
     // Fresh ascent at this level: reset each participating atom's cursor.

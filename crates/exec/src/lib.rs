@@ -40,7 +40,7 @@ pub use config::{Config, Scheduler};
 pub use executor::{execute_plan, execute_rule, ExecError};
 pub use plan::{PhysicalPlan, PlanNode};
 pub use recursion::execute_recursive_rule;
-pub use storage::{Catalog, MemCatalog, Relation};
+pub use storage::{Catalog, CatalogStats, MemCatalog, Relation};
 
 // The engine's flat columnar tuple format, re-exported for callers that
 // construct relations directly.

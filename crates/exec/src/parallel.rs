@@ -33,10 +33,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Run level 0 over `merged` with `threads` workers and fold the
 /// per-worker sinks into `sink`. `ctx` is the post-prologue context the
-/// workers fork from; it is not advanced.
+/// workers fork from; its cursors are not advanced, but each worker's
+/// adaptive-layout observation counters are merged back into it so the
+/// feedback sees parallel runs too.
 pub(crate) fn run(
     program: &JoinProgram,
-    ctx: &GjContext<'_>,
+    ctx: &mut GjContext<'_>,
     merged: &[u32],
     base_product: DynValue,
     sink: &mut Sink,
@@ -48,56 +50,65 @@ pub(crate) fn run(
             let morsel = ctx.cfg.effective_morsel(merged.len(), threads);
             let cursor = AtomicUsize::new(0);
             let mut workers: Vec<GjContext<'_>> = (0..threads).map(|_| ctx.fork()).collect();
-            let mut chunks: Vec<(usize, Sink)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = workers
-                    .drain(..)
-                    .map(|mut local| {
-                        let cursor = &cursor;
-                        scope.spawn(move || {
-                            // One sink per claimed chunk, tagged with its
-                            // range start: merging in range order below
-                            // makes the ⊕ fold order independent of which
-                            // worker won each chunk.
-                            let mut claimed: Vec<(usize, Sink)> = Vec::new();
-                            loop {
-                                let start = cursor.fetch_add(morsel, Ordering::Relaxed);
-                                if start >= merged.len() {
-                                    break;
+            let (mut chunks, worker_obs): (Vec<(usize, Sink)>, Vec<_>) =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = workers
+                        .drain(..)
+                        .map(|mut local| {
+                            let cursor = &cursor;
+                            scope.spawn(move || {
+                                // One sink per claimed chunk, tagged with its
+                                // range start: merging in range order below
+                                // makes the ⊕ fold order independent of which
+                                // worker won each chunk.
+                                let mut claimed: Vec<(usize, Sink)> = Vec::new();
+                                loop {
+                                    let start = cursor.fetch_add(morsel, Ordering::Relaxed);
+                                    if start >= merged.len() {
+                                        break;
+                                    }
+                                    let end = (start + morsel).min(merged.len());
+                                    let mut chunk_sink =
+                                        Sink::for_output(program.is_agg, keys, program.op);
+                                    for &v in &merged[start..end] {
+                                        step_value(
+                                            program,
+                                            &mut local,
+                                            0,
+                                            v,
+                                            base_product,
+                                            &mut chunk_sink,
+                                        );
+                                    }
+                                    claimed.push((start, chunk_sink));
                                 }
-                                let end = (start + morsel).min(merged.len());
-                                let mut chunk_sink =
-                                    Sink::for_output(program.is_agg, keys, program.op);
-                                for &v in &merged[start..end] {
-                                    step_value(
-                                        program,
-                                        &mut local,
-                                        0,
-                                        v,
-                                        base_product,
-                                        &mut chunk_sink,
-                                    );
-                                }
-                                claimed.push((start, chunk_sink));
-                            }
-                            claimed
+                                (claimed, local.obs)
+                            })
                         })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("worker thread panicked"))
-                    .collect()
-            });
+                        .collect();
+                    let mut chunks = Vec::new();
+                    let mut obs = Vec::new();
+                    for h in handles {
+                        let (claimed, o) = h.join().expect("worker thread panicked");
+                        chunks.extend(claimed);
+                        obs.push(o);
+                    }
+                    (chunks, obs)
+                });
+            for o in &worker_obs {
+                ctx.merge_obs(o);
+            }
             chunks.sort_unstable_by_key(|&(start, _)| start);
             chunks.into_iter().map(|(_, s)| s).collect()
         }
         Scheduler::Static => {
             let chunk = merged.len().div_ceil(threads);
-            std::thread::scope(|scope| {
+            let ctx_ref = &*ctx;
+            let (sinks, worker_obs): (Vec<Sink>, Vec<_>) = std::thread::scope(|scope| {
                 let handles: Vec<_> = merged
                     .chunks(chunk)
                     .map(|vals| {
-                        let mut local = ctx.fork();
+                        let mut local = ctx_ref.fork();
                         scope.spawn(move || {
                             let mut local_sink = Sink::for_output(program.is_agg, keys, program.op);
                             for &v in vals {
@@ -110,15 +121,23 @@ pub(crate) fn run(
                                     &mut local_sink,
                                 );
                             }
-                            local_sink
+                            (local_sink, local.obs)
                         })
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker thread panicked"))
-                    .collect()
-            })
+                let mut sinks = Vec::new();
+                let mut obs = Vec::new();
+                for h in handles {
+                    let (s, o) = h.join().expect("worker thread panicked");
+                    sinks.push(s);
+                    obs.push(o);
+                }
+                (sinks, obs)
+            });
+            for o in &worker_obs {
+                ctx.merge_obs(o);
+            }
+            sinks
         }
     };
     // Merge per-thread sinks.

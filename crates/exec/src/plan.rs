@@ -83,6 +83,10 @@ pub struct PhysicalPlan {
     pub agg: Option<AggSpec>,
     /// True when the top-down pass is unnecessary.
     pub skip_top_down: bool,
+    /// Estimated intersection work of the chosen attribute order under the
+    /// planner's cost model — `None` when catalog statistics were missing
+    /// (structural order fallback) or cost-based ordering was disabled.
+    pub estimated_cost: Option<f64>,
 }
 
 impl PhysicalPlan {
@@ -263,6 +267,7 @@ impl PhysicalPlan {
             output_vars: head_vars,
             agg,
             skip_top_down: ghd_plan.skip_top_down,
+            estimated_cost: ghd_plan.estimated_cost,
         }
     }
 
@@ -271,9 +276,15 @@ impl PhysicalPlan {
         self.nodes.last().expect("plan has at least one node")
     }
 
-    /// Render the plan as the pseudo-code loop nest of paper Figure 1.
+    /// Render the plan as the pseudo-code loop nest of paper Figure 1,
+    /// headed by the chosen attribute order and its estimated cost.
     pub fn render(&self) -> String {
         let mut out = String::new();
+        out.push_str(&format!("order: {}", self.attr_order.join(" ")));
+        match self.estimated_cost {
+            Some(c) => out.push_str(&format!(" (cost-based, est. work {c:.1})\n")),
+            None => out.push_str(" (structural)\n"),
+        }
         for node in self.nodes.iter().rev() {
             out.push_str(&format!(
                 "node v{} (χ: {:?}, out: {:?}{}):\n",
@@ -420,6 +431,29 @@ mod tests {
         assert!(s.contains("for"));
         assert!(s.contains("∩"));
         assert!(s.contains("node v0"));
+        // No stats were supplied, so the order is the structural one.
+        assert!(s.starts_with("order: "));
+        assert!(s.contains("(structural)"));
+        assert_eq!(p.estimated_cost, None);
+    }
+
+    #[test]
+    fn render_shows_cost_based_order() {
+        use eh_ghd::{plan_rule_with_stats, RelationStats, StatsSource};
+        struct OneRel;
+        impl StatsSource for OneRel {
+            fn stats(&self, name: &str) -> Option<RelationStats> {
+                (name == "E").then(|| RelationStats {
+                    cardinality: 1_000,
+                    distinct: vec![100, 500],
+                })
+            }
+        }
+        let rule = parse_rule("T(x,y,z) :- E(x,y),E(y,z),E(x,z).").unwrap();
+        let gp = plan_rule_with_stats(&rule, &PlanOptions::default(), &OneRel).unwrap();
+        let p = PhysicalPlan::compile(&rule, &gp);
+        assert!(p.estimated_cost.is_some());
+        assert!(p.render().contains("cost-based"), "{}", p.render());
     }
 
     #[test]

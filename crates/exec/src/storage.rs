@@ -6,8 +6,9 @@
 //! the paper stores "both orders for each edge relation" (§2.2 "Column
 //! (Index) Order"); we generalize to caching any requested order.
 
+use eh_ghd::RelationStats;
 use eh_semiring::{AggOp, DynValue};
-use eh_set::LayoutPolicy;
+use eh_set::{LayoutKind, LayoutPolicy};
 use eh_trie::{Trie, TrieBuilder, TupleBuffer};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -20,6 +21,13 @@ pub struct Relation {
     /// ⊕ used to combine duplicate-tuple annotations.
     combine: AggOp,
     tries: RwLock<TrieCache>,
+    /// Per-column distinct counts, filled opportunistically at trie build
+    /// (the root set of a trie ordered `[c, ...]` is exactly column `c`'s
+    /// distinct values) and on demand otherwise. A `Relation`'s tuples are
+    /// immutable — catalog mutations replace the whole relation — so the
+    /// cache can never go stale; the database's epoch machinery invalidates
+    /// at that granularity.
+    distinct: RwLock<Vec<Option<u64>>>,
 }
 
 /// Cache of materialized tries, keyed by attribute order + layout policy.
@@ -52,6 +60,7 @@ impl Clone for Relation {
             tuples: self.tuples.clone(),
             combine: self.combine,
             tries: RwLock::new(self.tries.read().clone()),
+            distinct: RwLock::new(self.distinct.read().clone()),
         }
     }
 }
@@ -60,10 +69,12 @@ impl Relation {
     /// Relation over a flat tuple buffer — the engine's primary
     /// constructor; annotations travel inside the buffer.
     pub fn from_buffer(tuples: TupleBuffer, combine: AggOp) -> Relation {
+        let arity = tuples.arity();
         Relation {
             tuples,
             combine,
             tries: RwLock::new(HashMap::new()),
+            distinct: RwLock::new(vec![None; arity]),
         }
     }
 
@@ -164,6 +175,16 @@ impl Relation {
             .combine(self.combine)
             .threads(threads);
         let trie = Arc::new(builder.build_buffer(&reordered));
+        // Opportunistic stats seeding: the root set of this trie holds
+        // exactly the distinct values of the order's first source column.
+        if let Some(&first) = order.first() {
+            if !trie.is_empty() {
+                let mut distinct = self.distinct.write();
+                if distinct[first].is_none() {
+                    distinct[first] = Some(trie.root().set.len() as u64);
+                }
+            }
+        }
         self.tries.write().insert(key, Arc::clone(&trie));
         trie
     }
@@ -172,6 +193,69 @@ impl Relation {
     pub fn trie_default(&self, policy: LayoutPolicy) -> Arc<Trie> {
         let order: Vec<usize> = (0..self.arity()).collect();
         self.trie(&order, policy)
+    }
+
+    /// Planner statistics: row count plus per-column distinct counts.
+    /// Distinct counts are cached — seeded at trie build where possible,
+    /// computed by a one-off column scan otherwise — so repeated calls
+    /// (one per atom per planning pass) are O(columns) lookups.
+    pub fn stats(&self) -> RelationStats {
+        let need: Vec<usize> = {
+            let distinct = self.distinct.read();
+            (0..self.arity())
+                .filter(|&c| distinct[c].is_none())
+                .collect()
+        };
+        if !need.is_empty() {
+            let flat = self.tuples.flat();
+            let arity = self.arity();
+            for c in need {
+                let mut vals: Vec<u32> = flat.iter().skip(c).step_by(arity).copied().collect();
+                vals.sort_unstable();
+                vals.dedup();
+                self.distinct.write()[c] = Some(vals.len() as u64);
+            }
+        }
+        let distinct = self.distinct.read();
+        RelationStats {
+            cardinality: self.tuples.len() as u64,
+            distinct: distinct.iter().map(|d| d.unwrap_or(0)).collect(),
+        }
+    }
+
+    /// Distinct count of one column (cached, see [`Relation::stats`]).
+    pub fn column_distinct(&self, column: usize) -> Option<u64> {
+        if column >= self.arity() {
+            return None;
+        }
+        self.stats().distinct.get(column).copied()
+    }
+
+    /// Replace the cached trie for `(order, policy)` with one rebuilt under
+    /// per-level layout overrides (`overrides[level] = Some(kind)` forces
+    /// that trie level to one layout; `None` keeps the policy's choice).
+    /// This is the runtime-adaptive re-layout hook: observed access
+    /// patterns pick the overrides, the set *contents* are identical by
+    /// construction, and subsequent cache hits for the same key serve the
+    /// re-laid trie. Returns the new trie.
+    pub fn relayout_trie(
+        &self,
+        order: &[usize],
+        policy: LayoutPolicy,
+        threads: usize,
+        overrides: &[Option<LayoutKind>],
+    ) -> Arc<Trie> {
+        assert_eq!(order.len(), self.arity(), "order must cover all columns");
+        let reordered = self.tuples.reorder(order);
+        let builder = TrieBuilder::new(self.arity())
+            .policy(policy)
+            .combine(self.combine)
+            .threads(threads)
+            .level_overrides(overrides.to_vec());
+        let trie = Arc::new(builder.build_buffer(&reordered));
+        let key = (order.to_vec(), policy_key(policy));
+        self.tries.write().insert(key, Arc::clone(&trie));
+        trie
     }
 }
 
@@ -196,6 +280,22 @@ pub trait Catalog: Sync {
     fn resolve_const_at(&self, relation: &str, column: usize, text: &str) -> Option<u32> {
         let _ = (relation, column);
         self.resolve_const(text)
+    }
+
+    /// Planner statistics for a named relation, O(1) after the relation's
+    /// first computation (see [`Relation::stats`]).
+    fn relation_stats(&self, name: &str) -> Option<RelationStats> {
+        self.relation(name).map(|r| r.stats())
+    }
+}
+
+/// Adapter exposing a [`Catalog`] to the planner as a
+/// [`eh_ghd::StatsSource`], so `eh_ghd` stays ignorant of executor types.
+pub struct CatalogStats<'a>(pub &'a dyn Catalog);
+
+impl eh_ghd::StatsSource for CatalogStats<'_> {
+    fn stats(&self, name: &str) -> Option<RelationStats> {
+        self.0.relation_stats(name)
     }
 }
 
@@ -301,6 +401,81 @@ mod tests {
         assert_eq!(r.arity(), 0);
         assert_eq!(r.scalar_value(), Some(DynValue::U64(42)));
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn stats_scan_and_trie_seed_agree() {
+        // Column 0 has 2 distinct values, column 1 has 4; one duplicate row.
+        let r = Relation::from_rows(
+            2,
+            vec![
+                vec![1, 10],
+                vec![2, 20],
+                vec![1, 30],
+                vec![2, 40],
+                vec![1, 10],
+            ],
+        );
+        let scanned = r.stats();
+        assert_eq!(scanned.cardinality, 5);
+        assert_eq!(scanned.distinct, vec![2, 4]);
+        // A fresh relation seeded through trie builds reports identical
+        // distinct counts (the root set is the first column's value set).
+        let r2 = Relation::from_rows(
+            2,
+            vec![
+                vec![1, 10],
+                vec![2, 20],
+                vec![1, 30],
+                vec![2, 40],
+                vec![1, 10],
+            ],
+        );
+        r2.trie(&[0, 1], LayoutPolicy::SetLevel);
+        r2.trie(&[1, 0], LayoutPolicy::SetLevel);
+        assert_eq!(r2.stats(), scanned);
+        assert_eq!(r2.column_distinct(0), Some(2));
+        assert_eq!(r2.column_distinct(2), None);
+    }
+
+    #[test]
+    fn catalog_relation_stats_default() {
+        let mut cat = MemCatalog::new();
+        cat.insert("E", Relation::from_rows(2, vec![vec![0, 1], vec![0, 2]]));
+        let st = cat.relation_stats("E").unwrap();
+        assert_eq!(st.cardinality, 2);
+        assert_eq!(st.distinct, vec![1, 2]);
+        assert!(cat.relation_stats("missing").is_none());
+        // The planner-facing adapter sees the same numbers.
+        use eh_ghd::StatsSource;
+        let src = CatalogStats(&cat);
+        assert_eq!(src.stats("E"), Some(st));
+    }
+
+    #[test]
+    fn relayout_replaces_cache_entry_with_identical_contents() {
+        // 600 consecutive values under one parent: SetLevel picks bitset
+        // for the leaf level; force it back to uint and the cached trie
+        // must swap while scanning identically.
+        let rows: Vec<Vec<u32>> = (0..600u32).map(|i| vec![0, i]).collect();
+        let r = Relation::from_rows(2, rows);
+        let auto = r.trie(&[0, 1], LayoutPolicy::SetLevel);
+        let (_, bitset, _) = auto.layout_census();
+        assert!(bitset > 0, "expected a bitset leaf");
+        let relaid = r.relayout_trie(
+            &[0, 1],
+            LayoutPolicy::SetLevel,
+            1,
+            &[None, Some(eh_set::LayoutKind::Uint)],
+        );
+        let (_, bitset_after, _) = relaid.layout_census();
+        assert_eq!(bitset_after, 0);
+        assert_eq!(auto.scan(), relaid.scan(), "contents must be unchanged");
+        let cached = r.trie(&[0, 1], LayoutPolicy::SetLevel);
+        assert!(
+            Arc::ptr_eq(&cached, &relaid),
+            "cache must serve the re-laid trie"
+        );
     }
 
     #[test]

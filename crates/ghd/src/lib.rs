@@ -14,19 +14,24 @@
 //!    down across nodes (paper Appendix B.1),
 //! 5. derives the global attribute order by a pre-order traversal of the
 //!    winning GHD, with selected attributes hoisted first within each node
-//!    (paper §3.2 "Global Attribute Ordering", Appendix B.1),
+//!    (paper §3.2 "Global Attribute Ordering", Appendix B.1); when the
+//!    catalog carries statistics, within-node orders are beam-searched
+//!    under the intersection-work cost model ([`cost`]) instead of the
+//!    structural frequency sort,
 //! 6. marks equivalent GHD nodes so the executor computes them once
 //!    (paper Appendix B.2 "Eliminating Redundant Work").
 
+pub mod cost;
 pub mod decompose;
 pub mod hypergraph;
 pub mod lp;
 pub mod optimizer;
 
+pub use cost::{NoStats, RelationStats, StatsSource};
 pub use decompose::{enumerate_ghds, Ghd, GhdNode};
 pub use hypergraph::{Hyperedge, Hypergraph};
 pub use lp::{agm_exponent, solve_cover_lp};
-pub use optimizer::{plan_rule, GhdPlan, PlanOptions};
+pub use optimizer::{plan_rule, plan_rule_with_stats, GhdPlan, PlanOptions};
 
 #[cfg(test)]
 mod tests {

@@ -1,6 +1,7 @@
 //! GHD selection, attribute ordering, selection push-down, and redundant
 //! node elimination (paper §3.2, Appendix B).
 
+use crate::cost::{cmp_cost, ghd_cost, order_node, NoStats, StatsSource};
 use crate::decompose::{enumerate_ghds, single_node_ghd, Ghd, GhdNode};
 use crate::hypergraph::Hypergraph;
 use eh_query::Rule;
@@ -15,6 +16,12 @@ pub struct PlanOptions {
     pub push_down_selections: bool,
     /// Detect equivalent GHD nodes so they are computed once (App. B.2).
     pub dedup_nodes: bool,
+    /// Score candidate within-node attribute orders (and otherwise-tied
+    /// GHD roots) with the catalog-statistics cost model instead of the
+    /// purely structural frequency sort. Has no effect when the catalog
+    /// has no statistics; `false` keeps the structural order as the
+    /// ablation baseline.
+    pub cost_based_order: bool,
 }
 
 impl Default for PlanOptions {
@@ -23,6 +30,7 @@ impl Default for PlanOptions {
             ghd_optimizations: true,
             push_down_selections: true,
             dedup_nodes: true,
+            cost_based_order: true,
         }
     }
 }
@@ -44,21 +52,44 @@ pub struct GhdPlan {
     /// True when the top-down Yannakakis pass can be skipped because every
     /// output attribute already appears in the root node (App. B.2).
     pub skip_top_down: bool,
+    /// Estimated total intersection work under the chosen order, from the
+    /// statistics cost model. `None` when statistics were unavailable (or
+    /// the cost-based order is disabled) and the structural order was used.
+    pub estimated_cost: Option<f64>,
 }
 
-/// Compile a rule into a [`GhdPlan`].
+/// Compile a rule into a [`GhdPlan`] with no catalog statistics — the
+/// structural planner (pre-order, frequency sort) exactly as before.
 pub fn plan_rule(rule: &Rule, opts: &PlanOptions) -> Result<GhdPlan, String> {
+    plan_rule_with_stats(rule, opts, &NoStats)
+}
+
+/// Compile a rule into a [`GhdPlan`], consulting `stats` to score
+/// candidate attribute orders and to break GHD-choice ties by estimated
+/// intersection work (when `opts.cost_based_order` is set and the source
+/// has statistics for every relation of the rule).
+pub fn plan_rule_with_stats(
+    rule: &Rule,
+    opts: &PlanOptions,
+    stats: &dyn StatsSource,
+) -> Result<GhdPlan, String> {
     eh_query::validate_rule(rule).map_err(|e| e.to_string())?;
     let hg = Hypergraph::from_rule(rule);
     if hg.num_edges() == 0 {
         return Err("rule has no body atoms".into());
     }
+    let costed: &dyn StatsSource = if opts.cost_based_order {
+        stats
+    } else {
+        &NoStats
+    };
     let ghd = if opts.ghd_optimizations {
-        choose_ghd(&hg, opts.push_down_selections, opts.dedup_nodes)
+        choose_ghd(&hg, opts.push_down_selections, opts.dedup_nodes, costed)
     } else {
         single_node_ghd(&hg)
     };
-    let attr_order = attribute_order(&hg, &ghd);
+    let estimated_cost = ghd_cost(&hg, &ghd.root, costed);
+    let attr_order = attribute_order(&hg, &ghd, costed);
     let node_equiv = if opts.dedup_nodes {
         equivalent_nodes(&hg, &ghd)
     } else {
@@ -79,14 +110,21 @@ pub fn plan_rule(rule: &Rule, opts: &PlanOptions) -> Result<GhdPlan, String> {
         attr_order,
         node_equiv,
         skip_top_down,
+        estimated_cost,
     })
 }
 
 /// Pick the minimum-width GHD; tie-break toward maximal selection depth
 /// (push-down across nodes), then toward more reusable (equivalent) nodes
 /// (App. B.2 dedup pays off only if the shape exposes equivalent subtrees),
+/// then by estimated intersection work when statistics are available,
 /// then toward fewer nodes, then toward fewer total attributes.
-fn choose_ghd(hg: &Hypergraph, push_down: bool, prefer_dedup: bool) -> Ghd {
+fn choose_ghd(
+    hg: &Hypergraph,
+    push_down: bool,
+    prefer_dedup: bool,
+    stats: &dyn StatsSource,
+) -> Ghd {
     let mut candidates = enumerate_ghds(hg);
     // Drop dominated "wrapper" decompositions: a node with a single child
     // whose χ contains the node's entire χ does no join work of its own —
@@ -97,7 +135,16 @@ fn choose_ghd(hg: &Hypergraph, push_down: bool, prefer_dedup: bool) -> Ghd {
         return single_node_ghd(hg);
     }
     // Precompute all tie-break keys once; signatures are not cheap.
-    let mut keyed: Vec<(f64, usize, usize, usize, usize, Ghd)> = candidates
+    struct Keyed {
+        width: f64,
+        sel: usize,
+        equiv: usize,
+        cost: Option<f64>,
+        nodes: usize,
+        chi: usize,
+        ghd: Ghd,
+    }
+    let mut keyed: Vec<Keyed> = candidates
         .drain(..)
         .map(|g| {
             let sel = if push_down {
@@ -113,18 +160,28 @@ fn choose_ghd(hg: &Hypergraph, push_down: bool, prefer_dedup: bool) -> Ghd {
             } else {
                 0
             };
-            (g.width, sel, equiv, g.node_count(), total_chi(&g.root), g)
+            Keyed {
+                width: g.width,
+                sel,
+                equiv,
+                cost: ghd_cost(hg, &g.root, stats),
+                nodes: g.node_count(),
+                chi: total_chi(&g.root),
+                ghd: g,
+            }
         })
         .collect();
     keyed.sort_by(|a, b| {
-        a.0.partial_cmp(&b.0)
+        a.width
+            .partial_cmp(&b.width)
             .unwrap()
-            .then_with(|| b.1.cmp(&a.1))
-            .then_with(|| b.2.cmp(&a.2))
-            .then_with(|| a.3.cmp(&b.3))
-            .then_with(|| a.4.cmp(&b.4))
+            .then_with(|| b.sel.cmp(&a.sel))
+            .then_with(|| b.equiv.cmp(&a.equiv))
+            .then_with(|| cmp_cost(a.cost, b.cost))
+            .then_with(|| a.nodes.cmp(&b.nodes))
+            .then_with(|| a.chi.cmp(&b.chi))
     });
-    keyed.into_iter().next().unwrap().5
+    keyed.into_iter().next().unwrap().ghd
 }
 
 /// True if any node has exactly one child whose χ is a superset of the
@@ -162,27 +219,36 @@ fn total_chi(node: &GhdNode) -> usize {
 
 /// Global attribute order: pre-order traversal over the GHD, appending each
 /// node's attributes to a queue (paper §3.2); within a node, attributes
-/// with selections come first (App. B.1 "Within a Node"), then by how many
-/// of the node's relations contain them (descending).
-fn attribute_order(hg: &Hypergraph, ghd: &Ghd) -> Vec<String> {
+/// with selections come first (App. B.1 "Within a Node"), then — when the
+/// catalog has statistics — by the beam-searched cost-model order, falling
+/// back to how many of the node's relations contain them (descending).
+fn attribute_order(hg: &Hypergraph, ghd: &Ghd, stats: &dyn StatsSource) -> Vec<String> {
     let mut order: Vec<usize> = Vec::new();
     let mut seen = vec![false; hg.num_vars()];
     let selected = hg.selected_vars();
     ghd.root.preorder(&mut |node| {
-        let mut local: Vec<usize> = node.chi.clone();
-        local.sort_by_key(|&v| {
-            let is_sel = selected.contains(&v);
-            let freq = node
-                .lambda
-                .iter()
-                .filter(|&&e| hg.edges[e].vars.contains(&v))
-                .count();
-            (
-                std::cmp::Reverse(is_sel as usize),
-                std::cmp::Reverse(freq),
-                v,
-            )
-        });
+        let vars = node.chi.clone();
+        let sel_first: Vec<bool> = vars.iter().map(|v| selected.contains(v)).collect();
+        let local: Vec<usize> = match order_node(hg, node, &vars, &sel_first, stats) {
+            Some((costed, _)) => costed,
+            None => {
+                let mut local = vars;
+                local.sort_by_key(|&v| {
+                    let is_sel = selected.contains(&v);
+                    let freq = node
+                        .lambda
+                        .iter()
+                        .filter(|&&e| hg.edges[e].vars.contains(&v))
+                        .count();
+                    (
+                        std::cmp::Reverse(is_sel as usize),
+                        std::cmp::Reverse(freq),
+                        v,
+                    )
+                });
+                local
+            }
+        };
         for v in local {
             if !seen[v] {
                 seen[v] = true;
@@ -377,6 +443,64 @@ mod tests {
             agg: None,
         };
         assert!(plan_rule(&rule, &PlanOptions::default()).is_err());
+    }
+
+    #[test]
+    fn cost_based_order_prefers_low_cardinality_first() {
+        use crate::cost::RelationStats;
+        use std::collections::HashMap;
+        // Skewed triangle: z's columns hold 4 distinct values, x's 100k.
+        // Structurally all three vars tie on frequency (2 atoms each), so
+        // the static order starts at x (first by index); the cost model
+        // must start at z, the cheapest intersection.
+        struct Map(HashMap<String, RelationStats>);
+        impl crate::cost::StatsSource for Map {
+            fn stats(&self, name: &str) -> Option<RelationStats> {
+                self.0.get(name).cloned()
+            }
+        }
+        let stats = Map(HashMap::from([
+            (
+                "R".to_string(),
+                RelationStats {
+                    cardinality: 1_000_000,
+                    distinct: vec![100_000, 50_000],
+                },
+            ),
+            (
+                "S".to_string(),
+                RelationStats {
+                    cardinality: 1_000_000,
+                    distinct: vec![50_000, 4],
+                },
+            ),
+            (
+                "U".to_string(),
+                RelationStats {
+                    cardinality: 1_000_000,
+                    distinct: vec![100_000, 4],
+                },
+            ),
+        ]));
+        let rule = parse_rule("T(x,y,z) :- R(x,y),S(y,z),U(x,z).").unwrap();
+        let costed = plan_rule_with_stats(&rule, &PlanOptions::default(), &stats).unwrap();
+        assert_eq!(costed.attr_order[0], "z", "{:?}", costed.attr_order);
+        assert!(costed.estimated_cost.is_some());
+        // Without stats (or with the knob off) the structural order wins.
+        let structural = plan_rule(&rule, &PlanOptions::default()).unwrap();
+        assert_eq!(structural.attr_order[0], "x");
+        assert!(structural.estimated_cost.is_none());
+        let ablated = plan_rule_with_stats(
+            &rule,
+            &PlanOptions {
+                cost_based_order: false,
+                ..Default::default()
+            },
+            &stats,
+        )
+        .unwrap();
+        assert_eq!(ablated.attr_order, structural.attr_order);
+        assert!(ablated.estimated_cost.is_none());
     }
 
     #[test]

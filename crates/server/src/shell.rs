@@ -11,7 +11,8 @@
 //!
 //! Statements are `.`-terminated queries or backslash commands
 //! (`\l file [name]`, `\d`, `\timing`, `\prepare name query`,
-//! `\exec name`, `\set key value`, `\stats`, `\save path`, `\q`),
+//! `\exec name`, `\explain query`, `\set key value`, `\stats`,
+//! `\save path`, `\q`),
 //! separated by `;` or newlines; a query's own `;`/`(;w:long)`
 //! punctuation is kept intact because a query statement only ends at
 //! its final `.`. A multi-rule program is one statement as long as it
@@ -59,6 +60,7 @@ STATEMENTS (separated by ';' or newline):
   \\d                             list relations
   \\prepare NAME QUERY            compile once through the plan cache
   \\exec NAME                     run a prepared statement
+  \\explain QUERY                 show the compiled plan (order, cost, loops)
   \\set KEY VALUE                 threads | scheduler | morsel
   \\timing                        toggle per-statement timing
   \\stats                         server / plan-cache statistics
@@ -372,6 +374,15 @@ impl Backend {
         Ok(out)
     }
 
+    fn explain(&mut self, query: &str) -> Result<String, String> {
+        match self {
+            Backend::Embedded { db, .. } => db.explain(query).map_err(|e| e.to_string()),
+            Backend::Remote { .. } => {
+                Err("\\explain runs embedded only (plans live client-side)".into())
+            }
+        }
+    }
+
     fn stats(&mut self) -> Result<String, String> {
         match self {
             Backend::Embedded { db, cache, .. } => Ok(format!(
@@ -497,6 +508,13 @@ fn run_statement(backend: &mut Backend, stmt: &str) -> StmtOutcome {
                     Err("\\exec needs a statement name".into())
                 } else {
                     backend.exec(&arg)
+                }
+            }
+            "explain" => {
+                if arg.is_empty() {
+                    Err("\\explain needs a query".into())
+                } else {
+                    backend.explain(&arg)
                 }
             }
             "set" => {
@@ -785,6 +803,19 @@ mod tests {
             other => panic!("program failed: {other:?}"),
         };
         assert!(out.contains("(1 rows)"), "{out}");
+        // \explain shows the compiled loop nest; with E loaded the
+        // planner has catalog stats, so the order is cost-based.
+        let out = match run_statement(&mut backend, "\\explain T(x,y,z) :- E(x,y),E(y,z),E(x,z).") {
+            StmtOutcome::Output(s) => s,
+            other => panic!("explain failed: {other:?}"),
+        };
+        assert!(out.contains("order:"), "{out}");
+        assert!(out.contains("cost-based"), "{out}");
+        assert!(out.contains("for "), "{out}");
+        match run_statement(&mut backend, "\\explain") {
+            StmtOutcome::Error(e) => assert!(e.contains("needs a query"), "{e}"),
+            other => panic!("expected error: {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -216,6 +216,8 @@ pub struct MultiwayScratch {
     ping: Vec<u32>,
     /// Intermediate accumulator (pong).
     pong: Vec<u32>,
+    /// Per-set monotone rank cursors for the probe-smallest path.
+    hints: Vec<usize>,
 }
 
 impl MultiwayScratch {
@@ -250,15 +252,68 @@ pub fn intersect_all_with<'s, F>(
             }
         }
         _ => {
-            if let Some(last) = chain_all_but_largest(n, &set_at, cfg, scratch) {
+            sort_by_len(n, &set_at, scratch);
+            if probe_pays_off(cfg, scratch) {
+                probe_smallest_with(n, &set_at, scratch, |v| out.push(v));
+            } else if let Some(last) = chain_all_but_largest(n, &set_at, cfg, scratch) {
                 intersect_values_slice(&scratch.ping, set_at(last), cfg, out);
             }
         }
     }
 }
 
-/// The shared 3+-way chain: sort the `n` sets smallest-first into
-/// `scratch.order`, fold all but the largest into `scratch.ping` via the
+/// Fill `scratch.order` with `(len, index)` pairs sorted smallest-first.
+fn sort_by_len<'s, F>(n: usize, set_at: &F, scratch: &mut MultiwayScratch)
+where
+    F: Fn(usize) -> &'s Set,
+{
+    scratch.order.clear();
+    for i in 0..n {
+        scratch.order.push((set_at(i).len(), i));
+    }
+    scratch.order.sort_unstable();
+}
+
+/// Whether an `n`-way intersection (order already sorted) should skip the
+/// merge chain and probe from the smallest set: the algorithm optimizer is
+/// on and the smallest participant is `GALLOP_RATIO`× smaller than every
+/// other — the multiway analogue of the 2-way merge↔gallop switch.
+fn probe_pays_off(cfg: &IntersectConfig, scratch: &MultiwayScratch) -> bool {
+    cfg.algorithm_optimizer
+        && crate::skew::cardinality_ratio(scratch.order[0].0, scratch.order[1].0)
+            >= uint::GALLOP_RATIO as f64
+}
+
+/// Walk the smallest set once and probe every other participant with a
+/// monotone rank cursor ([`Set::rank_hinted`] — galloping on uint, block
+/// skipping on bitset), early-outing on the first miss. For wildly
+/// asymmetric inputs this is O(s₀ · Σ log sᵢ) instead of the merge chain's
+/// O(Σ sᵢ), and it materializes no intermediates at all. Probes run in
+/// ascending set size so the most selective side rejects first.
+fn probe_smallest_with<'s, F, E>(n: usize, set_at: &F, scratch: &mut MultiwayScratch, mut emit: E)
+where
+    F: Fn(usize) -> &'s Set,
+    E: FnMut(u32),
+{
+    debug_assert!(n >= 3);
+    scratch.hints.clear();
+    scratch.hints.resize(n, 0);
+    let small = set_at(scratch.order[0].1);
+    'values: for v in small.iter() {
+        for k in 1..n {
+            if set_at(scratch.order[k].1)
+                .rank_hinted(v, &mut scratch.hints[k])
+                .is_none()
+            {
+                continue 'values;
+            }
+        }
+        emit(v);
+    }
+}
+
+/// The shared 3+-way chain over a pre-sorted `scratch.order` (see
+/// [`sort_by_len`]): fold all but the largest into `scratch.ping` via the
 /// ping-pong buffers, and return the largest set's index for the caller's
 /// terminal step (materialize or count). `None` means the accumulator
 /// emptied early — the overall result is empty/zero.
@@ -272,11 +327,7 @@ where
     F: Fn(usize) -> &'s Set,
 {
     debug_assert!(n >= 3);
-    scratch.order.clear();
-    for i in 0..n {
-        scratch.order.push((set_at(i).len(), i));
-    }
-    scratch.order.sort_unstable();
+    debug_assert_eq!(scratch.order.len(), n);
     scratch.ping.clear();
     intersect_values(
         set_at(scratch.order[0].1),
@@ -330,10 +381,19 @@ where
         0 => 0,
         1 => set_at(0).len(),
         2 => intersect_count(set_at(0), set_at(1), cfg),
-        _ => match chain_all_but_largest(n, &set_at, cfg, scratch) {
-            Some(last) => count_values_slice(&scratch.ping, set_at(last), cfg),
-            None => 0,
-        },
+        _ => {
+            sort_by_len(n, &set_at, scratch);
+            if probe_pays_off(cfg, scratch) {
+                let mut count = 0usize;
+                probe_smallest_with(n, &set_at, scratch, |_| count += 1);
+                count
+            } else {
+                match chain_all_but_largest(n, &set_at, cfg, scratch) {
+                    Some(last) => count_values_slice(&scratch.ping, set_at(last), cfg),
+                    None => 0,
+                }
+            }
+        }
     }
 }
 
@@ -531,6 +591,51 @@ mod tests {
         out.clear();
         intersect_all_into(&[&b, &c], &cfg, &mut scratch, &mut out);
         assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn multiway_probe_smallest_matches_merge_chain() {
+        // Smallest set is ≥32× smaller than every other participant, so
+        // the full config takes the probe-smallest path; merge-only
+        // (`no_algorithms`) keeps the chain. Results must agree exactly
+        // across every layout triple, for both materialize and count.
+        let small_vals: Vec<u32> = vec![0, 96, 2_000, 5_000, 9_984];
+        let mid_vals: Vec<u32> = (0..2_000).map(|i| i * 5).collect(); // 400×
+        let big_vals: Vec<u32> = (0..10_000).map(|i| i * 2).collect();
+        let mut scratch = MultiwayScratch::new();
+        let probing = IntersectConfig::full();
+        let merging = IntersectConfig::no_algorithms();
+        for ks in KINDS {
+            for km in KINDS {
+                for kb in KINDS {
+                    let s = mk(&small_vals, ks);
+                    let m = mk(&mid_vals, km);
+                    let b = mk(&big_vals, kb);
+                    let mut merged = Vec::new();
+                    intersect_all_into(&[&s, &m, &b], &merging, &mut scratch, &mut merged);
+                    let mut probed = Vec::new();
+                    intersect_all_into(&[&b, &s, &m], &probing, &mut scratch, &mut probed);
+                    assert_eq!(probed, merged, "{ks:?} x {km:?} x {kb:?}");
+                    assert_eq!(
+                        count_all_into(&[&m, &b, &s], &probing, &mut scratch),
+                        merged.len(),
+                        "{ks:?} x {km:?} x {kb:?} count"
+                    );
+                }
+            }
+        }
+        // 4-way with an empty smallest set: probe path yields nothing.
+        let e = mk(&[], Uint);
+        let m = mk(&mid_vals, Uint);
+        let b = mk(&big_vals, Bitset);
+        let b2 = mk(&big_vals, Block);
+        let mut out = Vec::new();
+        intersect_all_into(&[&b, &m, &e, &b2], &probing, &mut scratch, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(
+            count_all_into(&[&b, &m, &e, &b2], &probing, &mut scratch),
+            0
+        );
     }
 
     #[test]

@@ -1,0 +1,7 @@
+//! Root-level alias for the performance-trajectory gate, so
+//! `cargo run --release --bin eh_bench -- --compare OLD.json NEW.json`
+//! works from the repository root without `-p eh_bench`.
+
+fn main() {
+    eh_bench::compare::main();
+}

@@ -1,0 +1,106 @@
+//! Differential property tests for the adaptive set-layout feedback:
+//! whatever the runtime observes and however it re-lays out cached tries,
+//! query *results* must be byte-identical to the static-layout baseline —
+//! across repeated runs (adaptation kicks in on reuse), every ablation
+//! config, and both uniform and skewed (power-law-ish) edge distributions.
+
+use emptyheaded::{Config, Database};
+use proptest::prelude::*;
+
+/// Random small directed edge set, uniform over the node domain.
+fn arb_uniform_edges(max_node: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::btree_set((0..max_node, 0..max_node), 0..max_edges)
+        .prop_map(|s| s.into_iter().filter(|(a, b)| a != b).collect())
+}
+
+/// Skewed edge set: sources concentrate on a few hub nodes, the shape the
+/// adaptive feedback actually reacts to (dense hub neighborhoods flip to
+/// bitset, sparse tails stay uint).
+fn arb_skewed_edges(max_node: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::btree_set((0..max_node, 0..max_node), 0..max_edges).prop_map(|s| {
+        s.into_iter()
+            // Fold ~60% of sources onto hubs 0..3; keep the rest as a tail.
+            .map(|(a, b)| (if a % 5 < 3 { a % 3 } else { a }, b))
+            .filter(|(a, b)| a != b)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect()
+    })
+}
+
+/// The fixed differential query mix: a listing, a scalar aggregate, a
+/// grouped aggregate, and an anchored selection.
+const QUERIES: &[&str] = &[
+    "T(x,y,z) :- E(x,y),E(y,z),E(x,z).",
+    "C(;w:long) :- E(x,y),E(y,z),E(x,z); w=<<COUNT(*)>>.",
+    "D(x;w:long) :- E(x,y),E(y,z); w=<<COUNT(*)>>.",
+    "A(y) :- E('0',y),E(y,'1').",
+];
+
+/// All observable output of one query run: rows, annotations, scalar.
+type Observed = (Vec<Vec<u32>>, Vec<String>, Option<u64>);
+
+/// Run every query in the mix twice (the second run sees any re-laid-out
+/// tries) and return all observable output.
+fn run_mix(cfg: Config, edges: &[(u32, u32)]) -> Vec<Observed> {
+    let mut db = Database::with_config(cfg);
+    db.load_edges("E", edges);
+    let mut out = Vec::new();
+    for q in QUERIES {
+        for _ in 0..2 {
+            let r = db.query(q).unwrap();
+            let rows: Vec<Vec<u32>> = r.rows().iter().map(|row| row.to_vec()).collect();
+            let annots: Vec<String> = r
+                .annotated_rows()
+                .iter()
+                .map(|(row, v)| format!("{row:?}={v:?}"))
+                .collect();
+            out.push((rows, annots, r.scalar_u64()));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn adaptive_matches_static_on_uniform_graphs(edges in arb_uniform_edges(24, 120)) {
+        let adaptive = run_mix(Config::default(), &edges);
+        let fixed = run_mix(Config::static_layout(), &edges);
+        prop_assert_eq!(adaptive, fixed);
+    }
+
+    #[test]
+    fn adaptive_matches_static_on_skewed_graphs(edges in arb_skewed_edges(32, 160)) {
+        let adaptive = run_mix(Config::default(), &edges);
+        let fixed = run_mix(Config::static_layout(), &edges);
+        prop_assert_eq!(adaptive, fixed);
+    }
+
+    #[test]
+    fn adaptive_is_inert_across_every_ablation(edges in arb_skewed_edges(24, 100)) {
+        // The adaptive knob composes with each ablation preset; flipping
+        // it must never change results (it may only re-layout sets).
+        for base in [
+            Config::default(),
+            Config::no_simd(),
+            Config::uint_only(),
+            Config::no_layout_no_algorithms(),
+            Config::no_ghd(),
+            Config::block_level(),
+        ] {
+            let on = run_mix(base.with_adaptive(true), &edges);
+            let off = run_mix(base.with_adaptive(false), &edges);
+            prop_assert_eq!(on, off);
+        }
+    }
+
+    #[test]
+    fn adaptive_matches_static_in_parallel(edges in arb_skewed_edges(24, 120)) {
+        // Worker-merged observations must not perturb results either.
+        let adaptive = run_mix(Config::default().with_threads(4), &edges);
+        let fixed = run_mix(Config::static_layout().with_threads(4), &edges);
+        prop_assert_eq!(adaptive, fixed);
+    }
+}

@@ -144,6 +144,58 @@ impl<'a> Scanner<'a> {
         }
     }
 
+    /// Skip any JSON value — object, array, string, number, or literal —
+    /// without interpreting it. Newer writers add fields (e.g. profile
+    /// counters); documents carrying them must stay comparable with old
+    /// baselines, so unknown keys are skipped, not rejected.
+    fn skip_value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'"') => {
+                self.string()?;
+            }
+            Some(b'{') => {
+                self.expect(b'{')?;
+                if !self.eat(b'}') {
+                    loop {
+                        self.string()?;
+                        self.expect(b':')?;
+                        self.skip_value()?;
+                        if !self.eat(b',') {
+                            break;
+                        }
+                    }
+                    self.expect(b'}')?;
+                }
+            }
+            Some(b'[') => {
+                self.expect(b'[')?;
+                if !self.eat(b']') {
+                    loop {
+                        self.skip_value()?;
+                        if !self.eat(b',') {
+                            break;
+                        }
+                    }
+                    self.expect(b']')?;
+                }
+            }
+            Some(b't') | Some(b'f') | Some(b'n') => {
+                // true / false / null
+                while self
+                    .bytes
+                    .get(self.pos)
+                    .is_some_and(|b| b.is_ascii_alphabetic())
+                {
+                    self.pos += 1;
+                }
+            }
+            _ => {
+                self.number()?;
+            }
+        }
+        Ok(())
+    }
+
     /// Parse a non-negative number, truncating any fraction (the documents
     /// only carry `scale`, `median_us`, `rows`).
     fn number(&mut self) -> Result<u64, String> {
@@ -192,8 +244,8 @@ pub fn parse_doc(text: &str) -> Result<Vec<BenchEntry>, String> {
                 }
             }
             _ => {
-                // scale (or future scalar metadata): parse and ignore.
-                s.number()?;
+                // scale (or future metadata of any shape): skip and ignore.
+                s.skip_value()?;
             }
         }
         if !s.eat(b',') {
@@ -224,7 +276,9 @@ fn parse_entry(s: &mut Scanner<'_>) -> Result<BenchEntry, String> {
             "config" => e.config = s.string()?,
             "median_us" => e.median_us = s.number()?,
             "rows" => e.rows = s.number()?,
-            other => return Err(format!("unknown entry key {other:?}")),
+            // Unknown trailing fields (profile counters from newer
+            // writers) are skipped so old baselines stay comparable.
+            _ => s.skip_value()?,
         }
         if !s.eat(b',') {
             break;
@@ -255,20 +309,31 @@ pub struct Comparison {
     pub verdict: Verdict,
 }
 
+/// Everything [`compare`] learns about two documents: matched pairs
+/// with verdicts, baseline entries dropped by the new run (fatal — the
+/// suite must not silently shrink), and entries new to this run
+/// (informational — the suite may grow).
+#[derive(Debug, Clone, Default)]
+pub struct CompareOutcome {
+    pub report: Vec<Comparison>,
+    pub missing: Vec<BenchEntry>,
+    pub added: Vec<BenchEntry>,
+}
+
 /// Compare `new` against the `old` baseline. Entries are matched on
 /// (table, dataset, query, config); baseline entries missing from `new`
-/// are reported as failures (the suite must not silently shrink), while
-/// entries new in `new` pass (the suite may grow).
-pub fn compare(
-    old: &[BenchEntry],
-    new: &[BenchEntry],
-    threshold: f64,
-) -> (Vec<Comparison>, Vec<BenchEntry>) {
-    let mut report = Vec::new();
-    let mut missing = Vec::new();
+/// are reported as failures, entries only in `new` as informational
+/// additions.
+pub fn compare(old: &[BenchEntry], new: &[BenchEntry], threshold: f64) -> CompareOutcome {
+    let mut outcome = CompareOutcome::default();
+    for n in new {
+        if !old.iter().any(|o| o.key() == n.key()) {
+            outcome.added.push(n.clone());
+        }
+    }
     for o in old {
         let Some(n) = new.iter().find(|n| n.key() == o.key()) else {
-            missing.push(o.clone());
+            outcome.missing.push(o.clone());
             continue;
         };
         let verdict = if n.rows != o.rows {
@@ -289,24 +354,19 @@ pub fn compare(
                 Verdict::Ok { ratio }
             }
         };
-        report.push(Comparison {
+        outcome.report.push(Comparison {
             entry: n.clone(),
             old_us: o.median_us,
             verdict,
         });
     }
-    (report, missing)
+    outcome
 }
 
 /// Render the report; returns true when the gate passes.
-pub fn render_report(
-    report: &[Comparison],
-    missing: &[BenchEntry],
-    threshold: f64,
-    out: &mut String,
-) -> bool {
+pub fn render_report(outcome: &CompareOutcome, threshold: f64, out: &mut String) -> bool {
     let mut ok = true;
-    for c in report {
+    for c in &outcome.report {
         let key = format!(
             "{}/{}/{}/{}",
             c.entry.table, c.entry.dataset, c.entry.query, c.entry.config
@@ -338,12 +398,21 @@ pub fn render_report(
             }
         }
     }
-    for m in missing {
+    for m in &outcome.missing {
         ok = false;
         let _ = writeln!(
             out,
-            "  MISSING   {}/{}/{}/{}: present in baseline, absent in new run",
+            "  MISSING   {}/{}/{}/{}: present in baseline, dropped by new run",
             m.table, m.dataset, m.query, m.config
+        );
+    }
+    for a in &outcome.added {
+        // Informational only: a growing suite passes, but the grower
+        // should see exactly what appeared (and refresh the baseline).
+        let _ = writeln!(
+            out,
+            "  added     {}/{}/{}/{}: absent from baseline ({} us, {} rows)",
+            a.table, a.dataset, a.query, a.config, a.median_us, a.rows
         );
     }
     ok
@@ -380,16 +449,20 @@ pub fn main() {
     };
     let old = read(old_path);
     let new = read(new_path);
-    let (report, missing) = compare(&old, &new, threshold);
+    let outcome = compare(&old, &new, threshold);
     let mut rendered = String::new();
-    let ok = render_report(&report, &missing, threshold, &mut rendered);
+    let ok = render_report(&outcome, threshold, &mut rendered);
     println!(
         "comparing {new_path} against baseline {old_path} (threshold {:.0}%):",
         threshold * 100.0
     );
     print!("{rendered}");
     if ok {
-        println!("trajectory gate PASSED ({} entries)", report.len());
+        println!(
+            "trajectory gate PASSED ({} entries, {} added)",
+            outcome.report.len(),
+            outcome.added.len()
+        );
     } else {
         println!("trajectory gate FAILED");
         std::process::exit(1);
@@ -439,61 +512,79 @@ mod tests {
     }
 
     #[test]
+    fn unknown_fields_are_skipped_not_rejected() {
+        // A profile-bearing document from a newer writer: extra scalar,
+        // string, object, and array fields inside entries, plus unknown
+        // top-level metadata — all must parse against this reader.
+        let text = "{\"scale\": 0.1, \"profiled\": true, \"meta\": {\"host\": \"ci\"},\n\
+                    \"entries\": [{\"table\":\"t\",\"dataset\":\"d\",\"query\":\"q\",\
+                    \"config\":\"c\",\"median_us\": 100, \"rows\": 4,\
+                    \"values_scanned\": 123, \"kernels\": {\"merge\": 5, \"gallop\": [1,2]},\
+                    \"note\": \"observed\", \"estimated\": null}]}";
+        let parsed = parse_doc(text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].median_us, 100);
+        assert_eq!(parsed[0].rows, 4);
+        assert_eq!(parsed[0].query, "q");
+    }
+
+    #[test]
+    fn added_entries_are_reported_but_pass() {
+        let old = vec![entry("triangle", 1000, 56)];
+        let new = vec![entry("triangle", 1000, 56), entry("4clique", 2000, 3)];
+        let outcome = compare(&old, &new, DEFAULT_THRESHOLD);
+        assert_eq!(outcome.added.len(), 1);
+        assert_eq!(outcome.added[0].query, "4clique");
+        let mut out = String::new();
+        assert!(render_report(&outcome, DEFAULT_THRESHOLD, &mut out));
+        assert!(
+            out.contains("added     bench-trajectory/uniform/4clique"),
+            "{out}"
+        );
+    }
+
+    #[test]
     fn twenty_percent_regression_fails_the_gate() {
         let old = vec![entry("triangle", 1000, 56), entry("2hop", 1000, 7)];
         // triangle regresses by 20% — beyond the 15% threshold.
         let new = vec![entry("triangle", 1200, 56), entry("2hop", 1010, 7)];
-        let (report, missing) = compare(&old, &new, DEFAULT_THRESHOLD);
-        assert!(missing.is_empty());
+        let outcome = compare(&old, &new, DEFAULT_THRESHOLD);
+        assert!(outcome.missing.is_empty());
         let mut out = String::new();
-        assert!(!render_report(
-            &report,
-            &missing,
-            DEFAULT_THRESHOLD,
-            &mut out
-        ));
+        assert!(!render_report(&outcome, DEFAULT_THRESHOLD, &mut out));
         assert!(out.contains("REGRESSED"), "{out}");
         assert!(
-            matches!(report[0].verdict, Verdict::Regressed { ratio } if (ratio - 1.2).abs() < 1e-9),
-            "{report:?}"
+            matches!(outcome.report[0].verdict, Verdict::Regressed { ratio } if (ratio - 1.2).abs() < 1e-9),
+            "{:?}",
+            outcome.report
         );
-        assert!(matches!(report[1].verdict, Verdict::Ok { .. }));
+        assert!(matches!(outcome.report[1].verdict, Verdict::Ok { .. }));
     }
 
     #[test]
     fn within_threshold_passes() {
         let old = vec![entry("triangle", 1000, 56)];
         let new = vec![entry("triangle", 1100, 56)];
-        let (report, missing) = compare(&old, &new, DEFAULT_THRESHOLD);
+        let outcome = compare(&old, &new, DEFAULT_THRESHOLD);
         let mut out = String::new();
-        assert!(render_report(
-            &report,
-            &missing,
-            DEFAULT_THRESHOLD,
-            &mut out
-        ));
+        assert!(render_report(&outcome, DEFAULT_THRESHOLD, &mut out));
     }
 
     #[test]
     fn row_drift_and_missing_entries_fail() {
         let old = vec![entry("triangle", 1000, 56), entry("2hop", 500, 7)];
         let new = vec![entry("triangle", 1000, 57)];
-        let (report, missing) = compare(&old, &new, DEFAULT_THRESHOLD);
-        assert_eq!(missing.len(), 1);
+        let outcome = compare(&old, &new, DEFAULT_THRESHOLD);
+        assert_eq!(outcome.missing.len(), 1);
         assert!(matches!(
-            report[0].verdict,
+            outcome.report[0].verdict,
             Verdict::RowsDiffer {
                 old_rows: 56,
                 new_rows: 57
             }
         ));
         let mut out = String::new();
-        assert!(!render_report(
-            &report,
-            &missing,
-            DEFAULT_THRESHOLD,
-            &mut out
-        ));
+        assert!(!render_report(&outcome, DEFAULT_THRESHOLD, &mut out));
         assert!(out.contains("MISSING"), "{out}");
     }
 
@@ -503,10 +594,11 @@ mod tests {
         // floor: timer jitter, not signal.
         let old = vec![entry("tiny", 5, 1)];
         let new = vec![entry("tiny", 40, 1)];
-        let (report, _) = compare(&old, &new, DEFAULT_THRESHOLD);
+        let outcome = compare(&old, &new, DEFAULT_THRESHOLD);
         assert!(
-            matches!(report[0].verdict, Verdict::Ok { .. }),
-            "{report:?}"
+            matches!(outcome.report[0].verdict, Verdict::Ok { .. }),
+            "{:?}",
+            outcome.report
         );
     }
 }

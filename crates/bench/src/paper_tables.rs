@@ -16,6 +16,7 @@ use eh_core::{Config, Database, Scheduler};
 use eh_graph::{apply_ordering, compute_ordering, gen, paper_datasets, Graph, OrderingScheme};
 use eh_semiring::{AggOp, DynValue};
 use eh_set::{IntersectConfig, LayoutKind, Set};
+use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 const TARGETS: &str =
@@ -29,15 +30,37 @@ static THREADS: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
 /// (None = flag absent, auto-size).
 static MORSEL: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
 
+/// `--profile`: bench-trajectory additionally runs each query once under
+/// `Config::profile` and records the observed work counters alongside
+/// the medians in the `--json` output. Medians themselves are always
+/// measured with profiling off, so profile-bearing documents stay
+/// comparable with pre-profile baselines.
+static PROFILE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+
 /// Machine-readable timing sink, enabled by `--json <path>`; human
 /// output is unchanged whether or not it is active.
 static JSON_SINK: std::sync::OnceLock<std::sync::Mutex<Vec<String>>> = std::sync::OnceLock::new();
 
 /// Record one measurement into the `--json` sink (no-op without it).
 fn record(table: &str, dataset: &str, query: &str, config: &str, time: Duration, rows: u64) {
+    record_with_work(table, dataset, query, config, time, rows, None);
+}
+
+/// [`record`] with optional observed-work counters (`--profile` runs).
+/// The extra keys are unknown to older `eh_bench --compare` parsers by
+/// design: the comparator skips fields it does not recognize.
+fn record_with_work(
+    table: &str,
+    dataset: &str,
+    query: &str,
+    config: &str,
+    time: Duration,
+    rows: u64,
+    work: Option<&eh_core::WorkCounters>,
+) {
     let Some(sink) = JSON_SINK.get() else { return };
-    let entry = format!(
-        "{{\"table\":{},\"dataset\":{},\"query\":{},\"config\":{},\"median_us\":{},\"rows\":{}}}",
+    let mut entry = format!(
+        "{{\"table\":{},\"dataset\":{},\"query\":{},\"config\":{},\"median_us\":{},\"rows\":{}",
         json_str(table),
         json_str(dataset),
         json_str(query),
@@ -45,6 +68,20 @@ fn record(table: &str, dataset: &str, query: &str, config: &str, time: Duration,
         time.as_micros(),
         rows
     );
+    if let Some(w) = work {
+        let _ = write!(
+            entry,
+            ",\"values_scanned\":{},\"intersections\":{},\"merge_kernels\":{},\"gallop_kernels\":{},\"bitset_kernels\":{},\"count_fast_hits\":{},\"relayouts\":{}",
+            w.values_scanned,
+            w.intersections,
+            w.merge_kernels,
+            w.gallop_kernels,
+            w.bitset_kernels,
+            w.count_fast_hits,
+            w.relayouts
+        );
+    }
+    entry.push('}');
     sink.lock().expect("json sink").push(entry);
 }
 
@@ -110,6 +147,7 @@ pub fn main() {
     let _ = MORSEL.set(morsel);
     let load = flag("--load");
     let json = flag("--json");
+    let _ = PROFILE.set(args.iter().any(|a| a == "--profile"));
     if json.is_some() {
         let _ = JSON_SINK.set(std::sync::Mutex::new(Vec::new()));
     }
@@ -160,7 +198,7 @@ pub fn main() {
         }
         "--help" | "-h" | "help" => {
             println!(
-                "usage: paper_tables [{TARGETS}] [--scale S] [--threads N] [--morsel M] [--load PATH] [--json PATH]"
+                "usage: paper_tables [{TARGETS}] [--scale S] [--threads N] [--morsel M] [--load PATH] [--json PATH] [--profile]"
             );
             println!();
             println!("Regenerates the paper's evaluation tables/figures on synthetic");
@@ -187,6 +225,10 @@ pub fn main() {
             println!("the committed BENCH_*.json performance baselines (medians, adaptive");
             println!("vs static layouts); gate regressions with");
             println!("  eh_bench --compare BENCH_OLD.json new.json");
+            println!("--profile additionally runs each trajectory query once under");
+            println!("Config::profile and records observed-work counters (values");
+            println!("scanned, intersections, kernel picks) next to each median in");
+            println!("the --json document; medians stay measured with profiling off.");
         }
         other => {
             eprintln!("unknown target '{other}'; use {TARGETS} (or --help)");
@@ -405,6 +447,7 @@ fn bench_trajectory(scale: f64) {
         ("skew", &skewed, "triangle", queries::TRIANGLE),
         ("skew", &skewed, "anchored-sel", anchored.as_str()),
     ];
+    let profiled = PROFILE.get().copied().unwrap_or(false);
     for (dataset, graph, qname, query) in suite {
         for (config, cfg) in [
             ("adaptive", tuned(Config::default())),
@@ -419,7 +462,27 @@ fn bench_trajectory(scale: f64) {
                 out.scalar_u64().unwrap_or(out.num_rows() as u64)
             };
             let d = measure_median(reps, run);
-            record("bench-trajectory", dataset, qname, config, d, rows);
+            // Observed work comes from a separate profiled run so the
+            // medians above are never measured with profiling on.
+            let work = profiled.then(|| {
+                let mut pdb = Database::with_config(cfg.with_profile(true));
+                pdb.load_graph("Edge", graph);
+                let out = pdb
+                    .prepare(query)
+                    .expect("trajectory query must compile")
+                    .execute(&pdb)
+                    .expect("trajectory query must run");
+                out.profile().expect("profiled run attaches a profile").work
+            });
+            record_with_work(
+                "bench-trajectory",
+                dataset,
+                qname,
+                config,
+                d,
+                rows,
+                work.as_ref(),
+            );
             t.row(&[
                 dataset.into(),
                 qname.into(),

@@ -2,8 +2,8 @@
 
 use crate::result::QueryResult;
 use eh_exec::{
-    execute_recursive_rule, execute_rule, Catalog, Config, ExecError, MemCatalog, Relation,
-    TupleBuffer,
+    execute_recursive_rule, execute_rule_profiled, Catalog, Config, ExecError, MemCatalog,
+    QueryProfile, Relation, TupleBuffer,
 };
 use eh_graph::Graph;
 use eh_query::{parse_program, Rule};
@@ -436,13 +436,24 @@ impl Database {
         self.types.domain(domain).map(|d| d.len())
     }
 
-    /// Compile a rule without executing it and render the physical plan —
-    /// the chosen attribute order (cost-based when catalog statistics
-    /// exist, structural otherwise), its estimated cost, and the loop
-    /// nest per GHD node.
+    /// Compile a rule and render the physical plan — the chosen attribute
+    /// order (cost-based when catalog statistics exist, structural
+    /// otherwise), its estimated cost, and the loop nest per GHD node —
+    /// followed by the **observed** execution profile (estimated vs
+    /// observed intersection work, kernel dispatches, per-level spans):
+    /// the query runs once under `Config::profile` for the comparison.
+    /// When execution fails (e.g. a body relation does not exist yet),
+    /// only the structural rendering is returned, exactly as before.
     pub fn explain(&self, text: &str) -> Result<String, CoreError> {
         let prepared = self.prepare(text)?;
-        Ok(prepared.plan().render())
+        let mut out = prepared.plan().render();
+        let cfg = self.config.with_profile(true);
+        if let Ok(result) = prepared.execute_with(self, &cfg) {
+            if let Some(profile) = result.profile() {
+                out.push_str(&profile.render());
+            }
+        }
+        Ok(out)
     }
 
     /// Remove a relation and its schema (returns the relation if
@@ -461,11 +472,11 @@ impl Database {
     /// name as the base case, per the paper's PageRank/SSSP programs.
     pub fn query(&mut self, text: &str) -> Result<QueryResult, CoreError> {
         let program = parse_program(text).map_err(|e| CoreError::Parse(e.to_string()))?;
-        let mut last: Option<(String, Relation)> = None;
+        let mut last: Option<(String, Relation, Option<QueryProfile>)> = None;
         for rule in &program.rules {
             eh_query::validate_rule(rule).map_err(|e| CoreError::Invalid(e.to_string()))?;
             let name = rule.head.relation.clone();
-            let result = self.execute_one(rule)?;
+            let (result, profile) = self.execute_one(rule)?;
             let schema = self.infer_result_schema(rule, &result);
             if self.types.register_schema(schema).is_err() {
                 // Inference produced a conflicting schema (e.g. a domain
@@ -477,11 +488,11 @@ impl Database {
             // rule failing must not leave the catalog changed with the
             // epoch — and therefore every plan cache — stale.
             self.bump_epoch();
-            last = Some((name, result));
+            last = Some((name, result, profile));
         }
-        let (name, relation) = last.expect("parser guarantees at least one rule");
+        let (name, relation, profile) = last.expect("parser guarantees at least one rule");
         let schema = self.types.schema(&name).cloned();
-        Ok(QueryResult::with_schema(name, relation, schema))
+        Ok(QueryResult::with_schema(name, relation, schema).with_profile(profile))
     }
 
     /// Execute a program read-only: like [`Database::query`], but takes
@@ -501,6 +512,7 @@ impl Database {
         let mut local: HashMap<String, Relation> = HashMap::new();
         let mut local_schemas: HashMap<String, RelationSchema> = HashMap::new();
         let mut last: Option<String> = None;
+        let mut last_profile: Option<QueryProfile> = None;
         for rule in &program.rules {
             eh_query::validate_rule(rule).map_err(|e| CoreError::Invalid(e.to_string()))?;
             let name = rule.head.relation.clone();
@@ -522,9 +534,12 @@ impl Database {
                                 "recursive rule '{name}' has no base case relation"
                             ))
                         })?;
+                    last_profile = None;
                     execute_recursive_rule(rule, initial, &view, config)?
                 } else {
-                    execute_rule(rule, &view, config)?
+                    let (rel, profile) = execute_rule_profiled(rule, &view, config)?;
+                    last_profile = profile;
+                    rel
                 }
             };
             let mut schema = self.infer_result_schema_overlay(rule, &result, &local_schemas);
@@ -543,10 +558,10 @@ impl Database {
         let name = last.expect("parser guarantees at least one rule");
         let relation = local.remove(&name).expect("stored above");
         let schema = local_schemas.remove(&name);
-        Ok(QueryResult::with_schema(name, relation, schema))
+        Ok(QueryResult::with_schema(name, relation, schema).with_profile(last_profile))
     }
 
-    fn execute_one(&self, rule: &Rule) -> Result<Relation, CoreError> {
+    fn execute_one(&self, rule: &Rule) -> Result<(Relation, Option<QueryProfile>), CoreError> {
         let view = TypedView {
             mem: &self.catalog,
             types: &self.types,
@@ -563,9 +578,14 @@ impl Database {
                         rule.head.relation
                     ))
                 })?;
-            Ok(execute_recursive_rule(rule, initial, &view, &self.config)?)
+            // Recursive rules run unprofiled: the profile vocabulary
+            // describes one plan execution, not an iteration sequence.
+            Ok((
+                execute_recursive_rule(rule, initial, &view, &self.config)?,
+                None,
+            ))
         } else {
-            Ok(execute_rule(rule, &view, &self.config)?)
+            Ok(execute_rule_profiled(rule, &view, &self.config)?)
         }
     }
 
@@ -724,12 +744,11 @@ impl Prepared {
             mem: &db.catalog,
             types: &db.types,
         };
-        let rel = eh_exec::execute_plan(&self.plan, &view, config)?;
-        Ok(QueryResult::with_schema(
-            self.name.clone(),
-            rel,
-            Some(self.schema.clone()),
-        ))
+        let (rel, profile) = eh_exec::execute_plan_profiled(&self.plan, &view, config)?;
+        Ok(
+            QueryResult::with_schema(self.name.clone(), rel, Some(self.schema.clone()))
+                .with_profile(profile),
+        )
     }
 
     /// Head relation name of the compiled rule.
@@ -993,6 +1012,38 @@ mod tests {
         // structural and says so.
         let fallback = db.explain("Q(x,z) :- A(x,y),A(y,z).").unwrap();
         assert!(fallback.contains("(structural)"), "{fallback}");
+        // Unknown relations cannot execute, so no observed work appears.
+        assert!(!fallback.contains("observed"), "{fallback}");
+    }
+
+    #[test]
+    fn explain_reports_estimated_and_observed_work() {
+        let mut db = Database::new();
+        db.load_edges("E", &[(0, 1), (0, 2), (1, 2), (2, 0), (1, 0)]);
+        let text = db.explain("T(x,y,z) :- E(x,y),E(y,z),E(x,z).").unwrap();
+        assert!(text.contains("work: estimated "), "{text}");
+        assert!(text.contains("observed "), "{text}");
+        assert!(text.contains("intersections"), "{text}");
+        // Explain executes read-only: the catalog epoch must not move and
+        // the head relation must not be stored.
+        let before = db.epoch();
+        let _ = db.explain("T(x,y,z) :- E(x,y),E(y,z),E(x,z).").unwrap();
+        assert_eq!(db.epoch(), before);
+        assert!(db.cardinality("T").is_none());
+        // Profiles flow through query() results too when configured.
+        let mut profiled = Database::new();
+        *profiled.config_mut() = Config::default().with_profile(true);
+        profiled.load_edges("E", &[(0, 1), (0, 2), (1, 2)]);
+        let result = profiled
+            .query("C(;w:long) :- E(x,y),E(y,z),E(x,z); w=<<COUNT(*)>>.")
+            .unwrap();
+        let p = result.profile().expect("profile attached");
+        assert!(p.observed_work() > 0);
+        // And stay absent by default.
+        let mut plain = Database::new();
+        plain.load_edges("E", &[(0, 1), (0, 2), (1, 2)]);
+        let r = plain.query("T(x,y) :- E(x,y).").unwrap();
+        assert!(r.profile().is_none());
     }
 
     #[test]

@@ -21,7 +21,10 @@ pub mod database;
 pub mod result;
 
 pub use database::{CoreError, Database, Prepared};
-pub use eh_exec::{Config, Relation, Scheduler, TupleBuffer};
+pub use eh_exec::{
+    Config, LevelProfile, NodeProfile, QueryProfile, Relation, Scheduler, TupleBuffer,
+    WorkCounters, WorkerProfile,
+};
 pub use eh_graph::Graph;
 pub use eh_storage::{
     ColumnType, CsvOptions, LoadReport, RelationSchema, StorageCatalog, TypedValue,

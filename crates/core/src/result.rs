@@ -1,7 +1,7 @@
 //! Query results.
 
 use crate::database::Database;
-use eh_exec::{Relation, TupleBuffer};
+use eh_exec::{QueryProfile, Relation, TupleBuffer};
 use eh_semiring::DynValue;
 use eh_storage::{Domain, RelationSchema, TypedValue};
 
@@ -14,6 +14,9 @@ pub struct QueryResult {
     name: String,
     relation: Relation,
     schema: Option<RelationSchema>,
+    /// Execution profile, present when the run was configured with
+    /// `Config::profile` (recursive rules execute unprofiled).
+    profile: Option<QueryProfile>,
 }
 
 impl QueryResult {
@@ -26,7 +29,20 @@ impl QueryResult {
             name,
             relation,
             schema,
+            profile: None,
         }
+    }
+
+    /// Attach an execution profile (builder form used by the profiled
+    /// execution paths).
+    pub(crate) fn with_profile(mut self, profile: Option<QueryProfile>) -> QueryResult {
+        self.profile = profile;
+        self
+    }
+
+    /// The execution profile, when the query ran under `Config::profile`.
+    pub fn profile(&self) -> Option<&QueryProfile> {
+        self.profile.as_ref()
     }
 
     /// Per-output-column dictionary domains, resolved once (the decode

@@ -53,6 +53,12 @@ pub struct Config {
     /// policy ablation baseline. Results are identical either way; only
     /// the physical layout of cached tries differs.
     pub adaptive: bool,
+    /// Collect a [`eh_obs::QueryProfile`] while executing: per-level span
+    /// timings, per-worker morsel balance, and the hot-path work counters
+    /// (values scanned, kernel dispatches, count-fast hits). Off by
+    /// default — the recursion then skips every profiling bump. Results
+    /// are byte-identical either way.
+    pub profile: bool,
 }
 
 impl Default for Config {
@@ -66,6 +72,7 @@ impl Default for Config {
             morsel_size: None,
             force_naive_recursion: false,
             adaptive: true,
+            profile: false,
         }
     }
 }
@@ -142,6 +149,12 @@ impl Config {
         self
     }
 
+    /// Toggle query profiling (work counters + span timings).
+    pub fn with_profile(mut self, profile: bool) -> Config {
+        self.profile = profile;
+        self
+    }
+
     /// Resolve the morsel size for a level-0 range of `len` values split
     /// across `threads` workers. Auto-sizing targets ~8 morsels per worker
     /// so skewed values re-balance, floored at 1 and capped so tiny inputs
@@ -200,6 +213,8 @@ mod tests {
         assert!(Config::default().adaptive);
         assert!(!Config::static_layout().adaptive);
         assert!(!Config::default().with_adaptive(false).adaptive);
+        assert!(!Config::default().profile, "profiling is opt-in");
+        assert!(Config::default().with_profile(true).profile);
     }
 
     #[test]

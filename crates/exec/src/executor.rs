@@ -17,11 +17,13 @@ use crate::plan::{PhysicalPlan, PlanNode};
 use crate::program::{GjContext, JoinProgram};
 use crate::sink::Sink;
 use crate::storage::{Catalog, Relation};
+use eh_obs::{LevelProfile, NodeProfile, QueryProfile, WorkCounters};
 use eh_query::Rule;
 use eh_semiring::AggOp;
 use eh_trie::TupleBuffer;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 pub use crate::sink::{IdentityBuild, IdentityHasher};
 
@@ -80,11 +82,22 @@ pub fn execute_rule(
     catalog: &dyn Catalog,
     cfg: &Config,
 ) -> Result<Relation, ExecError> {
+    execute_rule_profiled(rule, catalog, cfg).map(|(rel, _)| rel)
+}
+
+/// [`execute_rule`] returning the query profile too: `Some` when
+/// [`Config::profile`] is on, `None` otherwise. Rows and annotations are
+/// byte-identical either way — profiling only observes.
+pub fn execute_rule_profiled(
+    rule: &Rule,
+    catalog: &dyn Catalog,
+    cfg: &Config,
+) -> Result<(Relation, Option<QueryProfile>), ExecError> {
     let stats = crate::storage::CatalogStats(catalog);
     let ghd_plan =
         eh_ghd::plan_rule_with_stats(rule, &cfg.plan, &stats).map_err(ExecError::Plan)?;
     let plan = PhysicalPlan::compile(rule, &ghd_plan);
-    execute_plan(&plan, catalog, cfg)
+    execute_plan_profiled(&plan, catalog, cfg)
 }
 
 /// Execute a compiled physical plan.
@@ -92,6 +105,38 @@ pub fn execute_plan(
     plan: &PhysicalPlan,
     catalog: &dyn Catalog,
     cfg: &Config,
+) -> Result<Relation, ExecError> {
+    execute_plan_inner(plan, catalog, cfg, None)
+}
+
+/// [`execute_plan`] returning the query profile too: `Some` when
+/// [`Config::profile`] is on, `None` otherwise. The profile records the
+/// planner's estimated intersection work next to the observed counters,
+/// per-node span timings, and worker balance.
+pub fn execute_plan_profiled(
+    plan: &PhysicalPlan,
+    catalog: &dyn Catalog,
+    cfg: &Config,
+) -> Result<(Relation, Option<QueryProfile>), ExecError> {
+    if !cfg.profile {
+        return execute_plan_inner(plan, catalog, cfg, None).map(|rel| (rel, None));
+    }
+    let mut profile = QueryProfile {
+        estimated_work: plan.estimated_cost,
+        ..QueryProfile::default()
+    };
+    let started = Instant::now();
+    let rel = execute_plan_inner(plan, catalog, cfg, Some(&mut profile))?;
+    profile.total_ns = started.elapsed().as_nanos() as u64;
+    profile.rows = rel.rows().len() as u64;
+    Ok((rel, Some(profile)))
+}
+
+fn execute_plan_inner(
+    plan: &PhysicalPlan,
+    catalog: &dyn Catalog,
+    cfg: &Config,
+    mut profile: Option<&mut QueryProfile>,
 ) -> Result<Relation, ExecError> {
     let is_agg = plan.agg.is_some();
     let op = plan.agg.as_ref().map(|a| a.op).unwrap_or(AggOp::Count);
@@ -112,7 +157,16 @@ pub fn execute_plan(
                 }
             }
         }
-        let result = run_node(node, plan, catalog, cfg, &results, is_agg, op)?;
+        let result = run_node(
+            node,
+            plan,
+            catalog,
+            cfg,
+            &results,
+            is_agg,
+            op,
+            profile.as_deref_mut(),
+        )?;
         results[node.id] = Some(Arc::new(result));
     }
     let root = results[plan.root().id].as_ref().unwrap();
@@ -136,7 +190,9 @@ fn run_node(
     results: &[Option<Arc<NodeResult>>],
     is_agg: bool,
     op: AggOp,
+    profile: Option<&mut QueryProfile>,
 ) -> Result<NodeResult, ExecError> {
+    let node_started = profile.as_ref().map(|_| Instant::now());
     let build = crate::program::build_node(node, plan, catalog, cfg, results, is_agg, op)?;
     let output_levels: Vec<usize> = node
         .output_attrs
@@ -145,12 +201,18 @@ fn run_node(
         .collect();
     let program = JoinProgram::compile(node.attrs.len(), output_levels, &build.atoms, is_agg, op);
     let mut sink = Sink::for_output(is_agg, node.output_attrs.len(), op);
+    let mut node_profile = NodeProfile::default();
     if !build.empty {
         let mut ctx = GjContext::new(build.atoms, program.attrs_len, cfg);
         let threads = cfg.effective_threads();
         if threads > 1 && program.attrs_len > 1 && !program.levels[0].steps.is_empty() {
             // Shared level-0 prologue: merge the outermost values once,
             // then hand the range to the scheduler.
+            let level0_started = if cfg.profile {
+                crate::gj::sample_clock(&mut ctx, 0)
+            } else {
+                None
+            };
             let mut merged = std::mem::take(&mut ctx.scratch[0]);
             crate::gj::fill_level(
                 &program,
@@ -161,6 +223,11 @@ fn run_node(
                 &mut ctx.obs,
                 &mut merged,
             );
+            if let Some(t) = level0_started {
+                let cell = &mut ctx.level_prof[0];
+                cell.ns += t.elapsed().as_nanos() as u64;
+                cell.values += merged.len() as u64;
+            }
             if !merged.is_empty() {
                 crate::parallel::run(
                     &program,
@@ -173,14 +240,118 @@ fn run_node(
             }
             ctx.scratch[0] = merged;
         } else {
-            crate::gj::gj(&program, &mut ctx, 0, build.base_product, &mut sink);
+            crate::gj::gj(&program, &mut ctx, 0, build.base_product, &mut sink, true);
         }
-        adapt_layouts(&build.sources, &ctx, catalog, cfg);
+        let relayouts = adapt_layouts(&build.sources, &ctx, catalog, cfg);
+        if profile.is_some() {
+            node_profile = fold_node_profile(&mut ctx, &program, relayouts);
+        }
+    }
+    let tuples = sink.into_node_tuples(node.output_attrs.len(), op);
+    if let Some(p) = profile {
+        node_profile.rows = tuples.len() as u64;
+        if let Some(t) = node_started {
+            node_profile.ns = t.elapsed().as_nanos() as u64;
+        }
+        p.push_node(node_profile);
     }
     Ok(NodeResult {
         attrs: node.output_attrs.clone(),
-        tuples: sink.into_node_tuples(node.output_attrs.len(), op),
+        tuples,
     })
+}
+
+/// Drain a finished context's profiling state into one [`NodeProfile`]:
+/// the per-cell work counters fold into one block, kernel-dispatch stats
+/// come from the multiway scratch (calls, not per-atom participations),
+/// and per-level spans / worker balance transfer verbatim.
+fn fold_node_profile(
+    ctx: &mut GjContext<'_>,
+    program: &JoinProgram,
+    relayouts: u64,
+) -> NodeProfile {
+    let kernels = ctx.mw.stats.take();
+    // The innermost count fast path keeps no per-call tick (see `gj`):
+    // reconstruct its exact call count from the kernel-dispatch stats.
+    // Every n≥2 multiway call bumps `kernels.intersections` exactly once,
+    // and every other level's calls are ticked exactly, so the innermost
+    // count is the difference.
+    if program.count_fast && program.attrs_len > 0 {
+        let last = program.attrs_len - 1;
+        if program.levels[last].steps.len() >= 2 {
+            let outer = program
+                .levels
+                .iter()
+                .enumerate()
+                .filter(|(l, lp)| *l != last && lp.steps.len() >= 2)
+                .map(|(l, _)| ctx.level_prof[l].ticks)
+                .fold(0u64, u64::wrapping_add);
+            ctx.level_prof[last].ticks = kernels.intersections.wrapping_sub(outer);
+        } else {
+            // A single-participant count level never dispatches a kernel;
+            // the sampled calls are the only signal, so estimate.
+            let samples = ctx.level_prof[last].samples;
+            ctx.level_prof[last].ticks = samples.saturating_mul(crate::gj::CLOCK_SAMPLE_MASK + 1);
+        }
+    }
+    // Reconstruct the per-(atom,depth) participation counts from the
+    // per-level invocation ticks: every profiled call at `level` consults
+    // exactly the static `program.levels[level].steps`, so the hot loop
+    // only ticks one per-level counter and the cells are written here,
+    // once per node, instead of per intersection.
+    for (level, lp) in program.levels.iter().enumerate() {
+        let calls = ctx.level_prof[level].ticks;
+        if calls == 0 {
+            continue;
+        }
+        let innermost_count = program.count_fast && level + 1 == program.attrs_len;
+        for st in &lp.steps {
+            let cell = &mut ctx.work[st.atom][st.depth];
+            cell.intersections = cell.intersections.wrapping_add(calls);
+            if innermost_count {
+                cell.count_fast_hits = cell.count_fast_hits.wrapping_add(calls);
+            }
+        }
+    }
+    let mut work = WorkCounters::default();
+    for cells in &ctx.work {
+        for c in cells {
+            work.count_fast_hits = work.count_fast_hits.wrapping_add(c.count_fast_hits);
+        }
+    }
+    work.values_scanned = kernels.values_scanned;
+    work.intersections = kernels.intersections;
+    work.merge_kernels = kernels.merge_kernels;
+    work.gallop_kernels = kernels.gallop_kernels;
+    work.bitset_kernels = kernels.bitset_kernels;
+    work.relayouts = relayouts;
+    NodeProfile {
+        ns: 0,
+        rows: 0,
+        sink_merge_ns: ctx.sink_merge_ns,
+        work,
+        levels: ctx
+            .level_prof
+            .iter()
+            .map(|lt| {
+                // `ns` and `values` accumulated only over the sampled
+                // calls (see `sample_clock`); scale back up by the exact
+                // tick/sample ratio to estimate the full level.
+                let scale = |x: u64| {
+                    if lt.samples > 0 {
+                        (x as u128 * lt.ticks as u128 / lt.samples as u128) as u64
+                    } else {
+                        x
+                    }
+                };
+                LevelProfile {
+                    ns: scale(lt.ns),
+                    values: scale(lt.values),
+                }
+            })
+            .collect(),
+        workers: std::mem::take(&mut ctx.worker_profiles),
+    }
 }
 
 /// Post-join adaptive-layout feedback (the [`Config::adaptive`] knob):
@@ -199,10 +370,11 @@ fn adapt_layouts(
     ctx: &GjContext<'_>,
     catalog: &dyn Catalog,
     cfg: &Config,
-) {
+) -> u64 {
     use eh_set::{LayoutKind, LayoutPolicy};
+    let mut relayouts = 0u64;
     if !cfg.adaptive || cfg.layout_policy != LayoutPolicy::SetLevel {
-        return;
+        return relayouts;
     }
     // Pool observation cells per (relation, trie order, trie level):
     // several atoms can read the same cached trie at different depths
@@ -266,8 +438,10 @@ fn adapt_layouts(
                 cfg.effective_threads(),
                 &overrides,
             );
+            relayouts += 1;
         }
     }
+    relayouts
 }
 
 #[cfg(test)]
@@ -368,6 +542,33 @@ mod tests {
             .trie(&[0, 1], LayoutPolicy::SetLevel)
             .level_census(1);
         assert_eq!(after, after2, "feedback is idempotent");
+    }
+
+    #[test]
+    fn profiled_run_observes_work_without_changing_results() {
+        let cat = path_catalog();
+        let rule = parse_rule("C(;w:long) :- E(x,y),E(y,z); w=<<COUNT(*)>>.").unwrap();
+        let plain = execute_rule(&rule, &cat, &Config::default()).unwrap();
+        let (profiled, profile) =
+            execute_rule_profiled(&rule, &cat, &Config::default().with_profile(true)).unwrap();
+        assert_eq!(plain.scalar(), profiled.scalar());
+        let p = profile.expect("profile requested");
+        assert!(p.observed_work() > 0, "values were scanned: {p:?}");
+        assert!(p.work.count_fast_hits > 0, "innermost count path profiled");
+        assert!(!p.nodes.is_empty());
+        // Off by default: no profile comes back.
+        let (_, none) = execute_rule_profiled(&rule, &cat, &Config::default()).unwrap();
+        assert!(none.is_none());
+        // Parallel runs record worker balance and the same totals shape.
+        let cfg = Config::default().with_profile(true).with_threads(4);
+        let (par, par_profile) = execute_rule_profiled(&rule, &cat, &cfg).unwrap();
+        assert_eq!(plain.scalar(), par.scalar());
+        let pp = par_profile.unwrap();
+        assert!(pp.observed_work() > 0);
+        assert!(
+            pp.nodes.iter().any(|n| !n.workers.is_empty()),
+            "worker profiles recorded: {pp:?}"
+        );
     }
 
     #[test]

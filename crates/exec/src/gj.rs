@@ -21,6 +21,34 @@ use crate::sink::{emit, Sink};
 use eh_semiring::{AggOp, DynValue};
 use eh_set::intersect::{count_all_with, intersect_all_with};
 use eh_set::MultiwayScratch;
+use std::time::Instant;
+
+/// Only 1 in `CLOCK_SAMPLE_MASK + 1` profiled intersections reads the
+/// clock — two `Instant` calls per intersection cost more than the
+/// intersection itself on small sets (and hundreds of nanoseconds on
+/// hosts where `clock_gettime` leaves the vDSO), blowing the <2%
+/// overhead ceiling. Span timings are estimates either way; counters
+/// stay exact.
+pub(crate) const CLOCK_SAMPLE_MASK: u64 = 1023;
+
+/// Deterministic clock sampling for per-level span timings: every
+/// profiled merge call ticks its level's tally, but only every
+/// `CLOCK_SAMPLE_MASK + 1`-th tick reads the clock (and bumps
+/// `samples`). The profile fold scales the sampled `ns`/`values` by the
+/// exact `ticks / samples` ratio, so reported spans are sampled
+/// estimates while the call and work counters stay exact.
+#[inline]
+pub(crate) fn sample_clock(ctx: &mut GjContext<'_>, level: usize) -> Option<Instant> {
+    let cell = &mut ctx.level_prof[level];
+    let tick = cell.ticks;
+    cell.ticks = tick.wrapping_add(1);
+    if tick & CLOCK_SAMPLE_MASK == 0 {
+        cell.samples += 1;
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
 
 /// Record one intersection's participating sets into the adaptive-layout
 /// observation cells (`obs[atom][depth]`): counter increments only, no
@@ -72,7 +100,10 @@ pub(crate) fn fill_level(
 /// Bind `v` at `level`: advance every participating atom's trie cursor
 /// (multiplying in leaf annotations), and recurse into the next level if
 /// every atom still matches. The per-value body shared by the serial
-/// recursion and the parallel level-0 drivers.
+/// recursion and the parallel level-0 drivers. `sample` marks this value
+/// as a profiling timing sample — derived from the caller's loop index
+/// (see [`gj`]'s recursion step), so the innermost count fast path never
+/// touches a counter to decide whether to read the clock.
 #[inline]
 pub(crate) fn step_value(
     program: &JoinProgram,
@@ -81,6 +112,7 @@ pub(crate) fn step_value(
     v: u32,
     product: DynValue,
     sink: &mut Sink,
+    sample: bool,
 ) {
     ctx.bindings[level] = v;
     let mut prod = product;
@@ -104,7 +136,7 @@ pub(crate) fn step_value(
             }
         }
     }
-    gj(program, ctx, level + 1, prod, sink);
+    gj(program, ctx, level + 1, prod, sink, sample);
 }
 
 /// The generic worst-case optimal join over one node (Algorithm 1), with
@@ -116,6 +148,7 @@ pub(crate) fn gj(
     level: usize,
     product: DynValue,
     sink: &mut Sink,
+    sample: bool,
 ) {
     if level == program.attrs_len {
         emit(program, &ctx.bindings, product, sink);
@@ -130,6 +163,18 @@ pub(crate) fn gj(
     // Innermost count fast path (paper §5.3: aggregate queries never
     // materialize the deepest intersection) — applicability precomputed.
     if level + 1 == program.attrs_len && program.count_fast {
+        // The hottest loop in the engine: even one counter bump per call
+        // shows up against the <2% profiling-overhead ceiling, so this
+        // path keeps NO per-call state. The timing decision rides in on
+        // `sample` (the parent loop index), and the fold reconstructs the
+        // exact call count from the kernel-dispatch stats (see
+        // `fold_node_profile`).
+        let started = if ctx.cfg.profile && sample {
+            ctx.level_prof[level].samples += 1;
+            Some(Instant::now())
+        } else {
+            None
+        };
         let count = {
             let atoms = &ctx.atoms;
             if ctx.cfg.adaptive {
@@ -145,6 +190,11 @@ pub(crate) fn gj(
                 &mut ctx.mw,
             )
         };
+        if let Some(t) = started {
+            let cell = &mut ctx.level_prof[level];
+            cell.ns += t.elapsed().as_nanos() as u64;
+            cell.values += count as u64;
+        }
         if count > 0 {
             let folded = fold_count(program.op, product, count);
             emit(program, &ctx.bindings, folded, sink);
@@ -152,6 +202,12 @@ pub(crate) fn gj(
         return;
     }
     // Fill this level's value buffer from scratch owned by the context.
+    let profiling = ctx.cfg.profile;
+    let started = if profiling {
+        sample_clock(ctx, level)
+    } else {
+        None
+    };
     let mut merged = std::mem::take(&mut ctx.scratch[level]);
     fill_level(
         program,
@@ -162,12 +218,29 @@ pub(crate) fn gj(
         &mut ctx.obs,
         &mut merged,
     );
+    if let Some(t) = started {
+        let cell = &mut ctx.level_prof[level];
+        cell.ns += t.elapsed().as_nanos() as u64;
+        cell.values += merged.len() as u64;
+    }
     // Fresh ascent at this level: reset each participating atom's cursor.
     for st in steps {
         ctx.atoms[st.atom].hints[st.depth] = 0;
     }
     for idx in 0..merged.len() {
-        step_value(program, ctx, level, merged[idx], product, sink);
+        // Stateless ~1-in-(CLOCK_SAMPLE_MASK+1) child sampling: xor the
+        // value bits into the loop index so the rate holds even when
+        // every parent loop is shorter than the mask period.
+        let child_sample = (merged[idx] as u64 ^ idx as u64) & CLOCK_SAMPLE_MASK == 0;
+        step_value(
+            program,
+            ctx,
+            level,
+            merged[idx],
+            product,
+            sink,
+            child_sample,
+        );
     }
     // Return the buffer for reuse by sibling invocations at this level.
     ctx.scratch[level] = merged;

@@ -37,10 +37,16 @@ pub mod storage;
 mod parallel;
 
 pub use config::{Config, Scheduler};
-pub use executor::{execute_plan, execute_rule, ExecError};
+pub use executor::{
+    execute_plan, execute_plan_profiled, execute_rule, execute_rule_profiled, ExecError,
+};
 pub use plan::{PhysicalPlan, PlanNode};
 pub use recursion::execute_recursive_rule;
 pub use storage::{Catalog, CatalogStats, MemCatalog, Relation};
+
+// Profiling vocabulary, re-exported so executor callers can consume
+// query profiles without depending on `eh_obs` directly.
+pub use eh_obs::{LevelProfile, NodeProfile, QueryProfile, WorkCounters, WorkerProfile};
 
 // The engine's flat columnar tuple format, re-exported for callers that
 // construct relations directly.

@@ -28,8 +28,10 @@ use crate::config::Scheduler;
 use crate::gj::step_value;
 use crate::program::{GjContext, JoinProgram};
 use crate::sink::Sink;
+use eh_obs::WorkerProfile;
 use eh_semiring::DynValue;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Run level 0 over `merged` with `threads` workers and fold the
 /// per-worker sinks into `sink`. `ctx` is the post-prologue context the
@@ -48,53 +50,67 @@ pub(crate) fn run(
     let locals: Vec<Sink> = match ctx.cfg.scheduler {
         Scheduler::Morsel => {
             let morsel = ctx.cfg.effective_morsel(merged.len(), threads);
+            let profiling = ctx.cfg.profile;
             let cursor = AtomicUsize::new(0);
             let mut workers: Vec<GjContext<'_>> = (0..threads).map(|_| ctx.fork()).collect();
-            let (mut chunks, worker_obs): (Vec<(usize, Sink)>, Vec<_>) =
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = workers
-                        .drain(..)
-                        .map(|mut local| {
-                            let cursor = &cursor;
-                            scope.spawn(move || {
-                                // One sink per claimed chunk, tagged with its
-                                // range start: merging in range order below
-                                // makes the ⊕ fold order independent of which
-                                // worker won each chunk.
-                                let mut claimed: Vec<(usize, Sink)> = Vec::new();
-                                loop {
-                                    let start = cursor.fetch_add(morsel, Ordering::Relaxed);
-                                    if start >= merged.len() {
-                                        break;
-                                    }
-                                    let end = (start + morsel).min(merged.len());
-                                    let mut chunk_sink =
-                                        Sink::for_output(program.is_agg, keys, program.op);
-                                    for &v in &merged[start..end] {
-                                        step_value(
-                                            program,
-                                            &mut local,
-                                            0,
-                                            v,
-                                            base_product,
-                                            &mut chunk_sink,
-                                        );
-                                    }
-                                    claimed.push((start, chunk_sink));
+            let (mut chunks, worker_obs) = std::thread::scope(|scope| {
+                let handles: Vec<_> = workers
+                    .drain(..)
+                    .map(|mut local| {
+                        let cursor = &cursor;
+                        scope.spawn(move || {
+                            // One sink per claimed chunk, tagged with its
+                            // range start: merging in range order below
+                            // makes the ⊕ fold order independent of which
+                            // worker won each chunk.
+                            let mut claimed: Vec<(usize, Sink)> = Vec::new();
+                            let mut seen = 0u64;
+                            loop {
+                                let start = cursor.fetch_add(morsel, Ordering::Relaxed);
+                                if start >= merged.len() {
+                                    break;
                                 }
-                                (claimed, local.obs)
-                            })
+                                let end = (start + morsel).min(merged.len());
+                                seen += (end - start) as u64;
+                                let mut chunk_sink =
+                                    Sink::for_output(program.is_agg, keys, program.op);
+                                for (i, &v) in merged[start..end].iter().enumerate() {
+                                    let sample = (v as u64 ^ (start + i) as u64)
+                                        & crate::gj::CLOCK_SAMPLE_MASK
+                                        == 0;
+                                    step_value(
+                                        program,
+                                        &mut local,
+                                        0,
+                                        v,
+                                        base_product,
+                                        &mut chunk_sink,
+                                        sample,
+                                    );
+                                }
+                                claimed.push((start, chunk_sink));
+                            }
+                            let tally = local.take_tally();
+                            (claimed, local.obs, tally, seen)
                         })
-                        .collect();
-                    let mut chunks = Vec::new();
-                    let mut obs = Vec::new();
-                    for h in handles {
-                        let (claimed, o) = h.join().expect("worker thread panicked");
-                        chunks.extend(claimed);
-                        obs.push(o);
+                    })
+                    .collect();
+                let mut chunks = Vec::new();
+                let mut obs = Vec::new();
+                for h in handles {
+                    let (claimed, o, tally, seen) = h.join().expect("worker thread panicked");
+                    ctx.merge_tally(&tally);
+                    if profiling {
+                        ctx.worker_profiles.push(WorkerProfile {
+                            morsels: claimed.len() as u64,
+                            values: seen,
+                        });
                     }
-                    (chunks, obs)
-                });
+                    chunks.extend(claimed);
+                    obs.push(o);
+                }
+                (chunks, obs)
+            });
             for o in &worker_obs {
                 ctx.merge_obs(o);
             }
@@ -104,14 +120,16 @@ pub(crate) fn run(
         Scheduler::Static => {
             let chunk = merged.len().div_ceil(threads);
             let ctx_ref = &*ctx;
-            let (sinks, worker_obs): (Vec<Sink>, Vec<_>) = std::thread::scope(|scope| {
+            let (sinks, worker_obs, tallies) = std::thread::scope(|scope| {
                 let handles: Vec<_> = merged
                     .chunks(chunk)
                     .map(|vals| {
                         let mut local = ctx_ref.fork();
                         scope.spawn(move || {
                             let mut local_sink = Sink::for_output(program.is_agg, keys, program.op);
-                            for &v in vals {
+                            for (i, &v) in vals.iter().enumerate() {
+                                let sample =
+                                    (v as u64 ^ i as u64) & crate::gj::CLOCK_SAMPLE_MASK == 0;
                                 step_value(
                                     program,
                                     &mut local,
@@ -119,30 +137,52 @@ pub(crate) fn run(
                                     v,
                                     base_product,
                                     &mut local_sink,
+                                    sample,
                                 );
                             }
-                            (local_sink, local.obs)
+                            let tally = local.take_tally();
+                            (local_sink, local.obs, tally, vals.len() as u64)
                         })
                     })
                     .collect();
                 let mut sinks = Vec::new();
                 let mut obs = Vec::new();
+                let mut tallies = Vec::new();
                 for h in handles {
-                    let (s, o) = h.join().expect("worker thread panicked");
+                    let (s, o, t, seen) = h.join().expect("worker thread panicked");
                     sinks.push(s);
                     obs.push(o);
+                    tallies.push((t, seen));
                 }
-                (sinks, obs)
+                (sinks, obs, tallies)
             });
             for o in &worker_obs {
                 ctx.merge_obs(o);
+            }
+            for (t, seen) in &tallies {
+                ctx.merge_tally(t);
+                if ctx.cfg.profile {
+                    // Static partitioning: one contiguous chunk per worker.
+                    ctx.worker_profiles.push(WorkerProfile {
+                        morsels: 1,
+                        values: *seen,
+                    });
+                }
             }
             sinks
         }
     };
     // Merge per-thread sinks.
+    let merge_started = if ctx.cfg.profile {
+        Some(Instant::now())
+    } else {
+        None
+    };
     for local in locals {
         sink.merge(local, program.op);
+    }
+    if let Some(t) = merge_started {
+        ctx.sink_merge_ns += t.elapsed().as_nanos() as u64;
     }
 }
 

@@ -58,6 +58,10 @@ pub struct PlanNode {
     /// If `Some(j)`, this node's result equals node `j`'s — reuse it
     /// (paper App. B.2).
     pub equiv_to: Option<usize>,
+    /// Estimated intersection work of this node under the planner's cost
+    /// model (`None` when statistics were missing). Paired against the
+    /// observed per-node work counters by `\explain`.
+    pub estimated_cost: Option<f64>,
 }
 
 /// Aggregation specification for the whole rule.
@@ -225,6 +229,11 @@ impl PhysicalPlan {
                 output_attrs,
                 interface,
                 equiv_to: None,
+                estimated_cost: ghd_plan
+                    .estimated_node_costs
+                    .get(f.preorder_idx)
+                    .copied()
+                    .flatten(),
             });
         }
         // Translate node equivalences from pre-order to post-order ids.
@@ -287,12 +296,15 @@ impl PhysicalPlan {
         }
         for node in self.nodes.iter().rev() {
             out.push_str(&format!(
-                "node v{} (χ: {:?}, out: {:?}{}):\n",
+                "node v{} (χ: {:?}, out: {:?}{}{}):\n",
                 node.id,
                 node.attrs,
                 node.output_attrs,
                 node.equiv_to
                     .map(|j| format!(", ≡ v{j}"))
+                    .unwrap_or_default(),
+                node.estimated_cost
+                    .map(|c| format!(", est. work {c:.1}"))
                     .unwrap_or_default()
             ));
             let mut indent = String::from("  ");

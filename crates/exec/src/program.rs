@@ -16,8 +16,9 @@ use crate::config::Config;
 use crate::executor::{ExecError, NodeResult};
 use crate::plan::{AtomPlan, PhysicalPlan, PlanNode};
 use crate::storage::{Catalog, Relation};
+use eh_obs::{WorkCounters, WorkerProfile};
 use eh_semiring::{AggOp, DynValue};
-use eh_set::{MultiwayScratch, Set};
+use eh_set::{KernelStats, MultiwayScratch, Set};
 use eh_trie::{NodeId, Trie};
 use std::sync::Arc;
 
@@ -232,8 +233,59 @@ pub(crate) struct GjContext<'a> {
     /// Adaptive-layout observation cells, `obs[atom][stack depth]` —
     /// preallocated here so the recursion only increments counters.
     pub(crate) obs: Vec<Vec<ObsCell>>,
+    /// Profiling work counters, `work[atom][stack depth]`, preallocated
+    /// like `obs` so the recursion only bumps fields (only when
+    /// [`Config::profile`] is on).
+    pub(crate) work: Vec<Vec<WorkCounters>>,
+    /// Profiling: one [`LevelTally`] per attribute level, consolidated so
+    /// the hot path's per-call tick costs one bounds check on one cache
+    /// line (see [`crate::gj::sample_clock`]).
+    pub(crate) level_prof: Vec<LevelTally>,
+    /// Profiling: time spent folding per-worker sinks (parallel only).
+    pub(crate) sink_merge_ns: u64,
+    /// Profiling: one entry per parallel worker (morsels claimed,
+    /// level-0 values processed).
+    pub(crate) worker_profiles: Vec<WorkerProfile>,
     /// Engine configuration (intersection kernels, scheduler knobs).
     pub(crate) cfg: &'a Config,
+}
+
+/// Profiling state a parallel worker hands back to the parent context:
+/// its work counters, level timings, and kernel-dispatch stats, drained
+/// from the worker's forked context after its share of the join.
+pub(crate) struct WorkerTally {
+    pub(crate) work: Vec<Vec<WorkCounters>>,
+    pub(crate) level_prof: Vec<LevelTally>,
+    pub(crate) kernels: KernelStats,
+}
+
+/// Per-level profiling accumulators. `ticks` counts every profiled
+/// merge/count call (exact — it is both the sampling trigger and the
+/// per-cell participation source); `samples`, `ns`, and `values` are
+/// recorded only on the sampled calls (1 in `CLOCK_SAMPLE_MASK + 1`),
+/// so readers scale them by `ticks / samples` (see
+/// [`crate::gj::sample_clock`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct LevelTally {
+    /// Profiled calls at this level (exact).
+    pub(crate) ticks: u64,
+    /// How many of those calls read the clock.
+    pub(crate) samples: u64,
+    /// Nanoseconds accumulated over the sampled calls.
+    pub(crate) ns: u64,
+    /// Candidate values produced by the sampled calls (counts from the
+    /// never-materializing count fast path included); scale like `ns`.
+    pub(crate) values: u64,
+}
+
+impl LevelTally {
+    /// Wrapping element-wise fold (order-independent across workers).
+    pub(crate) fn merge(&mut self, other: &LevelTally) {
+        self.ticks = self.ticks.wrapping_add(other.ticks);
+        self.samples = self.samples.wrapping_add(other.samples);
+        self.ns = self.ns.wrapping_add(other.ns);
+        self.values = self.values.wrapping_add(other.values);
+    }
 }
 
 impl<'a> GjContext<'a> {
@@ -243,19 +295,27 @@ impl<'a> GjContext<'a> {
             .iter()
             .map(|a| vec![ObsCell::default(); a.stack.len()])
             .collect();
+        let work = atoms
+            .iter()
+            .map(|a| vec![WorkCounters::default(); a.stack.len()])
+            .collect();
         GjContext {
             atoms,
             bindings: vec![0; attrs_len],
             scratch: vec![ValueBuf::new(); attrs_len],
             mw: MultiwayScratch::new(),
             obs,
+            work,
+            level_prof: vec![LevelTally::default(); attrs_len],
+            sink_merge_ns: 0,
+            worker_profiles: Vec::new(),
             cfg,
         }
     }
 
     /// Clone for a worker thread: same atom cursors (cheap — tries are
-    /// behind `Arc`), fresh scratch. Worker observation cells start at
-    /// zero and are merged back by the parallel driver.
+    /// behind `Arc`), fresh scratch. Worker observation and profiling
+    /// counters start at zero and are merged back by the parallel driver.
     pub(crate) fn fork(&self) -> GjContext<'a> {
         GjContext {
             atoms: self.atoms.clone(),
@@ -267,6 +327,14 @@ impl<'a> GjContext<'a> {
                 .iter()
                 .map(|a| vec![ObsCell::default(); a.stack.len()])
                 .collect(),
+            work: self
+                .atoms
+                .iter()
+                .map(|a| vec![WorkCounters::default(); a.stack.len()])
+                .collect(),
+            level_prof: vec![LevelTally::default(); self.level_prof.len()],
+            sink_merge_ns: 0,
+            worker_profiles: Vec::new(),
             cfg: self.cfg,
         }
     }
@@ -278,6 +346,30 @@ impl<'a> GjContext<'a> {
                 m.merge(t);
             }
         }
+    }
+
+    /// Drain this context's profiling counters into a [`WorkerTally`]
+    /// (used by workers just before their contexts are dropped).
+    pub(crate) fn take_tally(&mut self) -> WorkerTally {
+        WorkerTally {
+            work: std::mem::take(&mut self.work),
+            level_prof: std::mem::take(&mut self.level_prof),
+            kernels: self.mw.stats.take(),
+        }
+    }
+
+    /// Fold a worker's tally back into this context. Plain wrapping adds
+    /// throughout, so the fold order across workers doesn't matter.
+    pub(crate) fn merge_tally(&mut self, tally: &WorkerTally) {
+        for (mine, theirs) in self.work.iter_mut().zip(&tally.work) {
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                m.merge(t);
+            }
+        }
+        for (m, t) in self.level_prof.iter_mut().zip(&tally.level_prof) {
+            m.merge(t);
+        }
+        self.mw.stats.merge(&tally.kernels);
     }
 }
 

@@ -246,6 +246,27 @@ pub(crate) fn order_node<S: StatsSource + ?Sized>(
     Some((order, best.cost))
 }
 
+/// Per-node estimated join work of a decomposition, in **pre-order**
+/// (the same walk that numbers plan nodes), each node scored under its
+/// best within-node attribute order. A node without statistics scores
+/// `None`. The observability layer pairs these against the observed
+/// per-node work counters, so estimate-vs-reality drift is attributable
+/// to a specific GHD node rather than only to the whole plan.
+pub fn ghd_node_costs<S: StatsSource + ?Sized>(
+    hg: &Hypergraph,
+    root: &GhdNode,
+    stats: &S,
+) -> Vec<Option<f64>> {
+    let selected = hg.selected_vars();
+    let mut costs = Vec::new();
+    root.preorder(&mut |node| {
+        let vars = node.chi.clone();
+        let sel_first: Vec<bool> = vars.iter().map(|v| selected.contains(v)).collect();
+        costs.push(order_node(hg, node, &vars, &sel_first, stats).map(|(_, c)| c));
+    });
+    costs
+}
+
 /// Estimated total join work of a decomposition: the node costs summed
 /// over a pre-order walk, each node scored under its best within-node
 /// order. `None` when any node lacks statistics.
@@ -254,18 +275,9 @@ pub(crate) fn ghd_cost<S: StatsSource + ?Sized>(
     root: &GhdNode,
     stats: &S,
 ) -> Option<f64> {
-    let selected = hg.selected_vars();
-    let mut total = Some(0.0f64);
-    root.preorder(&mut |node| {
-        let Some(acc) = total else { return };
-        let vars = node.chi.clone();
-        let sel_first: Vec<bool> = vars.iter().map(|v| selected.contains(v)).collect();
-        match order_node(hg, node, &vars, &sel_first, stats) {
-            Some((_, c)) => total = Some(acc + c),
-            None => total = None,
-        }
-    });
-    total
+    ghd_node_costs(hg, root, stats)
+        .into_iter()
+        .try_fold(0.0f64, |acc, c| c.map(|x| acc + x))
 }
 
 /// Compare two optional costs for the GHD tie-break: both present →
@@ -364,6 +376,26 @@ mod tests {
         let sel: Vec<bool> = vars.iter().map(|&v| v == y).collect();
         let (order, _) = order_node(&hg, &ghd.root, &vars, &sel, &st).unwrap();
         assert_eq!(order[0], y, "selected attribute must stay first");
+    }
+
+    #[test]
+    fn node_costs_walk_preorder_and_sum_to_the_total() {
+        let rule = eh_query::parse_rule("T(x,y,z) :- R(x,y),S(y,z),U(x,z).").unwrap();
+        let hg = Hypergraph::from_rule(&rule);
+        let ghd = crate::decompose::single_node_ghd(&hg);
+        let st = stats(&[
+            ("R", 1000, &[100, 50]),
+            ("S", 1000, &[50, 4]),
+            ("U", 1000, &[100, 4]),
+        ]);
+        let per_node = ghd_node_costs(&hg, &ghd.root, &st);
+        assert_eq!(per_node.len(), 1, "single-node GHD has one cost entry");
+        let total: Option<f64> = per_node.iter().copied().sum();
+        assert_eq!(total, ghd_cost(&hg, &ghd.root, &st));
+        // Without statistics every node scores None and the total is None.
+        let none = ghd_node_costs(&hg, &ghd.root, &NoStats);
+        assert!(none.iter().all(Option::is_none));
+        assert!(ghd_cost(&hg, &ghd.root, &NoStats).is_none());
     }
 
     #[test]

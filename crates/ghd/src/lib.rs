@@ -27,7 +27,7 @@ pub mod hypergraph;
 pub mod lp;
 pub mod optimizer;
 
-pub use cost::{NoStats, RelationStats, StatsSource};
+pub use cost::{ghd_node_costs, NoStats, RelationStats, StatsSource};
 pub use decompose::{enumerate_ghds, Ghd, GhdNode};
 pub use hypergraph::{Hyperedge, Hypergraph};
 pub use lp::{agm_exponent, solve_cover_lp};

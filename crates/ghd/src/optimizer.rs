@@ -1,7 +1,7 @@
 //! GHD selection, attribute ordering, selection push-down, and redundant
 //! node elimination (paper §3.2, Appendix B).
 
-use crate::cost::{cmp_cost, ghd_cost, order_node, NoStats, StatsSource};
+use crate::cost::{cmp_cost, ghd_cost, ghd_node_costs, order_node, NoStats, StatsSource};
 use crate::decompose::{enumerate_ghds, single_node_ghd, Ghd, GhdNode};
 use crate::hypergraph::Hypergraph;
 use eh_query::Rule;
@@ -56,6 +56,11 @@ pub struct GhdPlan {
     /// statistics cost model. `None` when statistics were unavailable (or
     /// the cost-based order is disabled) and the structural order was used.
     pub estimated_cost: Option<f64>,
+    /// Per-node estimated work in pre-order (the numbering plan nodes
+    /// carry), so observed per-node counters can be compared against the
+    /// model node by node. Entries are `None` where statistics were
+    /// missing; the vector length always equals the GHD's node count.
+    pub estimated_node_costs: Vec<Option<f64>>,
 }
 
 /// Compile a rule into a [`GhdPlan`] with no catalog statistics — the
@@ -89,6 +94,7 @@ pub fn plan_rule_with_stats(
         single_node_ghd(&hg)
     };
     let estimated_cost = ghd_cost(&hg, &ghd.root, costed);
+    let estimated_node_costs = ghd_node_costs(&hg, &ghd.root, costed);
     let attr_order = attribute_order(&hg, &ghd, costed);
     let node_equiv = if opts.dedup_nodes {
         equivalent_nodes(&hg, &ghd)
@@ -111,6 +117,7 @@ pub fn plan_rule_with_stats(
         node_equiv,
         skip_top_down,
         estimated_cost,
+        estimated_node_costs,
     })
 }
 

@@ -19,6 +19,7 @@ const COVERED: &[&str] = &[
     "crates/core/",
     "crates/storage/",
     "crates/server/",
+    "crates/obs/",
 ];
 
 impl Rule for Columnar {
@@ -27,7 +28,7 @@ impl Rule for Columnar {
     }
 
     fn description(&self) -> &'static str {
-        "no Vec<Vec<u32>> in non-test code of exec/trie/core/storage/server"
+        "no Vec<Vec<u32>> in non-test code of exec/trie/core/storage/server/obs"
     }
 
     fn applies(&self, path: &str) -> Option<Scope> {

@@ -116,6 +116,22 @@ fn recurse() {
     assert!(run("crates/exec/src/gj.rs", src).is_empty());
 }
 
+#[test]
+fn alloc_free_accepts_work_counter_bumps() {
+    // The observability counters (PR 8) are plain field increments on a
+    // caller-owned struct — no allocation, no collect, no formatting.
+    // The exact idiom gj.rs uses must stay legal in the hot recursion.
+    let src = "\
+fn recurse(ctx: &mut GjContext, depth: usize) {
+    let c = ctx.counters_mut(0, depth);
+    c.intersections += 1;
+    c.values_scanned = c.values_scanned.wrapping_add(n as u64);
+    ctx.work.merge_kernels += 1;
+}
+";
+    assert!(run("crates/exec/src/gj.rs", src).is_empty());
+}
+
 // ---- columnar -------------------------------------------------------------
 
 #[test]
@@ -166,6 +182,19 @@ mod tests {
     assert!(run("crates/exec/src/gj_test_helpers.rs", in_tests).is_empty());
     let other_crate = "pub fn anywhere() -> Vec<Vec<u32>> { Vec::new() }\n";
     assert!(run("crates/bench/src/datagen.rs", other_crate).is_empty());
+}
+
+#[test]
+fn columnar_covers_the_obs_crate() {
+    // eh_obs ships with the engine; its profile structures must stay
+    // flat (the wire encoding depends on it).
+    let src = "\
+pub struct Samples {
+    data: Vec<Vec<u32>>,
+}
+";
+    let f = run("crates/obs/src/lib.rs", src);
+    assert_eq!(lines_of(&f, "columnar"), vec![2]);
 }
 
 // ---- decode-panic-free ----------------------------------------------------

@@ -169,6 +169,7 @@ pub struct StatementHandle {
 pub struct EhClient {
     stream: Stream,
     server_banner: String,
+    protocol_version: u32,
 }
 
 impl EhClient {
@@ -190,13 +191,15 @@ impl EhClient {
         let mut client = EhClient {
             stream,
             server_banner: String::new(),
+            protocol_version: PROTOCOL_VERSION,
         };
         let resp = client.round_trip(&Request::Hello {
             version: PROTOCOL_VERSION,
         })?;
         match resp {
-            Response::Hello { server, .. } => {
+            Response::Hello { version, server } => {
                 client.server_banner = server;
+                client.protocol_version = version;
                 Ok(client)
             }
             Response::Error { message } => Err(ClientError::Server(message)),
@@ -209,6 +212,11 @@ impl EhClient {
     /// The server's banner string from the handshake.
     pub fn server_banner(&self) -> &str {
         &self.server_banner
+    }
+
+    /// The protocol version negotiated at handshake.
+    pub fn protocol_version(&self) -> u32 {
+        self.protocol_version
     }
 
     fn round_trip(&mut self, req: &Request) -> Result<Response, ClientError> {

@@ -57,7 +57,8 @@ pub mod shell;
 pub use cache::PlanCache;
 pub use client::{ClientError, EhClient, ResultSet, StatementHandle};
 pub use protocol::{
-    ProtoError, RelationInfo, Request, Response, ServerStats, WireDelimiter, PROTOCOL_VERSION,
+    FrameStat, ProtoError, RelationInfo, Request, Response, ServerStats, StatsExt, WireDelimiter,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
-pub use server::{Addr, Server, ServerOptions, Shared};
+pub use server::{Addr, Server, ServerOptions, Shared, FRAME_KINDS};
 pub use session::batch_from_result;

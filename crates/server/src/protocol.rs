@@ -41,8 +41,12 @@ use std::io::{self, Read, Write};
 
 /// First bytes of every connection's `Hello` payload.
 pub const PROTOCOL_MAGIC: [u8; 4] = *b"EHSP";
-/// Current protocol version.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Current protocol version. Version 2 extends the `Stats` payload
+/// with byte totals and per-frame latency histograms ([`StatsExt`]).
+pub const PROTOCOL_VERSION: u32 = 2;
+/// Oldest client version the server still serves. A version-1 client
+/// gets version-1 payloads (`Stats` without the [`StatsExt`] tail).
+pub const MIN_PROTOCOL_VERSION: u32 = 1;
 /// Upper bound on a single frame's payload (256 MiB) — a corrupt or
 /// hostile length field must not cause an absurd allocation.
 pub const MAX_FRAME_LEN: usize = 256 << 20;
@@ -333,6 +337,55 @@ pub struct ServerStats {
     pub cache_entries: u64,
     /// Plan-cache capacity.
     pub cache_capacity: u64,
+    /// Protocol-2 extension (byte totals, per-frame latency). `None`
+    /// when talking to (or decoding from) a version-1 peer.
+    pub ext: Option<StatsExt>,
+}
+
+/// Latency/count statistics for one frame kind, carried in the
+/// protocol-2 `Stats` extension.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FrameStat {
+    /// Frame kind (`query`, `prepare`, `exec_prepared`, ...).
+    pub name: String,
+    /// Frames of this kind served.
+    pub count: u64,
+    /// Total service time across those frames, nanoseconds.
+    pub total_ns: u64,
+    /// Populated log₂ latency buckets, `(bucket index, count)` — see
+    /// [`eh_obs::bucket_of`].
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl FrameStat {
+    /// Rehydrate the sparse bucket list into a full histogram snapshot
+    /// (for `mean()`/`percentile()` on the client side).
+    pub fn histogram(&self) -> eh_obs::HistogramSnapshot {
+        let mut snap = eh_obs::HistogramSnapshot {
+            count: self.count,
+            sum: self.total_ns,
+            ..Default::default()
+        };
+        for &(b, c) in &self.buckets {
+            if let Some(slot) = snap.buckets.get_mut(b as usize) {
+                *slot = c;
+            }
+        }
+        snap
+    }
+}
+
+/// The protocol-2 `Stats` extension: appended after the version-1
+/// fields, so version-1 decoders that stop at the base fields never
+/// see it and version-2 decoders treat an absent tail as `None`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsExt {
+    /// Bytes read off client sockets since startup.
+    pub bytes_in: u64,
+    /// Bytes written to client sockets since startup.
+    pub bytes_out: u64,
+    /// Per-frame-kind service latency, registration order.
+    pub frames: Vec<FrameStat>,
 }
 
 /// A server-to-client frame.
@@ -435,6 +488,21 @@ impl Response {
                 ] {
                     put_u64(&mut p, v);
                 }
+                if let Some(ext) = &s.ext {
+                    put_u64(&mut p, ext.bytes_in);
+                    put_u64(&mut p, ext.bytes_out);
+                    put_u32(&mut p, ext.frames.len() as u32);
+                    for f in &ext.frames {
+                        put_str(&mut p, &f.name);
+                        put_u64(&mut p, f.count);
+                        put_u64(&mut p, f.total_ns);
+                        put_u32(&mut p, f.buckets.len() as u32);
+                        for (bucket, c) in &f.buckets {
+                            put_u32(&mut p, *bucket);
+                            put_u64(&mut p, *c);
+                        }
+                    }
+                }
                 (RESP_STATS, p)
             }
         }
@@ -478,7 +546,7 @@ impl Response {
             }
             RESP_STATS => {
                 let mut take = || r.u64("stats field");
-                Response::Stats(ServerStats {
+                let mut stats = ServerStats {
                     epoch: take()?,
                     relations: take()?,
                     sessions_total: take()?,
@@ -490,7 +558,39 @@ impl Response {
                     cache_invalidations: take()?,
                     cache_entries: take()?,
                     cache_capacity: take()?,
-                })
+                    ext: None,
+                };
+                // Version-gated tail: a version-1 server stops at the
+                // base fields; anything further is the protocol-2
+                // extension.
+                if !r.is_empty() {
+                    let bytes_in = r.u64("bytes in")?;
+                    let bytes_out = r.u64("bytes out")?;
+                    let nframes = r.u32("frame-stat count")? as usize;
+                    let mut frames = Vec::with_capacity(nframes.min(256));
+                    for _ in 0..nframes {
+                        let name = r.str("frame name")?;
+                        let count = r.u64("frame count")?;
+                        let total_ns = r.u64("frame total ns")?;
+                        let nbuckets = r.u32("bucket count")? as usize;
+                        let mut buckets = Vec::with_capacity(nbuckets.min(256));
+                        for _ in 0..nbuckets {
+                            buckets.push((r.u32("bucket index")?, r.u64("bucket value")?));
+                        }
+                        frames.push(FrameStat {
+                            name,
+                            count,
+                            total_ns,
+                            buckets,
+                        });
+                    }
+                    stats.ext = Some(StatsExt {
+                        bytes_in,
+                        bytes_out,
+                        frames,
+                    });
+                }
+                Response::Stats(stats)
             }
             t => return Err(ProtoError::Malformed(format!("unknown response tag {t}"))),
         };
@@ -660,7 +760,47 @@ mod tests {
             cache_invalidations: 1,
             cache_entries: 2,
             cache_capacity: 64,
+            ext: None,
         }));
+    }
+
+    #[test]
+    fn extended_stats_round_trip_and_v1_compat() {
+        let stats = ServerStats {
+            epoch: 4,
+            queries: 7,
+            ext: Some(StatsExt {
+                bytes_in: 1024,
+                bytes_out: 4096,
+                frames: vec![FrameStat {
+                    name: "query".into(),
+                    count: 7,
+                    total_ns: 70_000,
+                    buckets: vec![(13, 5), (14, 2)],
+                }],
+            }),
+            ..Default::default()
+        };
+        round_trip_response(Response::Stats(stats.clone()));
+        // The base-only payload (what a v1 server sends, or what the
+        // server sends a v1 client) decodes with ext = None.
+        let mut base = stats.clone();
+        base.ext = None;
+        let (tag, payload) = Response::Stats(base.clone()).encode();
+        assert_eq!(payload.len(), 11 * 8, "v1 Stats payload is 11 u64s");
+        assert_eq!(
+            Response::decode(tag, &payload).unwrap(),
+            Response::Stats(base)
+        );
+        // The rehydrated histogram preserves count/sum and buckets.
+        let ext = stats.ext.clone().unwrap();
+        let h = ext.frames[0].histogram();
+        assert_eq!(h.count, 7);
+        assert_eq!(h.sum, 70_000);
+        assert_eq!(h.nonzero(), vec![(13, 5), (14, 2)]);
+        // A truncated extension tail is an error, not a silent None.
+        let (tag, payload) = Response::Stats(stats).encode();
+        assert!(Response::decode(tag, &payload[..payload.len() - 3]).is_err());
     }
 
     #[test]

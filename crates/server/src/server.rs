@@ -15,9 +15,10 @@
 //! joins all threads.
 
 use crate::cache::PlanCache;
-use crate::protocol::ServerStats;
+use crate::protocol::{FrameStat, ServerStats, StatsExt};
 use crate::session::run_session;
 use eh_core::{CoreError, Database, Prepared};
+use eh_obs::MetricsRegistry;
 use parking_lot::{Mutex, RwLock};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -71,6 +72,26 @@ pub(crate) struct Counters {
     pub(crate) exec_prepared: AtomicU64,
 }
 
+/// Frame kinds tracked by per-kind latency histograms in the shared
+/// [`MetricsRegistry`] (one histogram each, registered at startup).
+pub const FRAME_KINDS: &[&str] = &[
+    "query",
+    "prepare",
+    "exec_prepared",
+    "load_csv",
+    "save_image",
+    "list_relations",
+    "stats",
+    "set_option",
+    "quit",
+];
+
+/// The server's metrics registry: socket byte totals plus one service-
+/// latency histogram per frame kind.
+fn server_metrics() -> MetricsRegistry {
+    MetricsRegistry::with(&["bytes_in", "bytes_out"], FRAME_KINDS)
+}
+
 /// State shared by every session thread.
 pub struct Shared {
     /// The database: many concurrent readers, one writer (loads).
@@ -79,6 +100,10 @@ pub struct Shared {
     pub cache: Mutex<PlanCache>,
     /// Directory `SaveImage` may write into; `None` disables the frame.
     pub image_dir: Option<PathBuf>,
+    /// Lock-free server metrics: socket byte totals and per-frame-kind
+    /// service-latency histograms, surfaced through the protocol-2
+    /// `Stats` extension and the shell's `\metrics` command.
+    pub metrics: MetricsRegistry,
     pub(crate) stats: Counters,
 }
 
@@ -90,6 +115,7 @@ impl Shared {
             db: RwLock::new(db),
             cache: Mutex::new(PlanCache::new(capacity)),
             image_dir: None,
+            metrics: server_metrics(),
             stats: Counters::default(),
         }
     }
@@ -160,6 +186,32 @@ impl Shared {
             cache_invalidations: cache.invalidations(),
             cache_entries: cache.len() as u64,
             cache_capacity: cache.capacity() as u64,
+            ext: Some(self.stats_ext()),
+        }
+    }
+
+    /// The protocol-2 `Stats` extension, read from the metrics
+    /// registry. Sessions strip it before answering version-1 clients.
+    pub(crate) fn stats_ext(&self) -> StatsExt {
+        StatsExt {
+            bytes_in: self.metrics.get("bytes_in"),
+            bytes_out: self.metrics.get("bytes_out"),
+            frames: FRAME_KINDS
+                .iter()
+                .filter_map(|kind| {
+                    let snap = self.metrics.histogram(kind)?.snapshot();
+                    Some(FrameStat {
+                        name: (*kind).to_string(),
+                        count: snap.count,
+                        total_ns: snap.sum,
+                        buckets: snap
+                            .nonzero()
+                            .into_iter()
+                            .map(|(b, c)| (b as u32, c))
+                            .collect(),
+                    })
+                })
+                .collect(),
         }
     }
 }

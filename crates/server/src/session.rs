@@ -17,17 +17,18 @@
 
 use crate::protocol::{
     read_request, write_response, ProtoError, Request, Response, WireDelimiter, MAX_FRAME_LEN,
-    PROTOCOL_VERSION,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use crate::server::Shared;
 use eh_core::{Config, Database, Prepared, QueryResult, Scheduler};
 use eh_storage::wire::ResultBatch;
 use eh_storage::{CsvOptions, Delimiter, RelationSchema, StorageError};
 use std::collections::HashMap;
-use std::io::{Read, Write};
+use std::io::{self, Read, Write};
 use std::path::{Component, Path, PathBuf};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Build the wire batch for a query result: the result's schema (or a
 /// positional u32 fallback), its tuples, and every dictionary domain
@@ -108,8 +109,56 @@ struct Session {
     /// Session-scoped engine configuration (thread count, scheduler,
     /// morsel size) applied to every execution on this connection.
     config: Config,
+    /// Protocol version negotiated at handshake; version-1 clients get
+    /// version-1 payloads (no `Stats` extension).
+    proto_version: u32,
     statements: HashMap<u64, SessionStmt>,
     next_stmt: u64,
+}
+
+/// A socket wrapper that feeds byte totals into the shared metrics
+/// registry as they cross the wire (two linear scans over a two-entry
+/// counter table per syscall — noise next to the syscall itself).
+struct Metered<'a, S> {
+    inner: S,
+    shared: &'a Shared,
+}
+
+impl<S: Read> Read for Metered<'_, S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.shared.metrics.add("bytes_in", n as u64);
+        Ok(n)
+    }
+}
+
+impl<S: Write> Write for Metered<'_, S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.shared.metrics.add("bytes_out", n as u64);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// The metrics-registry histogram a request's service time lands in
+/// (see [`crate::server::FRAME_KINDS`]).
+fn frame_kind(request: &Request) -> &'static str {
+    match request {
+        Request::Hello { .. } => "hello",
+        Request::Query { .. } => "query",
+        Request::Prepare { .. } => "prepare",
+        Request::ExecPrepared { .. } => "exec_prepared",
+        Request::LoadCsv { .. } => "load_csv",
+        Request::SaveImage { .. } => "save_image",
+        Request::ListRelations => "list_relations",
+        Request::Stats => "stats",
+        Request::SetOption { .. } => "set_option",
+        Request::Quit => "quit",
+    }
 }
 
 /// Apply a session-scoped engine option to a config. One parser shared
@@ -184,10 +233,19 @@ fn csv_options(delimiter: WireDelimiter) -> CsvOptions {
 
 /// Serve one connection to completion. Returns when the client quits,
 /// disconnects, or the stream errors (e.g. the server shut it down).
-pub(crate) fn run_session<S: Read + Write>(shared: &Shared, mut stream: S) {
-    // Handshake: the first frame must be a version-matching Hello.
-    match read_request(&mut stream) {
-        Ok(Request::Hello { version }) if version == PROTOCOL_VERSION => {
+pub(crate) fn run_session<S: Read + Write>(shared: &Shared, stream: S) {
+    let mut stream = Metered {
+        inner: stream,
+        shared,
+    };
+    // Handshake: the first frame must be a Hello carrying a version the
+    // server still serves. The negotiated version (the client's own) is
+    // echoed back and pins the session's payload shapes, so a version-1
+    // client never sees a protocol-2 extension.
+    let negotiated = match read_request(&mut stream) {
+        Ok(Request::Hello { version })
+            if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) =>
+        {
             let banner = format!(
                 "eh_server/{} protocol {}",
                 env!("CARGO_PKG_VERSION"),
@@ -196,7 +254,7 @@ pub(crate) fn run_session<S: Read + Write>(shared: &Shared, mut stream: S) {
             if write_response(
                 &mut stream,
                 &Response::Hello {
-                    version: PROTOCOL_VERSION,
+                    version,
                     server: banner,
                 },
             )
@@ -204,12 +262,14 @@ pub(crate) fn run_session<S: Read + Write>(shared: &Shared, mut stream: S) {
             {
                 return;
             }
+            version
         }
         Ok(Request::Hello { version }) => {
             let _ = write_response(
                 &mut stream,
                 &error(format!(
-                    "protocol version mismatch: client {version}, server {PROTOCOL_VERSION}"
+                    "protocol version mismatch: client {version}, server speaks \
+                     {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION}"
                 )),
             );
             return;
@@ -219,10 +279,11 @@ pub(crate) fn run_session<S: Read + Write>(shared: &Shared, mut stream: S) {
             return;
         }
         Err(_) => return,
-    }
+    };
 
     let mut session = Session {
         config: *shared.db.read().config(),
+        proto_version: negotiated,
         statements: HashMap::new(),
         next_stmt: 1,
     };
@@ -239,7 +300,12 @@ pub(crate) fn run_session<S: Read + Write>(shared: &Shared, mut stream: S) {
             }
         };
         let quit = matches!(request, Request::Quit);
+        let kind = frame_kind(&request);
+        let started = Instant::now();
         let response = dispatch(shared, &mut session, request);
+        shared
+            .metrics
+            .observe(kind, started.elapsed().as_nanos() as u64);
         if write_response(&mut stream, &response).is_err() || quit {
             return;
         }
@@ -376,7 +442,13 @@ fn dispatch(shared: &Shared, session: &mut Session, request: Request) -> Respons
         }
         Request::Stats => {
             let db = shared.db.read();
-            Response::Stats(shared.stats_snapshot(&db))
+            let mut stats = shared.stats_snapshot(&db);
+            // Version-1 clients reject trailing bytes: send the base
+            // payload they expect.
+            if session.proto_version < 2 {
+                stats.ext = None;
+            }
+            Response::Stats(stats)
         }
         Request::SetOption { key, value } => {
             match apply_option(&mut session.config, &key, &value) {

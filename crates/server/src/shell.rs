@@ -24,9 +24,11 @@
 
 use crate::cache::PlanCache;
 use crate::client::{ClientError, EhClient, StatementHandle};
+use crate::protocol::ServerStats;
 use crate::server::{Server, ServerOptions};
 use crate::session::{apply_option, batch_from_result};
 use eh_core::{Database, Prepared};
+use eh_obs::prometheus_line;
 use eh_semiring::DynValue;
 use eh_storage::wire::ResultBatch;
 use std::collections::HashMap;
@@ -50,6 +52,7 @@ OPTIONS:
                    (server mode; without it remote \\save is rejected)
   -c 'STMTS'       run statements non-interactively, then exit
   --threads N      engine worker threads (0 = auto)
+  --json           \\metrics prints a Prometheus-style text exposition
   --help           this text
 
 STATEMENTS (separated by ';' or newline):
@@ -64,6 +67,8 @@ STATEMENTS (separated by ';' or newline):
   \\set KEY VALUE                 threads | scheduler | morsel
   \\timing                        toggle per-statement timing
   \\stats                         server / plan-cache statistics
+  \\metrics [--json]              frame latency / byte-count metrics
+                                 (--json: Prometheus-style exposition)
   \\save PATH                     save a database image
   \\q                             quit
 ";
@@ -76,6 +81,7 @@ struct Opts {
     image_dir: Option<String>,
     commands: Option<String>,
     threads: Option<usize>,
+    json: bool,
 }
 
 fn parse_opts(args: &[String]) -> Result<Option<Opts>, String> {
@@ -86,6 +92,7 @@ fn parse_opts(args: &[String]) -> Result<Option<Opts>, String> {
         image_dir: None,
         commands: None,
         threads: None,
+        json: false,
     };
     let mut i = 0;
     let value = |i: &mut usize, flag: &str| -> Result<String, String> {
@@ -106,6 +113,7 @@ fn parse_opts(args: &[String]) -> Result<Option<Opts>, String> {
                 let v = value(&mut i, "--threads")?;
                 opts.threads = Some(v.parse().map_err(|_| format!("bad thread count '{v}'"))?);
             }
+            "--json" => opts.json = true,
             other => return Err(format!("unknown argument '{other}' (try --help)")),
         }
         i += 1;
@@ -417,6 +425,30 @@ impl Backend {
         }
     }
 
+    /// `\metrics`: the server's metrics surface. Embedded mode reports
+    /// the in-process analogue (epoch, relations, plan cache) with no
+    /// frame extension — there is no wire to measure.
+    fn metrics(&mut self, json: bool) -> Result<String, String> {
+        let stats = match self {
+            Backend::Embedded { db, cache, .. } => ServerStats {
+                epoch: db.epoch(),
+                relations: db.catalog().names().count() as u64,
+                cache_hits: cache.hits(),
+                cache_misses: cache.misses(),
+                cache_invalidations: cache.invalidations(),
+                cache_entries: cache.len() as u64,
+                cache_capacity: cache.capacity() as u64,
+                ..Default::default()
+            },
+            Backend::Remote { client, .. } => client.stats().map_err(remote_err)?,
+        };
+        Ok(if json {
+            render_metrics_prometheus(&stats)
+        } else {
+            render_metrics_text(&stats)
+        })
+    }
+
     fn set_option(&mut self, key: &str, val: &str) -> Result<String, String> {
         match self {
             // Same parser the server sessions use, so both modes accept
@@ -446,6 +478,91 @@ impl Backend {
     }
 }
 
+/// Human-readable `\metrics` rendering: counter lines plus a per-frame
+/// latency table (count, mean, coarse p95) from the protocol-2 `Stats`
+/// extension when the backend carries one.
+fn render_metrics_text(s: &ServerStats) -> String {
+    let mut out = format!(
+        "epoch={} relations={} sessions={}/{} queries={} exec_prepared={}\n\
+         plan_cache hits={} misses={} invalidations={} entries={}/{}\n",
+        s.epoch,
+        s.relations,
+        s.sessions_active,
+        s.sessions_total,
+        s.queries,
+        s.exec_prepared,
+        s.cache_hits,
+        s.cache_misses,
+        s.cache_invalidations,
+        s.cache_entries,
+        s.cache_capacity,
+    );
+    let Some(ext) = &s.ext else {
+        out.push_str("(no frame metrics: embedded backend or protocol-1 server)\n");
+        return out;
+    };
+    out.push_str(&format!(
+        "bytes in={} out={}\n",
+        ext.bytes_in, ext.bytes_out
+    ));
+    out.push_str("frame            count    mean_us     p95_us\n");
+    for f in &ext.frames {
+        if f.count == 0 {
+            continue;
+        }
+        let h = f.histogram();
+        out.push_str(&format!(
+            "{:<16} {:>5} {:>10.1} {:>10}\n",
+            f.name,
+            f.count,
+            h.mean() / 1e3,
+            h.percentile(0.95) / 1000,
+        ));
+    }
+    out
+}
+
+/// Prometheus-style text exposition of the same stats (`--json` mode):
+/// one `name{label} value` line per metric, histogram buckets with
+/// nanosecond `le` upper edges.
+fn render_metrics_prometheus(s: &ServerStats) -> String {
+    let mut out = String::new();
+    for (name, v) in [
+        ("epoch", s.epoch),
+        ("relations", s.relations),
+        ("sessions_total", s.sessions_total),
+        ("sessions_active", s.sessions_active),
+        ("queries_total", s.queries),
+        ("exec_prepared_total", s.exec_prepared),
+        ("plan_cache_hits", s.cache_hits),
+        ("plan_cache_misses", s.cache_misses),
+        ("plan_cache_invalidations", s.cache_invalidations),
+        ("plan_cache_entries", s.cache_entries),
+        ("plan_cache_capacity", s.cache_capacity),
+    ] {
+        prometheus_line(&mut out, "eh_", name, v);
+    }
+    if let Some(ext) = &s.ext {
+        prometheus_line(&mut out, "eh_", "bytes_in_total", ext.bytes_in);
+        prometheus_line(&mut out, "eh_", "bytes_out_total", ext.bytes_out);
+        for f in &ext.frames {
+            let label = format!("{{frame=\"{}\"}}", f.name);
+            prometheus_line(&mut out, "eh_", &format!("frame_ns_count{label}"), f.count);
+            prometheus_line(&mut out, "eh_", &format!("frame_ns_sum{label}"), f.total_ns);
+            for &(b, c) in &f.buckets {
+                let le = eh_obs::bucket_floor(b as usize + 1).max(1) - 1;
+                prometheus_line(
+                    &mut out,
+                    "eh_",
+                    &format!("frame_ns_bucket{{frame=\"{}\",le=\"{le}\"}}", f.name),
+                    c,
+                );
+            }
+        }
+    }
+    out
+}
+
 /// Default relation name for `\l file`: the file stem with
 /// non-identifier characters replaced.
 fn relation_name_for(path: &str) -> String {
@@ -470,7 +587,7 @@ enum StmtOutcome {
     Quit,
 }
 
-fn run_statement(backend: &mut Backend, stmt: &str) -> StmtOutcome {
+fn run_statement(backend: &mut Backend, stmt: &str, json: bool) -> StmtOutcome {
     let result = if let Some(rest) = stmt.strip_prefix('\\') {
         let mut parts = rest.splitn(2, char::is_whitespace);
         let cmd = parts.next().unwrap_or("");
@@ -481,6 +598,13 @@ fn run_statement(backend: &mut Backend, stmt: &str) -> StmtOutcome {
             "d" => backend.list(),
             "timing" => Err("\\timing takes no arguments".into()),
             "stats" => backend.stats(),
+            "metrics" => match arg.as_str() {
+                "" => backend.metrics(json),
+                "--json" => backend.metrics(true),
+                other => Err(format!(
+                    "\\metrics takes no argument but --json, got '{other}'"
+                )),
+            },
             "l" | "load" => {
                 let mut words = arg.split_whitespace();
                 match words.next() {
@@ -625,6 +749,7 @@ fn run(args: &[String]) -> Result<i32, String> {
         }
     };
 
+    let json = opts.json;
     let process =
         |backend: &mut Backend, stmt: &str, timing: &mut bool, had_error: &mut bool| -> bool {
             if stmt == "\\timing" {
@@ -633,7 +758,7 @@ fn run(args: &[String]) -> Result<i32, String> {
                 return true;
             }
             let t0 = Instant::now();
-            let outcome = run_statement(backend, stmt);
+            let outcome = run_statement(backend, stmt, json);
             let quit = matches!(outcome, StmtOutcome::Quit);
             if emit(outcome, *timing, t0.elapsed().as_secs_f64() * 1e3) {
                 *had_error = true;
@@ -769,28 +894,28 @@ mod tests {
             statements: HashMap::new(),
         };
         let load = format!("\\l {} E", tsv.display());
-        let out = match run_statement(&mut backend, &load) {
+        let out = match run_statement(&mut backend, &load, false) {
             StmtOutcome::Output(s) => s,
             other => panic!("load failed: {other:?}"),
         };
         assert!(out.contains("loaded 3 rows into E"), "{out}");
         let q = "C(;w:long) :- E(x,y),E(y,z),E(x,z); w=<<COUNT(*)>>.";
-        let out = match run_statement(&mut backend, q) {
+        let out = match run_statement(&mut backend, q, false) {
             StmtOutcome::Output(s) => s,
             other => panic!("query failed: {other:?}"),
         };
         assert!(out.contains("1\n(scalar)"), "{out}");
-        let out = match run_statement(&mut backend, "\\prepare t T(x,y) :- E(x,y).") {
+        let out = match run_statement(&mut backend, "\\prepare t T(x,y) :- E(x,y).", false) {
             StmtOutcome::Output(s) => s,
             other => panic!("prepare failed: {other:?}"),
         };
         assert!(out.contains("prepared t (compiled)"), "{out}");
-        let out = match run_statement(&mut backend, "\\exec t") {
+        let out = match run_statement(&mut backend, "\\exec t", false) {
             StmtOutcome::Output(s) => s,
             other => panic!("exec failed: {other:?}"),
         };
         assert!(out.contains("(3 rows)"), "{out}");
-        let out = match run_statement(&mut backend, "\\d") {
+        let out = match run_statement(&mut backend, "\\d", false) {
             StmtOutcome::Output(s) => s,
             other => panic!("list failed: {other:?}"),
         };
@@ -798,25 +923,100 @@ mod tests {
         // A one-line multi-rule program runs as one read-only overlay
         // program: rule 2 sees rule 1's head.
         let program = "Hop2(x,z) :- E(x,y),E(y,z). From(z) :- Hop2('0',z).";
-        let out = match run_statement(&mut backend, program) {
+        let out = match run_statement(&mut backend, program, false) {
             StmtOutcome::Output(s) => s,
             other => panic!("program failed: {other:?}"),
         };
         assert!(out.contains("(1 rows)"), "{out}");
         // \explain shows the compiled loop nest; with E loaded the
         // planner has catalog stats, so the order is cost-based.
-        let out = match run_statement(&mut backend, "\\explain T(x,y,z) :- E(x,y),E(y,z),E(x,z).") {
+        let out = match run_statement(
+            &mut backend,
+            "\\explain T(x,y,z) :- E(x,y),E(y,z),E(x,z).",
+            false,
+        ) {
             StmtOutcome::Output(s) => s,
             other => panic!("explain failed: {other:?}"),
         };
         assert!(out.contains("order:"), "{out}");
         assert!(out.contains("cost-based"), "{out}");
         assert!(out.contains("for "), "{out}");
-        match run_statement(&mut backend, "\\explain") {
+        match run_statement(&mut backend, "\\explain", false) {
             StmtOutcome::Error(e) => assert!(e.contains("needs a query"), "{e}"),
             other => panic!("expected error: {other:?}"),
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_render_text_and_prometheus() {
+        use crate::protocol::{FrameStat, StatsExt};
+        let stats = ServerStats {
+            epoch: 2,
+            relations: 1,
+            sessions_total: 3,
+            sessions_active: 1,
+            queries: 5,
+            cache_hits: 4,
+            cache_misses: 1,
+            cache_entries: 1,
+            cache_capacity: 64,
+            ext: Some(StatsExt {
+                bytes_in: 100,
+                bytes_out: 900,
+                frames: vec![FrameStat {
+                    name: "query".into(),
+                    count: 5,
+                    total_ns: 5_000_000,
+                    buckets: vec![(20, 5)],
+                }],
+            }),
+            ..Default::default()
+        };
+        let text = render_metrics_text(&stats);
+        assert!(text.contains("bytes in=100 out=900"), "{text}");
+        assert!(text.contains("query"), "{text}");
+        let prom = render_metrics_prometheus(&stats);
+        assert!(prom.contains("eh_plan_cache_hits 4\n"), "{prom}");
+        assert!(prom.contains("eh_bytes_in_total 100\n"), "{prom}");
+        assert!(
+            prom.contains("eh_frame_ns_count{frame=\"query\"} 5\n"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("eh_frame_ns_bucket{frame=\"query\",le=\"1048575\"} 5\n"),
+            "{prom}"
+        );
+        // Every line is `name value` or `name{labels} value`.
+        for line in prom.lines() {
+            assert!(line.starts_with("eh_"), "{line}");
+            assert!(
+                line.rsplit(' ').next().unwrap().parse::<u64>().is_ok(),
+                "{line}"
+            );
+        }
+        // No ext: the text renderer says so instead of a bare table.
+        let mut bare = stats;
+        bare.ext = None;
+        assert!(render_metrics_text(&bare).contains("no frame metrics"));
+        // The embedded backend's \metrics goes through the same path.
+        let mut backend = Backend::Embedded {
+            db: Box::new(Database::new()),
+            cache: PlanCache::new(8),
+            statements: HashMap::new(),
+        };
+        match run_statement(&mut backend, "\\metrics", false) {
+            StmtOutcome::Output(s) => assert!(s.contains("plan_cache"), "{s}"),
+            other => panic!("metrics failed: {other:?}"),
+        }
+        match run_statement(&mut backend, "\\metrics --json", false) {
+            StmtOutcome::Output(s) => assert!(s.contains("eh_epoch 0\n"), "{s}"),
+            other => panic!("metrics --json failed: {other:?}"),
+        }
+        match run_statement(&mut backend, "\\metrics bogus", false) {
+            StmtOutcome::Error(e) => assert!(e.contains("--json"), "{e}"),
+            other => panic!("expected error: {other:?}"),
+        }
     }
 
     impl std::fmt::Debug for StmtOutcome {

@@ -204,6 +204,91 @@ pub fn count_values_slice(a: &[u32], b: &Set, cfg: &IntersectConfig) -> usize {
     }
 }
 
+/// Kernel-dispatch counters for the multiway intersection paths. Owned by
+/// the [`MultiwayScratch`] so hot-path recording stays a plain field bump —
+/// no atomics, no allocation — and readers drain them between joins with
+/// [`KernelStats::take`]. Counts are *dispatch decisions*, classified the
+/// same way the kernels themselves dispatch (layout pair + cardinality
+/// ratio), so they explain which code path did the work.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Multiway intersection calls (n ≥ 2).
+    pub intersections: u64,
+    /// Σ kernel input lengths (u32 values fed to dispatched kernels,
+    /// intermediate accumulators included) — the observed analogue of the
+    /// cost model's intersection-work estimate. Bumped where the dispatch
+    /// already holds the lengths, so recording adds no extra set reads.
+    pub values_scanned: u64,
+    /// Two-pointer / SIMD-shuffle merge dispatches.
+    pub merge_kernels: u64,
+    /// Gallop (exponential-search / rank-probe) dispatches.
+    pub gallop_kernels: u64,
+    /// Bitset or block kernel dispatches.
+    pub bitset_kernels: u64,
+}
+
+impl KernelStats {
+    /// Fold another block into this one (wrapping, order-independent).
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.intersections = self.intersections.wrapping_add(other.intersections);
+        self.values_scanned = self.values_scanned.wrapping_add(other.values_scanned);
+        self.merge_kernels = self.merge_kernels.wrapping_add(other.merge_kernels);
+        self.gallop_kernels = self.gallop_kernels.wrapping_add(other.gallop_kernels);
+        self.bitset_kernels = self.bitset_kernels.wrapping_add(other.bitset_kernels);
+    }
+
+    /// Drain the counters, leaving zeros behind.
+    pub fn take(&mut self) -> KernelStats {
+        std::mem::take(self)
+    }
+}
+
+/// Classify and record a 2-way set×set dispatch: uint×uint splits into
+/// merge vs gallop by the same skew rule the hybrid kernel uses; any
+/// bitset/block participant is a bitset-family kernel.
+fn note_pair(stats: &mut KernelStats, a: &Set, b: &Set, cfg: &IntersectConfig) {
+    stats.values_scanned += (a.len() + b.len()) as u64;
+    match (a, b) {
+        (Set::Uint(_), Set::Uint(_)) => {
+            let (s, l) = if a.len() <= b.len() {
+                (a.len(), b.len())
+            } else {
+                (b.len(), a.len())
+            };
+            if cfg.algorithm_optimizer
+                && crate::skew::cardinality_ratio(s, l) >= uint::GALLOP_RATIO as f64
+            {
+                stats.gallop_kernels += 1;
+            } else {
+                stats.merge_kernels += 1;
+            }
+        }
+        _ => stats.bitset_kernels += 1,
+    }
+}
+
+/// [`note_pair`] for the slice×set chain steps.
+fn note_slice(stats: &mut KernelStats, a_len: usize, b: &Set, cfg: &IntersectConfig) {
+    stats.values_scanned += (a_len + b.len()) as u64;
+    match b {
+        Set::Uint(_) => {
+            let (s, l) = if a_len <= b.len() {
+                (a_len, b.len())
+            } else {
+                (b.len(), a_len)
+            };
+            if cfg.algorithm_optimizer
+                && crate::skew::cardinality_ratio(s, l) >= uint::GALLOP_RATIO as f64
+            {
+                stats.gallop_kernels += 1;
+            } else {
+                stats.merge_kernels += 1;
+            }
+        }
+        _ => stats.bitset_kernels += 1,
+    }
+}
+
 /// Reusable buffers for multiway intersections: an index ordering plus two
 /// ping-pong value buffers for intermediate results. Owning one of these
 /// (e.g. in an executor's per-node scratch) makes [`intersect_all_into`]
@@ -218,6 +303,9 @@ pub struct MultiwayScratch {
     pong: Vec<u32>,
     /// Per-set monotone rank cursors for the probe-smallest path.
     hints: Vec<usize>,
+    /// Kernel-dispatch counters, recorded as plain field bumps on every
+    /// multiway call and drained by profiling readers.
+    pub stats: KernelStats,
 }
 
 impl MultiwayScratch {
@@ -242,9 +330,14 @@ pub fn intersect_all_with<'s, F>(
 {
     match n {
         0 => {}
-        1 => out.extend(set_at(0).iter()),
+        1 => {
+            scratch.stats.values_scanned += set_at(0).len() as u64;
+            out.extend(set_at(0).iter());
+        }
         2 => {
             let (a, b) = (set_at(0), set_at(1));
+            scratch.stats.intersections += 1;
+            note_pair(&mut scratch.stats, a, b, cfg);
             if a.len() <= b.len() {
                 intersect_values(a, b, cfg, out);
             } else {
@@ -253,9 +346,16 @@ pub fn intersect_all_with<'s, F>(
         }
         _ => {
             sort_by_len(n, &set_at, scratch);
+            scratch.stats.intersections += 1;
             if probe_pays_off(cfg, scratch) {
+                // One monotone rank-probe (gallop-family) pass per
+                // non-smallest participant.
+                scratch.stats.gallop_kernels += n as u64 - 1;
+                scratch.stats.values_scanned += summed_order_len(scratch);
                 probe_smallest_with(n, &set_at, scratch, |v| out.push(v));
             } else if let Some(last) = chain_all_but_largest(n, &set_at, cfg, scratch) {
+                let acc_len = scratch.ping.len();
+                note_slice(&mut scratch.stats, acc_len, set_at(last), cfg);
                 intersect_values_slice(&scratch.ping, set_at(last), cfg, out);
             }
         }
@@ -272,6 +372,13 @@ where
         scratch.order.push((set_at(i).len(), i));
     }
     scratch.order.sort_unstable();
+}
+
+/// Σ participant lengths over a pre-sorted `scratch.order` — the
+/// values-scanned charge for the probe-smallest path, which reads its
+/// inputs in place instead of dispatching pairwise kernels.
+fn summed_order_len(scratch: &MultiwayScratch) -> u64 {
+    scratch.order.iter().map(|&(l, _)| l as u64).sum()
 }
 
 /// Whether an `n`-way intersection (order already sorted) should skip the
@@ -329,6 +436,12 @@ where
     debug_assert!(n >= 3);
     debug_assert_eq!(scratch.order.len(), n);
     scratch.ping.clear();
+    note_pair(
+        &mut scratch.stats,
+        set_at(scratch.order[0].1),
+        set_at(scratch.order[1].1),
+        cfg,
+    );
     intersect_values(
         set_at(scratch.order[0].1),
         set_at(scratch.order[1].1),
@@ -340,6 +453,8 @@ where
             return None;
         }
         scratch.pong.clear();
+        let acc_len = scratch.ping.len();
+        note_slice(&mut scratch.stats, acc_len, set_at(scratch.order[k].1), cfg);
         intersect_values_slice(
             &scratch.ping,
             set_at(scratch.order[k].1),
@@ -379,17 +494,32 @@ where
 {
     match n {
         0 => 0,
-        1 => set_at(0).len(),
-        2 => intersect_count(set_at(0), set_at(1), cfg),
+        1 => {
+            let len = set_at(0).len();
+            scratch.stats.values_scanned += len as u64;
+            len
+        }
+        2 => {
+            scratch.stats.intersections += 1;
+            note_pair(&mut scratch.stats, set_at(0), set_at(1), cfg);
+            intersect_count(set_at(0), set_at(1), cfg)
+        }
         _ => {
             sort_by_len(n, &set_at, scratch);
+            scratch.stats.intersections += 1;
             if probe_pays_off(cfg, scratch) {
+                scratch.stats.gallop_kernels += n as u64 - 1;
+                scratch.stats.values_scanned += summed_order_len(scratch);
                 let mut count = 0usize;
                 probe_smallest_with(n, &set_at, scratch, |_| count += 1);
                 count
             } else {
                 match chain_all_but_largest(n, &set_at, cfg, scratch) {
-                    Some(last) => count_values_slice(&scratch.ping, set_at(last), cfg),
+                    Some(last) => {
+                        let acc_len = scratch.ping.len();
+                        note_slice(&mut scratch.stats, acc_len, set_at(last), cfg);
+                        count_values_slice(&scratch.ping, set_at(last), cfg)
+                    }
                     None => 0,
                 }
             }
@@ -651,6 +781,60 @@ mod tests {
             assert_eq!(out, expect, "slice x {kb:?}");
             assert_eq!(count_values_slice(&a, &b, &cfg), expect.len());
         }
+    }
+
+    #[test]
+    fn kernel_stats_classify_dispatches() {
+        let mut scratch = MultiwayScratch::new();
+        let small = mk(&[0, 64, 4_096], Uint);
+        let mid_vals: Vec<u32> = (0..2_000).map(|i| i * 3).collect();
+        let big_vals: Vec<u32> = (0..6_000).collect();
+        let mid = mk(&mid_vals, Uint);
+        let big = mk(&big_vals, Uint);
+        let full = IntersectConfig::full();
+        let merging = IntersectConfig::no_algorithms();
+        let mut out = Vec::new();
+
+        // 2-way, balanced uints, optimizer off → merge kernel.
+        intersect_all_into(&[&mid, &big], &merging, &mut scratch, &mut out);
+        let s = scratch.stats.take();
+        assert_eq!((s.intersections, s.merge_kernels), (1, 1));
+        assert_eq!((s.gallop_kernels, s.bitset_kernels), (0, 0));
+
+        // 2-way, ≥32:1 skew with the optimizer on → gallop.
+        out.clear();
+        intersect_all_into(&[&big, &small], &full, &mut scratch, &mut out);
+        let s = scratch.stats.take();
+        assert_eq!((s.intersections, s.gallop_kernels), (1, 1));
+
+        // 2-way with a bitset participant → bitset family.
+        let dense = mk(&big_vals, Bitset);
+        out.clear();
+        intersect_all_into(&[&mid, &dense], &full, &mut scratch, &mut out);
+        let s = scratch.stats.take();
+        assert_eq!((s.intersections, s.bitset_kernels), (1, 1));
+
+        // 3-way probe path → one gallop per non-smallest participant.
+        out.clear();
+        intersect_all_into(&[&big, &small, &mid], &full, &mut scratch, &mut out);
+        let s = scratch.stats.take();
+        assert_eq!((s.intersections, s.gallop_kernels), (1, 2));
+
+        // 3-way merge chain (optimizer off) → two merge steps, and the
+        // count path classifies identically.
+        out.clear();
+        intersect_all_into(&[&big, &small, &mid], &merging, &mut scratch, &mut out);
+        let chained = scratch.stats.take();
+        count_all_into(&[&big, &small, &mid], &merging, &mut scratch);
+        assert_eq!(scratch.stats.take(), chained);
+        assert_eq!(chained.intersections, 1);
+        assert_eq!(chained.merge_kernels + chained.gallop_kernels, 2);
+
+        // Stats merge is a plain wrapping fold.
+        let mut acc = KernelStats::default();
+        acc.merge(&chained);
+        acc.merge(&KernelStats::default());
+        assert_eq!(acc, chained);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub use bitset::BitsetSet;
 pub use block::BlockSet;
 pub use intersect::{
     count_all_into, intersect, intersect_all, intersect_all_into, intersect_count, IntersectAlgo,
-    IntersectConfig, MultiwayScratch,
+    IntersectConfig, KernelStats, MultiwayScratch,
 };
 pub use layout::{choose_layout, LayoutKind, LayoutLevel, LayoutPolicy};
 pub use uint::UintSet;

@@ -46,7 +46,7 @@ pub use csv::{CsvOptions, Delimiter, LoadReport, MalformedPolicy};
 pub use encode::{Domain, StorageCatalog};
 pub use image::{load_image, save_image, LoadedImage, IMAGE_MAGIC, IMAGE_VERSION};
 pub use schema::{ColumnDef, ColumnType, RelationSchema, StorageError, TypedValue};
-pub use wire::{ByteReader, ResultBatch};
+pub use wire::{decode_profile, encode_profile, ByteReader, ResultBatch};
 
 #[cfg(test)]
 mod tests {

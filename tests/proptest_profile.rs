@@ -1,0 +1,111 @@
+//! Differential property tests for `Config::profile`: observability must
+//! be read-only. Turning profiling on may attach a [`QueryProfile`] to
+//! the result, but the rows, annotations, and scalars themselves must be
+//! byte-identical to the unprofiled run — across every ablation config,
+//! serial and 4-thread morsel-parallel execution, and both uniform and
+//! skewed edge distributions.
+
+use emptyheaded::{Config, Database};
+use proptest::prelude::*;
+
+/// Random small directed edge set, uniform over the node domain.
+fn arb_uniform_edges(max_node: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::btree_set((0..max_node, 0..max_node), 0..max_edges)
+        .prop_map(|s| s.into_iter().filter(|(a, b)| a != b).collect())
+}
+
+/// Skewed edge set: sources concentrate on a few hub nodes, so the
+/// profiled runs exercise the bitset/galloping kernels whose counter
+/// bumps live inside the alloc-free hot loops.
+fn arb_skewed_edges(max_node: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::btree_set((0..max_node, 0..max_node), 0..max_edges).prop_map(|s| {
+        s.into_iter()
+            .map(|(a, b)| (if a % 5 < 3 { a % 3 } else { a }, b))
+            .filter(|(a, b)| a != b)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect()
+    })
+}
+
+/// The fixed differential query mix: a listing, a scalar aggregate, a
+/// grouped aggregate, and an anchored selection.
+const QUERIES: &[&str] = &[
+    "T(x,y,z) :- E(x,y),E(y,z),E(x,z).",
+    "C(;w:long) :- E(x,y),E(y,z),E(x,z); w=<<COUNT(*)>>.",
+    "D(x;w:long) :- E(x,y),E(y,z); w=<<COUNT(*)>>.",
+    "A(y) :- E('0',y),E(y,'1').",
+];
+
+/// All observable output of one query run: rows, annotations, scalar.
+type Observed = (Vec<Vec<u32>>, Vec<String>, Option<u64>);
+
+/// Run every query in the mix twice (cached-trie reuse included) and
+/// return all observable output plus whether a profile was attached.
+fn run_mix(cfg: Config, edges: &[(u32, u32)]) -> (Vec<Observed>, bool) {
+    let mut db = Database::with_config(cfg);
+    db.load_edges("E", edges);
+    let mut out = Vec::new();
+    let mut any_profile = false;
+    for q in QUERIES {
+        for _ in 0..2 {
+            let r = db.query(q).unwrap();
+            let rows: Vec<Vec<u32>> = r.rows().iter().map(|row| row.to_vec()).collect();
+            let annots: Vec<String> = r
+                .annotated_rows()
+                .iter()
+                .map(|(row, v)| format!("{row:?}={v:?}"))
+                .collect();
+            any_profile |= r.profile().is_some();
+            out.push((rows, annots, r.scalar_u64()));
+        }
+    }
+    (out, any_profile)
+}
+
+/// Every ablation preset the engine ships; profiling must be inert on
+/// all of them.
+fn ablations() -> [Config; 6] {
+    [
+        Config::default(),
+        Config::no_simd(),
+        Config::uint_only(),
+        Config::no_layout_no_algorithms(),
+        Config::no_ghd(),
+        Config::block_level(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn profile_is_inert_across_every_ablation(edges in arb_skewed_edges(24, 100)) {
+        for base in ablations() {
+            let (on, profiled) = run_mix(base.with_profile(true), &edges);
+            let (off, unprofiled) = run_mix(base.with_profile(false), &edges);
+            prop_assert_eq!(on, off);
+            prop_assert!(profiled, "profiled run must attach a QueryProfile");
+            prop_assert!(!unprofiled, "unprofiled run must not attach a profile");
+        }
+    }
+
+    #[test]
+    fn profile_is_inert_on_uniform_graphs(edges in arb_uniform_edges(24, 120)) {
+        let (on, _) = run_mix(Config::default().with_profile(true), &edges);
+        let (off, _) = run_mix(Config::default(), &edges);
+        prop_assert_eq!(on, off);
+    }
+
+    #[test]
+    fn profile_is_inert_in_parallel(edges in arb_skewed_edges(24, 120)) {
+        // Per-worker counter merges must not perturb results: 4-thread
+        // profiled vs 4-thread plain, and profiled-parallel vs serial.
+        let (par_on, profiled) = run_mix(Config::default().with_threads(4).with_profile(true), &edges);
+        let (par_off, _) = run_mix(Config::default().with_threads(4), &edges);
+        let (serial, _) = run_mix(Config::default().with_threads(1), &edges);
+        prop_assert_eq!(&par_on, &par_off);
+        prop_assert_eq!(&par_on, &serial);
+        prop_assert!(profiled);
+    }
+}

@@ -370,6 +370,124 @@ fn save_image_is_gated_by_the_server_image_dir() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Extended Stats (protocol 2): the per-frame latency histograms and
+/// plan-cache counters must be internally consistent (bucket counts sum
+/// to the frame count) and monotone — across snapshots taken by
+/// concurrent clients, counters only ever grow.
+#[test]
+fn extended_stats_are_monotone_and_consistent_across_clients() {
+    let (server, addr) = spawn_loaded_server();
+    const CLIENTS: usize = 4;
+    const REPS: usize = 5;
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let mut workers = Vec::new();
+    for worker_id in 0..CLIENTS {
+        let addr = addr.clone();
+        let barrier = Arc::clone(&barrier);
+        workers.push(std::thread::spawn(move || {
+            let mut client = EhClient::connect(&addr).expect("connect");
+            assert_eq!(client.protocol_version(), 2, "handshake negotiates v2");
+            barrier.wait();
+            let frame_count = |s: &emptyheaded::server::ServerStats, name: &str| -> u64 {
+                s.ext
+                    .as_ref()
+                    .expect("v2 stats carry the extension")
+                    .frames
+                    .iter()
+                    .find(|f| f.name == name)
+                    .map(|f| f.count)
+                    .unwrap_or(0)
+            };
+            let before = client.stats().expect("stats");
+            let q = "C(;w:long) :- Follows(x,y),Follows(y,z),Follows(z,x); w=<<COUNT(*)>>.";
+            for _ in 0..REPS {
+                client.query(q).expect("query");
+            }
+            let after = client.stats().expect("stats");
+
+            // Monotone: every counter this session can see only grows,
+            // and its own REPS queries are visible in the query frame
+            // histogram (other sessions can only add more).
+            assert!(after.queries >= before.queries + REPS as u64);
+            assert!(
+                frame_count(&after, "query") >= frame_count(&before, "query") + REPS as u64,
+                "worker {worker_id}: query frame count must grow by at least {REPS}"
+            );
+            let (eb, ea) = (before.ext.as_ref().unwrap(), after.ext.as_ref().unwrap());
+            assert!(ea.bytes_in > eb.bytes_in, "requests were counted in");
+            assert!(ea.bytes_out > eb.bytes_out, "responses were counted out");
+            assert!(after.cache_hits >= before.cache_hits, "hits are monotone");
+            assert!(
+                after.cache_hits + after.cache_misses >= before.cache_hits + before.cache_misses,
+                "total cache traffic is monotone"
+            );
+
+            // Consistent: each frame histogram's sparse buckets sum to
+            // its count, and the rehydrated snapshot agrees.
+            for f in &ea.frames {
+                let bucket_total: u64 = f.buckets.iter().map(|&(_, c)| c).sum();
+                assert_eq!(
+                    bucket_total, f.count,
+                    "frame {}: buckets sum to count",
+                    f.name
+                );
+                let h = f.histogram();
+                assert_eq!(h.count, f.count);
+                assert_eq!(h.sum, f.total_ns);
+                if f.count > 0 {
+                    assert!(h.mean() > 0.0, "frame {}: dispatch took time", f.name);
+                }
+            }
+            client.quit().expect("quit");
+        }));
+    }
+    for w in workers {
+        w.join().expect("worker");
+    }
+    server.shutdown();
+}
+
+/// A protocol-1 client (the PR-5 wire format) must still get a valid
+/// Stats answer: its decoder rejects trailing bytes, so the server
+/// version-gates the extension off the frame for v1 sessions.
+#[test]
+fn v1_clients_still_decode_stats() {
+    use emptyheaded::server::protocol::{read_response, write_request, Request, Response};
+    let (server, addr) = spawn_loaded_server();
+    let path = addr.strip_prefix("unix:").expect("unix addr");
+    let mut stream = std::os::unix::net::UnixStream::connect(path).expect("raw connect");
+
+    // Speak protocol 1 exactly as an old client would.
+    write_request(&mut stream, &Request::Hello { version: 1 }).expect("hello");
+    match read_response(&mut stream).expect("hello reply") {
+        Response::Hello { version, .. } => assert_eq!(version, 1, "server echoes the old version"),
+        other => panic!("expected Hello, got {other:?}"),
+    }
+    write_request(&mut stream, &Request::Stats).expect("stats request");
+    match read_response(&mut stream).expect("stats reply") {
+        Response::Stats(s) => {
+            assert!(
+                s.ext.is_none(),
+                "v1 sessions get the 11-field base frame only"
+            );
+            assert_eq!(s.relations, 3);
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+    write_request(&mut stream, &Request::Quit).expect("quit");
+    match read_response(&mut stream).expect("quit reply") {
+        Response::Ok { .. } => {}
+        other => panic!("expected Ok, got {other:?}"),
+    }
+
+    // A current client on the same server still gets the extension.
+    let mut modern = EhClient::connect(&addr).expect("connect");
+    let stats = modern.stats().expect("stats");
+    assert!(stats.ext.is_some(), "v2 sessions get the extended frame");
+    modern.quit().expect("quit");
+    server.shutdown();
+}
+
 #[test]
 fn tcp_transport_answers_identically() {
     let (server, addr) = spawn_loaded_server();

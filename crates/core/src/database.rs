@@ -713,6 +713,12 @@ impl Database {
             }
             schema = s;
         }
+        // Stamp the head aggregate's ⊕ into the schema (query() results
+        // get it from the executed relation): a cluster coordinator
+        // folds per-shard partial batches with exactly this operator.
+        if let Some(agg) = &plan.agg {
+            schema.combine = agg.op;
+        }
         Ok(Prepared {
             name: rule.head.relation.clone(),
             plan,
@@ -749,6 +755,27 @@ impl Prepared {
             QueryResult::with_schema(self.name.clone(), rel, Some(self.schema.clone()))
                 .with_profile(profile),
         )
+    }
+
+    /// Execute one level-0 shard of the compiled plan
+    /// ([`eh_exec::Config::shard`] must be set on `config` by the
+    /// caller, via `with_shard`). Returns the shard's partial result
+    /// plus the number of level-0 values the shard owned — the
+    /// coordinator's estimated-share signal for skew diagnosis.
+    pub fn execute_sharded_with(
+        &self,
+        db: &Database,
+        config: &Config,
+    ) -> Result<(QueryResult, u64), CoreError> {
+        let view = TypedView {
+            mem: &db.catalog,
+            types: &db.types,
+        };
+        let (rel, level0) = eh_exec::execute_plan_sharded(&self.plan, &view, config)?;
+        Ok((
+            QueryResult::with_schema(self.name.clone(), rel, Some(self.schema.clone())),
+            level0,
+        ))
     }
 
     /// Head relation name of the compiled rule.

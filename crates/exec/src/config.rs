@@ -59,6 +59,14 @@ pub struct Config {
     /// default — the recursion then skips every profiling bump. Results
     /// are byte-identical either way.
     pub profile: bool,
+    /// Distributed execution shard, `Some((index, count))`: restrict the
+    /// root GHD node's level-0 value range to the `index`-th of `count`
+    /// equal contiguous slices. Every shard loads the full input and
+    /// computes the identical merged level-0 list, so only the two
+    /// integers cross the wire; a coordinator ⊕-merges the per-shard
+    /// partial results in shard order. `None` (the default) joins the
+    /// whole range — single-process execution.
+    pub shard: Option<(u32, u32)>,
 }
 
 impl Default for Config {
@@ -73,6 +81,7 @@ impl Default for Config {
             force_naive_recursion: false,
             adaptive: true,
             profile: false,
+            shard: None,
         }
     }
 }
@@ -155,6 +164,15 @@ impl Config {
         self
     }
 
+    /// Execute only the `index`-th of `count` level-0 shards (distributed
+    /// scatter-gather). Panics when `index >= count` or `count == 0` —
+    /// the wire decoder rejects such frames before they reach a config.
+    pub fn with_shard(mut self, index: u32, count: u32) -> Config {
+        assert!(count >= 1 && index < count, "shard {index}/{count} invalid");
+        self.shard = Some((index, count));
+        self
+    }
+
     /// Resolve the morsel size for a level-0 range of `len` values split
     /// across `threads` workers. Auto-sizing targets ~8 morsels per worker
     /// so skewed values re-balance, floored at 1 and capped so tiny inputs
@@ -215,6 +233,18 @@ mod tests {
         assert!(!Config::default().with_adaptive(false).adaptive);
         assert!(!Config::default().profile, "profiling is opt-in");
         assert!(Config::default().with_profile(true).profile);
+    }
+
+    #[test]
+    fn shard_knob_semantics() {
+        assert_eq!(Config::default().shard, None, "single-process default");
+        assert_eq!(Config::default().with_shard(2, 4).shard, Some((2, 4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn shard_index_out_of_range_panics() {
+        let _ = Config::default().with_shard(3, 3);
     }
 
     #[test]

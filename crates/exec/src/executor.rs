@@ -106,7 +106,25 @@ pub fn execute_plan(
     catalog: &dyn Catalog,
     cfg: &Config,
 ) -> Result<Relation, ExecError> {
-    execute_plan_inner(plan, catalog, cfg, None)
+    execute_plan_inner(plan, catalog, cfg, None, None)
+}
+
+/// Execute one level-0 shard of a compiled plan ([`Config::shard`]) and
+/// report how many level-0 values the shard owned (the coordinator's
+/// skew signal). With `shard: None` this is [`execute_plan`] plus the
+/// full level-0 count. The per-shard partial results ⊕-merge (in shard
+/// order) to exactly the single-process answer: each root-node level-0
+/// value lands in exactly one contiguous shard, and the scheduler's
+/// range-ordered sink merge makes every shard's rows — and therefore
+/// the merged fold order — independent of thread count.
+pub fn execute_plan_sharded(
+    plan: &PhysicalPlan,
+    catalog: &dyn Catalog,
+    cfg: &Config,
+) -> Result<(Relation, u64), ExecError> {
+    let mut level0 = 0u64;
+    let rel = execute_plan_inner(plan, catalog, cfg, None, Some(&mut level0))?;
+    Ok((rel, level0))
 }
 
 /// [`execute_plan`] returning the query profile too: `Some` when
@@ -119,14 +137,14 @@ pub fn execute_plan_profiled(
     cfg: &Config,
 ) -> Result<(Relation, Option<QueryProfile>), ExecError> {
     if !cfg.profile {
-        return execute_plan_inner(plan, catalog, cfg, None).map(|rel| (rel, None));
+        return execute_plan_inner(plan, catalog, cfg, None, None).map(|rel| (rel, None));
     }
     let mut profile = QueryProfile {
         estimated_work: plan.estimated_cost,
         ..QueryProfile::default()
     };
     let started = Instant::now();
-    let rel = execute_plan_inner(plan, catalog, cfg, Some(&mut profile))?;
+    let rel = execute_plan_inner(plan, catalog, cfg, Some(&mut profile), None)?;
     profile.total_ns = started.elapsed().as_nanos() as u64;
     profile.rows = rel.rows().len() as u64;
     Ok((rel, Some(profile)))
@@ -137,23 +155,35 @@ fn execute_plan_inner(
     catalog: &dyn Catalog,
     cfg: &Config,
     mut profile: Option<&mut QueryProfile>,
+    mut level0_out: Option<&mut u64>,
 ) -> Result<Relation, ExecError> {
     let is_agg = plan.agg.is_some();
     let op = plan.agg.as_ref().map(|a| a.op).unwrap_or(AggOp::Count);
+    let root_id = plan.root().id;
     // Bottom-up pass: children execute before parents (plan order).
+    // Only the ROOT node is sharded: children run in full on every
+    // shard (broadcast inputs), so the top-down assembly sees complete
+    // child results while each root-level binding lands in exactly one
+    // shard — the per-shard contributions partition the full answer.
     let mut results: Vec<Option<Arc<NodeResult>>> = vec![None; plan.nodes.len()];
     for node in &plan.nodes {
-        if let Some(j) = node.equiv_to {
-            // Redundant-work elimination (paper App. B.2): reuse the
-            // earlier node's rows, relabeled to this node's output
-            // attributes (the canonical bijection aligns the columns).
-            if let Some(prev) = &results[j] {
-                if prev.attrs.len() == node.output_attrs.len() {
-                    results[node.id] = Some(Arc::new(NodeResult {
-                        attrs: node.output_attrs.clone(),
-                        tuples: prev.tuples.clone(),
-                    }));
-                    continue;
+        let shard = if node.id == root_id { cfg.shard } else { None };
+        if shard.is_none() {
+            if let Some(j) = node.equiv_to {
+                // Redundant-work elimination (paper App. B.2): reuse the
+                // earlier node's rows, relabeled to this node's output
+                // attributes (the canonical bijection aligns the columns).
+                // Never taken for a sharded root: node j holds the FULL
+                // result, and reusing it would return the whole answer
+                // from every shard (an n-fold overcount after the merge).
+                if let Some(prev) = &results[j] {
+                    if prev.attrs.len() == node.output_attrs.len() {
+                        results[node.id] = Some(Arc::new(NodeResult {
+                            attrs: node.output_attrs.clone(),
+                            tuples: prev.tuples.clone(),
+                        }));
+                        continue;
+                    }
                 }
             }
         }
@@ -166,6 +196,12 @@ fn execute_plan_inner(
             is_agg,
             op,
             profile.as_deref_mut(),
+            shard,
+            if node.id == root_id {
+                level0_out.as_deref_mut()
+            } else {
+                None
+            },
         )?;
         results[node.id] = Some(Arc::new(result));
     }
@@ -191,6 +227,8 @@ fn run_node(
     is_agg: bool,
     op: AggOp,
     profile: Option<&mut QueryProfile>,
+    shard: Option<(u32, u32)>,
+    level0_out: Option<&mut u64>,
 ) -> Result<NodeResult, ExecError> {
     let node_started = profile.as_ref().map(|_| Instant::now());
     let build = crate::program::build_node(node, plan, catalog, cfg, results, is_agg, op)?;
@@ -202,12 +240,24 @@ fn run_node(
     let program = JoinProgram::compile(node.attrs.len(), output_levels, &build.atoms, is_agg, op);
     let mut sink = Sink::for_output(is_agg, node.output_attrs.len(), op);
     let mut node_profile = NodeProfile::default();
-    if !build.empty {
+    // A node is level-0-splittable when there is an outer loop to slice:
+    // more than one attribute and at least one atom participating at
+    // level 0. Non-splittable sharded nodes degrade gracefully — shard 0
+    // runs the whole join, every other shard emits nothing, and the
+    // coordinator's ⊕-merge still sees the full answer exactly once.
+    let splittable = program.attrs_len > 1 && !program.levels[0].steps.is_empty();
+    let run_here = !build.empty && (shard.is_none() || splittable || shard.unwrap().0 == 0);
+    if run_here {
         let mut ctx = GjContext::new(build.atoms, program.attrs_len, cfg);
         let threads = cfg.effective_threads();
-        if threads > 1 && program.attrs_len > 1 && !program.levels[0].steps.is_empty() {
+        let sharded_here = shard.is_some() && splittable;
+        if sharded_here || (threads > 1 && splittable) {
             // Shared level-0 prologue: merge the outermost values once,
-            // then hand the range to the scheduler.
+            // then hand the (shard's slice of the) range to the
+            // scheduler. Every shard computes the identical merged list
+            // from its full local inputs, so the contiguous index slice
+            // `[len*k/n, len*(k+1)/n)` partitions the range exactly with
+            // no coordination beyond the two shard integers.
             let level0_started = if cfg.profile {
                 crate::gj::sample_clock(&mut ctx, 0)
             } else {
@@ -222,17 +272,31 @@ fn run_node(
                 &mut ctx.mw,
                 &mut ctx.obs,
                 &mut merged,
+                ctx.observe_any,
+                true,
             );
+            let (lo, hi) = match shard {
+                Some((k, n)) if splittable => {
+                    let len = merged.len() as u64;
+                    let (k, n) = (k as u64, n as u64);
+                    ((len * k / n) as usize, (len * (k + 1) / n) as usize)
+                }
+                _ => (0, merged.len()),
+            };
+            let slice = &merged[lo..hi];
+            if let Some(out) = level0_out {
+                *out = slice.len() as u64;
+            }
             if let Some(t) = level0_started {
                 let cell = &mut ctx.level_prof[0];
                 cell.ns += t.elapsed().as_nanos() as u64;
-                cell.values += merged.len() as u64;
+                cell.values += slice.len() as u64;
             }
-            if !merged.is_empty() {
+            if !slice.is_empty() {
                 crate::parallel::run(
                     &program,
                     &mut ctx,
-                    &merged,
+                    slice,
                     build.base_product,
                     &mut sink,
                     threads,
@@ -373,7 +437,9 @@ fn adapt_layouts(
 ) -> u64 {
     use eh_set::{LayoutKind, LayoutPolicy};
     let mut relayouts = 0u64;
-    if !cfg.adaptive || cfg.layout_policy != LayoutPolicy::SetLevel {
+    if !cfg.adaptive || cfg.layout_policy != LayoutPolicy::SetLevel || !ctx.observe_any {
+        // Nothing observed this run (converged or non-adaptive): the cells
+        // are all zero, so there is no evidence to fold back.
         return relayouts;
     }
     // Pool observation cells per (relation, trie order, trie level):
@@ -413,6 +479,7 @@ fn adapt_layouts(
         let trie = rel.trie_threads(order, cfg.layout_policy, cfg.effective_threads());
         let mut overrides: Vec<Option<LayoutKind>> = vec![None; cells.len()];
         let mut changed = false;
+        let mut evidence = false;
         for (level, cell) in cells.iter().enumerate() {
             let Some(desired) = cell.desired() else {
                 continue;
@@ -421,6 +488,7 @@ fn adapt_layouts(
             if block > 0 {
                 continue; // never produced by SetLevel; leave foreign layouts alone
             }
+            evidence = true;
             let current = if bitset > uint {
                 LayoutKind::Bitset
             } else {
@@ -432,6 +500,8 @@ fn adapt_layouts(
             }
         }
         if changed {
+            // `relayout_trie` drops the order's convergence mark, so the
+            // next adaptive run re-observes and verifies the new layout.
             rel.relayout_trie(
                 order,
                 cfg.layout_policy,
@@ -439,6 +509,12 @@ fn adapt_layouts(
                 &overrides,
             );
             relayouts += 1;
+        } else if evidence {
+            // Observed access agreed with the census everywhere it had
+            // enough reads to judge: stop observing this order until a
+            // re-layout invalidates the verdict. This is what caps the
+            // steady-state overhead of `adaptive` relative to `static`.
+            rel.mark_layout_converged(order);
         }
     }
     relayouts
@@ -542,6 +618,203 @@ mod tests {
             .trie(&[0, 1], LayoutPolicy::SetLevel)
             .level_census(1);
         assert_eq!(after, after2, "feedback is idempotent");
+    }
+
+    #[test]
+    fn adaptive_convergence_gates_observation() {
+        use eh_set::LayoutPolicy;
+        // Same shape as the hot-levels workload: dense hub neighbourhoods
+        // the join actually reads, singleton tails it never touches.
+        let mut e_rows: Vec<Vec<u32>> = Vec::new();
+        for x in 0..20u32 {
+            for y in 0..100u32 {
+                e_rows.push(vec![x, 1000 + y]);
+            }
+        }
+        for t in 0..500u32 {
+            e_rows.push(vec![100 + t, 5000 + t]);
+        }
+        let f_rows: Vec<Vec<u32>> = (0..20u32)
+            .flat_map(|x| (0..100u32).map(move |y| vec![x, 1000 + y]))
+            .collect();
+        let mut cat = MemCatalog::new();
+        cat.insert("E", Relation::from_rows(2, e_rows));
+        cat.insert("F", Relation::from_rows(2, f_rows));
+        let rule = parse_rule("C(;w:long) :- E(x,y),F(x,y); w=<<COUNT(*)>>.").unwrap();
+        let cfg = Config::default();
+        // Run 1 re-lays E's hot level, so E stays unconverged for one more
+        // verification pass; run 2 verifies the new layout and converges.
+        execute_rule(&rule, &cat, &cfg).unwrap();
+        assert!(
+            !cat.relation("E").unwrap().layout_converged(&[0, 1]),
+            "a re-layout must leave the order unconverged for verification"
+        );
+        execute_rule(&rule, &cat, &cfg).unwrap();
+        assert!(
+            cat.relation("E").unwrap().layout_converged(&[0, 1]),
+            "verified layout must be marked converged"
+        );
+        // A further re-layout invalidates convergence again.
+        cat.relation("E")
+            .unwrap()
+            .relayout_trie(&[0, 1], LayoutPolicy::SetLevel, 1, &[None, None]);
+        assert!(!cat.relation("E").unwrap().layout_converged(&[0, 1]));
+        // The static ablation gathers no evidence and never converges.
+        let cat2 = {
+            let mut c = MemCatalog::new();
+            c.insert("E", Relation::from_rows(2, vec![vec![0, 1], vec![1, 2]]));
+            c
+        };
+        let rule2 = parse_rule("P(x,z) :- E(x,y),E(y,z).").unwrap();
+        execute_rule(&rule2, &cat2, &Config::static_layout()).unwrap();
+        assert!(!cat2.relation("E").unwrap().layout_converged(&[0, 1]));
+    }
+
+    fn compile(rule: &Rule, cat: &dyn Catalog, cfg: &Config) -> PhysicalPlan {
+        let stats = crate::storage::CatalogStats(cat);
+        let ghd = eh_ghd::plan_rule_with_stats(rule, &cfg.plan, &stats).unwrap();
+        PhysicalPlan::compile(rule, &ghd)
+    }
+
+    fn skewed_catalog() -> MemCatalog {
+        // A hub (vertex 0) with a long tail: level-0 shards see very
+        // different work, which is exactly what the contiguous-range
+        // partition must survive without changing the answer.
+        let mut edges: Vec<Vec<u32>> = Vec::new();
+        for b in 1..40u32 {
+            edges.push(vec![0, b]);
+            edges.push(vec![b, 0]);
+        }
+        for a in 1..40u32 {
+            for b in (a + 1)..40u32 {
+                if (a * 7 + b * 13) % 11 == 0 {
+                    edges.push(vec![a, b]);
+                    edges.push(vec![b, a]);
+                }
+            }
+        }
+        let mut cat = MemCatalog::new();
+        cat.insert("E", Relation::from_rows(2, edges));
+        cat
+    }
+
+    #[test]
+    fn sharded_count_partials_sum_to_full() {
+        let cat = skewed_catalog();
+        let rule = parse_rule("C(;w:long) :- E(x,y),E(y,z),E(x,z); w=<<COUNT(*)>>.").unwrap();
+        let cfg = Config::default();
+        let plan = compile(&rule, &cat, &cfg);
+        let full = execute_plan(&plan, &cat, &cfg).unwrap();
+        let want = full.scalar().unwrap().as_u64();
+        assert!(want > 0);
+        for n in [1u32, 2, 3, 5, 8] {
+            let mut got = 0u64;
+            let mut level0_total = 0u64;
+            for k in 0..n {
+                let shard_cfg = cfg.with_shard(k, n);
+                let (rel, level0) = execute_plan_sharded(&plan, &cat, &shard_cfg).unwrap();
+                // Scalar plans always emit exactly one row, even for an
+                // empty shard (the ⊕-identity) — the coordinator never
+                // needs a missing-row special case.
+                assert_eq!(rel.rows().len(), 1, "{k}/{n}");
+                got += rel.scalar().unwrap().as_u64();
+                level0_total += level0;
+            }
+            assert_eq!(got, want, "{n} shards");
+            if n > 1 {
+                assert!(level0_total > 0, "level-0 ownership reported");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_rows_concat_sorted_equals_full() {
+        let cat = skewed_catalog();
+        let rule = parse_rule("P(x,z) :- E(x,y),E(y,z).").unwrap();
+        let cfg = Config::default();
+        let plan = compile(&rule, &cat, &cfg);
+        let full = execute_plan(&plan, &cat, &cfg).unwrap();
+        for n in [2u32, 4] {
+            let mut merged = TupleBuffer::new(2);
+            for k in 0..n {
+                let shard_cfg = cfg.with_shard(k, n);
+                let (rel, _) = execute_plan_sharded(&plan, &cat, &shard_cfg).unwrap();
+                merged.append(rel.rows());
+            }
+            // Rows may repeat across shards after projection (two root
+            // bindings in different shards can project to one output
+            // row); the coordinator's sort+dedup collapses them.
+            let merged = merged.sorted_dedup(AggOp::Count);
+            assert_eq!(merged.len(), full.rows().len(), "{n} shards");
+            assert_eq!(merged.flat(), full.rows().flat(), "{n} shards");
+        }
+    }
+
+    #[test]
+    fn sharded_multinode_plan_skips_root_equiv_reuse() {
+        // Barbell with node dedup: the GHD contains equivalent triangle
+        // nodes. If a sharded root reused the earlier node's FULL result
+        // (the equiv_to shortcut), every shard would return the whole
+        // answer and the merged count would overcount n-fold.
+        let mut edges = Vec::new();
+        for a in 0..5u32 {
+            for b in 0..5u32 {
+                if a != b {
+                    edges.push(vec![a, b]);
+                }
+            }
+        }
+        let mut cat = MemCatalog::new();
+        cat.insert("E", Relation::from_rows(2, edges));
+        let rule = parse_rule(
+            "B(;w:long) :- E(x,y),E(y,z),E(x,z),E(x,a),E(a,b),E(b,c),E(a,c); w=<<COUNT(*)>>.",
+        )
+        .unwrap();
+        let cfg = Config::default();
+        let plan = compile(&rule, &cat, &cfg);
+        let want = execute_plan(&plan, &cat, &cfg)
+            .unwrap()
+            .scalar()
+            .unwrap()
+            .as_u64();
+        for n in [2u32, 3] {
+            let got: u64 = (0..n)
+                .map(|k| {
+                    execute_plan_sharded(&plan, &cat, &cfg.with_shard(k, n))
+                        .unwrap()
+                        .0
+                        .scalar()
+                        .unwrap()
+                        .as_u64()
+                })
+                .sum();
+            assert_eq!(got, want, "{n} shards");
+        }
+    }
+
+    #[test]
+    fn sharding_composes_with_threads() {
+        let cat = skewed_catalog();
+        let rule = parse_rule("C(;w:long) :- E(x,y),E(y,z),E(x,z); w=<<COUNT(*)>>.").unwrap();
+        let cfg = Config::default();
+        let plan = compile(&rule, &cat, &cfg);
+        let want = execute_plan(&plan, &cat, &cfg)
+            .unwrap()
+            .scalar()
+            .unwrap()
+            .as_u64();
+        let threaded = cfg.with_threads(4);
+        let got: u64 = (0..3u32)
+            .map(|k| {
+                execute_plan_sharded(&plan, &cat, &threaded.with_shard(k, 3))
+                    .unwrap()
+                    .0
+                    .scalar()
+                    .unwrap()
+                    .as_u64()
+            })
+            .sum();
+        assert_eq!(got, want, "sharded + 4 threads");
     }
 
     #[test]

@@ -50,19 +50,41 @@ pub(crate) fn sample_clock(ctx: &mut GjContext<'_>, level: usize) -> Option<Inst
     }
 }
 
+/// Observation cells keep recording every intersection until they have
+/// this many reads; past the warm-up only `sample`d calls record, so a
+/// cell's cost is bounded at `OBS_WARMUP + ticks / (CLOCK_SAMPLE_MASK+1)`
+/// regardless of workload size. Cells reset per execution, so one run must
+/// gather all the evidence a re-layout decision needs: the warm-up is
+/// sized to cover typical runs outright (matching full observation, which
+/// matters on heavy-tailed set-size distributions where a thin sample can
+/// flip the fig. 5 crossover), while truly huge runs decay to the
+/// stateless 1-in-`CLOCK_SAMPLE_MASK + 1` rate.
+pub(crate) const OBS_WARMUP: u64 = 4096;
+
 /// Record one intersection's participating sets into the adaptive-layout
 /// observation cells (`obs[atom][depth]`): counter increments only, no
 /// allocation. Shared by the merge prologue and the count fast path.
+/// Atoms whose (relation, order) layout already converged opt out
+/// entirely (`AtomExec::observe`); warm cells record only on `sample`d
+/// calls so steady-state adaptive runs stay within noise of `static`.
 #[inline]
 fn observe_level(
     program: &JoinProgram,
     level: usize,
     atoms: &[AtomExec],
     obs: &mut [Vec<ObsCell>],
+    sample: bool,
 ) {
     for st in &program.levels[level].steps {
-        let set = atoms[st.atom].set_at(st.depth);
-        obs[st.atom][st.depth].record(set.len(), set.span());
+        let a = &atoms[st.atom];
+        if !a.observe {
+            continue;
+        }
+        let cell = &mut obs[st.atom][st.depth];
+        if sample || cell.reads < OBS_WARMUP {
+            let set = a.set_at(st.depth);
+            cell.record(set.len(), set.span());
+        }
     }
 }
 
@@ -71,6 +93,7 @@ fn observe_level(
 /// smallest-first, through the reusable `mw` scratch. This is the level
 /// prologue shared by the serial recursion and the parallel level-0
 /// drivers.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn fill_level(
     program: &JoinProgram,
     level: usize,
@@ -79,10 +102,12 @@ pub(crate) fn fill_level(
     mw: &mut MultiwayScratch,
     obs: &mut [Vec<ObsCell>],
     out: &mut ValueBuf,
+    observe: bool,
+    sample: bool,
 ) {
     out.clear();
-    if cfg.adaptive {
-        observe_level(program, level, atoms, obs);
+    if observe {
+        observe_level(program, level, atoms, obs, sample);
     }
     let steps = &program.levels[level].steps;
     intersect_all_with(
@@ -177,8 +202,8 @@ pub(crate) fn gj(
         };
         let count = {
             let atoms = &ctx.atoms;
-            if ctx.cfg.adaptive {
-                observe_level(program, level, atoms, &mut ctx.obs);
+            if ctx.observe_any {
+                observe_level(program, level, atoms, &mut ctx.obs, sample);
             }
             count_all_with(
                 steps.len(),
@@ -217,6 +242,8 @@ pub(crate) fn gj(
         &mut ctx.mw,
         &mut ctx.obs,
         &mut merged,
+        ctx.observe_any,
+        sample,
     );
     if let Some(t) = started {
         let cell = &mut ctx.level_prof[level];

@@ -38,7 +38,8 @@ mod parallel;
 
 pub use config::{Config, Scheduler};
 pub use executor::{
-    execute_plan, execute_plan_profiled, execute_rule, execute_rule_profiled, ExecError,
+    execute_plan, execute_plan_profiled, execute_plan_sharded, execute_rule, execute_rule_profiled,
+    ExecError,
 };
 pub use plan::{PhysicalPlan, PlanNode};
 pub use recursion::execute_recursive_rule;

@@ -285,6 +285,18 @@ impl PhysicalPlan {
         self.nodes.last().expect("plan has at least one node")
     }
 
+    /// True when per-shard partial results of this plan ⊕-merge to the
+    /// single-process answer. Rows and bare aggregates (`<<COUNT(*)>>`,
+    /// `<<SUM(x)>>`, ...) qualify; a non-trivial head expression (e.g.
+    /// `0.15 + 0.85 * <<SUM(z)>>`) does not, because `finalize` applies
+    /// the expression to each shard's PARTIAL total — folding those
+    /// transformed values again would double-apply the arithmetic.
+    pub fn shard_mergeable(&self) -> bool {
+        self.agg
+            .as_ref()
+            .is_none_or(|a| matches!(a.expr, Expr::Agg(..)))
+    }
+
     /// Render the plan as the pseudo-code loop nest of paper Figure 1,
     /// headed by the chosen attribute order and its estimated cost.
     pub fn render(&self) -> String {

@@ -18,7 +18,7 @@ use crate::plan::{AtomPlan, PhysicalPlan, PlanNode};
 use crate::storage::{Catalog, Relation};
 use eh_obs::{WorkCounters, WorkerProfile};
 use eh_semiring::{AggOp, DynValue};
-use eh_set::{KernelStats, MultiwayScratch, Set};
+use eh_set::{KernelStats, LayoutPolicy, MultiwayScratch, Set};
 use eh_trie::{NodeId, Trie};
 use std::sync::Arc;
 
@@ -47,6 +47,11 @@ pub(crate) struct AtomExec {
     /// `d` reads sets at trie level `level_offset + d`. The adaptive-layout
     /// feedback uses this to map observations back onto trie levels.
     pub(crate) level_offset: usize,
+    /// Whether this atom still feeds the adaptive-layout observation
+    /// cells. False for child-result atoms (their tries are transient)
+    /// and for catalog atoms whose (relation, order) layout has already
+    /// converged — see [`crate::storage::Relation::layout_converged`].
+    pub(crate) observe: bool,
 }
 
 impl AtomExec {
@@ -56,6 +61,7 @@ impl AtomExec {
         start: NodeId,
         annotated: bool,
         level_offset: usize,
+        observe: bool,
     ) -> AtomExec {
         // A child atom with an empty interface binds no level at all (it
         // joins the parent as a bare cross product); keep one slot so the
@@ -70,6 +76,7 @@ impl AtomExec {
             hints: vec![0; depth],
             annotated,
             level_offset,
+            observe,
         }
     }
 
@@ -233,6 +240,10 @@ pub(crate) struct GjContext<'a> {
     /// Adaptive-layout observation cells, `obs[atom][stack depth]` —
     /// preallocated here so the recursion only increments counters.
     pub(crate) obs: Vec<Vec<ObsCell>>,
+    /// Whether any atom still observes ([`AtomExec::observe`]): hoisted so
+    /// the per-intersection hot path pays one predictable branch — not a
+    /// per-step scan — once every source order has converged.
+    pub(crate) observe_any: bool,
     /// Profiling work counters, `work[atom][stack depth]`, preallocated
     /// like `obs` so the recursion only bumps fields (only when
     /// [`Config::profile`] is on).
@@ -299,12 +310,14 @@ impl<'a> GjContext<'a> {
             .iter()
             .map(|a| vec![WorkCounters::default(); a.stack.len()])
             .collect();
+        let observe_any = atoms.iter().any(|a| a.observe);
         GjContext {
             atoms,
             bindings: vec![0; attrs_len],
             scratch: vec![ValueBuf::new(); attrs_len],
             mw: MultiwayScratch::new(),
             obs,
+            observe_any,
             work,
             level_prof: vec![LevelTally::default(); attrs_len],
             sink_merge_ns: 0,
@@ -327,6 +340,7 @@ impl<'a> GjContext<'a> {
                 .iter()
                 .map(|a| vec![ObsCell::default(); a.stack.len()])
                 .collect(),
+            observe_any: self.observe_any,
             work: self
                 .atoms
                 .iter()
@@ -456,6 +470,7 @@ pub(crate) fn build_node(
             0,
             fully_folded && is_agg,
             0,
+            false,
         ));
         sources.push(None);
     }
@@ -539,12 +554,19 @@ fn build_atom(
         })
         .collect();
     let annotated = is_agg && rel.is_annotated() && !ap.secondary;
+    // Observation only pays off where the adapt pass can act on it:
+    // set-level policy, adaptive mode, and an order that has not already
+    // been verified as converged.
+    let observe = cfg.adaptive
+        && cfg.layout_policy == LayoutPolicy::SetLevel
+        && !rel.layout_converged(&ap.trie_order);
     Ok(BuiltAtom::Live(AtomExec::new(
         trie,
         attr_levels,
         start,
         annotated,
         consts.len(),
+        observe,
     )))
 }
 

@@ -11,7 +11,7 @@ use eh_semiring::{AggOp, DynValue};
 use eh_set::{LayoutKind, LayoutPolicy};
 use eh_trie::{Trie, TrieBuilder, TupleBuffer};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// A stored relation: a flat tuple buffer + trie cache.
@@ -28,6 +28,15 @@ pub struct Relation {
     /// cache can never go stale; the database's epoch machinery invalidates
     /// at that granularity.
     distinct: RwLock<Vec<Option<u64>>>,
+    /// Trie orders whose set-level layout census the adaptive feedback has
+    /// verified against observed access (see
+    /// [`Relation::mark_layout_converged`]): once an order converges the
+    /// executor stops recording observation cells for atoms reading it, so
+    /// steady-state queries pay no adaptive-observation overhead. Tuples
+    /// are immutable, so convergence can only be invalidated by a
+    /// re-layout, which deliberately leaves the order unconverged for one
+    /// more verification pass.
+    converged: RwLock<HashSet<Vec<usize>>>,
 }
 
 /// Cache of materialized tries, keyed by attribute order + layout policy.
@@ -61,6 +70,7 @@ impl Clone for Relation {
             combine: self.combine,
             tries: RwLock::new(self.tries.read().clone()),
             distinct: RwLock::new(self.distinct.read().clone()),
+            converged: RwLock::new(self.converged.read().clone()),
         }
     }
 }
@@ -75,6 +85,7 @@ impl Relation {
             combine,
             tries: RwLock::new(HashMap::new()),
             distinct: RwLock::new(vec![None; arity]),
+            converged: RwLock::new(HashSet::new()),
         }
     }
 
@@ -255,7 +266,25 @@ impl Relation {
         let trie = Arc::new(builder.build_buffer(&reordered));
         let key = (order.to_vec(), policy_key(policy));
         self.tries.write().insert(key, Arc::clone(&trie));
+        // The census just changed: the next adaptive run must observe this
+        // order again and verify the new layout before convergence.
+        self.converged.write().remove(order);
         trie
+    }
+
+    /// Whether the adaptive-layout feedback has verified this trie
+    /// order's layout census against observed access. Converged orders
+    /// are exempt from per-intersection `ObsCell` recording, which is
+    /// the steady-state cost of `adaptive` mode.
+    pub fn layout_converged(&self, order: &[usize]) -> bool {
+        self.converged.read().contains(order)
+    }
+
+    /// Record that observed access agreed with the current layout census
+    /// for `order` (called by the executor's adapt pass when it gathered
+    /// evidence and changed nothing). Cleared by [`Relation::relayout_trie`].
+    pub fn mark_layout_converged(&self, order: &[usize]) {
+        self.converged.write().insert(order.to_vec());
     }
 }
 

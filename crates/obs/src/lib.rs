@@ -14,8 +14,10 @@
 //!   misestimates become visible per query.
 //! * [`MetricsRegistry`] + [`LatencyHistogram`] — lock-free named atomic
 //!   counters and fixed log₂-bucketed latency histograms for long-running
-//!   services (the query server), with a Prometheus-style text
-//!   exposition (`name{label} value` lines).
+//!   services (the query server; the cluster coordinator keeps one
+//!   per-worker shard latency histogram here, feeding the `\cluster`
+//!   status table and the distributed `\explain` skew report), with a
+//!   Prometheus-style text exposition (`name{label} value` lines).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -109,6 +109,16 @@ impl ResultSet {
         Ok(ResultSet { bytes, batch })
     }
 
+    /// Build a result set from an in-memory batch (the coordinator's
+    /// merged answer), re-encoding so [`ResultSet::raw_bytes`] carries
+    /// exactly what a single server would have sent.
+    pub(crate) fn from_batch(batch: ResultBatch) -> Result<ResultSet, ClientError> {
+        let bytes = batch
+            .encode()
+            .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        Ok(ResultSet { bytes, batch })
+    }
+
     /// Result relation name.
     pub fn name(&self) -> &str {
         self.batch.name()
@@ -154,6 +164,20 @@ impl ResultSet {
     pub fn scalar_f64(&self) -> Option<f64> {
         self.batch.scalar_f64()
     }
+}
+
+/// One worker's answer to a [`EhClient::shard_exec`] call.
+#[derive(Debug)]
+pub struct ShardOutcome {
+    /// True when the worker executed only its level-0 slice; false when
+    /// the plan was not shard-mergeable and `result` is the full answer.
+    pub sharded: bool,
+    /// Level-0 values the shard owned (0 when `sharded` is false).
+    pub level0_values: u64,
+    /// Server-side execution time, nanoseconds.
+    pub elapsed_ns: u64,
+    /// The shard's partial (or full) result.
+    pub result: ResultSet,
 }
 
 /// A prepared-statement handle returned by [`EhClient::prepare`].
@@ -247,6 +271,39 @@ impl EhClient {
     /// Execute a program read-only and fetch the last rule's result.
     pub fn query(&mut self, text: &str) -> Result<ResultSet, ClientError> {
         self.batch_request(&Request::Query { text: text.into() })
+    }
+
+    /// Execute one level-0 shard of `text` (coordinator side of the
+    /// cluster scatter-gather; requires protocol ≥ 2 on the wire, which
+    /// this client always speaks).
+    pub fn shard_exec(
+        &mut self,
+        text: &str,
+        shard_index: u32,
+        shard_count: u32,
+    ) -> Result<ShardOutcome, ClientError> {
+        let req = Request::ShardExec {
+            text: text.into(),
+            shard_index,
+            shard_count,
+        };
+        match self.round_trip(&req)? {
+            Response::ShardResult {
+                sharded,
+                level0_values,
+                elapsed_ns,
+                batch,
+            } => Ok(ShardOutcome {
+                sharded,
+                level0_values,
+                elapsed_ns,
+                result: ResultSet::from_bytes(batch)?,
+            }),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected ShardResult, got {other:?}"
+            ))),
+        }
     }
 
     /// Compile a single rule through the server's shared plan cache.

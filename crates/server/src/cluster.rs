@@ -1,0 +1,228 @@
+//! Cluster coordinator: scatter-gather distributed execution.
+//!
+//! A [`Cluster`] connects to N running `eh_server` processes (the shard
+//! workers) and executes each query by scattering `ShardExec` frames —
+//! one per worker, carrying the query text plus this worker's
+//! `(shard_index, shard_count)` — then gathering the partial results and
+//! merging them into a single answer.
+//!
+//! # Determinism
+//!
+//! The merge is *range-ordered*: workers partition the root node's
+//! level-0 value list into contiguous index ranges (worker `k` owns
+//! `[len·k/n, len·(k+1)/n)`), and the coordinator folds partials in
+//! worker order. Per-shard results arrive sorted and deduplicated (the
+//! engine's `finalize` guarantees that), so concatenating them in shard
+//! order and running one stable `sorted_dedup` under the schema's ⊕
+//! reproduces exactly the tuple sequence — and therefore exactly the
+//! encoded bytes — that a single-process execution produces. Scalar
+//! aggregates fold as `t₀ ⊕ t₁ ⊕ … ⊕ tₙ₋₁`, which equals the
+//! single-process fold because each partial starts from the ⊕-identity.
+//! For floating-point SUM this is bit-identical whenever the annotation
+//! values are dyadic rationals (counts, integer-valued weights, powers
+//! of two); arbitrary decimal weights may differ in the last ulp from a
+//! differently-associated fold.
+//!
+//! Plans whose head applies a non-trivial expression on top of the
+//! aggregate (e.g. PageRank's `0.15 + 0.85 * SUM(..)`) are not
+//! ⊕-mergeable: each worker detects this, runs the *full* query, and
+//! answers `sharded = false`; the coordinator then returns worker 0's
+//! answer verbatim.
+
+use crate::client::{ClientError, EhClient, ResultSet, ShardOutcome};
+use crate::protocol::{RelationInfo, ServerStats, WireDelimiter};
+use eh_obs::MetricsRegistry;
+
+/// One worker's share of the last scattered query, for skew reporting.
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// Worker index (== shard index).
+    pub worker: usize,
+    /// Address the worker was connected at.
+    pub addr: String,
+    /// Whether the worker executed only its level-0 slice.
+    pub sharded: bool,
+    /// Level-0 values the worker owned (the *estimated* share basis).
+    pub level0_values: u64,
+    /// Server-side execution time in ns (the *observed* share basis).
+    pub elapsed_ns: u64,
+    /// Rows in the worker's partial result.
+    pub rows: u64,
+}
+
+struct Worker {
+    addr: String,
+    client: EhClient,
+}
+
+/// A coordinator connection to a set of shard workers.
+pub struct Cluster {
+    workers: Vec<Worker>,
+    metrics: MetricsRegistry,
+    hist_names: Vec<String>,
+    last: Vec<ShardReport>,
+}
+
+impl Cluster {
+    /// Connect to every worker address in order. Worker `k` executes
+    /// shard `k` of every scattered query, so the address order fixes
+    /// the partition — keep it stable across coordinator restarts when
+    /// comparing runs.
+    pub fn connect(addrs: &[String]) -> Result<Cluster, ClientError> {
+        assert!(!addrs.is_empty(), "cluster needs at least one worker");
+        let mut workers = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            workers.push(Worker {
+                addr: addr.clone(),
+                client: EhClient::connect(addr)?,
+            });
+        }
+        let hist_names: Vec<String> = (0..addrs.len())
+            .map(|k| format!("shard_exec_ns_worker{k}"))
+            .collect();
+        let hist_refs: Vec<&str> = hist_names.iter().map(|s| s.as_str()).collect();
+        let metrics = MetricsRegistry::with(
+            &["cluster_queries", "cluster_unsharded_queries"],
+            &hist_refs,
+        );
+        Ok(Cluster {
+            workers,
+            metrics,
+            hist_names,
+            last: Vec::new(),
+        })
+    }
+
+    /// Number of shard workers (the `n` in every scattered query).
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Worker addresses, shard order.
+    pub fn addrs(&self) -> Vec<&str> {
+        self.workers.iter().map(|w| w.addr.as_str()).collect()
+    }
+
+    /// Per-shard skew data from the most recent [`Cluster::query`].
+    pub fn last_reports(&self) -> &[ShardReport] {
+        &self.last
+    }
+
+    /// Coordinator-side metrics: query counters plus one server-side
+    /// latency histogram per worker.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Scatter `text` across all workers, gather the partials, and merge
+    /// them into the single-process answer.
+    pub fn query(&mut self, text: &str) -> Result<ResultSet, ClientError> {
+        let n = self.workers.len() as u32;
+        let mut outcomes: Vec<Option<Result<ShardOutcome, ClientError>>> =
+            (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (k, (worker, slot)) in self.workers.iter_mut().zip(outcomes.iter_mut()).enumerate()
+            {
+                scope.spawn(move || {
+                    *slot = Some(worker.client.shard_exec(text, k as u32, n));
+                });
+            }
+        });
+        self.metrics.inc("cluster_queries");
+        let mut gathered = Vec::with_capacity(outcomes.len());
+        for (k, slot) in outcomes.into_iter().enumerate() {
+            let outcome = slot.expect("scatter thread wrote its slot")?;
+            self.metrics
+                .observe(&self.hist_names[k], outcome.elapsed_ns);
+            gathered.push(outcome);
+        }
+        self.last = gathered
+            .iter()
+            .enumerate()
+            .map(|(k, o)| ShardReport {
+                worker: k,
+                addr: self.workers[k].addr.clone(),
+                sharded: o.sharded,
+                level0_values: o.level0_values,
+                elapsed_ns: o.elapsed_ns,
+                rows: o.result.num_rows() as u64,
+            })
+            .collect();
+        if let Some(pos) = gathered.iter().position(|o| !o.sharded) {
+            // The plan was not ⊕-mergeable: every worker ran it in
+            // full, so any one full answer *is* the answer.
+            self.metrics.inc("cluster_unsharded_queries");
+            let full = gathered.swap_remove(pos);
+            return Ok(full.result);
+        }
+        merge_partials(gathered)
+    }
+
+    /// Broadcast a CSV load to every worker (each shard holds the full
+    /// input relations; only execution is partitioned).
+    pub fn load_csv(
+        &mut self,
+        relation: &str,
+        delimiter: WireDelimiter,
+        data: Vec<u8>,
+    ) -> Result<String, ClientError> {
+        let mut last = String::new();
+        for worker in &mut self.workers {
+            last = worker.client.load_csv(relation, delimiter, data.clone())?;
+        }
+        Ok(last)
+    }
+
+    /// Broadcast a session option to every worker.
+    pub fn set_option(&mut self, key: &str, value: &str) -> Result<String, ClientError> {
+        let mut last = String::new();
+        for worker in &mut self.workers {
+            last = worker.client.set_option(key, value)?;
+        }
+        Ok(last)
+    }
+
+    /// Stored relations, from worker 0 (all workers hold identical data).
+    pub fn list_relations(&mut self) -> Result<Vec<RelationInfo>, ClientError> {
+        self.workers[0].client.list_relations()
+    }
+
+    /// Server statistics, from worker 0.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        self.workers[0].client.stats()
+    }
+
+    /// Close every worker session gracefully.
+    pub fn quit(self) -> Result<(), ClientError> {
+        for worker in self.workers {
+            worker.client.quit()?;
+        }
+        Ok(())
+    }
+}
+
+/// Fold sharded partials, in shard order, into the single-process
+/// answer. Every partial arrives sorted + deduplicated; the merged
+/// buffer re-sorts (stably) and combines duplicate keys under the
+/// result schema's ⊕, which for contiguous level-0 ranges reproduces
+/// the single-process tuple sequence exactly.
+fn merge_partials(outcomes: Vec<ShardOutcome>) -> Result<ResultSet, ClientError> {
+    let mut iter = outcomes.into_iter();
+    let first = iter
+        .next()
+        .expect("merge_partials requires at least one shard");
+    let mut merged = first.result.batch().clone();
+    for outcome in iter {
+        let batch = outcome.result.batch();
+        if batch.schema != merged.schema {
+            return Err(ClientError::Protocol(format!(
+                "shard schema mismatch: {:?} vs {:?}",
+                batch.schema.name, merged.schema.name
+            )));
+        }
+        merged.tuples.append(&batch.tuples);
+    }
+    let combine = merged.schema.combine;
+    merged.tuples = merged.tuples.sorted_dedup(combine);
+    ResultSet::from_batch(merged)
+}

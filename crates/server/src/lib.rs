@@ -24,6 +24,11 @@
 //!   execute (shared, compiled) plans in parallel, loads take the write
 //!   lock; graceful shutdown unblocks and joins every session.
 //! * [`client`] — a blocking [`EhClient`] with typed result iteration.
+//! * [`cluster`] — a scatter-gather coordinator: partitions each
+//!   query's root-node level-0 range across N shard workers
+//!   (`ShardExec`/`ShardResult` frames) and merges the partials in
+//!   range order, so distributed answers are byte-identical to
+//!   single-process execution.
 //! * [`shell`] — `eh_shell`: an interactive REPL (`\l`, `\d`,
 //!   `\timing`, `\prepare`/`\exec`, ...) that runs both embedded
 //!   (in-process database) and against a running server, plus the
@@ -49,13 +54,15 @@
 
 pub mod cache;
 pub mod client;
+pub mod cluster;
 pub mod protocol;
 pub mod server;
 pub mod session;
 pub mod shell;
 
 pub use cache::PlanCache;
-pub use client::{ClientError, EhClient, ResultSet, StatementHandle};
+pub use client::{ClientError, EhClient, ResultSet, ShardOutcome, StatementHandle};
+pub use cluster::{Cluster, ShardReport};
 pub use protocol::{
     FrameStat, ProtoError, RelationInfo, Request, Response, ServerStats, StatsExt, WireDelimiter,
     MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,

@@ -22,6 +22,7 @@
 //! | 0x08 | `Stats` | — |
 //! | 0x09 | `SetOption` | key, value (session-scoped) |
 //! | 0x0A | `Quit` | — |
+//! | 0x0B | `ShardExec` | query text, u32 shard index, u32 shard count |
 //! | 0x81 | `Hello` | u32 version, server banner |
 //! | 0x82 | `Ok` | message |
 //! | 0x83 | `Error` | message |
@@ -29,6 +30,7 @@
 //! | 0x85 | `Prepared` | u64 id, u8 plan-cache hit |
 //! | 0x86 | `Relations` | count, then name/arity/rows/schema each |
 //! | 0x87 | `Stats` | see [`ServerStats`] |
+//! | 0x88 | `ShardResult` | u8 sharded flag, u64 level-0 values, u64 elapsed ns, length-prefixed [`eh_storage::ResultBatch`] |
 //!
 //! Frames come off the network, so every decode path returns errors
 //! instead of panicking on malformed bytes — enforced file-wide by the
@@ -181,6 +183,19 @@ pub enum Request {
     },
     /// Close the session gracefully.
     Quit,
+    /// Execute one contiguous level-0 shard of a query (protocol ≥ 2).
+    /// A cluster coordinator sends the same text to every worker with a
+    /// distinct `shard_index`; each worker joins only its slice of the
+    /// root node's level-0 values and the coordinator ⊕-merges the
+    /// partial [`Response::ShardResult`] batches in shard order.
+    ShardExec {
+        /// Single-rule query text (shared plan cache applies).
+        text: String,
+        /// This worker's shard, `0 <= shard_index < shard_count`.
+        shard_index: u32,
+        /// Total shards across the cluster (≥ 1).
+        shard_count: u32,
+    },
 }
 
 const REQ_HELLO: u8 = 0x01;
@@ -193,6 +208,7 @@ const REQ_LIST: u8 = 0x07;
 const REQ_STATS: u8 = 0x08;
 const REQ_SET: u8 = 0x09;
 const REQ_QUIT: u8 = 0x0A;
+const REQ_SHARD_EXEC: u8 = 0x0B;
 
 impl Request {
     /// Serialize to `(tag, payload)`.
@@ -239,6 +255,16 @@ impl Request {
                 (REQ_SET, p)
             }
             Request::Quit => (REQ_QUIT, p),
+            Request::ShardExec {
+                text,
+                shard_index,
+                shard_count,
+            } => {
+                put_str(&mut p, text);
+                put_u32(&mut p, *shard_index);
+                put_u32(&mut p, *shard_count);
+                (REQ_SHARD_EXEC, p)
+            }
         }
     }
 
@@ -287,6 +313,21 @@ impl Request {
                 value: r.str("option value")?,
             },
             REQ_QUIT => Request::Quit,
+            REQ_SHARD_EXEC => {
+                let text = r.str("shard query text")?;
+                let shard_index = r.u32("shard index")?;
+                let shard_count = r.u32("shard count")?;
+                if shard_count == 0 || shard_index >= shard_count {
+                    return Err(ProtoError::Malformed(format!(
+                        "shard index {shard_index} out of range for {shard_count} shards"
+                    )));
+                }
+                Request::ShardExec {
+                    text,
+                    shard_index,
+                    shard_count,
+                }
+            }
             t => return Err(ProtoError::Malformed(format!("unknown request tag {t}"))),
         };
         if !r.is_empty() {
@@ -428,6 +469,24 @@ pub enum Response {
     },
     /// Server statistics.
     Stats(ServerStats),
+    /// One worker's answer to [`Request::ShardExec`] (protocol ≥ 2).
+    ShardResult {
+        /// True when the worker actually restricted level 0 to its
+        /// shard. False means the plan was not shard-mergeable (e.g. a
+        /// non-trivial head expression or a multi-rule program) and
+        /// `batch` holds the *full* answer — the coordinator must use
+        /// exactly one such batch and discard the rest.
+        sharded: bool,
+        /// Level-0 values this shard owned (skew diagnosis: the
+        /// coordinator compares each worker's share of these against
+        /// its share of elapsed time).
+        level0_values: u64,
+        /// Server-side execution time for this shard, nanoseconds.
+        elapsed_ns: u64,
+        /// Encoded [`eh_storage::ResultBatch`] holding this shard's
+        /// partial (or full, when `sharded` is false) result.
+        batch: Vec<u8>,
+    },
 }
 
 const RESP_HELLO: u8 = 0x81;
@@ -437,6 +496,7 @@ const RESP_BATCH: u8 = 0x84;
 const RESP_PREPARED: u8 = 0x85;
 const RESP_RELATIONS: u8 = 0x86;
 const RESP_STATS: u8 = 0x87;
+const RESP_SHARD_RESULT: u8 = 0x88;
 
 impl Response {
     /// Serialize to `(tag, payload)`.
@@ -504,6 +564,19 @@ impl Response {
                     }
                 }
                 (RESP_STATS, p)
+            }
+            Response::ShardResult {
+                sharded,
+                level0_values,
+                elapsed_ns,
+                batch,
+            } => {
+                p.push(*sharded as u8);
+                put_u64(&mut p, *level0_values);
+                put_u64(&mut p, *elapsed_ns);
+                put_u32(&mut p, batch.len() as u32);
+                p.extend_from_slice(batch);
+                (RESP_SHARD_RESULT, p)
             }
         }
     }
@@ -591,6 +664,25 @@ impl Response {
                     });
                 }
                 Response::Stats(stats)
+            }
+            RESP_SHARD_RESULT => {
+                let sharded = match r.u8("sharded flag")? {
+                    0 => false,
+                    1 => true,
+                    f => {
+                        return Err(ProtoError::Malformed(format!("bad sharded flag {f}")));
+                    }
+                };
+                let level0_values = r.u64("shard level-0 values")?;
+                let elapsed_ns = r.u64("shard elapsed ns")?;
+                let len = r.u32("shard batch length")? as usize;
+                let batch = r.take(len, "shard batch")?.to_vec();
+                Response::ShardResult {
+                    sharded,
+                    level0_values,
+                    elapsed_ns,
+                    batch,
+                }
             }
             t => return Err(ProtoError::Malformed(format!("unknown response tag {t}"))),
         };
@@ -719,6 +811,11 @@ mod tests {
             value: "4".into(),
         });
         round_trip_request(Request::Quit);
+        round_trip_request(Request::ShardExec {
+            text: "C(;w:long) :- E(x,y); w=<<COUNT(*)>>.".into(),
+            shard_index: 1,
+            shard_count: 4,
+        });
     }
 
     #[test]
@@ -762,6 +859,75 @@ mod tests {
             cache_capacity: 64,
             ext: None,
         }));
+        round_trip_response(Response::ShardResult {
+            sharded: true,
+            level0_values: 1234,
+            elapsed_ns: 56_789,
+            batch: vec![9, 8, 7, 6],
+        });
+        round_trip_response(Response::ShardResult {
+            sharded: false,
+            level0_values: 0,
+            elapsed_ns: 1,
+            batch: Vec::new(),
+        });
+    }
+
+    #[test]
+    fn shard_exec_rejects_bad_index() {
+        // index == count and count == 0 are both structurally invalid.
+        let (tag, payload) = Request::ShardExec {
+            text: "T(x) :- E(x,y).".into(),
+            shard_index: 2,
+            shard_count: 2,
+        }
+        .encode();
+        assert!(matches!(
+            Request::decode(tag, &payload),
+            Err(ProtoError::Malformed(_))
+        ));
+        let mut p = Vec::new();
+        put_str(&mut p, "T(x) :- E(x,y).");
+        put_u32(&mut p, 0);
+        put_u32(&mut p, 0);
+        assert!(Request::decode(REQ_SHARD_EXEC, &p).is_err());
+    }
+
+    #[test]
+    fn shard_frames_reject_truncation_and_corruption() {
+        // Truncated at every prefix length: must error, never panic.
+        let (tag, payload) = Request::ShardExec {
+            text: "T(x) :- E(x,y).".into(),
+            shard_index: 0,
+            shard_count: 2,
+        }
+        .encode();
+        for cut in 0..payload.len() {
+            assert!(Request::decode(tag, &payload[..cut]).is_err());
+        }
+        let (tag, payload) = Response::ShardResult {
+            sharded: true,
+            level0_values: 42,
+            elapsed_ns: 77,
+            batch: vec![1, 2, 3, 4, 5],
+        }
+        .encode();
+        for cut in 0..payload.len() {
+            assert!(Response::decode(tag, &payload[..cut]).is_err());
+        }
+        // Trailing garbage after a complete payload is rejected too.
+        let mut noisy = payload.clone();
+        noisy.push(0xFF);
+        assert!(Response::decode(tag, &noisy).is_err());
+        // A corrupt sharded flag is rejected.
+        let mut flipped = payload.clone();
+        flipped[0] = 7;
+        assert!(Response::decode(tag, &flipped).is_err());
+        // A batch length field pointing past the payload is rejected.
+        let mut overlong = payload;
+        let off = 1 + 8 + 8;
+        overlong[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Response::decode(tag, &overlong).is_err());
     }
 
     #[test]

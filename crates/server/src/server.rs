@@ -84,6 +84,7 @@ pub const FRAME_KINDS: &[&str] = &[
     "stats",
     "set_option",
     "quit",
+    "shard_exec",
 ];
 
 /// The server's metrics registry: socket byte totals plus one service-

@@ -158,6 +158,7 @@ fn frame_kind(request: &Request) -> &'static str {
         Request::Stats => "stats",
         Request::SetOption { .. } => "set_option",
         Request::Quit => "quit",
+        Request::ShardExec { .. } => "shard_exec",
     }
 }
 
@@ -459,6 +460,56 @@ fn dispatch(shared: &Shared, session: &mut Session, request: Request) -> Respons
         Request::Quit => Response::Ok {
             message: "bye".into(),
         },
+        Request::ShardExec {
+            text,
+            shard_index,
+            shard_count,
+        } => {
+            if session.proto_version < 2 {
+                return error("ShardExec requires protocol version 2");
+            }
+            shared.stats.queries.fetch_add(1, Ordering::Relaxed);
+            let db = shared.db.read();
+            let started = Instant::now();
+            // Shardable = single non-recursive rule (the cacheable set)
+            // whose partial results ⊕-merge (trivial head expression).
+            // Everything else executes in FULL and answers
+            // `sharded: false`: the coordinator then keeps exactly one
+            // worker's batch, so a cluster still answers every query the
+            // single-process engine does — it just doesn't scale the
+            // non-mergeable ones.
+            let (sharded, result) = match shared.cached_plan_gated(&db, &text) {
+                Ok(Some(plan)) if plan.plan().shard_mergeable() => {
+                    let cfg = session.config.with_shard(shard_index, shard_count);
+                    match plan.execute_sharded_with(&db, &cfg) {
+                        Ok((result, level0)) => (Some(level0), Ok(result)),
+                        Err(e) => (None, Err(e)),
+                    }
+                }
+                Ok(Some(plan)) => (None, plan.execute_with(&db, &session.config)),
+                Ok(None) => (None, db.query_ref_with(&text, &session.config)),
+                Err(e) => (None, Err(e)),
+            };
+            match result {
+                // 32 bytes of headroom for the ShardResult fields around
+                // the batch, so the framed payload stays under the limit.
+                Ok(result) => match batch_from_result(&db, &result).encode() {
+                    Ok(bytes) if bytes.len() + 32 <= MAX_FRAME_LEN => Response::ShardResult {
+                        sharded: sharded.is_some(),
+                        level0_values: sharded.unwrap_or(0),
+                        elapsed_ns: started.elapsed().as_nanos() as u64,
+                        batch: bytes,
+                    },
+                    Ok(bytes) => error(format!(
+                        "shard result too large for one frame ({} bytes, limit {MAX_FRAME_LEN}); \
+                         narrow the query or aggregate server-side",
+                        bytes.len()
+                    )),
+                    Err(e) => error(format!("result encoding failed: {e}")),
+                },
+                Err(e) => error(e),
+            }
+        }
     }
 }
 

@@ -1,11 +1,17 @@
 //! `eh_shell` — the interactive front door.
 //!
-//! One binary, three modes:
+//! One binary, four modes:
 //!
 //! * **embedded** (default): an in-process [`Database`] with its own
 //!   [`PlanCache`] — the full query surface with no server.
 //! * **remote** (`--connect ADDR`): every statement goes over the wire
 //!   to a running `eh_server`.
+//! * **cluster** (`--cluster ADDR`, repeatable): a scatter-gather
+//!   coordinator over N shard workers — queries partition the root
+//!   node's level-0 range across the workers and merge the partials
+//!   deterministically ([`crate::cluster`]); `\cluster` shows topology,
+//!   per-worker latency, and the last query's estimated-vs-observed
+//!   shard skew.
 //! * **server** (`--serve ADDR`): binds the listener(s) and serves
 //!   until killed.
 //!
@@ -24,7 +30,8 @@
 
 use crate::cache::PlanCache;
 use crate::client::{ClientError, EhClient, StatementHandle};
-use crate::protocol::ServerStats;
+use crate::cluster::{Cluster, ShardReport};
+use crate::protocol::{ServerStats, WireDelimiter};
 use crate::server::{Server, ServerOptions};
 use crate::session::{apply_option, batch_from_result};
 use eh_core::{Database, Prepared};
@@ -42,10 +49,13 @@ eh_shell — EmptyHeaded interactive shell
 USAGE:
   eh_shell [OPTIONS]                 embedded REPL (in-process database)
   eh_shell --connect ADDR [OPTIONS]  drive a running eh_server
+  eh_shell --cluster A1 --cluster A2 ...  coordinate shard workers
   eh_shell --serve ADDR [--serve ADDR2 ...]  run the server
 
 OPTIONS:
   --connect ADDR   connect to a server (unix:/path | tcp:host:port | host:port)
+  --cluster ADDR   add a shard worker (repeatable); queries scatter across
+                   all workers and gather to one deterministic answer
   --serve ADDR     bind and serve (repeatable; unix:/path and/or host:port)
   --db PATH        open this database image on startup (embedded/serve)
   --image-dir DIR  let clients \\save images (relative paths) under DIR
@@ -70,12 +80,15 @@ STATEMENTS (separated by ';' or newline):
   \\metrics [--json]              frame latency / byte-count metrics
                                  (--json: Prometheus-style exposition)
   \\save PATH                     save a database image
+  \\cluster                       cluster topology, per-worker latency,
+                                 last-query shard skew (cluster mode)
   \\q                             quit
 ";
 
 /// Parsed command line.
 struct Opts {
     connect: Option<String>,
+    cluster: Vec<String>,
     serve: Vec<String>,
     db_image: Option<String>,
     image_dir: Option<String>,
@@ -87,6 +100,7 @@ struct Opts {
 fn parse_opts(args: &[String]) -> Result<Option<Opts>, String> {
     let mut opts = Opts {
         connect: None,
+        cluster: Vec::new(),
         serve: Vec::new(),
         db_image: None,
         image_dir: None,
@@ -105,6 +119,7 @@ fn parse_opts(args: &[String]) -> Result<Option<Opts>, String> {
         match args[i].as_str() {
             "--help" | "-h" => return Ok(None),
             "--connect" => opts.connect = Some(value(&mut i, "--connect")?),
+            "--cluster" => opts.cluster.push(value(&mut i, "--cluster")?),
             "--serve" => opts.serve.push(value(&mut i, "--serve")?),
             "--db" => opts.db_image = Some(value(&mut i, "--db")?),
             "--image-dir" => opts.image_dir = Some(value(&mut i, "--image-dir")?),
@@ -120,6 +135,9 @@ fn parse_opts(args: &[String]) -> Result<Option<Opts>, String> {
     }
     if opts.connect.is_some() && !opts.serve.is_empty() {
         return Err("--connect and --serve are mutually exclusive".into());
+    }
+    if !opts.cluster.is_empty() && (opts.connect.is_some() || !opts.serve.is_empty()) {
+        return Err("--cluster is exclusive with --connect and --serve".into());
     }
     if opts.image_dir.is_some() && opts.serve.is_empty() {
         return Err("--image-dir only applies to server mode (--serve)".into());
@@ -242,6 +260,14 @@ enum Backend {
         client: EhClient,
         statements: HashMap<String, StatementHandle>,
     },
+    Cluster {
+        cluster: Cluster,
+        // Cluster prepare is client-side: the statement name maps to its
+        // query text, and \exec scatters the text (every worker still
+        // compiles through its own shared plan cache, so re-execution is
+        // a cache hit on each shard).
+        statements: HashMap<String, String>,
+    },
 }
 
 impl Backend {
@@ -260,6 +286,10 @@ impl Backend {
             }
             Backend::Remote { client, .. } => {
                 let rs = client.query(text).map_err(remote_err)?;
+                Ok(render_batch(rs.batch()))
+            }
+            Backend::Cluster { cluster, .. } => {
+                let rs = cluster.query(text).map_err(remote_err)?;
                 Ok(render_batch(rs.batch()))
             }
         }
@@ -298,6 +328,10 @@ impl Backend {
                     }
                 ))
             }
+            Backend::Cluster { statements, .. } => {
+                statements.insert(name.to_string(), text.to_string());
+                Ok(format!("prepared {name} (cluster: compiled per-shard)\n"))
+            }
         }
     }
 
@@ -329,6 +363,17 @@ impl Backend {
                 let rs = client.exec(handle).map_err(remote_err)?;
                 Ok(render_batch(rs.batch()))
             }
+            Backend::Cluster {
+                cluster,
+                statements,
+            } => {
+                let text = statements
+                    .get(name)
+                    .ok_or_else(|| format!("no prepared statement '{name}'"))?
+                    .clone();
+                let rs = cluster.query(&text).map_err(remote_err)?;
+                Ok(render_batch(rs.batch()))
+            }
         }
     }
 
@@ -348,6 +393,14 @@ impl Backend {
             }
             Backend::Remote { client, .. } => {
                 let msg = client.load_csv_path(relation, path).map_err(remote_err)?;
+                Ok(format!("{msg}\n"))
+            }
+            Backend::Cluster { cluster, .. } => {
+                let data = std::fs::read(path).map_err(|e| e.to_string())?;
+                let delim = WireDelimiter::for_path(std::path::Path::new(path));
+                let msg = cluster
+                    .load_csv(relation, delim, data)
+                    .map_err(remote_err)?;
                 Ok(format!("{msg}\n"))
             }
         }
@@ -375,6 +428,11 @@ impl Backend {
                     out.push_str(&format!("{}\trows={}\t{}\n", e.name, e.rows, e.schema));
                 }
             }
+            Backend::Cluster { cluster, .. } => {
+                for e in cluster.list_relations().map_err(remote_err)? {
+                    out.push_str(&format!("{}\trows={}\t{}\n", e.name, e.rows, e.schema));
+                }
+            }
         }
         if out.is_empty() {
             out.push_str("(no relations)\n");
@@ -387,6 +445,20 @@ impl Backend {
             Backend::Embedded { db, .. } => db.explain(query).map_err(|e| e.to_string()),
             Backend::Remote { .. } => {
                 Err("\\explain runs embedded only (plans live client-side)".into())
+            }
+            // A cluster has no client-side planner, but it can profile:
+            // scatter the query and report how the level-0 range split
+            // (estimated share) against where the time actually went
+            // (observed share).
+            Backend::Cluster { cluster, .. } => {
+                let rs = cluster.query(query).map_err(remote_err)?;
+                let mut out = format!(
+                    "distributed execution over {} shard(s), {} result row(s)\n",
+                    cluster.num_workers(),
+                    rs.num_rows()
+                );
+                out.push_str(&render_skew(cluster.last_reports()));
+                Ok(out)
             }
         }
     }
@@ -404,6 +476,21 @@ impl Backend {
                 cache.len(),
                 cache.capacity(),
             )),
+            Backend::Cluster { cluster, .. } => {
+                let s = cluster.stats().map_err(remote_err)?;
+                Ok(format!(
+                    "cluster workers={} queries={} unsharded={}\n\
+                     worker0 epoch={} relations={} queries={} plan_cache hits={} misses={}\n",
+                    cluster.num_workers(),
+                    cluster.metrics().get("cluster_queries"),
+                    cluster.metrics().get("cluster_unsharded_queries"),
+                    s.epoch,
+                    s.relations,
+                    s.queries,
+                    s.cache_hits,
+                    s.cache_misses,
+                ))
+            }
             Backend::Remote { client, .. } => {
                 let s = client.stats().map_err(remote_err)?;
                 Ok(format!(
@@ -441,12 +528,50 @@ impl Backend {
                 ..Default::default()
             },
             Backend::Remote { client, .. } => client.stats().map_err(remote_err)?,
+            Backend::Cluster { cluster, .. } => cluster.stats().map_err(remote_err)?,
         };
         Ok(if json {
             render_metrics_prometheus(&stats)
         } else {
             render_metrics_text(&stats)
         })
+    }
+
+    /// `\cluster`: topology, coordinator counters, per-worker latency,
+    /// and the last scattered query's shard-skew table.
+    fn cluster_status(&mut self) -> Result<String, String> {
+        let Backend::Cluster { cluster, .. } = self else {
+            return Err("\\cluster needs cluster mode (--cluster ADDR ...)".into());
+        };
+        let mut out = format!(
+            "cluster: {} worker(s), {} scattered quer{}, {} unsharded\n",
+            cluster.num_workers(),
+            cluster.metrics().get("cluster_queries"),
+            if cluster.metrics().get("cluster_queries") == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            cluster.metrics().get("cluster_unsharded_queries"),
+        );
+        out.push_str("worker  addr                          count    mean_ms     p95_ms\n");
+        for (k, addr) in cluster.addrs().iter().enumerate() {
+            let name = format!("shard_exec_ns_worker{k}");
+            let h = cluster
+                .metrics()
+                .histogram(&name)
+                .map(|h| h.snapshot())
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "{k:>6}  {addr:<28}  {:>5} {:>10.3} {:>10.3}\n",
+                h.count,
+                h.mean() / 1e6,
+                h.percentile(0.95) as f64 / 1e6,
+            ));
+        }
+        out.push_str("last query shard skew:\n");
+        out.push_str(&render_skew(cluster.last_reports()));
+        Ok(out)
     }
 
     fn set_option(&mut self, key: &str, val: &str) -> Result<String, String> {
@@ -459,6 +584,10 @@ impl Backend {
             }
             Backend::Remote { client, .. } => {
                 let msg = client.set_option(key, val).map_err(remote_err)?;
+                Ok(format!("{msg}\n"))
+            }
+            Backend::Cluster { cluster, .. } => {
+                let msg = cluster.set_option(key, val).map_err(remote_err)?;
                 Ok(format!("{msg}\n"))
             }
         }
@@ -474,8 +603,50 @@ impl Backend {
                 let msg = client.save_image(path).map_err(remote_err)?;
                 Ok(format!("{msg}\n"))
             }
+            Backend::Cluster { .. } => {
+                Err("\\save is per-worker; --connect to one worker to save its image".into())
+            }
         }
     }
+}
+
+/// The estimated-vs-observed shard-skew table: the coordinator's range
+/// split predicts each worker's share by level-0 value count; the
+/// per-shard server-side latency shows where the time actually went.
+fn render_skew(reports: &[ShardReport]) -> String {
+    if reports.is_empty() {
+        return "(no scattered query yet)\n".into();
+    }
+    let total_vals: u64 = reports.iter().map(|r| r.level0_values).sum();
+    let total_ns: u64 = reports.iter().map(|r| r.elapsed_ns).sum();
+    let mut out = String::from("shard  level0   est%       ms   obs%    rows\n");
+    for r in reports {
+        let est = if total_vals == 0 {
+            0.0
+        } else {
+            100.0 * r.level0_values as f64 / total_vals as f64
+        };
+        let obs = if total_ns == 0 {
+            0.0
+        } else {
+            100.0 * r.elapsed_ns as f64 / total_ns as f64
+        };
+        out.push_str(&format!(
+            "{:>5}  {:>6}  {:>5.1} {:>8.3}  {:>5.1}  {:>6}{}\n",
+            r.worker,
+            r.level0_values,
+            est,
+            r.elapsed_ns as f64 / 1e6,
+            obs,
+            r.rows,
+            if r.sharded {
+                ""
+            } else {
+                "  (full: plan not mergeable)"
+            },
+        ));
+    }
+    out
 }
 
 /// Human-readable `\metrics` rendering: counter lines plus a per-frame
@@ -598,6 +769,7 @@ fn run_statement(backend: &mut Backend, stmt: &str, json: bool) -> StmtOutcome {
             "d" => backend.list(),
             "timing" => Err("\\timing takes no arguments".into()),
             "stats" => backend.stats(),
+            "cluster" => backend.cluster_status(),
             "metrics" => match arg.as_str() {
                 "" => backend.metrics(json),
                 "--json" => backend.metrics(true),
@@ -714,16 +886,23 @@ fn run(args: &[String]) -> Result<i32, String> {
         }
     }
 
-    let mut backend = match &opts.connect {
-        Some(addr) => Backend::Remote {
-            client: EhClient::connect(addr).map_err(|e| e.to_string())?,
+    let mut backend = if !opts.cluster.is_empty() {
+        Backend::Cluster {
+            cluster: Cluster::connect(&opts.cluster).map_err(|e| e.to_string())?,
             statements: HashMap::new(),
-        },
-        None => Backend::Embedded {
-            db: Box::new(open_database(&opts)?),
-            cache: PlanCache::new(64),
-            statements: HashMap::new(),
-        },
+        }
+    } else {
+        match &opts.connect {
+            Some(addr) => Backend::Remote {
+                client: EhClient::connect(addr).map_err(|e| e.to_string())?,
+                statements: HashMap::new(),
+            },
+            None => Backend::Embedded {
+                db: Box::new(open_database(&opts)?),
+                cache: PlanCache::new(64),
+                statements: HashMap::new(),
+            },
+        }
     };
 
     let mut timing = false;
@@ -783,6 +962,12 @@ fn run(args: &[String]) -> Result<i32, String> {
             Backend::Embedded { .. } => println!("eh_shell (embedded) — \\help for help"),
             Backend::Remote { client, .. } => {
                 println!("eh_shell — connected to {}", client.server_banner())
+            }
+            Backend::Cluster { cluster, .. } => {
+                println!(
+                    "eh_shell — coordinating {} shard worker(s)",
+                    cluster.num_workers()
+                )
             }
         }
     }

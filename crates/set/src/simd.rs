@@ -36,10 +36,16 @@ pub fn has_avx2() -> bool {
     }
 }
 
-/// SIMD uint intersection: 4-lane all-vs-all compare blocks, scalar tail.
+/// SIMD uint intersection: 8-lane (AVX2) or 4-lane (SSE4.1) all-vs-all
+/// compare blocks, scalar tail.
 pub fn intersect_u32_simd(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
     #[cfg(target_arch = "x86_64")]
     {
+        if has_avx2() {
+            // SAFETY: avx2 presence checked above.
+            unsafe { intersect_u32_avx2(a, b, out) };
+            return;
+        }
         if has_sse() {
             // SAFETY: sse4.1 presence checked above.
             unsafe { intersect_u32_sse(a, b, out) };
@@ -53,12 +59,117 @@ pub fn intersect_u32_simd(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
 pub fn count_u32_simd(a: &[u32], b: &[u32]) -> usize {
     #[cfg(target_arch = "x86_64")]
     {
+        if has_avx2() {
+            // SAFETY: avx2 presence checked above.
+            return unsafe { count_u32_avx2(a, b) };
+        }
         if has_sse() {
             // SAFETY: sse4.1 presence checked above.
             return unsafe { count_u32_sse(a, b) };
         }
     }
     crate::uint::count_merge_scalar(a, b)
+}
+
+// SAFETY: callers must ensure avx2 is available (checked via
+// `has_avx2()` at every call site); unaligned loads stay in bounds
+// because `i < a8 <= a.len() - 7` and likewise for `j`/`b`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn intersect_u32_avx2(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    use std::arch::x86_64::*;
+    let (mut i, mut j) = (0usize, 0usize);
+    let a8 = a.len() & !7;
+    let b8 = b.len() & !7;
+    // Rotate-lanes-by-one permutation: applying it 7 times walks vb
+    // through all 8 cyclic rotations, so every va lane meets every vb
+    // lane (the 8-lane generalization of the SSE4.1 shuffle scheme).
+    let rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+    while i < a8 && j < b8 {
+        let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+        let mut vb = _mm256_loadu_si256(b.as_ptr().add(j) as *const __m256i);
+        let mut any = _mm256_cmpeq_epi32(va, vb);
+        for _ in 0..7 {
+            vb = _mm256_permutevar8x32_epi32(vb, rot1);
+            any = _mm256_or_si256(any, _mm256_cmpeq_epi32(va, vb));
+        }
+        let mask = _mm256_movemask_ps(_mm256_castsi256_ps(any)) as u32;
+        // Emit matched lanes of va in order.
+        if mask != 0 {
+            for lane in 0..8 {
+                if mask & (1 << lane) != 0 {
+                    out.push(a[i + lane]);
+                }
+            }
+        }
+        let a_max = a[i + 7];
+        let b_max = b[j + 7];
+        if a_max <= b_max {
+            i += 8;
+        }
+        if b_max <= a_max {
+            j += 8;
+        }
+    }
+    // Scalar tail.
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        if x == y {
+            out.push(x);
+            i += 1;
+            j += 1;
+        } else if x < y {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+}
+
+// SAFETY: callers must ensure avx2 is available (checked via
+// `has_avx2()` at every call site); loads at `i`/`j` stay in bounds
+// because the loop caps them at the 8-aligned prefixes `a8`/`b8`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn count_u32_avx2(a: &[u32], b: &[u32]) -> usize {
+    use std::arch::x86_64::*;
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut n = 0usize;
+    let a8 = a.len() & !7;
+    let b8 = b.len() & !7;
+    let rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+    while i < a8 && j < b8 {
+        let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+        let mut vb = _mm256_loadu_si256(b.as_ptr().add(j) as *const __m256i);
+        let mut any = _mm256_cmpeq_epi32(va, vb);
+        for _ in 0..7 {
+            vb = _mm256_permutevar8x32_epi32(vb, rot1);
+            any = _mm256_or_si256(any, _mm256_cmpeq_epi32(va, vb));
+        }
+        let mask = _mm256_movemask_ps(_mm256_castsi256_ps(any)) as u32;
+        n += mask.count_ones() as usize;
+        let a_max = a[i + 7];
+        let b_max = b[j + 7];
+        if a_max <= b_max {
+            i += 8;
+        }
+        if b_max <= a_max {
+            j += 8;
+        }
+    }
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        if x == y {
+            n += 1;
+            i += 1;
+            j += 1;
+        } else if x < y {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    n
 }
 
 // SAFETY: callers must ensure sse4.1 is available (checked via
@@ -275,5 +386,78 @@ mod tests {
         let mut out = Vec::new();
         intersect_u32_simd(&a, &b, &mut out);
         assert_eq!(out, vec![5, 9]);
+    }
+
+    /// Deterministic pseudo-random sorted set (no external RNG).
+    fn synth_set(len: usize, stride: u32, offset: u32, modulo: u32) -> Vec<u32> {
+        let mut v: Vec<u32> = (0..len as u32)
+            .map(|i| (i.wrapping_mul(stride).wrapping_add(offset)) % modulo)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_kernels_match_scalar_across_shapes() {
+        if !has_avx2() {
+            return; // nothing to verify on this host
+        }
+        // Sweep lengths through the 8-lane boundary (0..=17 covers empty,
+        // sub-block, exactly-one-block, and block+tail shapes on both
+        // sides), plus dense/sparse overlap mixes.
+        let shapes: &[(usize, usize, u32)] = &[
+            (0, 8, 97),
+            (1, 7, 97),
+            (8, 8, 31),
+            (9, 16, 61),
+            (15, 17, 61),
+            (64, 64, 127),
+            (200, 333, 509),
+            (1000, 800, 4096),
+        ];
+        for &(la, lb, m) in shapes {
+            let a = synth_set(la, 7, 3, m);
+            let b = synth_set(lb, 13, 5, m);
+            let mut scalar = Vec::new();
+            crate::uint::intersect_merge_scalar(&a, &b, &mut scalar);
+            let mut avx = Vec::new();
+            // SAFETY: avx2 presence checked at the top of the test.
+            unsafe { intersect_u32_avx2(&a, &b, &mut avx) };
+            assert_eq!(avx, scalar, "intersect a={la} b={lb} m={m}");
+            // SAFETY: avx2 presence checked at the top of the test.
+            let n = unsafe { count_u32_avx2(&a, &b) };
+            assert_eq!(n, scalar.len(), "count a={la} b={lb} m={m}");
+            // Symmetric arguments agree too.
+            let mut rev = Vec::new();
+            // SAFETY: avx2 presence checked at the top of the test.
+            unsafe { intersect_u32_avx2(&b, &a, &mut rev) };
+            assert_eq!(rev, scalar, "reversed a={la} b={lb} m={m}");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_dense_runs_and_disjoint_blocks() {
+        if !has_avx2() {
+            return;
+        }
+        // Fully-overlapping consecutive runs exercise every lane matching.
+        let a: Vec<u32> = (0..128).collect();
+        let b: Vec<u32> = (64..192).collect();
+        let mut out = Vec::new();
+        // SAFETY: avx2 presence checked at the top of the test.
+        unsafe { intersect_u32_avx2(&a, &b, &mut out) };
+        assert_eq!(out, (64..128).collect::<Vec<u32>>());
+        // Interleaved disjoint sets: zero matches through the SIMD blocks.
+        let odd: Vec<u32> = (0..100).map(|i| 2 * i + 1).collect();
+        let even: Vec<u32> = (0..100).map(|i| 2 * i).collect();
+        let mut none = Vec::new();
+        // SAFETY: avx2 presence checked at the top of the test.
+        unsafe { intersect_u32_avx2(&odd, &even, &mut none) };
+        assert!(none.is_empty());
+        // SAFETY: avx2 presence checked at the top of the test.
+        assert_eq!(unsafe { count_u32_avx2(&odd, &even) }, 0);
     }
 }

@@ -88,7 +88,8 @@ pub mod storage {
 }
 
 /// The concurrent query service: wire protocol, sessions, shared plan
-/// cache, client, and the `eh_shell` REPL.
+/// cache, client, the scatter-gather cluster coordinator
+/// (`server::Cluster`), and the `eh_shell` REPL.
 pub mod server {
     pub use eh_server::*;
 }

@@ -488,6 +488,34 @@ fn v1_clients_still_decode_stats() {
     server.shutdown();
 }
 
+/// The degenerate cluster: `ShardExec` with `shard_count = 1` must be
+/// exactly the full query — same bytes as `Query` on the same session,
+/// with the shard telemetry (sharded flag, level-0 count, elapsed time)
+/// filled in. This pins the `n = 1` edge of the range split
+/// `[len·k/n, len·(k+1)/n)` that the coordinator relies on.
+#[test]
+fn one_shard_exec_equals_the_full_query() {
+    let (server, addr) = spawn_loaded_server();
+    let mut client = EhClient::connect(&addr).expect("connect");
+    for q in QUERIES {
+        let full = client.query(q).expect("full query");
+        let outcome = client.shard_exec(q, 0, 1).expect("shard exec");
+        assert_eq!(
+            outcome.result.raw_bytes(),
+            full.raw_bytes(),
+            "1-shard execution diverged: {q}"
+        );
+    }
+    // A splittable plan over one shard owns the whole level-0 range.
+    let outcome = client
+        .shard_exec(QUERIES[0], 0, 1)
+        .expect("triangle shard exec");
+    assert!(outcome.sharded, "triangle plan shards");
+    assert!(outcome.level0_values > 0, "whole range owned by shard 0");
+    client.quit().expect("quit");
+    server.shutdown();
+}
+
 #[test]
 fn tcp_transport_answers_identically() {
     let (server, addr) = spawn_loaded_server();

@@ -771,9 +771,11 @@ impl Prepared {
             mem: &db.catalog,
             types: &db.types,
         };
-        let (rel, level0) = eh_exec::execute_plan_sharded(&self.plan, &view, config)?;
+        let (rel, level0, profile) =
+            eh_exec::execute_plan_sharded_profiled(&self.plan, &view, config)?;
         Ok((
-            QueryResult::with_schema(self.name.clone(), rel, Some(self.schema.clone())),
+            QueryResult::with_schema(self.name.clone(), rel, Some(self.schema.clone()))
+                .with_profile(profile),
             level0,
         ))
     }

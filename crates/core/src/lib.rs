@@ -22,8 +22,8 @@ pub mod result;
 
 pub use database::{CoreError, Database, Prepared};
 pub use eh_exec::{
-    Config, LevelProfile, NodeProfile, QueryProfile, Relation, Scheduler, TupleBuffer,
-    WorkCounters, WorkerProfile,
+    profile_to_span, Config, LevelProfile, NodeProfile, QueryProfile, Relation, Scheduler, Span,
+    Trace, TraceId, TupleBuffer, WorkCounters, WorkerProfile,
 };
 pub use eh_graph::Graph;
 pub use eh_storage::{

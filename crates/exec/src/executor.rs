@@ -122,9 +122,33 @@ pub fn execute_plan_sharded(
     catalog: &dyn Catalog,
     cfg: &Config,
 ) -> Result<(Relation, u64), ExecError> {
+    execute_plan_sharded_profiled(plan, catalog, cfg).map(|(rel, level0, _)| (rel, level0))
+}
+
+/// [`execute_plan_sharded`] returning the query profile too: `Some`
+/// when [`Config::profile`] is on, `None` otherwise. This is what a
+/// traced `ShardExec` runs — the worker's span tree is built from the
+/// profile (`eh_obs::profile_to_span`) and shipped home tagged with the
+/// coordinator's trace id. Rows stay byte-identical either way.
+pub fn execute_plan_sharded_profiled(
+    plan: &PhysicalPlan,
+    catalog: &dyn Catalog,
+    cfg: &Config,
+) -> Result<(Relation, u64, Option<QueryProfile>), ExecError> {
     let mut level0 = 0u64;
-    let rel = execute_plan_inner(plan, catalog, cfg, None, Some(&mut level0))?;
-    Ok((rel, level0))
+    if !cfg.profile {
+        let rel = execute_plan_inner(plan, catalog, cfg, None, Some(&mut level0))?;
+        return Ok((rel, level0, None));
+    }
+    let mut profile = QueryProfile {
+        estimated_work: plan.estimated_cost,
+        ..QueryProfile::default()
+    };
+    let started = Instant::now();
+    let rel = execute_plan_inner(plan, catalog, cfg, Some(&mut profile), Some(&mut level0))?;
+    profile.total_ns = started.elapsed().as_nanos() as u64;
+    profile.rows = rel.rows().len() as u64;
+    Ok((rel, level0, Some(profile)))
 }
 
 /// [`execute_plan`] returning the query profile too: `Some` when

@@ -38,8 +38,8 @@ mod parallel;
 
 pub use config::{Config, Scheduler};
 pub use executor::{
-    execute_plan, execute_plan_profiled, execute_plan_sharded, execute_rule, execute_rule_profiled,
-    ExecError,
+    execute_plan, execute_plan_profiled, execute_plan_sharded, execute_plan_sharded_profiled,
+    execute_rule, execute_rule_profiled, ExecError,
 };
 pub use plan::{PhysicalPlan, PlanNode};
 pub use recursion::execute_recursive_rule;
@@ -47,7 +47,10 @@ pub use storage::{Catalog, CatalogStats, MemCatalog, Relation};
 
 // Profiling vocabulary, re-exported so executor callers can consume
 // query profiles without depending on `eh_obs` directly.
-pub use eh_obs::{LevelProfile, NodeProfile, QueryProfile, WorkCounters, WorkerProfile};
+pub use eh_obs::{
+    profile_to_span, LevelProfile, NodeProfile, QueryProfile, Span, Trace, TraceId, WorkCounters,
+    WorkerProfile,
+};
 
 // The engine's flat columnar tuple format, re-exported for callers that
 // construct relations directly.

@@ -17,6 +17,7 @@ pub struct DecodePanicFree;
 const COVERED: &[&str] = &[
     "crates/storage/src/wire.rs",
     "crates/storage/src/image.rs",
+    "crates/storage/src/trace_wire.rs",
     "crates/server/src/protocol.rs",
 ];
 

@@ -231,6 +231,20 @@ fn decode(b: &[u8], n: usize) -> u8 {
 }
 
 #[test]
+fn decode_covers_trace_wire() {
+    // The trace wire decoder is attacker-shaped input like the rest of
+    // the COVERED set: panicking idioms must be flagged there too.
+    let src = "\
+fn decode_trace(b: &[u8]) -> u64 {
+    let checksum = parse(b).unwrap();
+    checksum
+}
+";
+    let f = run("crates/storage/src/trace_wire.rs", src);
+    assert_eq!(lines_of(&f, "decode-panic-free"), vec![2]);
+}
+
+#[test]
 fn decode_does_not_flag_unwrap_or_family() {
     let src = "\
 fn decode(b: &[u8]) -> u8 {

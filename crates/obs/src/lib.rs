@@ -18,6 +18,15 @@
 //!   per-worker shard latency histogram here, feeding the `\cluster`
 //!   status table and the distributed `\explain` skew report), with a
 //!   Prometheus-style text exposition (`name{label} value` lines).
+//! * [`trace`] — request-scoped distributed tracing ([`TraceId`],
+//!   [`Span`] trees in relative nanoseconds, the [`SlowQueryLog`] ring
+//!   buffer) so a profile survives crossing a process boundary.
+
+pub mod trace;
+
+pub use trace::{
+    profile_to_span, SlowQueryEntry, SlowQueryLog, Span, Trace, TraceId, MAX_SPAN_DEPTH,
+};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -331,7 +340,9 @@ impl Default for HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
-    /// Mean observation, 0 when empty.
+    /// Mean observation, 0 when empty. **Exact**: computed from the
+    /// histogram's atomic `sum`, never reconstructed from bucket
+    /// bounds — only [`HistogramSnapshot::percentile`] stays bucketed.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -539,6 +550,23 @@ mod tests {
         assert_eq!(s.buckets[1], 1);
         assert_eq!(s.buckets[64], 1);
         assert_eq!(s.sum, 0); // 0 + 1 + MAX wraps around to 0; count stays exact
+    }
+
+    #[test]
+    fn snapshot_mean_is_exact_not_bucketed() {
+        // 1000 and 3000 straddle power-of-2 bucket floors (512/2048): a
+        // mean reconstructed from bucket bounds could not land on the
+        // true 2000.0, while the sum-backed mean is exact. Percentiles
+        // stay bucketed by design — only coarse, floor-of-bucket bounds.
+        let h = LatencyHistogram::new();
+        h.record(1000);
+        h.record(3000);
+        let s = h.snapshot();
+        assert_eq!(s.sum, 4000);
+        assert_eq!(s.mean(), 2000.0);
+        assert_eq!(s.percentile(0.5), 1023); // bucket upper edge, not 1000
+        let empty = LatencyHistogram::new().snapshot();
+        assert_eq!(empty.mean(), 0.0, "empty histogram means 0, not NaN");
     }
 
     #[test]

@@ -11,9 +11,10 @@ use crate::protocol::{
     WireDelimiter, PROTOCOL_VERSION,
 };
 use crate::server::Addr;
+use eh_obs::{SlowQueryEntry, Trace};
 use eh_semiring::DynValue;
-use eh_storage::wire::ResultBatch;
-use eh_storage::TypedValue;
+use eh_storage::wire::{decode_profile, ResultBatch};
+use eh_storage::{decode_trace, TypedValue};
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -178,6 +179,22 @@ pub struct ShardOutcome {
     pub elapsed_ns: u64,
     /// The shard's partial (or full) result.
     pub result: ResultSet,
+    /// The worker's span tree, present iff the request carried a trace
+    /// id and the worker could profile the plan.
+    pub trace: Option<Trace>,
+}
+
+/// A traced execution's answer: the rows plus whatever observability
+/// payloads the server attached (absent for recursive rules, which
+/// execute unprofiled).
+#[derive(Debug)]
+pub struct TraceOutcome {
+    /// The server's span tree, when tracing was requested and available.
+    pub trace: Option<Trace>,
+    /// The raw query profile (tree timings + kernel counters).
+    pub profile: Option<eh_obs::QueryProfile>,
+    /// The query result.
+    pub result: ResultSet,
 }
 
 /// A prepared-statement handle returned by [`EhClient::prepare`].
@@ -281,11 +298,13 @@ impl EhClient {
         text: &str,
         shard_index: u32,
         shard_count: u32,
+        trace_id: Option<u64>,
     ) -> Result<ShardOutcome, ClientError> {
         let req = Request::ShardExec {
             text: text.into(),
             shard_index,
             shard_count,
+            trace_id,
         };
         match self.round_trip(&req)? {
             Response::ShardResult {
@@ -293,15 +312,70 @@ impl EhClient {
                 level0_values,
                 elapsed_ns,
                 batch,
+                trace,
             } => Ok(ShardOutcome {
                 sharded,
                 level0_values,
                 elapsed_ns,
                 result: ResultSet::from_bytes(batch)?,
+                trace: match trace {
+                    Some(bytes) => Some(
+                        decode_trace(&bytes).map_err(|e| ClientError::Protocol(e.to_string()))?,
+                    ),
+                    None => None,
+                },
             }),
             Response::Error { message } => Err(ClientError::Server(message)),
             other => Err(ClientError::Protocol(format!(
                 "expected ShardResult, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Execute `text` with profiling on, returning rows plus the
+    /// server's span tree (`trace: true`) and wire-encoded profile.
+    /// Requires protocol ≥ 2.
+    pub fn trace_exec(&mut self, text: &str, trace: bool) -> Result<TraceOutcome, ClientError> {
+        let req = Request::TraceExec {
+            text: text.into(),
+            trace,
+        };
+        match self.round_trip(&req)? {
+            Response::Trace {
+                trace,
+                profile,
+                batch,
+            } => Ok(TraceOutcome {
+                trace: if trace.is_empty() {
+                    None
+                } else {
+                    Some(decode_trace(&trace).map_err(|e| ClientError::Protocol(e.to_string()))?)
+                },
+                profile: if profile.is_empty() {
+                    None
+                } else {
+                    Some(
+                        decode_profile(&profile)
+                            .map_err(|e| ClientError::Protocol(e.to_string()))?,
+                    )
+                },
+                result: ResultSet::from_bytes(batch)?,
+            }),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected Trace, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The server's most recent slow-query entries, newest first.
+    /// Requires protocol ≥ 2.
+    pub fn slow_log(&mut self, limit: u32) -> Result<Vec<SlowQueryEntry>, ClientError> {
+        match self.round_trip(&Request::SlowLog { limit })? {
+            Response::SlowLog { entries } => Ok(entries),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected SlowLog, got {other:?}"
             ))),
         }
     }

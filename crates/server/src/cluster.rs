@@ -31,7 +31,8 @@
 
 use crate::client::{ClientError, EhClient, ResultSet, ShardOutcome};
 use crate::protocol::{RelationInfo, ServerStats, WireDelimiter};
-use eh_obs::MetricsRegistry;
+use eh_obs::{MetricsRegistry, SlowQueryEntry, Span, Trace, TraceId, WorkCounters};
+use std::time::Instant;
 
 /// One worker's share of the last scattered query, for skew reporting.
 #[derive(Clone, Debug)]
@@ -124,7 +125,7 @@ impl Cluster {
             for (k, (worker, slot)) in self.workers.iter_mut().zip(outcomes.iter_mut()).enumerate()
             {
                 scope.spawn(move || {
-                    *slot = Some(worker.client.shard_exec(text, k as u32, n));
+                    *slot = Some(worker.client.shard_exec(text, k as u32, n, None));
                 });
             }
         });
@@ -156,6 +157,98 @@ impl Cluster {
             return Ok(full.result);
         }
         merge_partials(gathered)
+    }
+
+    /// Scatter `text` with tracing on: the coordinator mints a
+    /// [`TraceId`], every worker profiles its shard and ships its span
+    /// tree home tagged with that id, and the trees are stitched into
+    /// one trace under the coordinator's own scatter/merge spans.
+    ///
+    /// Each `worker k` lane starts at the coordinator-relative instant
+    /// its request was sent and lasts the round trip; spans *inside* a
+    /// lane keep their worker-relative offsets. No cross-host clock
+    /// alignment is attempted — lanes locate workers on the
+    /// coordinator's timeline, worker subtrees describe time spent
+    /// within the request.
+    pub fn trace(&mut self, text: &str) -> Result<(Trace, ResultSet), ClientError> {
+        let n = self.workers.len() as u32;
+        let trace_id = TraceId::mint().as_u64();
+        let started = Instant::now();
+        // (sent_ns, rtt_ns, outcome) per worker, written by its scatter thread.
+        type LaneSlot = Option<(u64, u64, Result<ShardOutcome, ClientError>)>;
+        let mut outcomes: Vec<LaneSlot> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (k, (worker, slot)) in self.workers.iter_mut().zip(outcomes.iter_mut()).enumerate()
+            {
+                let started = &started;
+                scope.spawn(move || {
+                    let sent_ns = started.elapsed().as_nanos() as u64;
+                    let out = worker.client.shard_exec(text, k as u32, n, Some(trace_id));
+                    let rtt_ns = (started.elapsed().as_nanos() as u64).saturating_sub(sent_ns);
+                    *slot = Some((sent_ns, rtt_ns, out));
+                });
+            }
+        });
+        self.metrics.inc("cluster_queries");
+        let scatter_ns = started.elapsed().as_nanos() as u64;
+        let mut work = WorkCounters::default();
+        let mut lanes = Vec::with_capacity(outcomes.len());
+        let mut gathered = Vec::with_capacity(outcomes.len());
+        for (k, slot) in outcomes.into_iter().enumerate() {
+            let (sent_ns, rtt_ns, outcome) = slot.expect("scatter thread wrote its slot");
+            let outcome = outcome?;
+            self.metrics
+                .observe(&self.hist_names[k], outcome.elapsed_ns);
+            let mut lane = Span::new(format!("worker {k}"), sent_ns, rtt_ns)
+                .with_value("level0_values", outcome.level0_values)
+                .with_value("rows", outcome.result.num_rows() as u64);
+            if let Some(trace) = &outcome.trace {
+                work.merge(&trace.work);
+                lane = lane.with_child(trace.root.clone());
+            }
+            lanes.push(lane);
+            gathered.push(outcome);
+        }
+        self.last = gathered
+            .iter()
+            .enumerate()
+            .map(|(k, o)| ShardReport {
+                worker: k,
+                addr: self.workers[k].addr.clone(),
+                sharded: o.sharded,
+                level0_values: o.level0_values,
+                elapsed_ns: o.elapsed_ns,
+                rows: o.result.num_rows() as u64,
+            })
+            .collect();
+        let merge_start = started.elapsed().as_nanos() as u64;
+        let result = match gathered.iter().position(|o| !o.sharded) {
+            Some(pos) => {
+                self.metrics.inc("cluster_unsharded_queries");
+                gathered.swap_remove(pos).result
+            }
+            None => merge_partials(gathered)?,
+        };
+        let total_ns = started.elapsed().as_nanos() as u64;
+        let mut scatter = Span::new("scatter", 0, scatter_ns);
+        scatter.children = lanes;
+        let root = Span::new("cluster", 0, total_ns)
+            .with_value("workers", u64::from(n))
+            .with_value("rows", result.num_rows() as u64)
+            .with_child(scatter)
+            .with_child(Span::new(
+                "merge",
+                merge_start,
+                total_ns.saturating_sub(merge_start),
+            ));
+        Ok((
+            Trace {
+                trace_id,
+                work,
+                root,
+            },
+            result,
+        ))
     }
 
     /// Broadcast a CSV load to every worker (each shard holds the full
@@ -190,6 +283,20 @@ impl Cluster {
     /// Server statistics, from worker 0.
     pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
         self.workers[0].client.stats()
+    }
+
+    /// Every worker's recent slow-query entries (newest first), in
+    /// shard order. Each worker keeps its own ring, so entries carry
+    /// the shard's local view tagged with the coordinator's trace ids.
+    pub fn slow_log(
+        &mut self,
+        limit: u32,
+    ) -> Result<Vec<(usize, Vec<SlowQueryEntry>)>, ClientError> {
+        let mut out = Vec::with_capacity(self.workers.len());
+        for (k, worker) in self.workers.iter_mut().enumerate() {
+            out.push((k, worker.client.slow_log(limit)?));
+        }
+        Ok(out)
     }
 
     /// Close every worker session gracefully.

@@ -28,11 +28,13 @@
 //!   query's root-node level-0 range across N shard workers
 //!   (`ShardExec`/`ShardResult` frames) and merges the partials in
 //!   range order, so distributed answers are byte-identical to
-//!   single-process execution.
+//!   single-process execution. [`Cluster::trace`] scatters with a
+//!   minted [`eh_obs::TraceId`] and stitches every worker's span tree
+//!   into one distributed trace.
 //! * [`shell`] — `eh_shell`: an interactive REPL (`\l`, `\d`,
-//!   `\timing`, `\prepare`/`\exec`, ...) that runs both embedded
-//!   (in-process database) and against a running server, plus the
-//!   `--serve` mode that is the server binary.
+//!   `\timing`, `\trace`, `\slow`, `\prepare`/`\exec`, ...) that runs
+//!   both embedded (in-process database) and against a running server,
+//!   plus the `--serve` mode that is the server binary.
 //!
 //! ```no_run
 //! use eh_core::Database;
@@ -61,7 +63,7 @@ pub mod session;
 pub mod shell;
 
 pub use cache::PlanCache;
-pub use client::{ClientError, EhClient, ResultSet, ShardOutcome, StatementHandle};
+pub use client::{ClientError, EhClient, ResultSet, ShardOutcome, StatementHandle, TraceOutcome};
 pub use cluster::{Cluster, ShardReport};
 pub use protocol::{
     FrameStat, ProtoError, RelationInfo, Request, Response, ServerStats, StatsExt, WireDelimiter,

@@ -22,7 +22,9 @@
 //! | 0x08 | `Stats` | — |
 //! | 0x09 | `SetOption` | key, value (session-scoped) |
 //! | 0x0A | `Quit` | — |
-//! | 0x0B | `ShardExec` | query text, u32 shard index, u32 shard count |
+//! | 0x0B | `ShardExec` | query text, u32 shard index, u32 shard count, optional u64 trace id tail |
+//! | 0x0C | `TraceExec` | query text, u8 trace flag |
+//! | 0x0D | `SlowLog` | u32 entry limit |
 //! | 0x81 | `Hello` | u32 version, server banner |
 //! | 0x82 | `Ok` | message |
 //! | 0x83 | `Error` | message |
@@ -30,7 +32,14 @@
 //! | 0x85 | `Prepared` | u64 id, u8 plan-cache hit |
 //! | 0x86 | `Relations` | count, then name/arity/rows/schema each |
 //! | 0x87 | `Stats` | see [`ServerStats`] |
-//! | 0x88 | `ShardResult` | u8 sharded flag, u64 level-0 values, u64 elapsed ns, length-prefixed [`eh_storage::ResultBatch`] |
+//! | 0x88 | `ShardResult` | u8 sharded flag, u64 level-0 values, u64 elapsed ns, length-prefixed [`eh_storage::ResultBatch`], optional length-prefixed trace tail |
+//! | 0x89 | `Trace` | length-prefixed encoded trace, profile, and [`eh_storage::ResultBatch`] |
+//! | 0x8A | `SlowLog` | count, then trace id / query / rows / elapsed ns / sharded / hot span each |
+//!
+//! The optional tails on `ShardExec`/`ShardResult` follow the same
+//! version-gating discipline as the `Stats` extension: a PR 9-era peer
+//! that stops at the base fields never sees them, and an absent tail
+//! decodes as `None`.
 //!
 //! Frames come off the network, so every decode path returns errors
 //! instead of panicking on malformed bytes — enforced file-wide by the
@@ -195,6 +204,26 @@ pub enum Request {
         shard_index: u32,
         /// Total shards across the cluster (≥ 1).
         shard_count: u32,
+        /// Coordinator's trace id (version-gated tail). `Some` asks the
+        /// worker to run profiled and return its span tree — tagged
+        /// with this id — in the [`Response::ShardResult`] trace tail.
+        trace_id: Option<u64>,
+    },
+    /// Execute a query with profiling on and return a [`Response::Trace`]
+    /// frame (protocol ≥ 2): the span tree, the wire-encoded
+    /// [`eh_obs::QueryProfile`], and the result batch in one answer.
+    TraceExec {
+        /// Query text (one or more rules).
+        text: String,
+        /// True to collect the span tree; false returns only the
+        /// profile + batch (what remote `\explain` needs).
+        trace: bool,
+    },
+    /// Fetch recent entries from the server's slow-query log
+    /// (protocol ≥ 2).
+    SlowLog {
+        /// Most-recent entry limit.
+        limit: u32,
     },
 }
 
@@ -209,6 +238,8 @@ const REQ_STATS: u8 = 0x08;
 const REQ_SET: u8 = 0x09;
 const REQ_QUIT: u8 = 0x0A;
 const REQ_SHARD_EXEC: u8 = 0x0B;
+const REQ_TRACE_EXEC: u8 = 0x0C;
+const REQ_SLOW_LOG: u8 = 0x0D;
 
 impl Request {
     /// Serialize to `(tag, payload)`.
@@ -259,11 +290,24 @@ impl Request {
                 text,
                 shard_index,
                 shard_count,
+                trace_id,
             } => {
                 put_str(&mut p, text);
                 put_u32(&mut p, *shard_index);
                 put_u32(&mut p, *shard_count);
+                if let Some(id) = trace_id {
+                    put_u64(&mut p, *id);
+                }
                 (REQ_SHARD_EXEC, p)
+            }
+            Request::TraceExec { text, trace } => {
+                put_str(&mut p, text);
+                p.push(*trace as u8);
+                (REQ_TRACE_EXEC, p)
+            }
+            Request::SlowLog { limit } => {
+                put_u32(&mut p, *limit);
+                (REQ_SLOW_LOG, p)
             }
         }
     }
@@ -322,12 +366,32 @@ impl Request {
                         "shard index {shard_index} out of range for {shard_count} shards"
                     )));
                 }
+                // Version-gated tail (absent from PR 9-era coordinators):
+                // the trace id under which this shard should run.
+                let trace_id = if r.is_empty() {
+                    None
+                } else {
+                    Some(r.u64("shard trace id")?)
+                };
                 Request::ShardExec {
                     text,
                     shard_index,
                     shard_count,
+                    trace_id,
                 }
             }
+            REQ_TRACE_EXEC => {
+                let text = r.str("trace query text")?;
+                let trace = match r.u8("trace flag")? {
+                    0 => false,
+                    1 => true,
+                    f => return Err(ProtoError::Malformed(format!("bad trace flag {f}"))),
+                };
+                Request::TraceExec { text, trace }
+            }
+            REQ_SLOW_LOG => Request::SlowLog {
+                limit: r.u32("slow-log limit")?,
+            },
             t => return Err(ProtoError::Malformed(format!("unknown request tag {t}"))),
         };
         if !r.is_empty() {
@@ -486,6 +550,29 @@ pub enum Response {
         /// Encoded [`eh_storage::ResultBatch`] holding this shard's
         /// partial (or full, when `sharded` is false) result.
         batch: Vec<u8>,
+        /// Version-gated tail: this worker's span tree (an
+        /// `eh_storage::trace_wire` payload, tagged with the
+        /// coordinator's trace id), present iff the request carried a
+        /// trace id.
+        trace: Option<Vec<u8>>,
+    },
+    /// Answer to [`Request::TraceExec`] (protocol ≥ 2). All three
+    /// payloads are kept as raw encoded bytes so the transport layer
+    /// never re-encodes them.
+    Trace {
+        /// `eh_storage::trace_wire::encode_trace` output; empty when
+        /// the request's trace flag was off.
+        trace: Vec<u8>,
+        /// `eh_storage::encode_profile` output; empty when the
+        /// execution produced no profile.
+        profile: Vec<u8>,
+        /// `ResultBatch::encode()` output.
+        batch: Vec<u8>,
+    },
+    /// Recent slow-query-log entries, newest first (protocol ≥ 2).
+    SlowLog {
+        /// One entry per retained slow query.
+        entries: Vec<eh_obs::SlowQueryEntry>,
     },
 }
 
@@ -497,6 +584,8 @@ const RESP_PREPARED: u8 = 0x85;
 const RESP_RELATIONS: u8 = 0x86;
 const RESP_STATS: u8 = 0x87;
 const RESP_SHARD_RESULT: u8 = 0x88;
+const RESP_TRACE: u8 = 0x89;
+const RESP_SLOW_LOG: u8 = 0x8A;
 
 impl Response {
     /// Serialize to `(tag, payload)`.
@@ -570,13 +659,43 @@ impl Response {
                 level0_values,
                 elapsed_ns,
                 batch,
+                trace,
             } => {
                 p.push(*sharded as u8);
                 put_u64(&mut p, *level0_values);
                 put_u64(&mut p, *elapsed_ns);
                 put_u32(&mut p, batch.len() as u32);
                 p.extend_from_slice(batch);
+                if let Some(t) = trace {
+                    put_u32(&mut p, t.len() as u32);
+                    p.extend_from_slice(t);
+                }
                 (RESP_SHARD_RESULT, p)
+            }
+            Response::Trace {
+                trace,
+                profile,
+                batch,
+            } => {
+                put_u32(&mut p, trace.len() as u32);
+                p.extend_from_slice(trace);
+                put_u32(&mut p, profile.len() as u32);
+                p.extend_from_slice(profile);
+                put_u32(&mut p, batch.len() as u32);
+                p.extend_from_slice(batch);
+                (RESP_TRACE, p)
+            }
+            Response::SlowLog { entries } => {
+                put_u32(&mut p, entries.len() as u32);
+                for e in entries {
+                    put_u64(&mut p, e.trace_id);
+                    put_str(&mut p, &e.query);
+                    put_u64(&mut p, e.rows);
+                    put_u64(&mut p, e.elapsed_ns);
+                    p.push(e.sharded as u8);
+                    put_str(&mut p, &e.hot_span);
+                }
+                (RESP_SLOW_LOG, p)
             }
         }
     }
@@ -677,12 +796,69 @@ impl Response {
                 let elapsed_ns = r.u64("shard elapsed ns")?;
                 let len = r.u32("shard batch length")? as usize;
                 let batch = r.take(len, "shard batch")?.to_vec();
+                // Version-gated tail: the worker's encoded span tree,
+                // present only for traced scatters.
+                let trace = if r.is_empty() {
+                    None
+                } else {
+                    let tlen = r.u32("shard trace length")? as usize;
+                    Some(r.take(tlen, "shard trace")?.to_vec())
+                };
                 Response::ShardResult {
                     sharded,
                     level0_values,
                     elapsed_ns,
                     batch,
+                    trace,
                 }
+            }
+            RESP_TRACE => {
+                let tlen = r.u32("trace length")? as usize;
+                let trace = r.take(tlen, "trace payload")?.to_vec();
+                let plen = r.u32("profile length")? as usize;
+                let profile = r.take(plen, "profile payload")?.to_vec();
+                let blen = r.u32("batch length")? as usize;
+                let batch = r.take(blen, "batch payload")?.to_vec();
+                Response::Trace {
+                    trace,
+                    profile,
+                    batch,
+                }
+            }
+            RESP_SLOW_LOG => {
+                let n = r.u32("slow-log entry count")? as usize;
+                // Smallest possible entry: trace id + two empty strings
+                // + rows + elapsed + flag = 33 bytes.
+                if n > payload.len() / 33 {
+                    return Err(ProtoError::Malformed(format!(
+                        "slow log claims {n} entries in a {}-byte payload",
+                        payload.len()
+                    )));
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let trace_id = r.u64("slow trace id")?;
+                    let query = r.str("slow query text")?;
+                    let rows = r.u64("slow rows")?;
+                    let elapsed_ns = r.u64("slow elapsed ns")?;
+                    let sharded = match r.u8("slow sharded flag")? {
+                        0 => false,
+                        1 => true,
+                        f => {
+                            return Err(ProtoError::Malformed(format!("bad sharded flag {f}")));
+                        }
+                    };
+                    let hot_span = r.str("slow hot span")?;
+                    entries.push(eh_obs::SlowQueryEntry {
+                        trace_id,
+                        query,
+                        rows,
+                        elapsed_ns,
+                        sharded,
+                        hot_span,
+                    });
+                }
+                Response::SlowLog { entries }
             }
             t => return Err(ProtoError::Malformed(format!("unknown response tag {t}"))),
         };
@@ -815,7 +991,23 @@ mod tests {
             text: "C(;w:long) :- E(x,y); w=<<COUNT(*)>>.".into(),
             shard_index: 1,
             shard_count: 4,
+            trace_id: None,
         });
+        round_trip_request(Request::ShardExec {
+            text: "C(;w:long) :- E(x,y); w=<<COUNT(*)>>.".into(),
+            shard_index: 0,
+            shard_count: 2,
+            trace_id: Some(0xabcd_ef01_2345_6789),
+        });
+        round_trip_request(Request::TraceExec {
+            text: "T(x,y) :- E(x,y).".into(),
+            trace: true,
+        });
+        round_trip_request(Request::TraceExec {
+            text: "T(x,y) :- E(x,y).".into(),
+            trace: false,
+        });
+        round_trip_request(Request::SlowLog { limit: 32 });
     }
 
     #[test]
@@ -864,12 +1056,40 @@ mod tests {
             level0_values: 1234,
             elapsed_ns: 56_789,
             batch: vec![9, 8, 7, 6],
+            trace: None,
         });
         round_trip_response(Response::ShardResult {
             sharded: false,
             level0_values: 0,
             elapsed_ns: 1,
             batch: Vec::new(),
+            trace: Some(vec![1, 2, 3]),
+        });
+        round_trip_response(Response::Trace {
+            trace: vec![4, 5],
+            profile: vec![6],
+            batch: vec![7, 8, 9],
+        });
+        round_trip_response(Response::Trace {
+            trace: Vec::new(),
+            profile: Vec::new(),
+            batch: vec![1],
+        });
+        round_trip_response(Response::SlowLog {
+            entries: vec![
+                eh_obs::SlowQueryEntry {
+                    trace_id: 7,
+                    query: "T(x,y) :- E(x,y).".into(),
+                    rows: 10,
+                    elapsed_ns: 2_000_000,
+                    sharded: true,
+                    hot_span: "query/node 0/level 1".into(),
+                },
+                eh_obs::SlowQueryEntry::default(),
+            ],
+        });
+        round_trip_response(Response::SlowLog {
+            entries: Vec::new(),
         });
     }
 
@@ -880,6 +1100,7 @@ mod tests {
             text: "T(x) :- E(x,y).".into(),
             shard_index: 2,
             shard_count: 2,
+            trace_id: None,
         }
         .encode();
         assert!(matches!(
@@ -900,6 +1121,7 @@ mod tests {
             text: "T(x) :- E(x,y).".into(),
             shard_index: 0,
             shard_count: 2,
+            trace_id: None,
         }
         .encode();
         for cut in 0..payload.len() {
@@ -910,6 +1132,7 @@ mod tests {
             level0_values: 42,
             elapsed_ns: 77,
             batch: vec![1, 2, 3, 4, 5],
+            trace: None,
         }
         .encode();
         for cut in 0..payload.len() {
@@ -928,6 +1151,104 @@ mod tests {
         let off = 1 + 8 + 8;
         overlong[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(Response::decode(tag, &overlong).is_err());
+    }
+
+    #[test]
+    fn shard_trace_tails_are_version_gated() {
+        // A PR 9-era ShardExec payload (no tail) decodes as trace_id
+        // None; the traced form appends exactly 8 bytes.
+        let base = Request::ShardExec {
+            text: "T(x) :- E(x,y).".into(),
+            shard_index: 0,
+            shard_count: 2,
+            trace_id: None,
+        };
+        let traced = Request::ShardExec {
+            text: "T(x) :- E(x,y).".into(),
+            shard_index: 0,
+            shard_count: 2,
+            trace_id: Some(42),
+        };
+        let (tag, base_p) = base.encode();
+        let (_, traced_p) = traced.encode();
+        assert_eq!(traced_p.len(), base_p.len() + 8);
+        assert_eq!(Request::decode(tag, &base_p).unwrap(), base);
+        assert_eq!(Request::decode(tag, &traced_p).unwrap(), traced);
+        // A partial tail (1..=7 bytes) is an error, not a silent None.
+        for cut in base_p.len() + 1..traced_p.len() {
+            assert!(Request::decode(tag, &traced_p[..cut]).is_err());
+        }
+        // Same discipline for the ShardResult trace tail.
+        let resp = Response::ShardResult {
+            sharded: true,
+            level0_values: 1,
+            elapsed_ns: 2,
+            batch: vec![1, 2, 3],
+            trace: Some(vec![9; 16]),
+        };
+        let (tag, payload) = resp.encode();
+        let base_len = payload.len() - (4 + 16);
+        assert_eq!(
+            Response::decode(tag, &payload[..base_len]).unwrap(),
+            Response::ShardResult {
+                sharded: true,
+                level0_values: 1,
+                elapsed_ns: 2,
+                batch: vec![1, 2, 3],
+                trace: None,
+            }
+        );
+        for cut in base_len + 1..payload.len() {
+            assert!(Response::decode(tag, &payload[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn trace_frames_reject_truncation_and_corruption() {
+        let (tag, payload) = Request::TraceExec {
+            text: "T(x) :- E(x,y).".into(),
+            trace: true,
+        }
+        .encode();
+        for cut in 0..payload.len() {
+            assert!(Request::decode(tag, &payload[..cut]).is_err());
+        }
+        // A corrupt trace flag is rejected.
+        let mut flipped = payload.clone();
+        let last = flipped.len() - 1;
+        flipped[last] = 9;
+        assert!(Request::decode(tag, &flipped).is_err());
+        let (tag, payload) = Response::Trace {
+            trace: vec![1, 2, 3],
+            profile: vec![4, 5],
+            batch: vec![6],
+        }
+        .encode();
+        for cut in 0..payload.len() {
+            assert!(Response::decode(tag, &payload[..cut]).is_err());
+        }
+        let mut noisy = payload;
+        noisy.push(0xFF);
+        assert!(Response::decode(tag, &noisy).is_err());
+        let (tag, payload) = Response::SlowLog {
+            entries: vec![eh_obs::SlowQueryEntry {
+                trace_id: 1,
+                query: "q".into(),
+                rows: 2,
+                elapsed_ns: 3,
+                sharded: false,
+                hot_span: "h".into(),
+            }],
+        }
+        .encode();
+        for cut in 0..payload.len() {
+            assert!(Response::decode(tag, &payload[..cut]).is_err());
+        }
+        // A hostile entry count larger than the payload could hold is
+        // rejected before any allocation.
+        let mut hostile = Vec::new();
+        put_u32(&mut hostile, u32::MAX);
+        assert!(Response::decode(RESP_SLOW_LOG, &hostile).is_err());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::cache::PlanCache;
 use crate::protocol::{FrameStat, ServerStats, StatsExt};
 use crate::session::run_session;
 use eh_core::{CoreError, Database, Prepared};
-use eh_obs::MetricsRegistry;
+use eh_obs::{MetricsRegistry, SlowQueryLog};
 use parking_lot::{Mutex, RwLock};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -85,6 +85,8 @@ pub const FRAME_KINDS: &[&str] = &[
     "set_option",
     "quit",
     "shard_exec",
+    "trace_exec",
+    "slow_log",
 ];
 
 /// The server's metrics registry: socket byte totals plus one service-
@@ -105,6 +107,11 @@ pub struct Shared {
     /// service-latency histograms, surfaced through the protocol-2
     /// `Stats` extension and the shell's `\metrics` command.
     pub metrics: MetricsRegistry,
+    /// Bounded ring of recent slow queries (default 256 entries, 10 ms
+    /// threshold), fed by every execution frame and surfaced through
+    /// the `SlowLog` frame / `\slow`. Server-wide: `\set slow_ms N`
+    /// from any session adjusts the shared threshold.
+    pub slowlog: SlowQueryLog,
     pub(crate) stats: Counters,
 }
 
@@ -117,6 +124,7 @@ impl Shared {
             cache: Mutex::new(PlanCache::new(capacity)),
             image_dir: None,
             metrics: server_metrics(),
+            slowlog: SlowQueryLog::new(),
             stats: Counters::default(),
         }
     }

@@ -20,7 +20,10 @@ use crate::protocol::{
     MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use crate::server::Shared;
-use eh_core::{Config, Database, Prepared, QueryResult, Scheduler};
+use eh_core::{profile_to_span, Config, Database, Prepared, QueryProfile, QueryResult, Scheduler};
+use eh_obs::{SlowQueryEntry, Trace, TraceId};
+use eh_storage::trace_wire::encode_trace;
+use eh_storage::wire::encode_profile;
 use eh_storage::wire::ResultBatch;
 use eh_storage::{CsvOptions, Delimiter, RelationSchema, StorageError};
 use std::collections::HashMap;
@@ -159,7 +162,46 @@ fn frame_kind(request: &Request) -> &'static str {
         Request::SetOption { .. } => "set_option",
         Request::Quit => "quit",
         Request::ShardExec { .. } => "shard_exec",
+        Request::TraceExec { .. } => "trace_exec",
+        Request::SlowLog { .. } => "slow_log",
     }
+}
+
+/// Feed one finished execution into the server's slow-query log. The
+/// hot span comes from the profile when the run was profiled (traced
+/// executions); unprofiled runs record `-` — the log still shows what
+/// ran and for how long.
+fn record_slow(
+    shared: &Shared,
+    trace_id: u64,
+    text: &str,
+    result: &QueryResult,
+    elapsed_ns: u64,
+    sharded: bool,
+) {
+    let hot_span = match result.profile() {
+        Some(p) => profile_to_span("query", p).hottest_leaf(),
+        None => "-".to_string(),
+    };
+    shared.slowlog.observe(SlowQueryEntry {
+        trace_id,
+        query: text.to_string(),
+        rows: result.rows().len() as u64,
+        elapsed_ns,
+        sharded,
+        hot_span,
+    });
+}
+
+/// Build the wire-encoded worker [`Trace`] for a profiled execution:
+/// the span tree under `root_name`, tagged with `trace_id`, carrying
+/// the profile's folded kernel counters.
+fn worker_trace(trace_id: u64, root_name: &str, profile: &QueryProfile) -> Vec<u8> {
+    encode_trace(&Trace {
+        trace_id,
+        work: profile.work,
+        root: profile_to_span(root_name, profile),
+    })
 }
 
 /// Apply a session-scoped engine option to a config. One parser shared
@@ -192,7 +234,7 @@ pub(crate) fn apply_option(config: &mut Config, key: &str, value: &str) -> Resul
             Ok(format!("morsel = {value}"))
         }
         other => Err(format!(
-            "unknown option '{other}' (threads|scheduler|morsel)"
+            "unknown option '{other}' (threads|scheduler|morsel|slow_ms)"
         )),
     }
 }
@@ -325,13 +367,24 @@ fn dispatch(shared: &Shared, session: &mut Session, request: Request) -> Respons
             // executes without re-parsing at all); multi-rule programs
             // and recursion take the uncached read-only path, still
             // under the read lock.
+            let started = Instant::now();
             let result = match shared.cached_plan_gated(&db, &text) {
                 Ok(Some(plan)) => plan.execute_with(&db, &session.config),
                 Ok(None) => db.query_ref_with(&text, &session.config),
                 Err(e) => Err(e),
             };
             match result {
-                Ok(result) => batch_response(&db, &result),
+                Ok(result) => {
+                    record_slow(
+                        shared,
+                        0,
+                        &text,
+                        &result,
+                        started.elapsed().as_nanos() as u64,
+                        false,
+                    );
+                    batch_response(&db, &result)
+                }
                 Err(e) => error(e),
             }
         }
@@ -373,8 +426,19 @@ fn dispatch(shared: &Shared, session: &mut Session, request: Request) -> Respons
                     Err(e) => return error(e),
                 }
             }
+            let started = Instant::now();
             match stmt.plan.execute_with(&db, &session.config) {
-                Ok(result) => batch_response(&db, &result),
+                Ok(result) => {
+                    record_slow(
+                        shared,
+                        0,
+                        &stmt.text,
+                        &result,
+                        started.elapsed().as_nanos() as u64,
+                        false,
+                    );
+                    batch_response(&db, &result)
+                }
                 Err(e) => error(e),
             }
         }
@@ -452,6 +516,22 @@ fn dispatch(shared: &Shared, session: &mut Session, request: Request) -> Respons
             Response::Stats(stats)
         }
         Request::SetOption { key, value } => {
+            // slow_ms adjusts the *server-wide* slow-query threshold
+            // (the log is shared state, not session state), so it is
+            // intercepted here rather than parsed into the config.
+            if key == "slow_ms" {
+                return match value.parse::<u64>() {
+                    Ok(ms) => {
+                        shared
+                            .slowlog
+                            .set_threshold_ns(ms.saturating_mul(1_000_000));
+                        Response::Ok {
+                            message: format!("slow_ms = {ms}"),
+                        }
+                    }
+                    Err(_) => error(format!("slow_ms wants a number, got '{value}'")),
+                };
+            }
             match apply_option(&mut session.config, &key, &value) {
                 Ok(message) => Response::Ok { message },
                 Err(message) => Response::Error { message },
@@ -464,6 +544,7 @@ fn dispatch(shared: &Shared, session: &mut Session, request: Request) -> Respons
             text,
             shard_index,
             shard_count,
+            trace_id,
         } => {
             if session.proto_version < 2 {
                 return error("ShardExec requires protocol version 2");
@@ -471,6 +552,15 @@ fn dispatch(shared: &Shared, session: &mut Session, request: Request) -> Respons
             shared.stats.queries.fetch_add(1, Ordering::Relaxed);
             let db = shared.db.read();
             let started = Instant::now();
+            // A coordinator trace id turns profiling on for this shard:
+            // the span tree comes home in the response's trace tail,
+            // tagged with that id. Untraced scatters keep the exact
+            // PR 9 execution path (profile off, no timing inside the
+            // join).
+            let cfg = match trace_id {
+                Some(_) => session.config.with_profile(true),
+                None => session.config,
+            };
             // Shardable = single non-recursive rule (the cacheable set)
             // whose partial results ⊕-merge (trivial head expression).
             // Everything else executes in FULL and answers
@@ -480,34 +570,114 @@ fn dispatch(shared: &Shared, session: &mut Session, request: Request) -> Respons
             // non-mergeable ones.
             let (sharded, result) = match shared.cached_plan_gated(&db, &text) {
                 Ok(Some(plan)) if plan.plan().shard_mergeable() => {
-                    let cfg = session.config.with_shard(shard_index, shard_count);
+                    let cfg = cfg.with_shard(shard_index, shard_count);
                     match plan.execute_sharded_with(&db, &cfg) {
                         Ok((result, level0)) => (Some(level0), Ok(result)),
                         Err(e) => (None, Err(e)),
                     }
                 }
-                Ok(Some(plan)) => (None, plan.execute_with(&db, &session.config)),
-                Ok(None) => (None, db.query_ref_with(&text, &session.config)),
+                Ok(Some(plan)) => (None, plan.execute_with(&db, &cfg)),
+                Ok(None) => (None, db.query_ref_with(&text, &cfg)),
                 Err(e) => (None, Err(e)),
             };
             match result {
-                // 32 bytes of headroom for the ShardResult fields around
-                // the batch, so the framed payload stays under the limit.
-                Ok(result) => match batch_from_result(&db, &result).encode() {
-                    Ok(bytes) if bytes.len() + 32 <= MAX_FRAME_LEN => Response::ShardResult {
-                        sharded: sharded.is_some(),
-                        level0_values: sharded.unwrap_or(0),
-                        elapsed_ns: started.elapsed().as_nanos() as u64,
-                        batch: bytes,
-                    },
-                    Ok(bytes) => error(format!(
-                        "shard result too large for one frame ({} bytes, limit {MAX_FRAME_LEN}); \
-                         narrow the query or aggregate server-side",
-                        bytes.len()
-                    )),
-                    Err(e) => error(format!("result encoding failed: {e}")),
-                },
+                Ok(result) => {
+                    let elapsed_ns = started.elapsed().as_nanos() as u64;
+                    record_slow(
+                        shared,
+                        trace_id.unwrap_or(0),
+                        &text,
+                        &result,
+                        elapsed_ns,
+                        sharded.is_some(),
+                    );
+                    let trace = match (trace_id, result.profile()) {
+                        (Some(id), Some(p)) => Some(worker_trace(
+                            id,
+                            &format!("shard {shard_index}/{shard_count}"),
+                            p,
+                        )),
+                        _ => None,
+                    };
+                    let trace_len = trace.as_ref().map(|t| t.len() + 4).unwrap_or(0);
+                    // 32 bytes of headroom for the ShardResult fields
+                    // around the batch, so the framed payload stays
+                    // under the limit.
+                    match batch_from_result(&db, &result).encode() {
+                        Ok(bytes) if bytes.len() + trace_len + 32 <= MAX_FRAME_LEN => {
+                            Response::ShardResult {
+                                sharded: sharded.is_some(),
+                                level0_values: sharded.unwrap_or(0),
+                                elapsed_ns,
+                                batch: bytes,
+                                trace,
+                            }
+                        }
+                        Ok(bytes) => error(format!(
+                            "shard result too large for one frame ({} bytes, limit {MAX_FRAME_LEN}); \
+                             narrow the query or aggregate server-side",
+                            bytes.len()
+                        )),
+                        Err(e) => error(format!("result encoding failed: {e}")),
+                    }
+                }
                 Err(e) => error(e),
+            }
+        }
+        Request::TraceExec { text, trace } => {
+            if session.proto_version < 2 {
+                return error("TraceExec requires protocol version 2");
+            }
+            shared.stats.queries.fetch_add(1, Ordering::Relaxed);
+            let db = shared.db.read();
+            let cfg = session.config.with_profile(true);
+            let trace_id = TraceId::mint().as_u64();
+            let started = Instant::now();
+            let result = match shared.cached_plan_gated(&db, &text) {
+                Ok(Some(plan)) => plan.execute_with(&db, &cfg),
+                Ok(None) => db.query_ref_with(&text, &cfg),
+                Err(e) => Err(e),
+            };
+            match result {
+                Ok(result) => {
+                    let elapsed_ns = started.elapsed().as_nanos() as u64;
+                    record_slow(shared, trace_id, &text, &result, elapsed_ns, false);
+                    // Recursive rules execute unprofiled: the Trace
+                    // frame then carries empty trace/profile payloads
+                    // and the client falls back to rows-only output.
+                    let trace_bytes = match (trace, result.profile()) {
+                        (true, Some(p)) => worker_trace(trace_id, "query", p),
+                        _ => Vec::new(),
+                    };
+                    let profile_bytes = result.profile().map(encode_profile).unwrap_or_default();
+                    match batch_from_result(&db, &result).encode() {
+                        Ok(bytes)
+                            if bytes.len() + trace_bytes.len() + profile_bytes.len() + 32
+                                <= MAX_FRAME_LEN =>
+                        {
+                            Response::Trace {
+                                trace: trace_bytes,
+                                profile: profile_bytes,
+                                batch: bytes,
+                            }
+                        }
+                        Ok(bytes) => error(format!(
+                            "traced result too large for one frame ({} bytes, limit \
+                             {MAX_FRAME_LEN}); narrow the query or aggregate server-side",
+                            bytes.len()
+                        )),
+                        Err(e) => error(format!("result encoding failed: {e}")),
+                    }
+                }
+                Err(e) => error(e),
+            }
+        }
+        Request::SlowLog { limit } => {
+            if session.proto_version < 2 {
+                return error("SlowLog requires protocol version 2");
+            }
+            Response::SlowLog {
+                entries: shared.slowlog.recent(limit as usize),
             }
         }
     }

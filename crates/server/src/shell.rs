@@ -17,8 +17,8 @@
 //!
 //! Statements are `.`-terminated queries or backslash commands
 //! (`\l file [name]`, `\d`, `\timing`, `\prepare name query`,
-//! `\exec name`, `\explain query`, `\set key value`, `\stats`,
-//! `\save path`, `\q`),
+//! `\exec name`, `\explain query`, `\trace query`, `\slow [n]`,
+//! `\set key value`, `\stats`, `\save path`, `\q`),
 //! separated by `;` or newlines; a query's own `;`/`(;w:long)`
 //! punctuation is kept intact because a query statement only ends at
 //! its final `.`. A multi-rule program is one statement as long as it
@@ -34,8 +34,8 @@ use crate::cluster::{Cluster, ShardReport};
 use crate::protocol::{ServerStats, WireDelimiter};
 use crate::server::{Server, ServerOptions};
 use crate::session::{apply_option, batch_from_result};
-use eh_core::{Database, Prepared};
-use eh_obs::prometheus_line;
+use eh_core::{profile_to_span, Database, Prepared, Trace, TraceId};
+use eh_obs::{prometheus_line, SlowQueryEntry, SlowQueryLog};
 use eh_semiring::DynValue;
 use eh_storage::wire::ResultBatch;
 use std::collections::HashMap;
@@ -73,8 +73,13 @@ STATEMENTS (separated by ';' or newline):
   \\d                             list relations
   \\prepare NAME QUERY            compile once through the plan cache
   \\exec NAME                     run a prepared statement
-  \\explain QUERY                 show the compiled plan (order, cost, loops)
-  \\set KEY VALUE                 threads | scheduler | morsel
+  \\explain QUERY                 show the compiled plan (embedded: order, cost,
+                                 loops; remote/cluster: profiled span tree)
+  \\trace QUERY                   run profiled and print the span tree
+                                 (cluster: one stitched trace, per-worker lanes)
+  \\slow [N]                      recent slow-query log entries (default 10;
+                                 threshold via \\set slow_ms MS)
+  \\set KEY VALUE                 threads | scheduler | morsel | slow_ms
   \\timing                        toggle per-statement timing
   \\stats                         server / plan-cache statistics
   \\metrics [--json]              frame latency / byte-count metrics
@@ -147,9 +152,9 @@ fn parse_opts(args: &[String]) -> Result<Option<Opts>, String> {
 
 /// Split input into statements. A statement is complete at a `;` or
 /// newline boundary once it either is a backslash command (except
-/// `\prepare`, which carries a query) or ends with `.` — so the `;`
-/// inside `C(;w:long) :- ...; w=<<COUNT(*)>>.` never splits a query.
-/// Returns complete statements plus the unfinished remainder.
+/// `\prepare` and `\trace`, which carry a query) or ends with `.` — so
+/// the `;` inside `C(;w:long) :- ...; w=<<COUNT(*)>>.` never splits a
+/// query. Returns complete statements plus the unfinished remainder.
 fn split_partial(input: &str) -> (Vec<String>, String) {
     let mut out = Vec::new();
     let mut acc = String::new();
@@ -157,7 +162,7 @@ fn split_partial(input: &str) -> (Vec<String>, String) {
         if ch == ';' || ch == '\n' {
             let t = acc.trim();
             let is_meta = t.starts_with('\\');
-            let wants_query = t.starts_with("\\prepare");
+            let wants_query = t.starts_with("\\prepare") || t.starts_with("\\trace");
             let complete = if wants_query || !is_meta {
                 t.ends_with('.')
             } else {
@@ -255,6 +260,9 @@ enum Backend {
         db: Box<Database>,
         cache: PlanCache,
         statements: HashMap<String, EmbeddedStmt>,
+        // The in-process analogue of the server's slow-query ring:
+        // embedded queries record here, `\slow` reads it back.
+        slowlog: SlowQueryLog,
     },
     Remote {
         client: EhClient,
@@ -273,14 +281,25 @@ enum Backend {
 impl Backend {
     fn query(&mut self, text: &str) -> Result<String, String> {
         match self {
-            Backend::Embedded { db, cache, .. } => {
+            Backend::Embedded {
+                db, cache, slowlog, ..
+            } => {
                 // Mirror the server: preparable single rules go through
                 // the plan cache (cached texts skip parsing entirely);
                 // programs/recursion take the read-only path.
+                let started = Instant::now();
                 let result = match cache.get_preparable(db, text).map_err(|e| e.to_string())? {
                     Some(plan) => plan.execute(db).map_err(|e| e.to_string())?,
                     None => db.query_ref(text).map_err(|e| e.to_string())?,
                 };
+                slowlog.observe(SlowQueryEntry {
+                    trace_id: 0,
+                    query: text.to_string(),
+                    rows: result.rows().len() as u64,
+                    elapsed_ns: started.elapsed().as_nanos() as u64,
+                    sharded: false,
+                    hot_span: "-".into(),
+                });
                 let batch = batch_from_result(db, &result);
                 Ok(render_batch(&batch))
             }
@@ -301,6 +320,7 @@ impl Backend {
                 db,
                 cache,
                 statements,
+                ..
             } => {
                 let (plan, hit) = cache.get_or_prepare(db, text).map_err(|e| e.to_string())?;
                 statements.insert(
@@ -341,6 +361,7 @@ impl Backend {
                 db,
                 cache,
                 statements,
+                ..
             } => {
                 let stmt = statements
                     .get_mut(name)
@@ -443,8 +464,23 @@ impl Backend {
     fn explain(&mut self, query: &str) -> Result<String, String> {
         match self {
             Backend::Embedded { db, .. } => db.explain(query).map_err(|e| e.to_string()),
-            Backend::Remote { .. } => {
-                Err("\\explain runs embedded only (plans live client-side)".into())
+            // The plan text lives server-side, but the Trace frame
+            // carries the wire-encoded profile of a profiled run — so
+            // remote \explain shows where a real execution spent its
+            // time instead of erroring.
+            Backend::Remote { client, .. } => {
+                let outcome = client.trace_exec(query, false).map_err(remote_err)?;
+                match outcome.profile {
+                    Some(p) => Ok(format!(
+                        "profiled remotely ({} rows):\n{}",
+                        outcome.result.num_rows(),
+                        profile_to_span("query", &p).render()
+                    )),
+                    None => Ok(format!(
+                        "no profile: plan executes unprofiled (recursive rule); {} rows\n",
+                        outcome.result.num_rows()
+                    )),
+                }
             }
             // A cluster has no client-side planner, but it can profile:
             // scatter the query and report how the level-0 range split
@@ -458,6 +494,93 @@ impl Backend {
                     rs.num_rows()
                 );
                 out.push_str(&render_skew(cluster.last_reports()));
+                Ok(out)
+            }
+        }
+    }
+
+    /// `\trace QUERY`: run profiled and print the span tree. Cluster
+    /// mode scatters with a minted trace id and prints the stitched
+    /// trace — one `worker k` lane per shard, each holding that
+    /// worker's span tree.
+    fn trace(&mut self, text: &str) -> Result<String, String> {
+        const UNPROFILED: &str = "no trace: plan executes unprofiled (recursive rule)";
+        match self {
+            Backend::Embedded {
+                db, cache, slowlog, ..
+            } => {
+                let trace_id = TraceId::mint().as_u64();
+                let cfg = db.config().with_profile(true);
+                let started = Instant::now();
+                let result = match cache.get_preparable(db, text).map_err(|e| e.to_string())? {
+                    Some(plan) => plan.execute_with(db, &cfg).map_err(|e| e.to_string())?,
+                    None => db.query_ref_with(text, &cfg).map_err(|e| e.to_string())?,
+                };
+                let elapsed_ns = started.elapsed().as_nanos() as u64;
+                let rows = result.rows().len() as u64;
+                let (out, hot_span) = match result.profile() {
+                    Some(p) => {
+                        let trace = Trace {
+                            trace_id,
+                            work: p.work,
+                            root: profile_to_span("query", p),
+                        };
+                        (
+                            format!("{}({rows} rows)\n", trace.render()),
+                            trace.root.hottest_leaf(),
+                        )
+                    }
+                    None => (format!("{UNPROFILED}\n({rows} rows)\n"), "-".to_string()),
+                };
+                slowlog.observe(SlowQueryEntry {
+                    trace_id,
+                    query: text.to_string(),
+                    rows,
+                    elapsed_ns,
+                    sharded: false,
+                    hot_span,
+                });
+                Ok(out)
+            }
+            Backend::Remote { client, .. } => {
+                let outcome = client.trace_exec(text, true).map_err(remote_err)?;
+                let rows = outcome.result.num_rows();
+                match outcome.trace {
+                    Some(trace) => Ok(format!("{}({rows} rows)\n", trace.render())),
+                    None => Ok(format!("{UNPROFILED}\n({rows} rows)\n")),
+                }
+            }
+            Backend::Cluster { cluster, .. } => {
+                let (trace, rs) = cluster.trace(text).map_err(remote_err)?;
+                Ok(format!("{}({} rows)\n", trace.render(), rs.num_rows()))
+            }
+        }
+    }
+
+    /// `\slow [N]`: the most recent slow-query entries, newest first.
+    fn slow(&mut self, limit: usize) -> Result<String, String> {
+        fn lines(entries: &[SlowQueryEntry]) -> String {
+            if entries.is_empty() {
+                "(no slow queries)\n".into()
+            } else {
+                entries.iter().map(|e| e.render() + "\n").collect()
+            }
+        }
+        match self {
+            Backend::Embedded { slowlog, .. } => Ok(lines(&slowlog.recent(limit))),
+            Backend::Remote { client, .. } => {
+                Ok(lines(&client.slow_log(limit as u32).map_err(remote_err)?))
+            }
+            Backend::Cluster { cluster, .. } => {
+                let mut out = String::new();
+                for (k, entries) in cluster.slow_log(limit as u32).map_err(remote_err)? {
+                    out.push_str(&format!("worker {k}:\n"));
+                    for line in lines(&entries).lines() {
+                        out.push_str("  ");
+                        out.push_str(line);
+                        out.push('\n');
+                    }
+                }
                 Ok(out)
             }
         }
@@ -577,8 +700,19 @@ impl Backend {
     fn set_option(&mut self, key: &str, val: &str) -> Result<String, String> {
         match self {
             // Same parser the server sessions use, so both modes accept
-            // and confirm options with identical text.
-            Backend::Embedded { db, .. } => {
+            // and confirm options with identical text. `slow_ms` is
+            // intercepted exactly like a server session intercepts it:
+            // it tunes the slow-query log, not the engine config.
+            Backend::Embedded { db, slowlog, .. } => {
+                if key == "slow_ms" {
+                    return match val.parse::<u64>() {
+                        Ok(ms) => {
+                            slowlog.set_threshold_ns(ms.saturating_mul(1_000_000));
+                            Ok(format!("slow_ms = {ms}\n"))
+                        }
+                        Err(_) => Err(format!("slow_ms wants a number, got '{val}'")),
+                    };
+                }
                 let msg = apply_option(db.config_mut(), key, val)?;
                 Ok(format!("{msg}\n"))
             }
@@ -813,6 +947,23 @@ fn run_statement(backend: &mut Backend, stmt: &str, json: bool) -> StmtOutcome {
                     backend.explain(&arg)
                 }
             }
+            "trace" => {
+                if arg.is_empty() {
+                    Err("\\trace needs a query".into())
+                } else {
+                    backend.trace(&arg)
+                }
+            }
+            "slow" => {
+                if arg.is_empty() {
+                    backend.slow(10)
+                } else {
+                    match arg.parse::<usize>() {
+                        Ok(n) => backend.slow(n),
+                        Err(_) => Err(format!("\\slow takes an entry count, got '{arg}'")),
+                    }
+                }
+            }
             "set" => {
                 let mut words = arg.split_whitespace();
                 match (words.next(), words.next()) {
@@ -901,6 +1052,7 @@ fn run(args: &[String]) -> Result<i32, String> {
                 db: Box::new(open_database(&opts)?),
                 cache: PlanCache::new(64),
                 statements: HashMap::new(),
+                slowlog: SlowQueryLog::new(),
             },
         }
     };
@@ -1077,6 +1229,7 @@ mod tests {
             db: Box::new(Database::new()),
             cache: PlanCache::new(8),
             statements: HashMap::new(),
+            slowlog: SlowQueryLog::new(),
         };
         let load = format!("\\l {} E", tsv.display());
         let out = match run_statement(&mut backend, &load, false) {
@@ -1130,7 +1283,43 @@ mod tests {
             StmtOutcome::Error(e) => assert!(e.contains("needs a query"), "{e}"),
             other => panic!("expected error: {other:?}"),
         }
+        // \trace runs profiled and prints a span tree + row count; with
+        // threshold 0 every statement lands in the slow-query log.
+        match run_statement(&mut backend, "\\set slow_ms 0", false) {
+            StmtOutcome::Output(s) => assert_eq!(s, "slow_ms = 0\n"),
+            other => panic!("set slow_ms failed: {other:?}"),
+        }
+        let out = match run_statement(
+            &mut backend,
+            "\\trace T(x,y,z) :- E(x,y),E(y,z),E(x,z).",
+            false,
+        ) {
+            StmtOutcome::Output(s) => s,
+            other => panic!("trace failed: {other:?}"),
+        };
+        assert!(out.starts_with("trace "), "{out}");
+        assert!(out.contains("kernels:"), "{out}");
+        assert!(out.contains("(1 rows)"), "{out}");
+        let out = match run_statement(&mut backend, "\\slow", false) {
+            StmtOutcome::Output(s) => s,
+            other => panic!("slow failed: {other:?}"),
+        };
+        assert!(out.contains("slow: trace="), "{out}");
+        assert!(out.contains("T(x,y,z)"), "{out}");
+        match run_statement(&mut backend, "\\slow nope", false) {
+            StmtOutcome::Error(e) => assert!(e.contains("entry count"), "{e}"),
+            other => panic!("expected error: {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_statements_carry_their_query_across_semicolons() {
+        let stmts = split_statements("\\trace C(;w:long) :- E(x,y); w=<<COUNT(*)>>.; \\slow 5");
+        assert_eq!(
+            stmts,
+            vec!["\\trace C(;w:long) :- E(x,y); w=<<COUNT(*)>>.", "\\slow 5"]
+        );
     }
 
     #[test]
@@ -1189,6 +1378,7 @@ mod tests {
             db: Box::new(Database::new()),
             cache: PlanCache::new(8),
             statements: HashMap::new(),
+            slowlog: SlowQueryLog::new(),
         };
         match run_statement(&mut backend, "\\metrics", false) {
             StmtOutcome::Output(s) => assert!(s.contains("plan_cache"), "{s}"),

@@ -40,12 +40,14 @@ pub mod csv;
 pub mod encode;
 pub mod image;
 pub mod schema;
+pub mod trace_wire;
 pub mod wire;
 
 pub use csv::{CsvOptions, Delimiter, LoadReport, MalformedPolicy};
 pub use encode::{Domain, StorageCatalog};
 pub use image::{load_image, save_image, LoadedImage, IMAGE_MAGIC, IMAGE_VERSION};
 pub use schema::{ColumnDef, ColumnType, RelationSchema, StorageError, TypedValue};
+pub use trace_wire::{decode_trace, encode_trace};
 pub use wire::{decode_profile, encode_profile, ByteReader, ResultBatch};
 
 #[cfg(test)]

@@ -539,7 +539,7 @@ impl ResultBatch {
 /// Tag byte identifying the profile payload layout.
 const PROFILE_VERSION: u8 = 1;
 
-fn put_work(out: &mut Vec<u8>, w: &eh_obs::WorkCounters) {
+pub(crate) fn put_work(out: &mut Vec<u8>, w: &eh_obs::WorkCounters) {
     put_u64(out, w.values_scanned);
     put_u64(out, w.intersections);
     put_u64(out, w.merge_kernels);
@@ -549,7 +549,7 @@ fn put_work(out: &mut Vec<u8>, w: &eh_obs::WorkCounters) {
     put_u64(out, w.relayouts);
 }
 
-fn read_work(r: &mut ByteReader<'_>) -> Result<eh_obs::WorkCounters, StorageError> {
+pub(crate) fn read_work(r: &mut ByteReader<'_>) -> Result<eh_obs::WorkCounters, StorageError> {
     Ok(eh_obs::WorkCounters {
         values_scanned: r.u64("values scanned")?,
         intersections: r.u64("intersections")?,

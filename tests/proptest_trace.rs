@@ -1,0 +1,110 @@
+//! Property tests for the trace wire encoding: arbitrary span trees
+//! must round-trip losslessly through `encode_trace`/`decode_trace`,
+//! and the decoder must reject — with an error, never a panic — every
+//! prefix truncation and every single-bit corruption of a valid
+//! encoding (the trailing FNV-1a-64 checksum makes single-byte damage
+//! detection exact, not probabilistic).
+
+use emptyheaded::exec::{Span, Trace, WorkCounters};
+use emptyheaded::storage::{decode_trace, encode_trace};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random span tree from a seed: splitmix64 drives
+/// names, offsets, value lists, and fanout, so a `(seed, depth)` pair
+/// is a compact strategy for structurally diverse trees (the vendored
+/// proptest has no recursive combinator).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn build_span(state: &mut u64, depth: u32) -> Span {
+    let r = splitmix(state);
+    let name = match r % 5 {
+        0 => String::new(), // empty names must survive the wire too
+        1 => format!("node {}", r % 7),
+        2 => format!("level {}", r % 4),
+        3 => "sink merge / walk".to_string(),
+        _ => format!("spän-{}", r % 9), // non-ASCII names
+    };
+    let mut span = Span::new(name, splitmix(state), splitmix(state));
+    for _ in 0..(splitmix(state) % 4) {
+        let k = splitmix(state);
+        span = span.with_value(format!("k{}", k % 8), splitmix(state));
+    }
+    if depth > 0 {
+        for _ in 0..(splitmix(state) % 3) {
+            span = span.with_child(build_span(state, depth - 1));
+        }
+    }
+    span
+}
+
+fn build_trace(seed: u64, depth: u32) -> Trace {
+    let mut state = seed;
+    let work = WorkCounters {
+        values_scanned: splitmix(&mut state),
+        intersections: splitmix(&mut state),
+        ..WorkCounters::default()
+    };
+    Trace {
+        trace_id: splitmix(&mut state),
+        work,
+        root: build_span(&mut state, depth),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn arbitrary_traces_round_trip(seed in any::<u64>(), depth in 0u32..5) {
+        let trace = build_trace(seed, depth);
+        let bytes = encode_trace(&trace);
+        let back = decode_trace(&bytes).expect("round trip");
+        prop_assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn every_prefix_truncation_errors(seed in any::<u64>(), depth in 0u32..4) {
+        let bytes = encode_trace(&build_trace(seed, depth));
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                decode_trace(&bytes[..cut]).is_err(),
+                "truncation at {cut}/{} decoded",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_errors(seed in any::<u64>(), depth in 0u32..3) {
+        let bytes = encode_trace(&build_trace(seed, depth));
+        let mut mutated = bytes.clone();
+        for i in 0..bytes.len() {
+            for bit in 0..8u8 {
+                mutated[i] ^= 1 << bit;
+                prop_assert!(
+                    decode_trace(&mutated).is_err(),
+                    "bit {bit} of byte {i}/{} survived the checksum",
+                    bytes.len()
+                );
+                mutated[i] ^= 1 << bit; // restore
+            }
+        }
+        prop_assert_eq!(&mutated, &bytes, "mutation loop must self-restore");
+    }
+
+    #[test]
+    fn random_garbage_never_panics(seed in any::<u64>(), len in 0usize..256) {
+        let mut state = seed;
+        let garbage: Vec<u8> = (0..len).map(|_| splitmix(&mut state) as u8).collect();
+        // Any outcome but a panic is acceptable; for garbage this short
+        // the checksum makes Ok astronomically unlikely, but the
+        // property under test is panic-freedom, not rejection.
+        let _ = decode_trace(&garbage);
+    }
+}

@@ -499,7 +499,7 @@ fn one_shard_exec_equals_the_full_query() {
     let mut client = EhClient::connect(&addr).expect("connect");
     for q in QUERIES {
         let full = client.query(q).expect("full query");
-        let outcome = client.shard_exec(q, 0, 1).expect("shard exec");
+        let outcome = client.shard_exec(q, 0, 1, None).expect("shard exec");
         assert_eq!(
             outcome.result.raw_bytes(),
             full.raw_bytes(),
@@ -508,7 +508,7 @@ fn one_shard_exec_equals_the_full_query() {
     }
     // A splittable plan over one shard owns the whole level-0 range.
     let outcome = client
-        .shard_exec(QUERIES[0], 0, 1)
+        .shard_exec(QUERIES[0], 0, 1, None)
         .expect("triangle shard exec");
     assert!(outcome.sharded, "triangle plan shards");
     assert!(outcome.level0_values > 0, "whole range owned by shard 0");
